@@ -1,0 +1,131 @@
+"""Ablation benches for CAQE's design choices (DESIGN.md §5).
+
+Each ablation disables one mechanism and reruns the same calibrated
+experiment, quantifying that mechanism's contribution:
+
+1. satisfaction feedback (Equation 11);
+2. dependency-graph scheduling (Definition 9);
+3. coarse-skyline region pruning (MQLA);
+4. tuple-level region discarding (Section 6);
+5. output-grid granularity.
+"""
+
+from dataclasses import replace
+
+from repro.bench.config import experiment_for
+from repro.bench.reporting import render_table
+from repro.bench.runner import (
+    calibrated_contracts,
+    make_pair,
+    make_workload,
+    reference_time,
+    run_strategy,
+)
+from repro.core import CAQEConfig
+
+
+def _setup(contract_class="C1"):
+    config = experiment_for("independent")
+    pair = make_pair(config)
+    workload = make_workload(config, contract_class)
+    t_ref = reference_time(pair, workload, config)
+    contracts = calibrated_contracts(contract_class, workload, t_ref)
+    return config, pair, workload, contracts
+
+
+def _run(config, pair, workload, contracts, caqe_config):
+    cfg = replace(config, caqe=caqe_config)
+    return run_strategy("CAQE", pair, workload, contracts, cfg)
+
+
+def bench_ablation_mechanisms(run_once, benchmark):
+    config, pair, workload, contracts = _setup("C1")
+
+    variants = {
+        "full CAQE": config.caqe,
+        "no feedback (Eq. 11)": replace(config.caqe, enable_feedback=False),
+        "no dependency graph": replace(config.caqe, enable_depgraph=False),
+        "no coarse pruning": replace(config.caqe, enable_coarse_pruning=False),
+        "no tuple discard": replace(config.caqe, enable_tuple_discard=False),
+        "no look-ahead at all": replace(
+            config.caqe,
+            enable_depgraph=False,
+            enable_coarse_pruning=False,
+            enable_tuple_discard=False,
+            objective="scan",
+            enable_feedback=False,
+        ),
+    }
+
+    def run_all():
+        return {
+            label: _run(config, pair, workload, contracts, caqe_cfg)
+            for label, caqe_cfg in variants.items()
+        }
+
+    outcomes = run_once(benchmark, run_all)
+    rows = [
+        (
+            label,
+            outcome.average_satisfaction,
+            outcome.stats["join_results"],
+            outcome.stats["skyline_comparisons"],
+            outcome.stats["virtual_time"],
+        )
+        for label, outcome in outcomes.items()
+    ]
+    print()
+    print(
+        render_table(
+            ("Variant", "avg satisfaction", "join results", "comparisons", "virtual time"),
+            rows,
+            title="Ablation: contribution of each CAQE mechanism (C1, independent)",
+        )
+    )
+
+    full = outcomes["full CAQE"]
+    # Pruning mechanisms must not increase materialised join work.
+    assert (
+        full.stats["join_results"]
+        <= outcomes["no coarse pruning"].stats["join_results"] + 1e-9
+    )
+    assert (
+        full.stats["join_results"]
+        <= outcomes["no tuple discard"].stats["join_results"] + 1e-9
+    )
+    # The full system should satisfy contracts at least as well as the
+    # stripped pipeline.
+    assert (
+        full.average_satisfaction
+        >= outcomes["no look-ahead at all"].average_satisfaction - 0.05
+    )
+
+
+def bench_ablation_grid_granularity(run_once, benchmark):
+    config, pair, workload, contracts = _setup("C2")
+
+    def run_all():
+        return {
+            divisions: _run(
+                config, pair, workload, contracts,
+                replace(config.caqe, divisions=divisions),
+            )
+            for divisions in (2, 4, 8, 16)
+        }
+
+    outcomes = run_once(benchmark, run_all)
+    rows = [
+        (d, o.average_satisfaction, o.stats["virtual_time"])
+        for d, o in sorted(outcomes.items())
+    ]
+    print()
+    print(
+        render_table(
+            ("grid divisions/dim", "avg satisfaction", "virtual time"),
+            rows,
+            title="Ablation: output-grid granularity (C2, independent)",
+        )
+    )
+    # Sanity: every granularity still produces a working system.
+    for outcome in outcomes.values():
+        assert outcome.average_satisfaction >= 0.0

@@ -1,0 +1,96 @@
+"""Substrate ablations: partitioning policy and shared-structure choice.
+
+Complements ``bench_ablation.py`` with the remaining DESIGN.md §5 choices:
+
+* quad (2^d midpoint) vs k-d (binary median) input partitioning;
+* min-max cuboid vs full skycube vs compressed skycube storage footprints.
+"""
+
+import numpy as np
+
+from dataclasses import replace
+
+from repro.bench.config import experiment_for
+from repro.bench.reporting import render_table
+from repro.bench.runner import (
+    calibrated_contracts,
+    make_pair,
+    make_workload,
+    reference_time,
+    run_strategy,
+)
+
+
+def bench_ablation_partition_split(run_once, benchmark):
+    config = experiment_for("correlated")  # skewed data shows the difference
+    pair = make_pair(config)
+    workload = make_workload(config, "C2")
+    t_ref = reference_time(pair, workload, config)
+    contracts = calibrated_contracts("C2", workload, t_ref)
+
+    def run_both():
+        return {
+            split: run_strategy(
+                "CAQE", pair, workload, contracts,
+                replace(config, caqe=replace(config.caqe, partition_split=split)),
+            )
+            for split in ("quad", "kd")
+        }
+
+    outcomes = run_once(benchmark, run_both)
+    rows = [
+        (
+            split,
+            o.average_satisfaction,
+            o.stats["regions_processed"],
+            o.stats["regions_discarded"],
+            o.stats["virtual_time"],
+        )
+        for split, o in outcomes.items()
+    ]
+    print()
+    print(
+        render_table(
+            ("split policy", "avg satisfaction", "regions run", "regions pruned", "virtual time"),
+            rows,
+            title="Ablation: input partitioning policy (correlated, C2)",
+        )
+    )
+    # Both policies must work; median splits keep leaf sizes balanced on
+    # skewed data, so the kd pipeline should not process more regions than
+    # several times the quad pipeline.
+    assert outcomes["kd"].average_satisfaction > 0.0
+    assert outcomes["quad"].average_satisfaction > 0.0
+
+
+def bench_ablation_shared_structure_storage(run_once, benchmark):
+    """Storage entries: full skycube vs compressed skycube on real data."""
+    from repro.skyline.csc import CompressedSkycube
+    from repro.skyline.skycube import compute_naive
+
+    rng = np.random.default_rng(20140324)
+    points = rng.random((300, 4)) * 100
+
+    def build():
+        csc = CompressedSkycube.build(points)
+        full = compute_naive(points)
+        return csc, full
+
+    csc, full = run_once(benchmark, build)
+    full_entries = CompressedSkycube.full_entries(full)
+    print()
+    print(
+        render_table(
+            ("structure", "stored (tuple, subspace) entries"),
+            [
+                ("full skycube", full_entries),
+                ("compressed skycube", csc.stored_entries),
+            ],
+            title="Ablation: shared-structure storage (300 independent 4-d points)",
+        )
+    )
+    print(f"compression ratio: {csc.compression_ratio(full):.3f}")
+    assert csc.stored_entries < full_entries
+    # Reconstruction must stay exact.
+    for sub in full.subspaces:
+        assert csc.skyline(sub) == full.skyline(sub)

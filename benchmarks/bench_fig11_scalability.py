@@ -1,0 +1,45 @@
+"""Figures 11a-11b: average satisfaction as the workload grows.
+
+§7.4 restricts the discussion to the independent distribution and the two
+strictest contract classes, C2 and C3.  Shape claims:
+
+* every technique degrades as |S_Q| grows;
+* CAQE's drop from a single query to the full 11-query workload is the
+  smallest among the compared techniques (the paper reports a 20-30%
+  drop for CAQE vs up to 85% for the competitors).
+"""
+
+from repro.bench.figures import figure11
+
+STRATEGIES = ("CAQE", "ProgXe+", "SSMJ")
+
+
+def _check(fig):
+    sizes = sorted(fig.series)
+    # Growing the workload degrades (or at best preserves) satisfaction.
+    for strategy in STRATEGIES:
+        first = fig.satisfaction(sizes[0], strategy)
+        last = fig.satisfaction(sizes[-1], strategy)
+        assert first >= last - 0.02, (strategy, first, last)
+    # CAQE's relative drop is the smallest (paper: ~20-30% vs up to 85%).
+    drops = {s: fig.drop(s) for s in STRATEGIES}
+    assert drops["CAQE"] <= min(drops.values()) + 0.02, drops
+    # And at the full workload CAQE is on top.
+    full = {s: fig.satisfaction(sizes[-1], s) for s in STRATEGIES}
+    assert full["CAQE"] >= max(full.values()) - 0.02, full
+
+
+def bench_fig11a_contract_c2(run_once, benchmark):
+    fig = run_once(benchmark, lambda: figure11("C2", strategies=STRATEGIES))
+    print()
+    print(fig.table())
+    print("relative drops:", {s: round(fig.drop(s), 3) for s in STRATEGIES})
+    _check(fig)
+
+
+def bench_fig11b_contract_c3(run_once, benchmark):
+    fig = run_once(benchmark, lambda: figure11("C3", strategies=STRATEGIES))
+    print()
+    print(fig.table())
+    print("relative drops:", {s: round(fig.drop(s), 3) for s in STRATEGIES})
+    _check(fig)

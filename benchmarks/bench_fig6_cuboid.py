@@ -1,0 +1,55 @@
+"""Figures 5-6: the full skycube vs the min-max cuboid shared plan.
+
+Prints the structure sizes for the paper's running workload (Figure 1) and
+measures the comparison savings of shared (Theorem 1-seeded) skycube
+evaluation over naive per-subspace evaluation.
+"""
+
+import numpy as np
+
+from repro.bench.figures import figure6_sizes
+from repro.bench.reporting import render_table
+from repro.skyline import ComparisonCounter, compute_naive, compute_shared
+
+
+def bench_fig6_minmax_cuboid_size(run_once, benchmark):
+    sizes = run_once(benchmark, figure6_sizes)
+    print()
+    print(
+        render_table(
+            ("Structure", "Subspaces"),
+            [
+                ("Figure 5: full skycube (2^4 - 1)", sizes["full_skycube"]),
+                ("Figure 6: min-max cuboid", sizes["min_max_cuboid"]),
+            ],
+            title="Shared-plan size for the Figure 1 workload",
+        )
+    )
+    assert sizes["full_skycube"] == 15
+    assert sizes["min_max_cuboid"] == 8  # exactly Figure 6
+
+
+def bench_fig5_shared_skycube_comparisons(run_once, benchmark):
+    rng = np.random.default_rng(20140324)
+    points = rng.random((400, 4)) * 100
+
+    def shared():
+        counter = ComparisonCounter()
+        compute_shared(points, counter)
+        return counter.comparisons
+
+    shared_comparisons = run_once(benchmark, shared)
+    naive_counter = ComparisonCounter()
+    compute_naive(points, naive_counter)
+    print()
+    print(
+        render_table(
+            ("Strategy", "Pairwise comparisons"),
+            [
+                ("naive (one BNL per subspace)", naive_counter.comparisons),
+                ("shared (Theorem 1 seeding)", shared_comparisons),
+            ],
+            title="Skycube evaluation over 400 independent 4-d points",
+        )
+    )
+    assert shared_comparisons < naive_counter.comparisons

@@ -1,0 +1,66 @@
+"""Figure 9c: average contract satisfaction, anti-correlated distribution.
+
+Anti-correlated data is the most resource-intensive case: a large share of
+the join output is in every skyline, so region-level pruning finds little
+to discard and every strategy pays heavy skyline evaluation.
+
+Shape claims asserted:
+
+* CAQE beats the non-sharing progressive baseline (ProgXe+) and the
+  blocking JFSL under the deadline- and cardinality-style contracts;
+* CAQE and S-JFSL track each other closely (sharing dominates here);
+* everyone's satisfaction is far below the correlated case — the
+  distribution ordering the paper's Figures 9a-9c encode.
+
+Known deviation (EXPERIMENTS.md): under the soft deadline C3 our
+*sequential* baselines (SSMJ, JFSL) salvage the many cheap low-dimensional
+queries before the deadline and overtake CAQE; in the paper the baselines'
+repeated full-scale joins made even the first query miss its deadline.  We
+assert only the relaxed form of that claim.
+"""
+
+from repro.bench.figures import figure9
+from repro.contracts.presets import CONTRACT_CLASSES
+
+TOLERANCE = 0.02
+
+
+def bench_fig9c_anticorrelated(run_once, benchmark):
+    fig = run_once(benchmark, lambda: figure9("anticorrelated"))
+    print()
+    print(fig.table())
+
+    # CAQE ahead of the non-sharing techniques wherever deadlines or rates
+    # bite (the paper's ~2x claim, relaxed to strict dominance).
+    for contract in ("C1", "C2", "C4", "C5"):
+        caqe = fig.satisfaction(contract, "CAQE")
+        assert caqe >= fig.satisfaction(contract, "JFSL") - TOLERANCE, contract
+        assert caqe >= fig.satisfaction(contract, "ProgXe+") - TOLERANCE, contract
+
+    # Sharing strategies track each other (pruning finds little here).
+    for contract in CONTRACT_CLASSES:
+        caqe = fig.satisfaction(contract, "CAQE")
+        sjfsl = fig.satisfaction(contract, "S-JFSL")
+        assert abs(caqe - sjfsl) <= 0.1, contract
+
+    # Relaxed C3 claim: CAQE stays within striking distance of the
+    # sequential baselines that salvage the cheap queries (see module doc).
+    assert fig.satisfaction("C3", "CAQE") >= 0.5 * fig.satisfaction("C3", "SSMJ")
+
+
+def bench_fig9_distribution_ordering(run_once, benchmark):
+    """Across Figures 9a-9c: correlated is the easiest setting and
+    anti-correlated the hardest for every strategy (contract C1)."""
+
+    def run():
+        return {
+            dist: figure9(dist, contract_classes=("C1",))
+            for dist in ("correlated", "independent", "anticorrelated")
+        }
+
+    results = run_once(benchmark, run)
+    for strategy in ("CAQE", "S-JFSL"):
+        corr = results["correlated"].satisfaction("C1", strategy)
+        anti = results["anticorrelated"].satisfaction("C1", strategy)
+        print(f"{strategy}: correlated={corr:.3f} anticorrelated={anti:.3f}")
+        assert corr >= anti, strategy

@@ -1,0 +1,50 @@
+"""Figure 9b: average contract satisfaction, independent distribution.
+
+Reproduces §7.2's comparison of CAQE, S-JFSL, JFSL, ProgXe+ and SSMJ under
+the five contract classes of Table 2 on independent data (|S_Q| = 11).
+
+Shape claims asserted (paper §7.2 / DESIGN.md §4):
+
+* CAQE achieves the highest average satisfaction under every contract
+  class (within a small tolerance for ties with S-JFSL);
+* the contract-driven approach beats the blocking JFSL severalfold under
+  deadline- and cardinality-style contracts;
+* CAQE is roughly 2x better than the non-sharing techniques overall —
+  the paper's headline claim.
+"""
+
+import numpy as np
+
+from repro.baselines import FIGURE_STRATEGIES
+from repro.bench.figures import figure9
+from repro.contracts.presets import CONTRACT_CLASSES
+
+TOLERANCE = 0.02
+
+
+def bench_fig9b_independent(run_once, benchmark):
+    fig = run_once(benchmark, lambda: figure9("independent"))
+    print()
+    print(fig.table())
+
+    for contract in CONTRACT_CLASSES:
+        caqe = fig.satisfaction(contract, "CAQE")
+        for other in FIGURE_STRATEGIES[1:]:
+            assert caqe >= fig.satisfaction(contract, other) - TOLERANCE, (
+                contract,
+                other,
+            )
+
+    # Deadline/cardinality contracts starve the blocking baseline.
+    for contract in ("C1", "C4", "C5"):
+        assert fig.satisfaction(contract, "CAQE") >= 2.0 * fig.satisfaction(
+            contract, "JFSL"
+        ), contract
+
+    # Headline: ~2x better than the non-sharing techniques on average.
+    caqe_mean = np.mean([fig.satisfaction(c, "CAQE") for c in CONTRACT_CLASSES])
+    for other in ("JFSL", "ProgXe+"):
+        other_mean = np.mean(
+            [fig.satisfaction(c, other) for c in CONTRACT_CLASSES]
+        )
+        assert caqe_mean >= 1.5 * other_mean, (other, caqe_mean, other_mean)

@@ -1,0 +1,71 @@
+"""Micro-benchmarks: the skyline algorithm suite on benchmark data.
+
+Not a paper figure — real wall-clock comparisons of the substrate
+algorithms (BNL, SFS, SaLSa, divide & conquer, BBS) across the three data
+distributions, with the comparison-count table the related-work section
+(§8) reasons about.  Unlike the figure benches these use pytest-benchmark's
+normal multi-round timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.datagen.distributions import generate
+from repro.skyline import (
+    ComparisonCounter,
+    bbs_skyline,
+    bnl_skyline,
+    dnc_skyline,
+    salsa_skyline,
+    sfs_skyline,
+)
+
+N = 1200
+ALGORITHMS = {
+    "BNL": lambda pts, counter: bnl_skyline(pts, counter=counter),
+    "SFS": lambda pts, counter: sfs_skyline(pts, counter=counter),
+    "SaLSa": lambda pts, counter: salsa_skyline(pts, counter=counter)[0],
+    "D&C": lambda pts, counter: dnc_skyline(pts, counter=counter),
+    "BBS": lambda pts, counter: bbs_skyline(pts, counter=counter),
+}
+
+
+@pytest.fixture(scope="module", params=["correlated", "independent", "anticorrelated"])
+def dataset(request):
+    return request.param, generate(request.param, N, 3, seed=13)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def bench_micro_skyline_algorithm(benchmark, dataset, algorithm):
+    name, points = dataset
+    run = ALGORITHMS[algorithm]
+    benchmark.group = f"skyline-{name}"
+    result = benchmark(lambda: run(points, None))
+    # All algorithms must agree with BNL.
+    assert sorted(result) == bnl_skyline(points)
+
+
+def bench_micro_comparison_counts(run_once, benchmark, dataset):
+    """One table per distribution: pairwise comparisons per algorithm."""
+    name, points = dataset
+
+    def count_all():
+        counts = {}
+        for algo, run in ALGORITHMS.items():
+            counter = ComparisonCounter()
+            run(points, counter)
+            counts[algo] = counter.comparisons
+        return counts
+
+    counts = run_once(benchmark, count_all)
+    print()
+    print(
+        render_table(
+            ("algorithm", "pairwise comparisons"),
+            sorted(counts.items()),
+            title=f"Skyline comparison counts ({name}, N={N}, d=3)",
+        )
+    )
+    # Presorting must beat the naive scan on every distribution.
+    assert counts["SFS"] <= counts["BNL"]

@@ -1,0 +1,29 @@
+"""Table 3: the related-work feature matrix, rendered from the registry.
+
+The paper positions CAQE as the only technique combining skyline-over-join
+support, multi-query processing, progressive output, and user QoS — this
+bench prints the shipped matrix and asserts that positioning.
+"""
+
+from repro.baselines import feature_matrix
+from repro.bench.reporting import render_feature_matrix
+
+
+def bench_table3_feature_matrix(run_once, benchmark):
+    matrix = run_once(benchmark, feature_matrix)
+    print()
+    print(render_feature_matrix())
+
+    caqe = matrix["CAQE"]
+    assert caqe.skyline_over_join and caqe.multiple_queries
+    assert caqe.progressive and caqe.supports_qos
+    # Nobody else supports contracts (Table 3's last column).
+    for name, caps in matrix.items():
+        if name != "CAQE":
+            assert not caps.supports_qos, name
+    # The shared baseline is multi-query + progressive but contract-blind.
+    assert matrix["S-JFSL"].multiple_queries and matrix["S-JFSL"].progressive
+    # Blocking single-query techniques.
+    assert not matrix["JFSL"].progressive and not matrix["JFSL"].multiple_queries
+    assert not matrix["SSMJ"].progressive
+    assert matrix["ProgXe+"].progressive and not matrix["ProgXe+"].multiple_queries

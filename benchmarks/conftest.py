@@ -1,0 +1,51 @@
+"""Shared helpers for the figure/table benches.
+
+Every bench regenerates one of the paper's tables or figures, prints the
+same rows/series the paper reports, and asserts the paper's qualitative
+*shape* claims (DESIGN.md §4).  Absolute numbers differ — the substrate is
+a deterministic virtual-clock simulator, not the authors' JVM testbed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale data sizes with the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def run_once():
+    return once
+
+
+# Benches *print* the tables/series the paper reports.  pytest captures
+# that output; replay it in the terminal summary so a plain
+# ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+# every table without needing ``-s``.
+_captured: "list[tuple[str, str]]" = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.capstdout.strip():
+        _captured.append((item.nodeid, report.capstdout))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _captured:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for nodeid, text in _captured:
+        terminalreporter.write_sep("-", nodeid)
+        terminalreporter.write(text)

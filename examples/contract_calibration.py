@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Calibrating contracts: curves, ideal pacing, delivery profiles, regret.
+
+Before committing to a contract, an operator wants to know what it demands
+(the utility curve), what the best possible execution could score (ideal
+pacing), and afterwards how far the actual execution fell short (regret).
+This example walks those tools over a real CAQE run, and prints the
+workload's static sharing report.
+
+Run:  python examples/contract_calibration.py
+"""
+
+import numpy as np
+
+from repro import c1, c3, c4, generate_pair, run_caqe, subspace_workload
+from repro.contracts.analysis import (
+    contract_curve,
+    delivery_profile,
+    ideal_satisfaction,
+    regret,
+)
+from repro.plan import sharing_report
+
+pair = generate_pair("independent", 400, 4, selectivity=0.02, seed=77)
+workload = subspace_workload(4, priority_scheme="uniform")
+
+print("=== Workload sharing structure ===")
+print(sharing_report(workload).describe())
+
+# Probe the execution time scale with an uncontracted run.
+probe = run_caqe(
+    pair.left, pair.right, workload,
+    {q.name: c1(float("inf")) for q in workload},
+)
+t_ref = probe.horizon
+print(f"\nProbe completion: {t_ref:,.0f} virtual units")
+
+contracts = {
+    q.name: (
+        c3(0.4 * t_ref, unit=0.02 * t_ref)
+        if i % 2 == 0
+        else c4(fraction=0.1, interval=0.06 * t_ref)
+    )
+    for i, q in enumerate(workload)
+}
+
+print("\n=== Contract curves (utility of a result at time t) ===")
+sample = contracts["Q1"]
+ts, utilities = contract_curve(sample, horizon=t_ref, samples=9)
+for t, u in zip(ts, utilities):
+    bar = "#" * int(max(u, 0.0) * 30)
+    print(f"  t={t:>10,.0f}  u={u:+.3f}  {bar}")
+
+result = run_caqe(pair.left, pair.right, workload, contracts)
+
+print("\n=== Per-query outcome vs the ideal ===")
+print(f"{'query':>5} | {'results':>7} | {'ideal':>6} | {'actual':>6} | {'regret':>6}")
+for query in workload:
+    log = result.logs[query.name]
+    contract = contracts[query.name]
+    best = ideal_satisfaction(contract, len(log), result.horizon)
+    actual = result.satisfaction(query.name)
+    gap = regret(contract, log, horizon=result.horizon)
+    print(
+        f"{query.name:>5} | {len(log):>7} | {best:>6.3f} | {actual:>6.3f} | {gap:>6.3f}"
+    )
+
+print("\n=== Q1 delivery profile (results per contract interval) ===")
+interval = 0.06 * t_ref
+profile = delivery_profile(result.logs["Q1"], interval, horizon=result.horizon)
+for i, count in enumerate(profile.tolist()):
+    print(f"  interval {i:>2}: {'*' * min(count, 60)}{count:>4}")
+
+avg = result.average_satisfaction()
+print(f"\nWorkload average satisfaction: {avg:.3f}")
+assert 0.0 <= avg <= 1.0

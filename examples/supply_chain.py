@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The paper's supply-chain scenario (Examples 14-15).
+
+Two analysts pair RETAILERS with TRANSPORTERS, but under *different join
+predicates*: Q1 matches by country (a retailer shipped domestically), Q2 by
+part (a transporter specialised in the retailer's goods).  CAQE's
+coarse-level join keeps one signature per cell per predicate and skips any
+cell pair whose signatures do not intersect — Example 15's pruning —
+before a single tuple is compared.
+
+Run:  python examples/supply_chain.py
+"""
+
+from repro import (
+    CAQE,
+    CAQEConfig,
+    JoinCondition,
+    Preference,
+    SkylineJoinQuery,
+    Workload,
+    c3,
+)
+from repro.contracts import DeadlineContract
+from repro.datagen import domains
+from repro.query.mapping import add
+
+retailers = domains.retailers(400, seed=5)
+transporters = domains.transporters(400, seed=6)
+
+by_country = JoinCondition.on("country", name="by_country")
+by_part = JoinCondition.on("part", name="by_part")
+
+functions = (
+    add("unit_cost", "freight_cost", "landed_cost"),
+    add("lead_time", "transit_time", "total_time"),
+    add("defect_rate", "loss_rate", "total_risk"),
+)
+
+workload = Workload(
+    [
+        SkylineJoinQuery(
+            "Q1_domestic", by_country, functions,
+            Preference.over("landed_cost", "total_time"), priority=0.8,
+        ),
+        SkylineJoinQuery(
+            "Q2_specialist", by_part, functions,
+            Preference.over("landed_cost", "total_risk"), priority=0.6,
+        ),
+        SkylineJoinQuery(
+            "Q3_balanced", by_country, functions,
+            Preference.over("landed_cost", "total_time", "total_risk"),
+            priority=0.4,
+        ),
+    ]
+)
+workload.validate(retailers, transporters)
+
+# Calibrate a soft deadline from an uncontracted CAQE pass.
+probe = CAQE(CAQEConfig(target_cells=10)).run(
+    retailers, transporters, workload,
+    {q.name: DeadlineContract(float("inf")) for q in workload},
+)
+t_ref = probe.horizon
+contracts = {
+    q.name: c3(0.4 * t_ref, unit=0.02 * t_ref) for q in workload
+}
+
+result = CAQE(CAQEConfig(target_cells=10)).run(
+    retailers, transporters, workload, contracts
+)
+
+print("Supply chain: RETAILERS x TRANSPORTERS under two join predicates\n")
+summary = result.stats.summary()
+print(f"regions processed: {summary['regions_processed']:.0f}, "
+      f"pruned before tuple work: {summary['regions_discarded']:.0f}")
+print(f"join results materialised: {summary['join_results']:.0f}; "
+      f"skyline comparisons: {summary['skyline_comparisons']:.0f}\n")
+
+for query in workload:
+    log = result.logs[query.name]
+    print(
+        f"{query.name:<14} join={query.join_condition.name:<11} "
+        f"skyline over {', '.join(query.skyline_dims):<34} "
+        f"results={len(log):>4} satisfaction={result.satisfaction(query.name):.3f}"
+    )
+
+print(f"\nAverage satisfaction: {result.average_satisfaction():.3f}")
+
+# The two predicates produce different pairings: verify with the reference
+# evaluator that each query's answer matches an independent computation.
+from repro import reference_evaluate
+
+for query in workload:
+    ref = reference_evaluate(query, retailers, transporters)
+    assert result.reported[query.name] == ref.skyline_pairs
+print("All three result sets verified against the reference evaluator.")

@@ -1,0 +1,10 @@
+"""Legacy-compatible entry point.
+
+This repository is configured through ``pyproject.toml``; this shim exists
+only so ``pip install -e .`` works on environments whose setuptools/pip
+predate PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""CAQE reproduction: contract-driven processing of concurrent skyline-over-join queries.
+
+Reproduces Raghavan & Rundensteiner, *CAQE: A Contract Driven Approach to
+Processing Concurrent Decision Support Queries*, EDBT 2014.  See README.md
+for the quickstart and DESIGN.md for the system inventory.
+
+Typical usage::
+
+    from repro import (
+        CAQE, CAQEConfig, c1, generate_pair, subspace_workload,
+    )
+
+    pair = generate_pair("independent", 500, 4, selectivity=0.02, seed=7)
+    workload = subspace_workload(4, priority_scheme="dims_asc")
+    contracts = {q.name: c1(deadline=50_000) for q in workload}
+    result = CAQE(CAQEConfig()).run(pair.left, pair.right, workload, contracts)
+    print(result.average_satisfaction())
+"""
+
+from repro.contracts import (
+    Contract,
+    ResultLog,
+    c1,
+    c2,
+    c3,
+    c4,
+    c5,
+    pscore,
+    satisfaction,
+    score_workload,
+)
+from repro.core import CAQE, CAQEConfig, CostModel, RunResult, run_caqe
+from repro.datagen import TablePair, generate_pair, generate_table
+from repro.errors import ReproError
+from repro.query import (
+    JoinCondition,
+    MappingFunction,
+    Preference,
+    SkylineJoinQuery,
+    Workload,
+    add,
+    reference_evaluate,
+    subspace_workload,
+)
+from repro.relation import Attribute, Relation, Role, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "CAQE",
+    "CAQEConfig",
+    "Contract",
+    "CostModel",
+    "JoinCondition",
+    "MappingFunction",
+    "Preference",
+    "Relation",
+    "ReproError",
+    "ResultLog",
+    "Role",
+    "RunResult",
+    "Schema",
+    "SkylineJoinQuery",
+    "TablePair",
+    "Workload",
+    "add",
+    "c1",
+    "c2",
+    "c3",
+    "c4",
+    "c5",
+    "generate_pair",
+    "generate_table",
+    "pscore",
+    "reference_evaluate",
+    "run_caqe",
+    "satisfaction",
+    "score_workload",
+    "subspace_workload",
+]

@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro figure9 independent
+    python -m repro figure9 correlated --contracts C1 C2
+    python -m repro figure10
+    python -m repro figure11 C3
+    python -m repro table3
+    python -m repro cuboid
+
+``REPRO_SCALE`` scales the data sizes (see repro.bench.config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    figure9,
+    figure10,
+    figure11,
+    figure6_sizes,
+    render_feature_matrix,
+    render_table,
+)
+from repro.contracts.presets import CONTRACT_CLASSES
+from repro.datagen.distributions import DISTRIBUTIONS
+
+
+def _cmd_figure9(args) -> None:
+    fig = figure9(args.distribution, contract_classes=tuple(args.contracts))
+    print(fig.table())
+
+
+def _cmd_figure10(args) -> None:
+    print(figure10(args.distribution).table())
+
+
+def _cmd_figure11(args) -> None:
+    fig = figure11(args.contract, sizes=tuple(args.sizes))
+    print(fig.table())
+    drops = {s: round(fig.drop(s), 3) for s in sorted(next(iter(fig.series.values())))}
+    print(f"relative drops: {drops}")
+
+
+def _cmd_table3(args) -> None:
+    print(render_feature_matrix())
+
+
+def _cmd_cuboid(args) -> None:
+    sizes = figure6_sizes()
+    print(
+        render_table(
+            ("Structure", "Subspaces"),
+            [
+                ("Figure 5: full skycube", sizes["full_skycube"]),
+                ("Figure 6: min-max cuboid", sizes["min_max_cuboid"]),
+            ],
+            title="Shared-plan sizes (Figure 1 workload)",
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the CAQE paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p9 = sub.add_parser("figure9", help="average contract satisfaction")
+    p9.add_argument("distribution", choices=DISTRIBUTIONS)
+    p9.add_argument(
+        "--contracts", nargs="+", default=list(CONTRACT_CLASSES),
+        choices=CONTRACT_CLASSES,
+    )
+    p9.set_defaults(func=_cmd_figure9)
+
+    p10 = sub.add_parser("figure10", help="join/comparison/time statistics")
+    p10.add_argument("--distribution", default="independent", choices=DISTRIBUTIONS)
+    p10.set_defaults(func=_cmd_figure10)
+
+    p11 = sub.add_parser("figure11", help="satisfaction vs workload size")
+    p11.add_argument("contract", choices=CONTRACT_CLASSES)
+    p11.add_argument("--sizes", nargs="+", type=int, default=[1, 3, 6, 11])
+    p11.set_defaults(func=_cmd_figure11)
+
+    p3 = sub.add_parser("table3", help="technique feature matrix")
+    p3.set_defaults(func=_cmd_table3)
+
+    pc = sub.add_parser("cuboid", help="min-max cuboid vs full skycube sizes")
+    pc.set_defaults(func=_cmd_cuboid)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

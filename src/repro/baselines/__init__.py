@@ -1,0 +1,32 @@
+"""Competitor execution strategies (Section 7.1) and the Table 3 matrix."""
+
+from repro.baselines.base import Capabilities, ExecutionStrategy
+from repro.baselines.jfsl import JFSL
+from repro.baselines.progxe import ProgXePlus
+from repro.baselines.registry import (
+    FIGURE_STRATEGIES,
+    TABLE3,
+    all_strategy_names,
+    capabilities_of,
+    feature_matrix,
+    make_strategy,
+)
+from repro.baselines.roundrobin import RoundRobin
+from repro.baselines.sjfsl import SJFSL
+from repro.baselines.ssmj import SSMJ
+
+__all__ = [
+    "Capabilities",
+    "ExecutionStrategy",
+    "FIGURE_STRATEGIES",
+    "JFSL",
+    "ProgXePlus",
+    "RoundRobin",
+    "SJFSL",
+    "SSMJ",
+    "TABLE3",
+    "all_strategy_names",
+    "capabilities_of",
+    "feature_matrix",
+    "make_strategy",
+]

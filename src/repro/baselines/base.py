@@ -1,0 +1,102 @@
+"""Common infrastructure for the competitor execution strategies (§7.1).
+
+Every strategy — CAQE included — implements the same ``run`` contract and
+returns the same :class:`~repro.core.caqe.RunResult`, charging all work to
+one shared :class:`~repro.core.stats.ExecutionStats` virtual clock, so the
+experiment harness can score and compare them uniformly.
+
+The capability flags mirror the paper's Table 3 feature matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.contracts.base import Contract
+from repro.contracts.score import ResultLog, SatisfactionTracker
+from repro.core.caqe import RunResult
+from repro.core.clock import CostModel
+from repro.core.stats import ExecutionStats
+from repro.errors import ExecutionError
+from repro.query.workload import Workload
+from repro.relation import Relation
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Table 3 columns for one technique."""
+
+    skyline_over_join: bool
+    multiple_queries: bool
+    progressive: bool
+    supports_qos: bool
+
+
+class ExecutionStrategy(abc.ABC):
+    """A workload execution technique comparable against CAQE."""
+
+    name: str = "strategy"
+    capabilities: Capabilities = Capabilities(False, False, False, False)
+
+    @abc.abstractmethod
+    def run(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+    ) -> RunResult:
+        """Execute the workload, returning logs, stats, and reported sets."""
+
+    def _check_inputs(
+        self,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+    ) -> None:
+        missing = [q.name for q in workload if q.name not in contracts]
+        if missing:
+            raise ExecutionError(f"missing contracts for queries: {missing}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+def build_run_result(
+    workload: Workload,
+    contracts: "dict[str, Contract]",
+    stats: ExecutionStats,
+    logs: "dict[str, ResultLog]",
+    reported: "dict[str, set[tuple[int, int]]]",
+) -> RunResult:
+    return RunResult(
+        workload=workload,
+        contracts=dict(contracts),
+        logs=logs,
+        stats=stats,
+        horizon=stats.clock.now(),
+        reported=reported,
+    )
+
+
+def empty_tracker(
+    workload: Workload, contracts: "dict[str, Contract]"
+) -> SatisfactionTracker:
+    return SatisfactionTracker(
+        contracts, {q.name: 1.0 for q in workload}
+    )
+
+
+def new_stats(cost_model: "CostModel | None") -> ExecutionStats:
+    return ExecutionStats.with_cost_model(cost_model or CostModel())
+
+
+__all__ = [
+    "Capabilities",
+    "ExecutionStrategy",
+    "build_run_result",
+    "empty_tracker",
+    "new_stats",
+]

@@ -1,0 +1,77 @@
+"""ProgXe+ — progressive result generation, one query at a time ([27]).
+
+ProgXe (by the same authors as CAQE) partitions the *output space* of a
+single skyline-over-join query and processes output regions in a
+count-driven order — maximising how many results can be emitted early —
+with progressive reporting.  It neither shares work across queries nor
+knows about contracts: queries run sequentially in priority order, each on
+its own partitioning, accumulating one virtual clock.
+
+We realise it with the CAQE machinery restricted to a single-query
+workload and the ``count`` scheduling objective (regions ranked purely by
+progressive-output estimates, no contract utilities, no satisfaction
+feedback) — which is precisely the subset of CAQE that ProgXe pioneered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines.base import (
+    Capabilities,
+    ExecutionStrategy,
+    build_run_result,
+    new_stats,
+)
+from repro.contracts.base import Contract
+from repro.contracts.score import ResultLog
+from repro.core.caqe import CAQE, CAQEConfig, RunResult
+from repro.core.clock import CostModel
+from repro.query.workload import Workload
+from repro.relation import Relation
+
+
+class ProgXePlus(ExecutionStrategy):
+    """Per-query progressive output-space execution, count-driven."""
+
+    name = "ProgXe+"
+    capabilities = Capabilities(
+        skyline_over_join=True,
+        multiple_queries=False,
+        progressive=True,
+        supports_qos=False,
+    )
+
+    def __init__(self, config: "CAQEConfig | None" = None):
+        base = config or CAQEConfig()
+        self.config = replace(
+            base,
+            objective="count",
+            enable_feedback=False,
+            use_priority_weights=False,
+        )
+
+    def run(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+    ) -> RunResult:
+        self._check_inputs(workload, contracts)
+        workload.validate(left, right)
+        stats = new_stats(self.config.cost_model)
+        logs: dict[str, ResultLog] = {}
+        reported: dict[str, set[tuple[int, int]]] = {}
+        engine = CAQE(self.config)
+        for query in workload.by_priority():
+            single = Workload([query])
+            sub = engine.run(
+                left, right, single, {query.name: contracts[query.name]}, stats
+            )
+            logs[query.name] = sub.logs[query.name]
+            reported[query.name] = sub.reported[query.name]
+        return build_run_result(workload, contracts, stats, logs, reported)
+
+
+__all__ = ["ProgXePlus"]

@@ -1,0 +1,110 @@
+"""Registry of execution strategies for the experiment harness.
+
+Maps the names used in the paper's figures to strategy factories, and
+renders the Table 3 feature matrix from each strategy's declared
+capabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import Capabilities, ExecutionStrategy
+from repro.baselines.jfsl import JFSL
+from repro.baselines.progxe import ProgXePlus
+from repro.baselines.roundrobin import RoundRobin
+from repro.baselines.sjfsl import SJFSL
+from repro.baselines.ssmj import SSMJ
+from repro.core.caqe import CAQE, CAQEConfig
+from repro.errors import BenchmarkError
+
+#: The five techniques compared throughout Section 7's figures.
+FIGURE_STRATEGIES = ("CAQE", "S-JFSL", "JFSL", "ProgXe+", "SSMJ")
+
+#: Table 3, as shipped: the feature matrix of every runnable technique.
+TABLE3: "dict[str, Capabilities]" = {
+    "CAQE": Capabilities(
+        skyline_over_join=True,
+        multiple_queries=True,
+        progressive=True,
+        supports_qos=True,
+    ),
+    "S-JFSL": Capabilities(
+        skyline_over_join=True,
+        multiple_queries=True,
+        progressive=True,
+        supports_qos=False,
+    ),
+    "JFSL": Capabilities(
+        skyline_over_join=True,
+        multiple_queries=False,
+        progressive=False,
+        supports_qos=False,
+    ),
+    "ProgXe+": Capabilities(
+        skyline_over_join=True,
+        multiple_queries=False,
+        progressive=True,
+        supports_qos=False,
+    ),
+    "SSMJ": Capabilities(
+        skyline_over_join=True,
+        multiple_queries=False,
+        progressive=False,
+        supports_qos=False,
+    ),
+    "RoundRobin": Capabilities(
+        skyline_over_join=True,
+        multiple_queries=True,
+        progressive=False,
+        supports_qos=False,
+    ),
+}
+
+
+def make_strategy(
+    name: str,
+    config: "CAQEConfig | None" = None,
+) -> ExecutionStrategy:
+    """Build a strategy by figure name; ``config`` tunes the shared knobs."""
+    cfg = config or CAQEConfig()
+    factories: dict[str, Callable[[], ExecutionStrategy]] = {
+        "CAQE": lambda: CAQE(cfg),
+        "S-JFSL": lambda: SJFSL(cfg),
+        "JFSL": lambda: JFSL(cfg.cost_model),
+        "ProgXe+": lambda: ProgXePlus(cfg),
+        "SSMJ": lambda: SSMJ(cfg.cost_model),
+        "RoundRobin": lambda: RoundRobin(cfg.cost_model),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown strategy {name!r}; expected one of {sorted(factories)}"
+        ) from None
+
+
+def all_strategy_names() -> "tuple[str, ...]":
+    return (*FIGURE_STRATEGIES, "RoundRobin")
+
+
+def capabilities_of(name: str) -> Capabilities:
+    try:
+        return TABLE3[name]
+    except KeyError:
+        raise BenchmarkError(f"unknown strategy {name!r}") from None
+
+
+def feature_matrix() -> "dict[str, Capabilities]":
+    """Table 3's feature matrix for every runnable technique."""
+    return dict(TABLE3)
+
+
+__all__ = [
+    "FIGURE_STRATEGIES",
+    "TABLE3",
+    "all_strategy_names",
+    "capabilities_of",
+    "feature_matrix",
+    "make_strategy",
+]

@@ -1,0 +1,131 @@
+"""Time-shared multi-query processing (after Narayanan & Waas [22]).
+
+The paper's Section 1.3 describes the *time-shared approach*: total
+processing time is divided into slices allocated to queries round-robin,
+with no sharing of intermediate results.  The paper dismisses it as
+impractical for skyline-over-join workloads; we implement it as an
+ablation baseline so the claim can be demonstrated rather than assumed.
+
+Each query runs its own JFSL-style evaluation (join, project, BNL
+skyline), expressed as a generator of fixed-size work quanta; the
+scheduler interleaves quanta round-robin on the shared virtual clock.  A
+query reports its (complete, blocking) answer when its generator
+finishes — which, under round-robin, is near the *end* of the whole
+workload for every query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.baselines.base import (
+    Capabilities,
+    ExecutionStrategy,
+    build_run_result,
+    new_stats,
+)
+from repro.contracts.base import Contract
+from repro.contracts.score import ResultLog
+from repro.core.caqe import RunResult
+from repro.core.clock import CostModel
+from repro.core.stats import ExecutionStats
+from repro.query.evaluate import apply_functions, hash_join
+from repro.query.operators import SkylineJoinQuery
+from repro.query.workload import Workload
+from repro.relation import Relation
+from repro.skyline.window import SkylineWindow
+
+#: Join results materialised / skyline inserts performed per time slice.
+DEFAULT_QUANTUM = 64
+
+
+class RoundRobin(ExecutionStrategy):
+    """Time-sliced independent query processing (no sharing)."""
+
+    name = "RoundRobin"
+    capabilities = Capabilities(
+        skyline_over_join=True,
+        multiple_queries=True,
+        progressive=False,
+        supports_qos=False,
+    )
+
+    def __init__(
+        self,
+        cost_model: "CostModel | None" = None,
+        quantum: int = DEFAULT_QUANTUM,
+    ):
+        self.cost_model = cost_model
+        self.quantum = quantum
+
+    def run(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+    ) -> RunResult:
+        self._check_inputs(workload, contracts)
+        workload.validate(left, right)
+        stats = new_stats(self.cost_model)
+        logs = {q.name: ResultLog(q.name) for q in workload}
+        reported: dict[str, set[tuple[int, int]]] = {}
+        tasks: list[tuple[SkylineJoinQuery, Iterator]] = [
+            (q, _query_task(q, left, right, stats, self.quantum))
+            for q in workload.by_priority()
+        ]
+        while tasks:
+            still_running: list[tuple[SkylineJoinQuery, Iterator]] = []
+            for query, task in tasks:
+                try:
+                    next(task)
+                    still_running.append((query, task))
+                except StopIteration as stop:
+                    pairs: set[tuple[int, int]] = stop.value
+                    now = stats.clock.now()
+                    stats.record_outputs(len(pairs))
+                    logs[query.name].report_batch(sorted(pairs), now)
+                    reported[query.name] = pairs
+            tasks = still_running
+        return build_run_result(workload, contracts, stats, logs, reported)
+
+
+def _query_task(
+    query: SkylineJoinQuery,
+    left: Relation,
+    right: Relation,
+    stats: ExecutionStats,
+    quantum: int,
+):
+    """Generator yielding once per time slice; returns the skyline pairs."""
+    stats.record_join_probes(left.cardinality + right.cardinality)
+    yield
+    left_idx, right_idx = hash_join(left, right, query.join_condition)
+    if query.has_filters:
+        from repro.query.selection import rows_passing
+
+        keep = (
+            rows_passing(query.left_filters, left)[left_idx]
+            & rows_passing(query.right_filters, right)[right_idx]
+        )
+        left_idx, right_idx = left_idx[keep], right_idx[keep]
+    # Materialise join results one quantum at a time.
+    for start in range(0, len(left_idx), quantum):
+        chunk = min(quantum, len(left_idx) - start)
+        stats.record_join_results(chunk, mapping_functions=len(query.functions))
+        yield
+    matrix = apply_functions(query.functions, left, right, left_idx, right_idx)
+    dims = query.preference.positions(query.output_names)
+    window = SkylineWindow(dims=dims, counter=stats.comparison_counter)
+    for start in range(0, len(matrix), quantum):
+        for row in range(start, min(start + quantum, len(matrix))):
+            window.insert(row, matrix[row])
+        yield
+    return {
+        (int(left_idx[row]), int(right_idx[row])) for row in window.keys
+    }
+
+
+__all__ = ["DEFAULT_QUANTUM", "RoundRobin"]

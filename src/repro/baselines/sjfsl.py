@@ -1,0 +1,61 @@
+"""S-JFSL — the shared skyline approach the paper proposes as a baseline.
+
+Section 7.1: "we propose a shared skyline approach (S-JFSL) that pipelines
+the join tuples over our min-max cuboid plan".  S-JFSL therefore gets the
+*sharing* benefits of CAQE — joins evaluated once for all queries, skyline
+comparisons shared through the cuboid, progressive output of results that
+can no longer be invalidated — but none of the *contract-driven* machinery:
+regions are pipelined in plain scan order, no look-ahead pruning discards
+dominated regions, no dependency graph orders work, and no satisfaction
+feedback re-weights queries.
+
+Comparing S-JFSL against CAQE therefore isolates exactly the contribution
+of contract-driven optimization (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines.base import Capabilities, ExecutionStrategy
+from repro.contracts.base import Contract
+from repro.core.caqe import CAQE, CAQEConfig, RunResult
+from repro.query.workload import Workload
+from repro.relation import Relation
+
+
+class SJFSL(ExecutionStrategy):
+    """Shared min-max-cuboid pipeline without contract-driven ordering."""
+
+    name = "S-JFSL"
+    capabilities = Capabilities(
+        skyline_over_join=True,
+        multiple_queries=True,
+        progressive=True,
+        supports_qos=False,
+    )
+
+    def __init__(self, config: "CAQEConfig | None" = None):
+        base = config or CAQEConfig()
+        self.config = replace(
+            base,
+            objective="scan",
+            enable_feedback=False,
+            enable_depgraph=False,
+            enable_coarse_pruning=False,
+            enable_tuple_discard=False,
+            use_priority_weights=False,
+        )
+
+    def run(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+    ) -> RunResult:
+        self._check_inputs(workload, contracts)
+        return CAQE(self.config).run(left, right, workload, contracts)
+
+
+__all__ = ["SJFSL"]

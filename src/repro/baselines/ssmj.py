@@ -1,0 +1,163 @@
+"""SSMJ — Skyline Sort-Merge Join (after Jin et al. [14]).
+
+A smarter single-query baseline than JFSL: before joining, each side is
+grouped by its join-key and *locally pruned* — within a join group, a tuple
+whose contribution to the query's skyline dimensions is dominated by
+another tuple of the same group can never produce a skyline join result
+(with identical join partners, the dominating tuple's join results dominate
+its).  The surviving tuples are joined, and the final skyline is computed
+with SFS (sort-filter-skyline) so the merge phase performs far fewer
+comparisons than BNL.
+
+Local pruning is sound here because every mapping function is monotone in
+its inputs and each side contributes disjoint inputs: if ``l2 <= l1`` on
+all left-side inputs of the query's preference dimensions (strict
+somewhere), then for any partner ``r``, ``(l2, r)`` dominates ``(l1, r)``.
+
+Like the paper's sort-based techniques (Table 3) SSMJ is *not*
+progressive: each query's results are reported only when its evaluation
+finishes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    Capabilities,
+    ExecutionStrategy,
+    build_run_result,
+    new_stats,
+)
+from repro.contracts.base import Contract
+from repro.contracts.score import ResultLog
+from repro.core.caqe import RunResult
+from repro.core.clock import CostModel
+from repro.core.stats import ExecutionStats
+from repro.query.evaluate import apply_functions
+from repro.query.operators import SkylineJoinQuery
+from repro.query.workload import Workload
+from repro.relation import Relation
+from repro.skyline.sfs import sfs_order
+from repro.skyline.window import SkylineWindow
+
+
+class SSMJ(ExecutionStrategy):
+    """Per-query sort-merge skyline join, blocking output."""
+
+    name = "SSMJ"
+    capabilities = Capabilities(
+        skyline_over_join=True,
+        multiple_queries=False,
+        progressive=False,
+        supports_qos=False,
+    )
+
+    def __init__(self, cost_model: "CostModel | None" = None):
+        self.cost_model = cost_model
+
+    def run(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+    ) -> RunResult:
+        self._check_inputs(workload, contracts)
+        workload.validate(left, right)
+        stats = new_stats(self.cost_model)
+        logs: dict[str, ResultLog] = {}
+        reported: dict[str, set[tuple[int, int]]] = {}
+        for query in workload.by_priority():
+            pairs = _evaluate_ssmj(query, left, right, stats)
+            log = ResultLog(query.name)
+            now = stats.clock.now()
+            stats.record_outputs(len(pairs))
+            log.report_batch(sorted(pairs), now)
+            logs[query.name] = log
+            reported[query.name] = pairs
+        return build_run_result(workload, contracts, stats, logs, reported)
+
+
+def _side_inputs(query: SkylineJoinQuery, side: str) -> "tuple[str, ...]":
+    """Input attributes (for one side) feeding the query's skyline dims."""
+    seen: dict[str, None] = {}
+    for dim in query.preference.dims:
+        fn = query.function_for(dim)
+        for attr in fn.left_inputs if side == "left" else fn.right_inputs:
+            seen.setdefault(attr, None)
+    return tuple(seen)
+
+
+def _local_prune(
+    relation: Relation,
+    join_attr: str,
+    inputs: "tuple[str, ...]",
+    stats: ExecutionStats,
+    filters: "tuple" = (),
+) -> "dict[object, list[int]]":
+    """Select, group rows by join key; keep each group's local skyline."""
+    from repro.query.selection import rows_passing
+
+    stats.record_join_probes(relation.cardinality)  # one scan to group
+    passing = rows_passing(filters, relation) if filters else None
+    groups: dict[object, list[int]] = {}
+    values = relation.column(join_attr)
+    for row in range(relation.cardinality):
+        if passing is not None and not passing[row]:
+            continue
+        key = values[row].item() if hasattr(values[row], "item") else values[row]
+        groups.setdefault(key, []).append(row)
+    if not inputs:
+        return groups  # this side does not influence the skyline dims
+    matrix = np.column_stack([relation.column(a) for a in inputs]).astype(float)
+    pruned: dict[object, list[int]] = {}
+    for key, rows in groups.items():
+        window = SkylineWindow(counter=stats.comparison_counter)
+        for row in rows:
+            window.insert(row, matrix[row])
+        pruned[key] = sorted(window.keys)
+    return pruned
+
+
+def _evaluate_ssmj(
+    query: SkylineJoinQuery,
+    left: Relation,
+    right: Relation,
+    stats: ExecutionStats,
+) -> "set[tuple[int, int]]":
+    condition = query.join_condition
+    left_groups = _local_prune(
+        left, condition.left_attr, _side_inputs(query, "left"), stats,
+        filters=query.left_filters,
+    )
+    right_groups = _local_prune(
+        right, condition.right_attr, _side_inputs(query, "right"), stats,
+        filters=query.right_filters,
+    )
+    left_out: list[int] = []
+    right_out: list[int] = []
+    for key, left_rows in left_groups.items():
+        right_rows = right_groups.get(key)
+        if not right_rows:
+            continue
+        for lr in left_rows:
+            for rr in right_rows:
+                left_out.append(lr)
+                right_out.append(rr)
+    left_idx = np.asarray(left_out, dtype=np.intp)
+    right_idx = np.asarray(right_out, dtype=np.intp)
+    stats.record_join_results(len(left_idx), mapping_functions=len(query.functions))
+    matrix = apply_functions(query.functions, left, right, left_idx, right_idx)
+    dims = query.preference.positions(query.output_names)
+    window = SkylineWindow(dims=dims, counter=stats.comparison_counter)
+    if len(matrix):
+        stats.clock.charge_sort(len(matrix))  # the "sort" in sort-merge
+        for row in sfs_order(matrix, dims):
+            window.insert(int(row), matrix[int(row)])
+    return {
+        (int(left_idx[row]), int(right_idx[row])) for row in window.keys
+    }
+
+
+__all__ = ["SSMJ"]

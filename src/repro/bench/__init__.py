@@ -1,0 +1,58 @@
+"""Experiment harness: configs, calibration, runners, figure builders."""
+
+from repro.bench.config import (
+    CALIBRATION,
+    DEFAULT_EXPERIMENTS,
+    ExperimentConfig,
+    PRIORITY_SCHEME_BY_CONTRACT,
+    experiment_for,
+    scale_factor,
+)
+from repro.bench.figures import (
+    Figure9Result,
+    Figure10Result,
+    Figure11Result,
+    figure6_sizes,
+    figure9,
+    figure10,
+    figure11,
+    workload_of_size,
+)
+from repro.bench.reporting import render_feature_matrix, render_table
+from repro.bench.runner import (
+    Comparison,
+    StrategyOutcome,
+    calibrated_contracts,
+    make_pair,
+    make_workload,
+    reference_time,
+    run_comparison,
+    run_strategy,
+)
+
+__all__ = [
+    "CALIBRATION",
+    "Comparison",
+    "DEFAULT_EXPERIMENTS",
+    "ExperimentConfig",
+    "Figure10Result",
+    "Figure11Result",
+    "Figure9Result",
+    "PRIORITY_SCHEME_BY_CONTRACT",
+    "StrategyOutcome",
+    "calibrated_contracts",
+    "experiment_for",
+    "figure10",
+    "figure11",
+    "figure6_sizes",
+    "figure9",
+    "make_pair",
+    "make_workload",
+    "reference_time",
+    "render_feature_matrix",
+    "render_table",
+    "run_comparison",
+    "run_strategy",
+    "scale_factor",
+    "workload_of_size",
+]

@@ -1,0 +1,113 @@
+"""Experiment configurations (Section 7.1's settings).
+
+The paper fixes contract parameters per data distribution in wall-clock
+seconds (``t_C1 = t_C3 = 10 s`` correlated, ``40 s`` independent, ``30 min``
+anti-correlated) after observing how long each workload takes on their
+hardware.  We reproduce the same *calibration discipline* against the
+virtual clock: a reference (blocking JFSL) run measures the workload's
+virtual completion time ``T_ref``, and each contract class is parameterised
+as a fraction of it.  The fractions below put deadlines comfortably within
+reach of progressive strategies but ahead of blocking ones — the same
+regime the paper's absolute numbers encode.
+
+``REPRO_SCALE`` (environment variable, default 1.0) multiplies the default
+cardinalities so the full paper-scale experiment can be requested without
+editing code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.core.caqe import CAQEConfig
+from repro.errors import BenchmarkError
+
+#: Figure 9's per-contract priority schemes (Section 7.2): queries with more
+#: skyline dimensions get higher priority under C1/C2, fewer under C3/C4,
+#: and uniform spread under C5.
+PRIORITY_SCHEME_BY_CONTRACT = {
+    "C1": "dims_asc",
+    "C2": "dims_asc",
+    "C3": "dims_desc",
+    "C4": "dims_desc",
+    "C5": "uniform",
+}
+
+#: Contract parameters as fractions of the reference completion time.
+#: ``deadline``: C1/C3 deadlines; ``interval``: C4/C5 reporting interval;
+#: ``unit``: C3's decay unit and C5's inverse-time scale ("one second").
+#: The paper's deadlines sit above CAQE's completion time but below the
+#: blocking competitors' (CAQE runs ~24x faster there; Figure 10c).  The
+#: pure-Python engines are closer in speed, so the fractions below encode
+#: the same *regime* relative to the JFSL reference time rather than the
+#: paper's absolute second values.
+CALIBRATION = {
+    "deadline_fraction": 0.40,
+    "interval_fraction": 0.04,
+    "unit_fraction": 0.02,
+    "log_scale_fraction": 0.01,
+    "fraction_per_interval": 0.10,
+}
+
+
+def scale_factor() -> float:
+    """The ``REPRO_SCALE`` cardinality multiplier (>= 0.1)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BenchmarkError(f"REPRO_SCALE must be numeric, got {raw!r}") from None
+    return max(value, 0.1)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment's data and engine settings."""
+
+    distribution: str
+    cardinality: int
+    dims: int = 4
+    selectivity: float = 0.02
+    seed: int = 20140324
+    caqe: CAQEConfig = field(default_factory=lambda: CAQEConfig(target_cells=16))
+
+    def scaled(self) -> "ExperimentConfig":
+        return replace(self, cardinality=int(self.cardinality * scale_factor()))
+
+
+#: Default per-distribution experiment sizes.  The paper uses N = 500 K with
+#: selectivities down to 1e-4 on a JVM; pure-Python defaults keep the same
+#: regime (large join-key domains, so each key matches only a handful of
+#: partners) at cardinalities where each figure regenerates in minutes
+#: (DESIGN.md §2) — raise REPRO_SCALE to grow them.
+DEFAULT_EXPERIMENTS = {
+    "correlated": ExperimentConfig(
+        "correlated", cardinality=1200, selectivity=0.003
+    ),
+    "independent": ExperimentConfig(
+        "independent", cardinality=1200, selectivity=0.003
+    ),
+    "anticorrelated": ExperimentConfig(
+        "anticorrelated", cardinality=600, selectivity=0.003
+    ),
+}
+
+
+def experiment_for(distribution: str) -> ExperimentConfig:
+    try:
+        return DEFAULT_EXPERIMENTS[distribution].scaled()
+    except KeyError:
+        raise BenchmarkError(
+            f"no default experiment for distribution {distribution!r}"
+        ) from None
+
+
+__all__ = [
+    "CALIBRATION",
+    "DEFAULT_EXPERIMENTS",
+    "ExperimentConfig",
+    "PRIORITY_SCHEME_BY_CONTRACT",
+    "experiment_for",
+    "scale_factor",
+]

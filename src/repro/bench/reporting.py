@@ -1,0 +1,61 @@
+"""ASCII rendering of experiment tables (what the benches print)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: "Sequence[str]",
+    rows: "Sequence[Sequence[object]]",
+    title: "str | None" = None,
+) -> str:
+    """Render a fixed-width table; floats get three decimals."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_feature_matrix() -> str:
+    """Table 3 as shipped."""
+    from repro.baselines import feature_matrix
+
+    headers = (
+        "Technique",
+        "Skyline-over-Join",
+        "Multiple Queries",
+        "Progressive",
+        "Supports User QoS",
+    )
+    tick = lambda flag: "yes" if flag else "-"  # noqa: E731 - tiny local fmt
+    rows = [
+        (
+            name,
+            tick(caps.skyline_over_join),
+            tick(caps.multiple_queries),
+            tick(caps.progressive),
+            tick(caps.supports_qos),
+        )
+        for name, caps in feature_matrix().items()
+    ]
+    return render_table(headers, rows, title="Table 3: technique capabilities")
+
+
+__all__ = ["render_feature_matrix", "render_table"]

@@ -1,0 +1,153 @@
+"""Experiment runner: data generation, calibration, strategy execution.
+
+One :func:`run_comparison` call reproduces one cell group of Figure 9:
+generate the table pair, build the workload with the contract class's
+priority scheme, calibrate the contracts against a reference run, execute
+every strategy, and collect satisfaction metrics and Figure-10 statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import JFSL, make_strategy
+from repro.bench.config import (
+    CALIBRATION,
+    PRIORITY_SCHEME_BY_CONTRACT,
+    ExperimentConfig,
+)
+from repro.contracts import Contract, DeadlineContract, c1, c2, c3, c4, c5
+from repro.core.caqe import RunResult
+from repro.datagen import TablePair, generate_pair
+from repro.errors import BenchmarkError
+from repro.query import Workload, subspace_workload
+
+
+def make_workload(config: ExperimentConfig, contract_class: str) -> Workload:
+    scheme = PRIORITY_SCHEME_BY_CONTRACT.get(contract_class, "uniform")
+    return subspace_workload(config.dims, priority_scheme=scheme)
+
+
+def make_pair(config: ExperimentConfig) -> TablePair:
+    return generate_pair(
+        config.distribution,
+        config.cardinality,
+        config.dims,
+        selectivity=config.selectivity,
+        seed=config.seed,
+    )
+
+
+def reference_time(
+    pair: TablePair, workload: Workload, config: ExperimentConfig
+) -> float:
+    """Virtual completion time of the blocking JFSL reference run."""
+    dummy = {q.name: DeadlineContract(float("inf")) for q in workload}
+    result = JFSL(config.caqe.cost_model).run(pair.left, pair.right, workload, dummy)
+    return result.horizon
+
+
+def calibrated_contracts(
+    contract_class: str, workload: Workload, t_ref: float
+) -> "dict[str, Contract]":
+    """Build one contract per query, parameterised as fractions of T_ref."""
+    deadline = CALIBRATION["deadline_fraction"] * t_ref
+    interval = CALIBRATION["interval_fraction"] * t_ref
+    unit = CALIBRATION["unit_fraction"] * t_ref
+    log_scale = CALIBRATION["log_scale_fraction"] * t_ref
+    frac = CALIBRATION["fraction_per_interval"]
+    builders = {
+        "C1": lambda: c1(deadline),
+        "C2": lambda: c2(scale=log_scale),
+        "C3": lambda: c3(deadline, unit=unit),
+        "C4": lambda: c4(fraction=frac, interval=interval),
+        "C5": lambda: c5(fraction=frac, interval=interval, time_scale=unit),
+    }
+    try:
+        builder = builders[contract_class]
+    except KeyError:
+        raise BenchmarkError(f"unknown contract class {contract_class!r}") from None
+    return {q.name: builder() for q in workload}
+
+
+@dataclass
+class StrategyOutcome:
+    """One strategy's row in a comparison."""
+
+    strategy: str
+    average_satisfaction: float
+    per_query_satisfaction: "dict[str, float]"
+    stats: "dict[str, float]"
+    horizon: float
+
+
+@dataclass
+class Comparison:
+    """All strategies' outcomes for one (distribution, contract) cell."""
+
+    config: ExperimentConfig
+    contract_class: str
+    t_ref: float
+    outcomes: "dict[str, StrategyOutcome]" = field(default_factory=dict)
+
+    def satisfaction(self, strategy: str) -> float:
+        return self.outcomes[strategy].average_satisfaction
+
+    def stat(self, strategy: str, key: str) -> float:
+        return self.outcomes[strategy].stats[key]
+
+    def relative_to(self, strategy: str, key: str, base: str = "CAQE") -> float:
+        """Figure 10's presentation: a statistic as a multiple of CAQE's."""
+        denominator = max(self.stat(base, key), 1e-12)
+        return self.stat(strategy, key) / denominator
+
+
+def run_strategy(
+    name: str,
+    pair: TablePair,
+    workload: Workload,
+    contracts: "dict[str, Contract]",
+    config: ExperimentConfig,
+) -> StrategyOutcome:
+    result: RunResult = make_strategy(name, config.caqe).run(
+        pair.left, pair.right, workload, contracts
+    )
+    per_query = {q.name: result.satisfaction(q.name) for q in workload}
+    return StrategyOutcome(
+        strategy=name,
+        average_satisfaction=result.average_satisfaction(),
+        per_query_satisfaction=per_query,
+        stats=result.stats.summary(),
+        horizon=result.horizon,
+    )
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    contract_class: str,
+    strategies: "tuple[str, ...]",
+    workload: "Workload | None" = None,
+) -> Comparison:
+    """Run every strategy on freshly calibrated contracts."""
+    pair = make_pair(config)
+    workload = workload or make_workload(config, contract_class)
+    t_ref = reference_time(pair, workload, config)
+    contracts = calibrated_contracts(contract_class, workload, t_ref)
+    comparison = Comparison(config=config, contract_class=contract_class, t_ref=t_ref)
+    for name in strategies:
+        comparison.outcomes[name] = run_strategy(
+            name, pair, workload, contracts, config
+        )
+    return comparison
+
+
+__all__ = [
+    "Comparison",
+    "StrategyOutcome",
+    "calibrated_contracts",
+    "make_pair",
+    "make_workload",
+    "reference_time",
+    "run_comparison",
+    "run_strategy",
+]

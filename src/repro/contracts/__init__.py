@@ -1,0 +1,64 @@
+"""Progressiveness contracts (Section 3) and satisfaction scoring."""
+
+from repro.contracts.analysis import (
+    contract_curve,
+    delivery_profile,
+    ideal_pacing,
+    ideal_satisfaction,
+    regret,
+)
+from repro.contracts.base import Contract
+from repro.contracts.cardinality import (
+    PercentPerIntervalContract,
+    RateContract,
+    interval_counts,
+)
+from repro.contracts.hybrid import HybridContract, InverseTimeContract
+from repro.contracts.presets import CONTRACT_CLASSES, c1, c2, c3, c4, c5, make
+from repro.contracts.score import (
+    ResultEvent,
+    ResultLog,
+    SatisfactionTracker,
+    WorkloadScore,
+    pscore,
+    satisfaction,
+    score_workload,
+)
+from repro.contracts.time_based import (
+    DeadlineContract,
+    LogDecayContract,
+    PiecewiseTimeContract,
+    SoftDeadlineContract,
+)
+
+__all__ = [
+    "CONTRACT_CLASSES",
+    "Contract",
+    "DeadlineContract",
+    "HybridContract",
+    "InverseTimeContract",
+    "LogDecayContract",
+    "PercentPerIntervalContract",
+    "PiecewiseTimeContract",
+    "RateContract",
+    "ResultEvent",
+    "ResultLog",
+    "SatisfactionTracker",
+    "SoftDeadlineContract",
+    "WorkloadScore",
+    "c1",
+    "c2",
+    "c3",
+    "c4",
+    "c5",
+    "contract_curve",
+    "delivery_profile",
+    "ideal_pacing",
+    "ideal_satisfaction",
+    "interval_counts",
+    "make",
+    "regret",
+    "pscore",
+    "satisfaction",
+    "score_workload",
+]

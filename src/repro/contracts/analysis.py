@@ -1,0 +1,114 @@
+"""Contract introspection: curves, ideal pacing, delivery profiles.
+
+Helpers for understanding and debugging contracts — what a utility
+function looks like over time, the best satisfaction any execution could
+achieve, and how an actual result log paced its deliveries.  Used by the
+examples and handy when calibrating new experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contracts.base import Contract
+from repro.contracts.cardinality import PercentPerIntervalContract, interval_counts
+from repro.contracts.score import ResultLog
+from repro.errors import ContractError
+
+
+def contract_curve(
+    contract: Contract,
+    horizon: float,
+    samples: int = 100,
+    total_results: float = 100.0,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Sample the per-tuple utility over ``[0, horizon]``.
+
+    Returns ``(timestamps, utilities)``.  For cardinality-based contracts
+    each sample is scored as a lone result in its interval (the
+    most pessimistic single-tuple view).
+    """
+    if horizon <= 0:
+        raise ContractError(f"horizon must be positive, got {horizon}")
+    if samples < 2:
+        raise ContractError(f"need at least 2 samples, got {samples}")
+    ts = np.linspace(0.0, horizon, samples)
+    utilities = np.array(
+        [contract.utility_at(float(t), total_results) for t in ts]
+    )
+    return ts, utilities
+
+
+def ideal_pacing(
+    contract: Contract,
+    total_results: int,
+    horizon: float,
+) -> np.ndarray:
+    """Timestamps of the contract's *ideal* delivery schedule.
+
+    Time-based contracts want everything as early as possible; interval
+    quota contracts want steady pacing that exactly meets the quota.  Used
+    as the upper-reference when judging an execution's satisfaction.
+    """
+    if total_results <= 0:
+        return np.empty(0)
+    if isinstance(contract, PercentPerIntervalContract):
+        per_interval = max(1, int(np.ceil(contract.fraction * total_results)))
+        timestamps = []
+        interval = 0
+        while len(timestamps) < total_results:
+            batch = min(per_interval, total_results - len(timestamps))
+            midpoint = (interval + 0.5) * contract.interval
+            timestamps.extend([midpoint] * batch)
+            interval += 1
+        return np.asarray(timestamps)
+    # Time-decaying contracts: deliver immediately.
+    return np.zeros(total_results)
+
+
+def ideal_satisfaction(
+    contract: Contract, total_results: int, horizon: float
+) -> float:
+    """Best achievable satisfaction for ``total_results`` results."""
+    schedule = ideal_pacing(contract, total_results, horizon)
+    return contract.satisfaction(schedule, float(total_results), horizon)
+
+
+def delivery_profile(
+    log: ResultLog, interval: float, horizon: "float | None" = None
+) -> np.ndarray:
+    """Results delivered per wall interval (padded to ``horizon``)."""
+    if interval <= 0:
+        raise ContractError(f"interval must be positive, got {interval}")
+    ts = log.timestamps
+    if len(ts) == 0:
+        intervals = int(np.ceil((horizon or 0.0) / interval))
+        return np.zeros(max(intervals, 0), dtype=int)
+    _, counts = interval_counts(ts, interval)
+    if horizon is not None:
+        needed = int(np.ceil(horizon / interval))
+        if needed > len(counts):
+            counts = np.concatenate([counts, np.zeros(needed - len(counts), int)])
+    return counts
+
+
+def regret(
+    contract: Contract,
+    log: ResultLog,
+    total_results: "int | None" = None,
+    horizon: "float | None" = None,
+) -> float:
+    """Gap between the ideal and the achieved satisfaction, in [0, 1]."""
+    total = int(total_results if total_results is not None else len(log))
+    achieved = contract.satisfaction(log.timestamps, float(total), horizon)
+    best = ideal_satisfaction(contract, total, horizon or log.completion_time)
+    return max(0.0, best - achieved)
+
+
+__all__ = [
+    "contract_curve",
+    "delivery_profile",
+    "ideal_pacing",
+    "ideal_satisfaction",
+    "regret",
+]

@@ -1,0 +1,125 @@
+"""The progressiveness-contract model (Section 3).
+
+A contract ``C`` for query ``Q`` is a *progressive utility function* ``v``
+mapping each result tuple to a utility score based on its usefulness
+(Definition 4).  The paper's scores live in ``[0, 1]`` except the
+cardinality contract of Equation 3, whose miss branch is negative — we keep
+that faithfully and clamp only at the *satisfaction-metric* level.
+
+Three views of a contract are needed by different components:
+
+* :meth:`Contract.tuple_utilities` — vectorised per-tuple scoring of a full
+  result log (Definition 4 / Equation 7's ``pScore`` summand), used for the
+  final experiment metrics;
+* :meth:`Contract.batch_utility` — the optimizer's estimate of the summed
+  utility of ``batch_size`` hypothetical results reported at a future
+  virtual time (the inner sum of Equation 8);
+* :meth:`Contract.satisfaction` — the normalised ``[0, 1]`` per-query
+  satisfaction the paper plots in Figures 9 and 11.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ContractError
+
+
+def as_timestamp_array(timestamps) -> np.ndarray:
+    ts = np.asarray(timestamps, dtype=float)
+    if ts.ndim != 1:
+        raise ContractError(f"timestamps must be 1-dimensional, got shape {ts.shape}")
+    if np.any(ts < 0):
+        raise ContractError("timestamps must be non-negative")
+    return ts
+
+
+class Contract(abc.ABC):
+    """A progressiveness contract: a utility function over result tuples."""
+
+    #: Human-readable identifier (e.g. ``"C1(t=10)"``).
+    name: str = "contract"
+
+    @abc.abstractmethod
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        """Per-tuple utility scores for results reported at ``timestamps``.
+
+        ``total_results`` is the query's (estimated or actual) final result
+        count ``N`` — only cardinality-style contracts consume it.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def pscore(self, timestamps, total_results: float) -> float:
+        """Equation 7: the summed utility of the reported results."""
+        ts = as_timestamp_array(timestamps)
+        if len(ts) == 0:
+            return 0.0
+        return float(np.sum(self.tuple_utilities(ts, total_results)))
+
+    def satisfaction(
+        self,
+        timestamps,
+        total_results: float,
+        horizon: "float | None" = None,
+    ) -> float:
+        """Average contract satisfaction in ``[0, 1]`` (Figures 9 and 11).
+
+        The default is the mean per-tuple utility, clamped to ``[0, 1]``; an
+        empty result log scores 0 when results were expected.  ``horizon``
+        (the workload's completion time) is consumed by interval-based
+        contracts that must also account for result-less intervals.
+        """
+        ts = as_timestamp_array(timestamps)
+        if len(ts) == 0:
+            return 1.0 if total_results == 0 else 0.0
+        mean = float(np.mean(self.tuple_utilities(ts, total_results)))
+        return min(1.0, max(0.0, mean))
+
+    def utility_at(self, timestamp: float, total_results: float = 1.0) -> float:
+        """Utility of a single hypothetical result reported at ``timestamp``."""
+        return float(self.tuple_utilities(np.asarray([timestamp]), total_results)[0])
+
+    def batch_utility(
+        self,
+        timestamp: float,
+        batch_size: float,
+        total_estimate: float,
+    ) -> float:
+        """Estimated summed utility of ``batch_size`` results at ``timestamp``.
+
+        Used by the CSM benefit model (Equation 8).  Time-based contracts
+        score each hypothetical tuple identically; cardinality-based
+        contracts override this to account for the batch size itself.
+        """
+        if batch_size <= 0:
+            return 0.0
+        return batch_size * self.utility_at(timestamp, max(total_estimate, 1.0))
+
+    def batch_utilities(
+        self,
+        timestamps: np.ndarray,
+        batch_sizes: np.ndarray,
+        total_estimate: float,
+    ) -> np.ndarray:
+        """Vectorised :meth:`batch_utility` over aligned arrays.
+
+        The optimizer scores every candidate region per iteration; this
+        one-call-per-contract form keeps that loop out of Python.  The
+        default covers time-based contracts (utility independent of batch
+        size); cardinality-based contracts override it.
+        """
+        ts = np.asarray(timestamps, dtype=float)
+        batches = np.asarray(batch_sizes, dtype=float)
+        total = max(float(total_estimate), 1.0)
+        utilities = self.tuple_utilities(ts, total)
+        return np.where(batches > 0, batches * utilities, 0.0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+__all__ = ["Contract", "as_timestamp_array"]

@@ -1,0 +1,195 @@
+"""Cardinality-based contracts (Section 3.2.2; contract C4 of Table 2).
+
+These score a result by how many results arrive per time interval rather
+than by when each individual result arrives:
+
+* :class:`PercentPerIntervalContract` (Equation 3 / C4) — "at least
+  ``fraction`` of all results every ``interval``"; tuples in intervals that
+  meet the quota score 1, tuples in under-quota intervals score the
+  *negative* shortfall ratio the paper defines.
+* :class:`RateContract` (Equation 4 / Example 10) — the consumer can absorb
+  at most ``rate`` tuples per interval; both starving and flooding the
+  consumer lowers utility.
+
+For the figure-level *satisfaction metric* the per-tuple view is not
+enough: an algorithm that reports nothing for an hour produces no tuples to
+penalise.  :meth:`PercentPerIntervalContract.satisfaction` therefore scores
+every interval from query start until the last result (empty intervals
+score the Equation 3 miss value for ``n = 0``, i.e. ``-1``) and averages,
+clamped into ``[0, 1]`` — this is what makes blocking strategies score near
+zero under C4, as in Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.contracts.base import Contract, as_timestamp_array
+from repro.errors import ContractError
+
+
+def interval_counts(timestamps: np.ndarray, interval: float) -> "tuple[np.ndarray, np.ndarray]":
+    """Map each timestamp to its interval index; return (indices, counts).
+
+    Interval ``j`` (0-based) covers ``(j * interval, (j + 1) * interval]``,
+    with time 0 assigned to interval 0.
+    """
+    ts = as_timestamp_array(timestamps)
+    indices = np.maximum(np.ceil(ts / interval) - 1, 0).astype(int)
+    counts = np.bincount(indices) if len(indices) else np.zeros(0, dtype=int)
+    return indices, counts
+
+
+class PercentPerIntervalContract(Contract):
+    """Equation 3 / C4: ``fraction`` of all results due every ``interval``."""
+
+    def __init__(self, fraction: float = 0.1, interval: float = 1.0):
+        if not 0.0 < fraction <= 1.0:
+            raise ContractError(f"fraction must be in (0, 1], got {fraction}")
+        if interval <= 0:
+            raise ContractError(f"interval must be positive, got {interval}")
+        self.fraction = float(fraction)
+        self.interval = float(interval)
+        self.name = f"C4(frac={self.fraction:g}, dt={self.interval:g})"
+
+    def _interval_utility(self, count: float, total: float) -> float:
+        """Equation 3 for one interval's result count."""
+        total = max(total, 1.0)
+        quota = self.fraction * total
+        if count / total >= self.fraction:
+            return 1.0
+        return count / quota - 1.0
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        if len(ts) == 0:
+            return np.zeros(0)
+        indices, counts = interval_counts(ts, self.interval)
+        per_interval = np.array(
+            [self._interval_utility(c, total_results) for c in counts]
+        )
+        return per_interval[indices]
+
+    def satisfaction(
+        self,
+        timestamps,
+        total_results: float,
+        horizon: "float | None" = None,
+    ) -> float:
+        """Fraction of wall intervals (up to the last delivery) in which the
+        quota was met, with partial credit for under-quota intervals.
+
+        Equation 3 scores *tuples*; for the figure-level metric every
+        interval from query start to the final delivery is scored —
+        ``clamp(Eq. 3 value, 0, 1)`` for non-empty intervals, 0 for empty
+        ones — and averaged.  A perfectly paced stream scores 1; a strategy
+        that blocks for ``k`` intervals and then dumps scores ``~1/k``.
+        """
+        ts = as_timestamp_array(timestamps)
+        if total_results == 0:
+            return 1.0
+        if len(ts) == 0:
+            return 0.0
+        _, counts = interval_counts(ts, self.interval)
+        scores = [
+            max(0.0, min(1.0, self._interval_utility(c, total_results)))
+            if c > 0
+            else 0.0
+            for c in counts
+        ]
+        return float(np.mean(scores))
+
+    def batch_utility(
+        self,
+        timestamp: float,
+        batch_size: float,
+        total_estimate: float,
+    ) -> float:
+        """Optimizer's estimate: Equation 3 clamped into [0, 1].
+
+        The literal Equation 3 assigns *negative* utility to a sub-quota
+        batch, which would teach the optimizer that delivering a few
+        results is worse than delivering none — the opposite of what the
+        satisfaction metric rewards.  The planning view therefore clamps;
+        :meth:`pscore` keeps the paper-literal signed form.
+        """
+        if batch_size <= 0:
+            return 0.0
+        per_tuple = max(0.0, min(1.0, self._interval_utility(batch_size, total_estimate)))
+        return batch_size * per_tuple
+
+    def batch_utilities(
+        self,
+        timestamps: np.ndarray,
+        batch_sizes: np.ndarray,
+        total_estimate: float,
+    ) -> np.ndarray:
+        batches = np.asarray(batch_sizes, dtype=float)
+        total = max(float(total_estimate), 1.0)
+        quota = self.fraction * total
+        per_tuple = np.clip(
+            np.where(batches / total >= self.fraction, 1.0, batches / quota - 1.0),
+            0.0,
+            1.0,
+        )
+        return np.where(batches > 0, batches * per_tuple, 0.0)
+
+
+class RateContract(Contract):
+    """Equation 4 / Example 10: the consumer absorbs ``rate`` tuples/interval."""
+
+    def __init__(self, rate: float = 5.0, interval: float = 1.0):
+        if rate <= 0:
+            raise ContractError(f"rate must be positive, got {rate}")
+        if interval <= 0:
+            raise ContractError(f"interval must be positive, got {interval}")
+        self.rate = float(rate)
+        self.interval = float(interval)
+        self.name = f"rate({self.rate:g}/{self.interval:g})"
+
+    def _interval_utility(self, count: float) -> float:
+        if count <= 0:
+            return 0.0
+        if count <= self.rate:
+            return count / self.rate
+        return self.rate / count
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        if len(ts) == 0:
+            return np.zeros(0)
+        indices, counts = interval_counts(ts, self.interval)
+        per_interval = np.array([self._interval_utility(c) for c in counts])
+        return per_interval[indices]
+
+    def batch_utility(
+        self,
+        timestamp: float,
+        batch_size: float,
+        total_estimate: float,
+    ) -> float:
+        if batch_size <= 0:
+            return 0.0
+        return batch_size * self._interval_utility(batch_size)
+
+    def batch_utilities(
+        self,
+        timestamps: np.ndarray,
+        batch_sizes: np.ndarray,
+        total_estimate: float,
+    ) -> np.ndarray:
+        batches = np.asarray(batch_sizes, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_tuple = np.where(
+                batches <= self.rate, batches / self.rate, self.rate / batches
+            )
+        return np.where(batches > 0, batches * per_tuple, 0.0)
+
+    def ideal_intervals(self, total_results: float) -> int:
+        """Intervals needed to drain ``total_results`` at the ideal rate."""
+        return int(math.ceil(max(total_results, 0.0) / self.rate))
+
+
+__all__ = ["PercentPerIntervalContract", "RateContract", "interval_counts"]

@@ -1,0 +1,76 @@
+"""Hybrid contracts (Section 3.3; contract C5 of Table 2).
+
+A hybrid contract combines a cardinality-based and a time-based utility
+function; assuming independence (as the paper does for ease of
+elaboration), the combined per-tuple utility is their product
+(Equation 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contracts.base import Contract, as_timestamp_array
+from repro.errors import ContractError
+
+
+class InverseTimeContract(Contract):
+    """The ``v_time = 1 / ts`` factor Table 2 uses inside C5 (clamped to 1)."""
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ContractError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        self.name = f"invtime(scale={self.scale:g})"
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps) / self.scale
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / np.maximum(ts, 1e-12)
+        return np.clip(inv, 0.0, 1.0)
+
+
+class HybridContract(Contract):
+    """Equation 5: per-tuple product of a cardinality and a time contract."""
+
+    def __init__(self, cardinality: Contract, time: Contract, name: "str | None" = None):
+        if not isinstance(cardinality, Contract) or not isinstance(time, Contract):
+            raise ContractError("hybrid contract needs two Contract components")
+        self.cardinality = cardinality
+        self.time = time
+        self.name = name or f"hybrid({cardinality.name} * {time.name})"
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        return self.cardinality.tuple_utilities(ts, total_results) * self.time.tuple_utilities(
+            ts, total_results
+        )
+
+    def batch_utility(
+        self,
+        timestamp: float,
+        batch_size: float,
+        total_estimate: float,
+    ) -> float:
+        if batch_size <= 0:
+            return 0.0
+        time_factor = self.time.utility_at(timestamp, max(total_estimate, 1.0))
+        return time_factor * self.cardinality.batch_utility(
+            timestamp, batch_size, total_estimate
+        )
+
+    def batch_utilities(
+        self,
+        timestamps: np.ndarray,
+        batch_sizes: np.ndarray,
+        total_estimate: float,
+    ) -> np.ndarray:
+        ts = np.asarray(timestamps, dtype=float)
+        total = max(float(total_estimate), 1.0)
+        time_factors = self.time.tuple_utilities(ts, total)
+        return time_factors * self.cardinality.batch_utilities(
+            ts, batch_sizes, total_estimate
+        )
+
+
+__all__ = ["HybridContract", "InverseTimeContract"]

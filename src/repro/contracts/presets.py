@@ -1,0 +1,82 @@
+"""The five contract classes of the experimental study (Table 2).
+
+Factories for C1–C5 with the paper's tunable parameters (``t_C1``,
+``t_C3``, and the interval length ``n_{i,j}``).  The paper calibrates these
+per data distribution — e.g. ``t_C1 = t_C3 = 10 s`` for correlated data and
+30 minutes for anti-correlated (Section 7.2); our virtual-clock equivalents
+live in :mod:`repro.bench.config`.
+"""
+
+from __future__ import annotations
+
+from repro.contracts.base import Contract
+from repro.contracts.cardinality import PercentPerIntervalContract
+from repro.contracts.hybrid import HybridContract, InverseTimeContract
+from repro.contracts.time_based import (
+    DeadlineContract,
+    LogDecayContract,
+    SoftDeadlineContract,
+)
+from repro.errors import ContractError
+
+CONTRACT_CLASSES = ("C1", "C2", "C3", "C4", "C5")
+
+
+def c1(deadline: float) -> Contract:
+    """C1: hard deadline — utility 1 up to ``t_C1``, 0 after."""
+    return DeadlineContract(deadline)
+
+
+def c2(scale: float = 1.0) -> Contract:
+    """C2: logarithmic decay ``1 / log(ts)`` (the strictest model)."""
+    return LogDecayContract(scale)
+
+
+def c3(deadline: float, unit: float = 1.0) -> Contract:
+    """C3: soft deadline — 1 up to ``t_C3``, then ``1 / (ts - t_C3)``."""
+    return SoftDeadlineContract(deadline, unit=unit)
+
+
+def c4(fraction: float = 0.1, interval: float = 1.0) -> Contract:
+    """C4: at least ``fraction`` of all results every ``interval``."""
+    return PercentPerIntervalContract(fraction=fraction, interval=interval)
+
+
+def c5(
+    fraction: float = 0.1,
+    interval: float = 1.0,
+    time_scale: float = 1.0,
+) -> Contract:
+    """C5: hybrid — C4's cardinality term times ``1 / ts`` (Table 2)."""
+    return HybridContract(
+        cardinality=PercentPerIntervalContract(fraction=fraction, interval=interval),
+        time=InverseTimeContract(scale=time_scale),
+        name=f"C5(frac={fraction:g}, dt={interval:g}, scale={time_scale:g})",
+    )
+
+
+def make(
+    contract_class: str,
+    *,
+    deadline: float = 10.0,
+    interval: float = 1.0,
+    fraction: float = 0.1,
+    time_scale: float = 1.0,
+) -> Contract:
+    """Build any Table 2 contract by class name with explicit parameters."""
+    builders = {
+        "C1": lambda: c1(deadline),
+        "C2": lambda: c2(time_scale),
+        "C3": lambda: c3(deadline),
+        "C4": lambda: c4(fraction, interval),
+        "C5": lambda: c5(fraction, interval, time_scale),
+    }
+    try:
+        return builders[contract_class]()
+    except KeyError:
+        raise ContractError(
+            f"unknown contract class {contract_class!r}; expected one of {CONTRACT_CLASSES}"
+        ) from None
+
+
+__all__ = ["CONTRACT_CLASSES", "c1", "c2", "c3", "c4", "c5", "make"]

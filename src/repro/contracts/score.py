@@ -1,0 +1,187 @@
+"""Result logs and contract-satisfaction scoring (Definitions 3–5).
+
+Every execution strategy in this package reports its progressive results
+into a :class:`ResultLog` per query (Definition 3's ``Result(E, Q, ...)``),
+and the experiment harness scores logs against contracts:
+
+* :func:`pscore` — Equation 7, the summed per-tuple utility;
+* :func:`workload_pscore` — Equation 6, the optimisation objective;
+* per-query ``satisfaction`` in ``[0, 1]`` — what Figures 9 and 11 plot.
+
+:class:`SatisfactionTracker` is the *run-time* counterpart used inside the
+executor's feedback loop (Section 6): it maintains the running satisfaction
+metric ``v(Q_i, t_j)`` of each query from the results reported so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.contracts.base import Contract
+from repro.errors import ContractError
+from repro.query.workload import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class ResultEvent:
+    """One progressive result: identity plus its (virtual) report time."""
+
+    key: Hashable
+    timestamp: float
+
+
+class ResultLog:
+    """Time-ordered log of one query's reported results."""
+
+    __slots__ = ("query_name", "_events")
+
+    def __init__(self, query_name: str):
+        self.query_name = query_name
+        self._events: list[ResultEvent] = []
+
+    def report(self, key: Hashable, timestamp: float) -> None:
+        if self._events and timestamp < self._events[-1].timestamp:
+            raise ContractError(
+                f"result log for {self.query_name!r}: non-monotonic timestamp "
+                f"{timestamp} after {self._events[-1].timestamp}"
+            )
+        self._events.append(ResultEvent(key=key, timestamp=float(timestamp)))
+
+    def report_batch(self, keys, timestamp: float) -> None:
+        for key in keys:
+            self.report(key, timestamp)
+
+    @property
+    def events(self) -> "tuple[ResultEvent, ...]":
+        return tuple(self._events)
+
+    @property
+    def keys(self) -> "list[Hashable]":
+        return [e.key for e in self._events]
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return np.asarray([e.timestamp for e in self._events], dtype=float)
+
+    @property
+    def completion_time(self) -> float:
+        return self._events[-1].timestamp if self._events else 0.0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"ResultLog({self.query_name!r}, n={len(self._events)})"
+
+
+def pscore(log: ResultLog, contract: Contract, total_results: "float | None" = None) -> float:
+    """Equation 7: progressiveness score of one query's execution."""
+    total = float(total_results) if total_results is not None else float(len(log))
+    return contract.pscore(log.timestamps, total)
+
+
+def satisfaction(
+    log: ResultLog,
+    contract: Contract,
+    total_results: "float | None" = None,
+    horizon: "float | None" = None,
+) -> float:
+    """Normalised per-query satisfaction in [0, 1]."""
+    total = float(total_results) if total_results is not None else float(len(log))
+    return contract.satisfaction(log.timestamps, total, horizon)
+
+
+@dataclass
+class WorkloadScore:
+    """Scores for a full workload execution (one row of Figure 9)."""
+
+    per_query_pscore: "dict[str, float]"
+    per_query_satisfaction: "dict[str, float]"
+
+    @property
+    def total_pscore(self) -> float:
+        """Equation 6's objective value."""
+        return float(sum(self.per_query_pscore.values()))
+
+    @property
+    def average_satisfaction(self) -> float:
+        values = list(self.per_query_satisfaction.values())
+        return float(np.mean(values)) if values else 0.0
+
+
+def score_workload(
+    workload: Workload,
+    contracts: "dict[str, Contract]",
+    logs: "dict[str, ResultLog]",
+    totals: "dict[str, float] | None" = None,
+    horizon: "float | None" = None,
+) -> WorkloadScore:
+    """Score every query's log against its contract."""
+    per_pscore: dict[str, float] = {}
+    per_sat: dict[str, float] = {}
+    for query in workload:
+        try:
+            contract = contracts[query.name]
+        except KeyError:
+            raise ContractError(f"no contract supplied for query {query.name!r}") from None
+        log = logs.get(query.name) or ResultLog(query.name)
+        total = None if totals is None else totals.get(query.name)
+        per_pscore[query.name] = pscore(log, contract, total)
+        per_sat[query.name] = satisfaction(log, contract, total, horizon)
+    return WorkloadScore(per_query_pscore=per_pscore, per_query_satisfaction=per_sat)
+
+
+class SatisfactionTracker:
+    """Run-time satisfaction ``v(Q_i, t_j)`` per query (Section 6).
+
+    The executor records each progressive report here; the optimizer's
+    feedback step (Equation 11) reads the current per-query metric.  Result
+    totals are the *estimated* final sizes because the true totals are
+    unknown mid-flight.
+    """
+
+    def __init__(
+        self,
+        contracts: "dict[str, Contract]",
+        estimated_totals: "dict[str, float]",
+    ):
+        self._contracts = dict(contracts)
+        self._estimates = {
+            name: max(float(value), 1.0) for name, value in estimated_totals.items()
+        }
+        self._logs: dict[str, ResultLog] = {
+            name: ResultLog(name) for name in self._contracts
+        }
+
+    def record(self, query_name: str, keys, timestamp: float) -> None:
+        self._logs[query_name].report_batch(keys, timestamp)
+
+    def log(self, query_name: str) -> ResultLog:
+        return self._logs[query_name]
+
+    def reported_count(self, query_name: str) -> int:
+        return len(self._logs[query_name])
+
+    def runtime_satisfaction(self, query_name: str) -> float:
+        log = self._logs[query_name]
+        contract = self._contracts[query_name]
+        if len(log) == 0:
+            return 0.0
+        return contract.satisfaction(log.timestamps, self._estimates[query_name])
+
+    def snapshot(self) -> "dict[str, float]":
+        return {name: self.runtime_satisfaction(name) for name in self._contracts}
+
+
+__all__ = [
+    "ResultEvent",
+    "ResultLog",
+    "SatisfactionTracker",
+    "WorkloadScore",
+    "pscore",
+    "satisfaction",
+    "score_workload",
+]

@@ -1,0 +1,130 @@
+"""Time-based contracts (Section 3.2.1; contracts C1–C3 of Table 2).
+
+These score a result only by its report time:
+
+* :class:`DeadlineContract` (C1, Equation 1) — utility 1 up to a hard
+  deadline, 0 afterwards (the response-time contracts of commercial
+  systems);
+* :class:`LogDecayContract` (C2) — ``1 / log(ts)``, the paper's strictest
+  always-decaying model;
+* :class:`SoftDeadlineContract` (C3) — utility 1 up to ``t_C3`` and
+  ``1 / (ts - t_C3)`` afterwards;
+* :class:`PiecewiseTimeContract` — the general step/decay form of Example 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.contracts.base import Contract, as_timestamp_array
+from repro.errors import ContractError
+
+
+class DeadlineContract(Contract):
+    """Equation 1 / C1: full utility before ``deadline``, none after."""
+
+    def __init__(self, deadline: float):
+        if deadline <= 0:
+            raise ContractError(f"deadline must be positive, got {deadline}")
+        self.deadline = float(deadline)
+        self.name = f"C1(t={self.deadline:g})"
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        return np.where(ts <= self.deadline, 1.0, 0.0)
+
+
+class LogDecayContract(Contract):
+    """C2: ``v(tau) = 1 / log(tau.ts)``, clamped into [0, 1].
+
+    The paper's formula exceeds 1 for ``ts < e`` and is undefined at
+    ``ts <= 1``; we clamp to 1 there, preserving Table 2's intent that very
+    early results are maximally useful.
+    """
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ContractError(f"scale must be positive, got {scale}")
+        #: Time-axis scale: utilities are evaluated at ``ts / scale`` so the
+        #: same contract shape can be reused across virtual-clock calibrations.
+        self.scale = float(scale)
+        self.name = f"C2(scale={self.scale:g})"
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps) / self.scale
+        with np.errstate(divide="ignore"):
+            decayed = 1.0 / np.log(np.maximum(ts, 1.0 + 1e-12))
+        return np.clip(decayed, 0.0, 1.0)
+
+
+class SoftDeadlineContract(Contract):
+    """C3: utility 1 until ``t_C3``, then ``1 / (ts - t_C3)`` (clamped to 1).
+
+    ``unit`` rescales the overrun before the hyperbolic decay — the paper's
+    formula presumes seconds (12 s against a 10 s deadline scores 0.5); when
+    timestamps are virtual-clock units the experiment configs set ``unit``
+    to the virtual equivalent of "one second" (DESIGN.md §2).
+    """
+
+    def __init__(self, deadline: float, unit: float = 1.0):
+        if deadline <= 0:
+            raise ContractError(f"deadline must be positive, got {deadline}")
+        if unit <= 0:
+            raise ContractError(f"unit must be positive, got {unit}")
+        self.deadline = float(deadline)
+        self.unit = float(unit)
+        self.name = f"C3(t={self.deadline:g}, unit={self.unit:g})"
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        overrun = (ts - self.deadline) / self.unit
+        with np.errstate(divide="ignore"):
+            late = 1.0 / np.maximum(overrun, 1e-12)
+        return np.where(overrun <= 0, 1.0, np.clip(late, 0.0, 1.0))
+
+
+class PiecewiseTimeContract(Contract):
+    """Example 8's general form: constant steps followed by a decay tail.
+
+    ``steps`` is a sequence of ``(threshold, utility)`` pairs, meaning
+    "utility for ``ts <= threshold``", checked in increasing threshold
+    order; ``tail`` scores any ``ts`` beyond the last threshold.
+    """
+
+    def __init__(
+        self,
+        steps: "Sequence[tuple[float, float]]",
+        tail: "Callable[[np.ndarray], np.ndarray] | None" = None,
+        name: str = "piecewise",
+    ):
+        if not steps:
+            raise ContractError("piecewise contract needs at least one step")
+        thresholds = [t for t, _ in steps]
+        if sorted(thresholds) != thresholds:
+            raise ContractError(f"step thresholds must be increasing, got {thresholds}")
+        for _, utility in steps:
+            if not 0.0 <= utility <= 1.0:
+                raise ContractError(f"step utilities must be in [0, 1], got {utility}")
+        self.steps = tuple((float(t), float(u)) for t, u in steps)
+        self.tail = tail
+        self.name = name
+
+    def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        if self.tail is not None:
+            out = np.clip(np.asarray(self.tail(ts), dtype=float), 0.0, 1.0)
+        else:
+            out = np.zeros_like(ts)
+        for threshold, utility in reversed(self.steps):
+            out = np.where(ts <= threshold, utility, out)
+        return out
+
+
+__all__ = [
+    "DeadlineContract",
+    "LogDecayContract",
+    "PiecewiseTimeContract",
+    "SoftDeadlineContract",
+]

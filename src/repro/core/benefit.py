@@ -1,0 +1,361 @@
+"""The contract-driven cost/benefit model (Section 5.3).
+
+For each candidate region the optimizer needs, at current virtual time
+``t_curr``:
+
+* ``t_c`` — the estimated virtual time tuple-level processing will take
+  (the *cost* of considering the region);
+* ``ProgEst(R_c, Q_i, t_c)`` (Equation 10) — how many results the region
+  can *progressively* output for each query: the Buchta cardinality
+  estimate of Equation 9 scaled by the fraction of the region's output
+  cells that no other region can dominate (Definition 11's progressive
+  cell count);
+* ``CSM(R_c)`` (Equation 8) — the weighted sum over queries of the
+  estimated utility those results would earn under each query's contract
+  at time ``t_curr + t_c``.
+
+Progressive cell counts are exact when the region's coordinate box is
+small (:func:`prog_count_exact`, Definition 11/Example 18 semantics) and
+fall back to a volume-ratio approximation for large boxes — estimation
+error is acceptable here because the optimizer re-ranks after every region
+anyway (Section 5.3's feedback-driven iteration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.contracts.base import Contract
+from repro.core.clock import CostModel
+from repro.core.output_space import OutputGrid
+from repro.core.region import OutputRegion
+from repro.errors import ExecutionError
+from repro.plan.minmax_cuboid import MinMaxCuboid
+from repro.query.workload import Workload
+from repro.skyline.estimate import buchta_skyline_size
+
+#: Above this many output cells the exact progressive count switches to the
+#: volume approximation.
+EXACT_CELL_LIMIT = 256
+#: Above this many potential dominators the exact count is skipped too.
+EXACT_DOMINATOR_LIMIT = 16
+
+
+def prog_count_exact(
+    region: OutputRegion,
+    dominators: "list[OutputRegion]",
+    positions: "tuple[int, ...]",
+    grid: OutputGrid,
+) -> "tuple[int, int]":
+    """Definition 11: (non-dominatable cells, total cells) of ``region``.
+
+    A cell of ``region`` is at risk for the examined query iff some other
+    contributing region has a cell whose upper corner dominates this cell's
+    lower corner (Definition 8 case 2 at cell granularity); the most
+    dominating cell any region can populate is the one at its coordinate
+    lower corner.
+    """
+    pos = list(positions)
+    threat_uppers = [
+        grid.cell_upper(d.coord_lo)[pos] for d in dominators if d.region_id != region.region_id
+    ]
+    total = 0
+    safe = 0
+    for coord in OutputGrid.cells_in_box(region.coord_lo, region.coord_hi):
+        total += 1
+        cell_lower = grid.cell_lower(coord)[pos]
+        at_risk = any(
+            bool(np.all(u <= cell_lower) and np.any(u < cell_lower))
+            for u in threat_uppers
+        )
+        if not at_risk:
+            safe += 1
+    return safe, total
+
+
+def prog_ratio_volume(
+    region: OutputRegion,
+    dominators: "list[OutputRegion]",
+    positions: "tuple[int, ...]",
+) -> float:
+    """Volume approximation of ``ProgCount / CellCount``.
+
+    For each potential dominator, the at-risk part of the region's box is
+    the sub-box strictly above the dominator's lower corner; assuming
+    independent overlaps, the safe fraction is the product of per-dominator
+    safe fractions.  With many overlapping dominators the independence
+    assumption over-counts and the product collapses toward zero, so the
+    benefit model prefers :func:`prog_ratio_sampled`; this form is kept for
+    the cheap two-dominator cases and as the documented naive baseline.
+    """
+    pos = list(positions)
+    lo = region.lower[pos]
+    hi = region.upper[pos]
+    width = np.maximum(hi - lo, 1e-12)
+    others = [d for d in dominators if d.region_id != region.region_id]
+    if not others:
+        return 1.0
+    other_lo = np.vstack([d.lower[pos] for d in others])
+    reach = np.all(other_lo < hi, axis=1)  # can the dominator enter the box?
+    if not np.any(reach):
+        return 1.0
+    fracs = np.prod(
+        np.clip((hi - np.maximum(lo, other_lo[reach])) / width, 0.0, 1.0), axis=1
+    )
+    safe = float(np.prod(1.0 - fracs))
+    return max(safe, 0.0)
+
+
+#: Lattice resolution per dimension for the sampled progressive ratio.
+_SAMPLES_PER_DIM = 3
+
+
+def _sample_lattice(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """A deterministic lattice of cell-center points inside ``[lo, hi]``."""
+    d = len(lo)
+    k = _SAMPLES_PER_DIM if d <= 4 else 2
+    axes = [
+        np.linspace(lo[i] + (hi[i] - lo[i]) / (2 * k),
+                    hi[i] - (hi[i] - lo[i]) / (2 * k), k)
+        for i in range(d)
+    ]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.column_stack([m.ravel() for m in mesh])
+
+
+def prog_ratio_sampled(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    dominator_lowers: np.ndarray,
+) -> float:
+    """Sampled estimate of the non-dominated fraction of a region's box.
+
+    The at-risk part of the box is the *union* of upper-orthants above the
+    dominators' lower corners (the staircase of Definition 11); a fixed
+    lattice of sample points estimates that union's share directly, without
+    the independence assumption that breaks the product form.
+    """
+    if len(dominator_lowers) == 0:
+        return 1.0
+    samples = _sample_lattice(lower, upper)  # (S, d)
+    le = np.all(
+        dominator_lowers[:, None, :] <= samples[None, :, :], axis=2
+    )
+    lt = np.any(dominator_lowers[:, None, :] < samples[None, :, :], axis=2)
+    dominated = (le & lt).any(axis=0)
+    return float(1.0 - dominated.mean())
+
+
+@dataclass
+class RegionEstimate:
+    """Cached per-region estimates feeding the CSM."""
+
+    t_c: float
+    #: ProgEst per workload-query bit (len == |S_Q|).
+    prog_est: np.ndarray
+
+
+class BenefitModel:
+    """Computes and caches CSM inputs for Algorithm 1."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        cuboid: MinMaxCuboid,
+        grid: OutputGrid,
+        contracts: "dict[str, Contract]",
+        cost_model: CostModel,
+        *,
+        exact_cell_limit: int = EXACT_CELL_LIMIT,
+    ):
+        self.workload = workload
+        self.grid = grid
+        self.cost_model = cost_model
+        self.exact_cell_limit = exact_cell_limit
+        self.contracts = [contracts[q.name] for q in workload]
+        output_dims = workload.output_dims
+        table = cuboid.lattice.table
+        self.query_positions: list[tuple[int, ...]] = [
+            tuple(output_dims.index(n) for n in table.names(cuboid.query_nodes[q.name]))
+            for q in workload
+        ]
+        self.query_dims = [len(p) for p in self.query_positions]
+        self._estimates: dict[int, RegionEstimate] = {}
+        #: Estimated final result count per query (needed by cardinality
+        #: contracts); populated via :meth:`set_result_estimates`.
+        self.result_estimates = np.ones(len(workload))
+        # Global region arrays for vectorised ProgCount estimation; filled by
+        # :meth:`attach_regions` and kept in sync via note_* callbacks.
+        self._lower_all: "np.ndarray | None" = None
+        self._rql_all: "np.ndarray | None" = None
+        self._active_all: "np.ndarray | None" = None
+        self._regions_by_id: "dict[int, OutputRegion]" = {}
+
+    def set_result_estimates(self, totals: "dict[str, float]") -> None:
+        for qi, query in enumerate(self.workload):
+            self.result_estimates[qi] = max(totals.get(query.name, 1.0), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Region-array bookkeeping
+    # ------------------------------------------------------------------ #
+    def attach_regions(self, regions: "list[OutputRegion]") -> None:
+        """Register the run's alive regions for vectorised estimation."""
+        if not regions:
+            self._lower_all = np.empty((0, len(self.workload.output_dims)))
+            self._rql_all = np.empty(0, dtype=np.int64)
+            self._active_all = np.empty(0, dtype=bool)
+            self._regions_by_id = {}
+            return
+        max_id = max(r.region_id for r in regions)
+        self._lower_all = np.zeros((max_id + 1, len(self.workload.output_dims)))
+        self._rql_all = np.zeros(max_id + 1, dtype=np.int64)
+        self._active_all = np.zeros(max_id + 1, dtype=bool)
+        self._regions_by_id = {}
+        for r in regions:
+            self._lower_all[r.region_id] = r.lower
+            self._rql_all[r.region_id] = r.active_rql
+            self._active_all[r.region_id] = True
+            self._regions_by_id[r.region_id] = r
+
+    def note_removed(self, region_id: int) -> None:
+        """A region was processed or fully discarded."""
+        if self._active_all is not None and region_id < len(self._active_all):
+            self._active_all[region_id] = False
+        self._estimates.pop(region_id, None)
+
+    def note_deactivation(self, region_id: int, query_bit: int) -> None:
+        """A region lost one query from its lineage."""
+        if self._rql_all is not None and region_id < len(self._rql_all):
+            self._rql_all[region_id] &= ~(np.int64(1) << query_bit)
+        self._estimates.pop(region_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Cost side
+    # ------------------------------------------------------------------ #
+    def estimate_cost(self, region: OutputRegion) -> float:
+        """Estimated virtual time ``t_c`` to process ``region``."""
+        cm = self.cost_model
+        est_join = max(region.est_join_count, 0.0)
+        scan = cm.join_probe * (region.left_size + region.right_size)
+        materialise = (cm.join_result + cm.mapping * len(self.workload.output_dims)) * est_join
+        # Each inserted tuple pays roughly one window scan per cuboid level;
+        # ln(est_join) approximates the window size it meets.
+        per_insert = max(1.0, math.log(max(est_join, 2.0)))
+        skyline = cm.skyline_comparison * est_join * per_insert
+        return cm.region_overhead + scan + materialise + skyline
+
+    # ------------------------------------------------------------------ #
+    # Benefit side
+    # ------------------------------------------------------------------ #
+    def cardinality(self, region: OutputRegion, qi: int) -> float:
+        """Equation 9 for one region and query."""
+        d = self.query_dims[qi]
+        return buchta_skyline_size(region.est_join_count, d)
+
+    def prog_ratio(self, region: OutputRegion, qi: int) -> float:
+        """``ProgCount / CellCount`` against the currently active regions."""
+        if self._active_all is None:
+            raise ExecutionError("attach_regions() must run before estimation")
+        positions = list(self.query_positions[qi])
+        member = self._active_all & (((self._rql_all >> qi) & 1).astype(bool))
+        if region.region_id < len(member):
+            member = member.copy()
+            member[region.region_id] = False
+        dominator_lowers = self._lower_all[member][:, positions]
+        if len(dominator_lowers) == 0:
+            return 1.0
+        if (
+            region.cell_count <= self.exact_cell_limit
+            and len(dominator_lowers) <= EXACT_DOMINATOR_LIMIT
+        ):
+            dominators = [
+                self._regions_by_id[int(rid)] for rid in np.nonzero(member)[0]
+            ]
+            safe, total = prog_count_exact(
+                region, dominators, tuple(positions), self.grid
+            )
+            return safe / total if total else 0.0
+        lo = region.lower[positions]
+        hi = region.upper[positions]
+        reach = np.all(dominator_lowers < hi, axis=1)
+        if not np.any(reach):
+            return 1.0
+        return prog_ratio_sampled(lo, hi, dominator_lowers[reach])
+
+    def estimate(self, region: OutputRegion) -> RegionEstimate:
+        """Compute (and cache) ``t_c`` and per-query ProgEst for a region."""
+        prog = np.zeros(len(self.workload))
+        for qi in range(len(self.workload)):
+            if not (region.active_rql >> qi) & 1:
+                continue
+            ratio = self.prog_ratio(region, qi)
+            prog[qi] = ratio * self.cardinality(region, qi)
+        est = RegionEstimate(t_c=self.estimate_cost(region), prog_est=prog)
+        self._estimates[region.region_id] = est
+        return est
+
+    def cached_estimate(self, region_id: int) -> "RegionEstimate | None":
+        return self._estimates.get(region_id)
+
+    def invalidate(self, region_ids) -> None:
+        for rid in region_ids:
+            self._estimates.pop(rid, None)
+
+    # ------------------------------------------------------------------ #
+    # Equation 8
+    # ------------------------------------------------------------------ #
+    def csm(
+        self,
+        region: OutputRegion,
+        estimate: RegionEstimate,
+        weights: np.ndarray,
+        now: float,
+    ) -> float:
+        """Cumulative Satisfaction Metric at virtual time ``now``."""
+        if len(weights) != len(self.workload):
+            raise ExecutionError("weight vector arity mismatch")
+        report_time = now + estimate.t_c
+        total = 0.0
+        for qi in range(len(self.workload)):
+            batch = float(estimate.prog_est[qi])
+            if batch <= 0.0 or weights[qi] == 0.0:
+                continue
+            total += weights[qi] * self.contracts[qi].batch_utility(
+                report_time, batch, float(self.result_estimates[qi])
+            )
+        return total
+
+    def csm_batch(
+        self,
+        estimates: "list[RegionEstimate]",
+        weights: np.ndarray,
+        now: float,
+    ) -> np.ndarray:
+        """Equation 8 for many candidate regions at once (one optimizer
+        iteration scores every root; this keeps that scoring vectorised)."""
+        if not estimates:
+            return np.zeros(0)
+        times = now + np.asarray([e.t_c for e in estimates])
+        prog = np.vstack([e.prog_est for e in estimates])  # (R, Q)
+        total = np.zeros(len(estimates))
+        for qi in range(len(self.workload)):
+            if weights[qi] == 0.0:
+                continue
+            utilities = self.contracts[qi].batch_utilities(
+                times, prog[:, qi], float(self.result_estimates[qi])
+            )
+            total += weights[qi] * utilities
+        return total
+
+
+__all__ = [
+    "EXACT_CELL_LIMIT",
+    "BenefitModel",
+    "RegionEstimate",
+    "prog_count_exact",
+    "prog_ratio_sampled",
+    "prog_ratio_volume",
+]

@@ -1,0 +1,515 @@
+"""The CAQE framework driver (Sections 4–6, Algorithm 1).
+
+:class:`CAQE` wires the whole pipeline together for one workload run:
+
+1. partition both input tables into quad-tree leaf cells (Section 5.1);
+2. build the shared min-max cuboid plan (Section 4.1);
+3. MQLA: coarse join (signatures) and coarse skyline (region dominance)
+   to produce output regions annotated with query lineage (Section 5);
+4. build the dependency graph (Definition 9) and the CSM benefit model;
+5. iterate Algorithm 1: pick the root region with the highest CSM,
+   process it at tuple level on the shared plan, discard regions its
+   results dominate, progressively report results that can no longer be
+   dominated, and update query weights from run-time satisfaction
+   (Equation 11).
+
+Every optimisation the paper describes can be toggled off through
+:class:`CAQEConfig` for the ablation benches (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.contracts.base import Contract
+from repro.contracts.score import ResultLog, SatisfactionTracker
+from repro.core.benefit import BenefitModel
+from repro.core.clock import CostModel
+from repro.core.coarse_join import coarse_join
+from repro.core.coarse_skyline import coarse_skyline
+from repro.core.depgraph import DependencyGraph, build_dependency_graph
+from repro.core.executor import JoinResultStore, RegionExecutor
+from repro.core.feedback import update_weights
+from repro.core.output_space import DEFAULT_DIVISIONS
+from repro.core.region import OutputRegion, point_dominates_region
+from repro.core.stats import ExecutionStats
+from repro.errors import ExecutionError
+from repro.partition.quadtree import Partitioning, quadtree_partition
+from repro.plan.minmax_cuboid import build_minmax_cuboid
+from repro.plan.shared_plan import WorkloadPlan
+from repro.query.workload import Workload
+from repro.relation import Relation
+from repro.skyline.estimate import buchta_skyline_size
+
+
+@dataclass(frozen=True)
+class CAQEConfig:
+    """Tunables and ablation switches for a CAQE run."""
+
+    #: Output-grid resolution per dimension (Section 5's output cells).
+    divisions: int = DEFAULT_DIVISIONS
+    #: Target leaf-cell count per table; the quad-tree capacity is derived
+    #: as ``ceil(cardinality / target_cells)``.
+    target_cells: int = 16
+    #: Explicit quad-tree leaf capacity (overrides ``target_cells``).
+    partition_capacity: "int | None" = None
+    #: Input-tree split policy: "quad" (paper's 2^d midpoint split) or
+    #: "kd" (binary median splits; balanced leaves — ablation option).
+    partition_split: str = "quad"
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Seed CSM weights with the experiment's query priorities instead of
+    #: the paper's uniform ``w_i = 1``.
+    use_priority_weights: bool = True
+    #: Equation 11 run-time re-weighting (ablation: static weights).
+    enable_feedback: bool = True
+    #: Definition 9 scheduling constraints (ablation: all regions rootable).
+    enable_depgraph: bool = True
+    #: Coarse-skyline region pruning (ablation: keep every region).
+    enable_coarse_pruning: bool = True
+    #: Tuple-level discarding of dominated regions (Section 6).
+    enable_tuple_discard: bool = True
+    #: Theorem 1 shortcut in the shared plan (valid under DVA data).
+    assume_dva: bool = True
+    #: Region-scheduling objective: ``"contract"`` is CAQE's CSM
+    #: (Equation 8); ``"count"`` maximises estimated result count (the
+    #: count-driven policy of ProgXe+); ``"scan"`` processes regions in
+    #: creation order (the S-JFSL pipeline).
+    objective: str = "contract"
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("contract", "count", "scan"):
+            raise ExecutionError(
+                f"unknown objective {self.objective!r}; "
+                "expected 'contract', 'count', or 'scan'"
+            )
+        if self.partition_split not in ("quad", "kd"):
+            raise ExecutionError(
+                f"unknown partition_split {self.partition_split!r}; "
+                "expected 'quad' or 'kd'"
+            )
+
+    def capacity_for(self, cardinality: int) -> int:
+        if self.partition_capacity is not None:
+            return self.partition_capacity
+        # A 2x headroom keeps the quad-tree from over-splitting skewed
+        # quadrants far beyond the requested cell budget.
+        return max(1, -(-2 * cardinality // max(self.target_cells, 1)))
+
+
+@dataclass
+class RunResult:
+    """Everything a CAQE (or baseline) run produces."""
+
+    workload: Workload
+    contracts: "dict[str, Contract]"
+    logs: "dict[str, ResultLog]"
+    stats: ExecutionStats
+    horizon: float
+    #: Per query: reported result identities as (left_row, right_row) pairs.
+    reported: "dict[str, set[tuple[int, int]]]"
+
+    def satisfaction(self, query_name: str) -> float:
+        log = self.logs[query_name]
+        return self.contracts[query_name].satisfaction(
+            log.timestamps, float(len(log)), self.horizon
+        )
+
+    def average_satisfaction(self) -> float:
+        values = [self.satisfaction(q.name) for q in self.workload]
+        return float(np.mean(values)) if values else 0.0
+
+    def total_pscore(self) -> float:
+        return float(
+            sum(
+                self.contracts[q.name].pscore(
+                    self.logs[q.name].timestamps, float(len(self.logs[q.name]))
+                )
+                for q in self.workload
+            )
+        )
+
+
+def partition_attrs(workload: Workload, side: str) -> "tuple[str, ...]":
+    """Input attributes (per side) that feed the workload's output dims."""
+    seen: dict[str, None] = {}
+    for dim in workload.output_dims:
+        fn = workload.function_for(dim)
+        inputs = fn.left_inputs if side == "left" else fn.right_inputs
+        for attr in inputs:
+            seen.setdefault(attr, None)
+    return tuple(seen)
+
+
+class CAQE:
+    """Contract-Aware Query Execution over one pair of base tables."""
+
+    name = "CAQE"
+
+    def __init__(self, config: "CAQEConfig | None" = None):
+        self.config = config or CAQEConfig()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+        stats: "ExecutionStats | None" = None,
+    ) -> RunResult:
+        """Execute the workload; ``stats`` may be shared across runs so
+        baselines that process queries sequentially accumulate one clock."""
+        cfg = self.config
+        workload.validate(left, right)
+        missing = [q.name for q in workload if q.name not in contracts]
+        if missing:
+            raise ExecutionError(f"missing contracts for queries: {missing}")
+
+        if stats is None:
+            stats = ExecutionStats.with_cost_model(cfg.cost_model)
+        conditions = workload.join_conditions
+
+        # -- Step 0: input partitioning ---------------------------------- #
+        left_attrs = partition_attrs(workload, "left") or left.schema.measure_names
+        right_attrs = partition_attrs(workload, "right") or right.schema.measure_names
+        left_part = quadtree_partition(
+            left, left_attrs, conditions, "left",
+            capacity=cfg.capacity_for(left.cardinality),
+            split=cfg.partition_split,
+        )
+        right_part = quadtree_partition(
+            right, right_attrs, conditions, "right",
+            capacity=cfg.capacity_for(right.cardinality),
+            split=cfg.partition_split,
+        )
+
+        # -- Step 1: shared min-max cuboid plan(s) ------------------------ #
+        # The global cuboid drives the region-level machinery (coarse
+        # skyline, benefit model, reporting); tuple-level skyline state is
+        # grouped by (join condition, selections) — see WorkloadPlan.
+        cuboid = build_minmax_cuboid(workload)
+        plan = WorkloadPlan(
+            workload,
+            workload.output_dims,
+            counter=stats.comparison_counter,
+            assume_dva=cfg.assume_dva,
+        )
+
+        # -- Step 2: MQLA ------------------------------------------------- #
+        cj = coarse_join(
+            workload, left_part, right_part, stats, divisions=cfg.divisions
+        )
+        regions = cj.regions
+        if cfg.enable_coarse_pruning:
+            coarse_skyline(workload, cuboid, regions, stats)
+        alive: dict[int, OutputRegion] = {
+            r.region_id: r for r in regions if not r.is_discarded
+        }
+
+        # -- Step 3: dependency graph + benefit model --------------------- #
+        if cfg.enable_depgraph:
+            graph = build_dependency_graph(
+                workload, cuboid, list(alive.values()), cj.grid, stats
+            )
+        else:
+            graph = DependencyGraph()
+            for rid in alive:
+                graph.add_node(rid)
+        benefit = BenefitModel(
+            workload, cuboid, cj.grid, contracts, cfg.cost_model
+        )
+        benefit.attach_regions(list(alive.values()))
+        estimates = self._result_estimates(workload, cuboid, alive.values())
+        benefit.set_result_estimates(estimates)
+        tracker = SatisfactionTracker(contracts, estimates)
+
+        weights = np.array(
+            [q.priority if cfg.use_priority_weights else 1.0 for q in workload]
+        )
+
+        # -- Step 4: Algorithm 1 main loop -------------------------------- #
+        state = _ReportingState(workload, cuboid)
+        executor = RegionExecutor(
+            workload, left, right, plan, JoinResultStore(), stats
+        )
+        cells_left = {c.cell_id: c for c in left_part.leaves}
+        cells_right = {c.cell_id: c for c in right_part.leaves}
+
+        while alive:
+            roots = graph.roots() & alive.keys()
+            if not roots:
+                roots = graph.force_roots() & alive.keys()
+            region = self._pick_region(
+                roots, alive, benefit, weights, stats.clock.now()
+            )
+            captured_successors = graph.successors(region.region_id)
+            outcome = executor.process(
+                region,
+                cells_left[region.left_cell_id],
+                cells_right[region.right_cell_id],
+            )
+            # Region leaves the remaining set before safety checks run.
+            del alive[region.region_id]
+            graph.remove_node(region.region_id)
+            benefit.note_removed(region.region_id)
+            # Successors lose a potential dominator: their progressive
+            # estimates improve, so drop their cached values (Algorithm 1's
+            # "Update R_f's CSM scores").
+            benefit.invalidate(captured_successors)
+
+            state.apply_evictions(outcome, tracker)
+            state.admit_candidates(
+                outcome, region, executor, alive, tracker, stats
+            )
+            if cfg.enable_tuple_discard:
+                self._discard_dominated(
+                    region,
+                    captured_successors,
+                    outcome,
+                    executor,
+                    alive,
+                    graph,
+                    benefit,
+                    state,
+                    tracker,
+                    stats,
+                )
+            state.release_region(region.region_id, region.rql, tracker, stats)
+
+            if cfg.enable_feedback:
+                sats = np.array(
+                    [tracker.runtime_satisfaction(q.name) for q in workload]
+                )
+                weights = update_weights(weights, sats)
+
+        state.assert_drained()
+        logs = {q.name: tracker.log(q.name) for q in workload}
+        reported = {
+            name: {executor.store.identity(k).as_tuple() for k in state.reported[name]}
+            for name in state.reported
+        }
+        return RunResult(
+            workload=workload,
+            contracts=dict(contracts),
+            logs=logs,
+            stats=stats,
+            horizon=stats.clock.now(),
+            reported=reported,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _result_estimates(workload, cuboid, regions) -> "dict[str, float]":
+        """Estimated final skyline size per query (for N_est in contracts)."""
+        table = cuboid.lattice.table
+        out: dict[str, float] = {}
+        for qi, query in enumerate(workload):
+            total_join = sum(
+                r.est_join_count for r in regions if (r.active_rql >> qi) & 1
+            )
+            d = table.size(cuboid.query_nodes[query.name])
+            out[query.name] = max(buchta_skyline_size(total_join, d), 1.0)
+        return out
+
+    def _pick_region(
+        self,
+        roots: "set[int]",
+        alive: "dict[int, OutputRegion]",
+        benefit: BenefitModel,
+        weights: np.ndarray,
+        now: float,
+    ) -> OutputRegion:
+        if not roots:
+            raise ExecutionError("no schedulable region (empty root set)")
+        if self.config.objective == "scan":
+            return alive[min(roots)]
+        root_ids = sorted(roots)
+        estimates = []
+        for rid in root_ids:
+            est = benefit.cached_estimate(rid)
+            if est is None:
+                est = benefit.estimate(alive[rid])
+            estimates.append(est)
+        if self.config.objective == "count":
+            scores = np.vstack([e.prog_est for e in estimates]) @ weights
+        else:
+            scores = benefit.csm_batch(estimates, weights, now)
+        return alive[root_ids[int(np.argmax(scores))]]
+
+    def _discard_dominated(
+        self,
+        region: OutputRegion,
+        successors: "dict[int, int]",
+        outcome,
+        executor: RegionExecutor,
+        alive: "dict[int, OutputRegion]",
+        graph: DependencyGraph,
+        benefit: BenefitModel,
+        state: "_ReportingState",
+        tracker: SatisfactionTracker,
+        stats: ExecutionStats,
+    ) -> None:
+        """Section 6's discard step over the captured dependency edges."""
+        for target_id, query_mask in successors.items():
+            target = alive.get(target_id)
+            if target is None:
+                continue
+            for qi, query in enumerate(executor.workload):
+                if not ((query_mask >> qi) & 1) or not target.serves(qi):
+                    continue
+                positions = benefit.query_positions[qi]
+                dominating = any(
+                    point_dominates_region(
+                        executor.store.vector(key), target, positions
+                    )
+                    for key in outcome.admitted.get(query.name, ())
+                )
+                if dominating:
+                    target.deactivate_query(qi)
+                    benefit.note_deactivation(target_id, qi)
+                    state.release_region_for_query(
+                        target_id, query.name, tracker, stats
+                    )
+            if target.is_discarded:
+                stats.record_region_discarded()
+                del alive[target_id]
+                graph.remove_node(target_id)
+                benefit.note_removed(target_id)
+                state.release_region(target_id, target.rql, tracker, stats)
+
+
+class _ReportingState:
+    """Progressive-reporting bookkeeping (Section 6's reporting step).
+
+    For each query, candidates admitted to the shared plan wait until no
+    *remaining* region could produce a dominating tuple; the waiting is
+    tracked as per-candidate threat sets that drain as regions are
+    processed, discarded, or deactivated for the query.
+    """
+
+    def __init__(self, workload: Workload, cuboid):
+        self.workload = workload
+        table = cuboid.lattice.table
+        self.positions = {
+            q.name: tuple(
+                workload.output_dims.index(n)
+                for n in table.names(cuboid.query_nodes[q.name])
+            )
+            for q in workload
+        }
+        self.pending: dict[str, dict[int, set[int]]] = {
+            q.name: {} for q in workload
+        }
+        self.threats_by_region: dict[str, dict[int, set[int]]] = {
+            q.name: {} for q in workload
+        }
+        self.reported: dict[str, set[int]] = {q.name: set() for q in workload}
+        self._store = None
+
+    # -- candidate lifecycle ------------------------------------------- #
+    def apply_evictions(self, outcome, tracker) -> None:
+        for query in self.workload:
+            for key in outcome.evicted.get(query.name, ()):
+                self._drop_pending(query.name, key)
+
+    def admit_candidates(
+        self, outcome, region, executor, alive, tracker, stats
+    ) -> None:
+        self._store = executor.store
+        now = stats.clock.now()
+        for qi, query in enumerate(self.workload):
+            if not region.serves(qi):
+                continue
+            keys = outcome.admitted.get(query.name, ())
+            if not keys:
+                continue
+            positions = list(self.positions[query.name])
+            serving = [
+                (rid, other) for rid, other in alive.items() if other.serves(qi)
+            ]
+            if not serving:
+                for key in keys:
+                    self._emit(query.name, key, now, tracker, stats)
+                continue
+            vectors = np.vstack(
+                [executor.store.vector(k) for k in keys]
+            )[:, positions]
+            lowers = np.vstack([o.lower for _, o in serving])[:, positions]
+            # threat[k, r]: region r could still produce a tuple dominating
+            # candidate k (its best corner reaches below the candidate).
+            le = np.all(lowers[None, :, :] <= vectors[:, None, :], axis=2)
+            lt = np.any(lowers[None, :, :] < vectors[:, None, :], axis=2)
+            threat = le & lt
+            for k_pos, key in enumerate(keys):
+                rids = {serving[r][0] for r in np.nonzero(threat[k_pos])[0]}
+                if rids:
+                    self.pending[query.name][key] = rids
+                    for rid in rids:
+                        self.threats_by_region[query.name].setdefault(
+                            rid, set()
+                        ).add(key)
+                else:
+                    self._emit(query.name, key, now, tracker, stats)
+
+    # -- threat draining ------------------------------------------------ #
+    def release_region(self, region_id: int, rql: int, tracker, stats) -> None:
+        for qi, query in enumerate(self.workload):
+            if (rql >> qi) & 1:
+                self.release_region_for_query(
+                    region_id, query.name, tracker, stats
+                )
+
+    def release_region_for_query(
+        self, region_id: int, query_name: str, tracker, stats
+    ) -> None:
+        keys = self.threats_by_region[query_name].pop(region_id, set())
+        now = stats.clock.now()
+        for key in keys:
+            threats = self.pending[query_name].get(key)
+            if threats is None:
+                continue
+            threats.discard(region_id)
+            if not threats:
+                del self.pending[query_name][key]
+                self._emit(query_name, key, now, tracker, stats)
+
+    def _emit(self, query_name: str, key: int, now: float, tracker, stats) -> None:
+        if key in self.reported[query_name]:
+            return
+        self.reported[query_name].add(key)
+        identity = self._store.identity(key).as_tuple()
+        tracker.record(query_name, [identity], now)
+        stats.record_outputs(1)
+
+    def _drop_pending(self, query_name: str, key: int) -> None:
+        threats = self.pending[query_name].pop(key, None)
+        if threats:
+            for rid in threats:
+                bucket = self.threats_by_region[query_name].get(rid)
+                if bucket is not None:
+                    bucket.discard(key)
+
+    def assert_drained(self) -> None:
+        leftovers = {
+            name: len(keys) for name, keys in self.pending.items() if keys
+        }
+        if leftovers:
+            raise ExecutionError(
+                f"progressive reporting did not drain: {leftovers}"
+            )
+
+
+def run_caqe(
+    left: Relation,
+    right: Relation,
+    workload: Workload,
+    contracts: "dict[str, Contract]",
+    config: "CAQEConfig | None" = None,
+) -> RunResult:
+    """Convenience one-shot entry point."""
+    return CAQE(config).run(left, right, workload, contracts)
+
+
+__all__ = ["CAQE", "CAQEConfig", "RunResult", "partition_attrs", "run_caqe"]

@@ -1,0 +1,152 @@
+"""Coarse-level join evaluation (Section 5.1, MQLA step 1).
+
+For every pair of leaf cells (one per table) and every join condition in
+the workload, intersect the cells' join signatures.  A non-empty
+intersection guarantees at least one tuple-level join result, so the pair
+becomes an :class:`~repro.core.region.OutputRegion`; an empty intersection
+proves the pair can never contribute to queries using that condition and
+the pair is skipped entirely — join work the shared plan never performs.
+
+Region bounds in output space are derived by pushing the input-cell bounds
+through the (monotone) mapping functions; the estimated join cardinality
+comes from the signature overlap under a uniform-value assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.output_space import DEFAULT_DIVISIONS, OutputGrid, grid_for_cells
+from repro.core.region import OutputRegion
+from repro.core.stats import ExecutionStats
+from repro.errors import ExecutionError
+from repro.partition.quadtree import Partitioning
+from repro.partition.signatures import common_values
+from repro.query.workload import Workload
+
+
+@dataclass(frozen=True)
+class CoarseJoinResult:
+    """Everything MQLA's later steps need."""
+
+    regions: "list[OutputRegion]"
+    grid: OutputGrid
+    #: (left_cell_id, right_cell_id, condition) pairs pruned by signatures.
+    pruned_pairs: int
+
+
+def _estimate_join_count(
+    left_sig: frozenset,
+    right_sig: frozenset,
+    shared: frozenset,
+    left_size: int,
+    right_size: int,
+) -> float:
+    """Expected matches assuming values are uniform within each cell."""
+    if not shared:
+        return 0.0
+    per_left = left_size / max(len(left_sig), 1)
+    per_right = right_size / max(len(right_sig), 1)
+    return len(shared) * per_left * per_right
+
+
+def coarse_join(
+    workload: Workload,
+    left_partitioning: Partitioning,
+    right_partitioning: Partitioning,
+    stats: ExecutionStats,
+    *,
+    divisions: int = DEFAULT_DIVISIONS,
+) -> CoarseJoinResult:
+    """Run the signature-driven coarse join and build the output regions."""
+    output_dims = workload.output_dims
+    functions = [workload.function_for(d) for d in output_dims]
+    conditions = workload.join_conditions
+    # Query bitmask per join condition: which workload queries use it.
+    condition_rql = {
+        c.name: sum(
+            1 << qi
+            for qi, q in enumerate(workload)
+            if q.join_condition.name == c.name
+        )
+        for c in conditions
+    }
+
+    # Pass 1: find contributing pairs and their output bounds.
+    raw: list[dict] = []
+    pruned = 0
+    for left_cell in left_partitioning.leaves:
+        left_lower, left_upper = left_cell.lower_map(), left_cell.upper_map()
+        for right_cell in right_partitioning.leaves:
+            right_lower, right_upper = right_cell.lower_map(), right_cell.upper_map()
+            for condition in conditions:
+                stats.record_coarse_comparisons(1)  # one signature test
+                shared = common_values(
+                    left_cell.signature(condition.name),
+                    right_cell.signature(condition.name),
+                )
+                if not shared:
+                    pruned += 1
+                    continue
+                lower = np.empty(len(output_dims))
+                upper = np.empty(len(output_dims))
+                for k, fn in enumerate(functions):
+                    lo, hi = fn.apply_bounds(
+                        left_lower, left_upper, right_lower, right_upper
+                    )
+                    lower[k], upper[k] = lo, hi
+                raw.append(
+                    {
+                        "left": left_cell,
+                        "right": right_cell,
+                        "condition": condition.name,
+                        "lower": lower,
+                        "upper": upper,
+                        "est": _estimate_join_count(
+                            left_cell.signature(condition.name),
+                            right_cell.signature(condition.name),
+                            shared,
+                            left_cell.size,
+                            right_cell.size,
+                        ),
+                        "rql": condition_rql[condition.name],
+                    }
+                )
+    if not raw:
+        raise ExecutionError(
+            "coarse join produced no output regions: no cell pair satisfies "
+            "any join condition"
+        )
+
+    # Pass 2: size the grid, then materialise regions with coordinate boxes.
+    grid = grid_for_cells(
+        output_dims,
+        [r["lower"] for r in raw],
+        [r["upper"] for r in raw],
+        divisions=divisions,
+    )
+    regions: list[OutputRegion] = []
+    for region_id, r in enumerate(raw):
+        coord_lo, coord_hi = grid.box_of(r["lower"], r["upper"])
+        regions.append(
+            OutputRegion(
+                region_id=region_id,
+                left_cell_id=r["left"].cell_id,
+                right_cell_id=r["right"].cell_id,
+                condition_name=r["condition"],
+                lower=r["lower"],
+                upper=r["upper"],
+                rql=r["rql"],
+                coord_lo=coord_lo,
+                coord_hi=coord_hi,
+                est_join_count=max(r["est"], 1.0),
+                left_size=r["left"].size,
+                right_size=r["right"].size,
+            )
+        )
+    return CoarseJoinResult(regions=regions, grid=grid, pruned_pairs=pruned)
+
+
+__all__ = ["CoarseJoinResult", "coarse_join"]

@@ -1,0 +1,203 @@
+"""Coarse-level skyline evaluation (Section 5.2, MQLA step 2).
+
+Region-level dominance over the min-max cuboid, bottom-up: a region that is
+non-dominated in a child subspace is — by Theorem 1 — non-dominated in the
+parent, so it skips the membership test there (Corollary 1's sharing at the
+region granularity).
+
+Dominance between two regions is only meaningful when they serve a common
+query (Section 5.2).  Because a region's initial lineage is fixed by its
+join condition, candidates at a node partition into equal-lineage groups,
+within which full dominance is transitive — so the non-dominated set equals
+that of a sequential sorted (SFS-style) pass, and we can compute it with
+chunked vectorised matrix tests while *charging* the comparison count the
+sequential pass would have performed (each unseeded candidate compares
+against the surviving regions that precede it in ascending upper-corner
+order; a dominator always precedes its victims in that order).
+
+A region fully dominated at a query's preference subspace can never
+contribute to that query and loses the query from its active lineage; a
+region dominated for *every* query it served is discarded before
+tuple-level processing even starts — MQLA's "avoid redundant work".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.region import OutputRegion
+from repro.core.stats import ExecutionStats
+from repro.plan.minmax_cuboid import MinMaxCuboid
+from repro.query.workload import Workload
+
+#: Row-chunk size for the pairwise dominance tests (bounds peak memory).
+_CHUNK = 512
+
+
+@dataclass
+class CoarseSkylineResult:
+    """Non-dominated region ids per cuboid subspace, plus per-query sets."""
+
+    #: mask -> set of region ids non-dominated over that subspace.
+    nondominated: "dict[int, set[int]]"
+    #: query name -> region ids that can contribute (the paper's REG(Q_j)).
+    reg: "dict[str, set[int]]"
+    #: Region ids discarded for every query they served.
+    discarded: "set[int]"
+
+
+def _dominated_by(
+    upper_dominators: np.ndarray, lower_candidates: np.ndarray
+) -> np.ndarray:
+    """For each candidate, is it fully dominated by any of the dominators?"""
+    flags = np.zeros(len(lower_candidates), dtype=bool)
+    for start in range(0, len(upper_dominators), _CHUNK):
+        u = upper_dominators[start : start + _CHUNK]
+        le = np.all(u[:, None, :] <= lower_candidates[None, :, :], axis=2)
+        lt = np.any(u[:, None, :] < lower_candidates[None, :, :], axis=2)
+        flags |= (le & lt).any(axis=0)
+    return flags
+
+
+def dominated_flags(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """``flags[j]`` true iff some region i fully dominates region j.
+
+    ``lower``/``upper`` are already restricted to the subspace columns.
+    Full dominance is transitive, so testing in two passes is complete:
+    pass 1 kills most regions against the strongest candidates (smallest
+    upper-corner sums); pass 2 resolves the remaining survivors among
+    themselves — any dominator eliminated in pass 1 is itself dominated by
+    a pass-2 participant.
+    """
+    n = len(lower)
+    if n <= 2 * _CHUNK:
+        return _dominated_by(upper, lower)
+    order = np.argsort(upper.sum(axis=1), kind="stable")
+    strongest = order[:_CHUNK]
+    flags = _dominated_by(upper[strongest], lower)
+    flags[strongest] = False  # pass 1 cannot settle the strongest set itself
+    remaining = np.nonzero(~flags)[0]
+    # Pass 1 may mark a "strongest" region's victim whose dominator is later
+    # itself dominated — harmless, flags stay correct by transitivity.  Now
+    # resolve all still-unflagged regions against each other.
+    rem_flags = _dominated_by(upper[remaining], lower[remaining])
+    flags[remaining[rem_flags]] = True
+    # Strongest regions were exempted above only from pass 1; the pass 2 run
+    # covered them (they are all in ``remaining``).
+    return flags
+
+
+def sequential_comparison_count(
+    upper: np.ndarray, survivors: np.ndarray, charged: np.ndarray
+) -> int:
+    """Comparisons a sorted sequential pass would perform.
+
+    Candidates are visited in ascending upper-corner-sum order; each charged
+    candidate compares against the survivors that precede it (its potential
+    dominators all precede it in that order).
+    """
+    order_rank = np.argsort(np.argsort(upper.sum(axis=1), kind="stable"), kind="stable")
+    survivor_ranks = np.sort(order_rank[survivors])
+    preceding = np.searchsorted(survivor_ranks, order_rank[charged], side="left")
+    return int(preceding.sum())
+
+
+def coarse_skyline(
+    workload: Workload,
+    cuboid: MinMaxCuboid,
+    regions: "list[OutputRegion]",
+    stats: ExecutionStats,
+    prunable_queries: "int | None" = None,
+) -> CoarseSkylineResult:
+    """Populate the cuboid with non-dominated regions, bottom-up.
+
+    ``prunable_queries`` masks which workload queries may lose regions to
+    region-level dominance.  Region pruning relies on the dominating
+    region being *guaranteed* to produce a join result for the query
+    (signature intersection); a per-query selection can filter that
+    guaranteed result away, so queries with filters must keep every region
+    and rely on tuple-level processing instead.  ``None`` derives the mask
+    from the workload (queries without filters).
+    """
+    if prunable_queries is None:
+        prunable_queries = 0
+        for qi, query in enumerate(workload):
+            if not query.has_filters:
+                prunable_queries |= 1 << qi
+    output_dims = workload.output_dims
+    table = cuboid.lattice.table
+    nondominated: dict[int, set[int]] = {}
+
+    region_list = [r for r in regions if not r.is_discarded]
+    if region_list:
+        lower_all = np.vstack([r.lower for r in region_list])
+        upper_all = np.vstack([r.upper for r in region_list])
+        rql_all = np.asarray([r.active_rql for r in region_list], dtype=np.int64)
+        ids_all = np.asarray([r.region_id for r in region_list])
+    else:
+        lower_all = upper_all = np.empty((0, len(output_dims)))
+        rql_all = ids_all = np.empty(0, dtype=np.int64)
+
+    for mask in cuboid.masks:
+        node = cuboid.node(mask)
+        positions = [output_dims.index(n) for n in table.names(mask)]
+        member = (rql_all & node.qserve) != 0
+        cand_idx = np.nonzero(member)[0]
+        if len(cand_idx) == 0:
+            nondominated[mask] = set()
+            continue
+        seeded_ids: set[int] = set()
+        for child in node.children:
+            seeded_ids |= nondominated.get(child, set())
+        survivors_here: set[int] = set()
+        # Equal-lineage groups: full dominance is transitive inside each.
+        for rql_value in np.unique(rql_all[cand_idx]):
+            group = cand_idx[rql_all[cand_idx] == rql_value]
+            lo = lower_all[np.ix_(group, positions)]
+            up = upper_all[np.ix_(group, positions)]
+            dominated = dominated_flags(lo, up)
+            group_ids = ids_all[group]
+            seeded_flags = np.asarray([rid in seeded_ids for rid in group_ids])
+            survivor_flags = seeded_flags | ~dominated
+            stats.record_coarse_comparisons(
+                sequential_comparison_count(
+                    up, np.nonzero(survivor_flags)[0], np.nonzero(~seeded_flags)[0]
+                )
+            )
+            survivors_here |= {int(r) for r in group_ids[survivor_flags]}
+        nondominated[mask] = survivors_here
+
+    # Per-query contribution sets and lineage shrinking.
+    reg: dict[str, set[int]] = {}
+    for qi, query in enumerate(workload):
+        mask = cuboid.query_nodes[query.name]
+        survivors = nondominated[mask]
+        prunable = bool((prunable_queries >> qi) & 1)
+        contributing = set()
+        for r in region_list:
+            if not (r.rql & (1 << qi)):
+                continue
+            if r.region_id in survivors or not prunable:
+                contributing.add(r.region_id)
+            else:
+                r.deactivate_query(qi)
+        reg[query.name] = contributing
+
+    discarded = {r.region_id for r in region_list if r.is_discarded}
+    for _ in discarded:
+        stats.record_region_discarded()
+    for mask in nondominated:
+        nondominated[mask] -= discarded
+    for name in reg:
+        reg[name] -= discarded
+    return CoarseSkylineResult(nondominated=nondominated, reg=reg, discarded=discarded)
+
+
+__all__ = [
+    "CoarseSkylineResult",
+    "coarse_skyline",
+    "dominated_flags",
+    "sequential_comparison_count",
+]

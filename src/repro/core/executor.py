@@ -1,0 +1,229 @@
+"""Contract-aware tuple-level execution (Section 6).
+
+Given a region chosen by the optimizer, the executor:
+
+1. **Tuple-level processing** — evaluates the equi-join between the
+   region's input cells (hash join on the shared signature values), applies
+   the workload's mapping functions, and inserts each output tuple into the
+   shared min-max cuboid plan (which counts and charges every skyline
+   comparison);
+2. returns which tuples entered each query's candidate skyline and which
+   earlier candidates were evicted (skyline-over-join is non-monotonic), so
+   the driver can maintain progressive-reporting state;
+3. exposes the produced vectors for the driver's discard step (tuple
+   results dominating whole not-yet-processed regions).
+
+Progressive *reporting* itself (deciding when a candidate is safe to emit)
+lives in the driver (:mod:`repro.core.caqe`) because it needs the global
+set of remaining regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.region import OutputRegion
+from repro.core.stats import ExecutionStats
+from repro.errors import ExecutionError
+from repro.partition.cells import LeafCell
+from repro.plan.shared_plan import WorkloadPlan
+from repro.query.evaluate import apply_functions
+from repro.query.predicates import JoinCondition
+from repro.query.selection import selection_bitmasks
+from repro.query.workload import Workload
+from repro.relation import Relation
+
+
+@dataclass(frozen=True, slots=True)
+class ResultIdentity:
+    """Stable identity of a join result across execution strategies."""
+
+    left_row: int
+    right_row: int
+
+    def as_tuple(self) -> "tuple[int, int]":
+        return (self.left_row, self.right_row)
+
+
+@dataclass
+class JoinResultStore:
+    """All materialised join results of one run, keyed by insertion id."""
+
+    vectors: "dict[int, np.ndarray]" = field(default_factory=dict)
+    identities: "dict[int, ResultIdentity]" = field(default_factory=dict)
+    region_of: "dict[int, int]" = field(default_factory=dict)
+    _next: int = 0
+
+    def add(self, identity: ResultIdentity, vector: np.ndarray, region_id: int) -> int:
+        key = self._next
+        self._next += 1
+        self.vectors[key] = vector
+        self.identities[key] = identity
+        self.region_of[key] = region_id
+        return key
+
+    def vector(self, key: int) -> np.ndarray:
+        return self.vectors[key]
+
+    def identity(self, key: int) -> ResultIdentity:
+        return self.identities[key]
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+
+@dataclass
+class RegionOutcome:
+    """Effects of tuple-level processing of one region."""
+
+    region_id: int
+    inserted_keys: "list[int]" = field(default_factory=list)
+    #: Per query name: keys of this region admitted to the candidate skyline
+    #: and still current once the whole region finished.
+    admitted: "dict[str, list[int]]" = field(default_factory=dict)
+    #: Per query name: previously-current keys evicted by this region.
+    evicted: "dict[str, list[int]]" = field(default_factory=dict)
+    join_count: int = 0
+
+
+def join_cell_pair(
+    left: Relation,
+    right: Relation,
+    left_cell: LeafCell,
+    right_cell: LeafCell,
+    condition: JoinCondition,
+    stats: ExecutionStats,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Hash-join two leaf cells; returns global (left, right) row indices."""
+    left_values = condition.left_values(left)[left_cell.indices]
+    right_values = condition.right_values(right)[right_cell.indices]
+    # Building the hash table scans both cells once.
+    stats.record_join_probes(left_cell.size + right_cell.size)
+    buckets: dict[object, list[int]] = {}
+    for local, value in enumerate(left_values):
+        key = value.item() if hasattr(value, "item") else value
+        buckets.setdefault(key, []).append(local)
+    left_out: list[int] = []
+    right_out: list[int] = []
+    for local_r, value in enumerate(right_values):
+        key = value.item() if hasattr(value, "item") else value
+        for local_l in buckets.get(key, ()):
+            left_out.append(int(left_cell.indices[local_l]))
+            right_out.append(int(right_cell.indices[local_r]))
+    return (
+        np.asarray(left_out, dtype=np.intp),
+        np.asarray(right_out, dtype=np.intp),
+    )
+
+
+class RegionExecutor:
+    """Runs tuple-level processing for scheduled regions."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        left: Relation,
+        right: Relation,
+        plan: WorkloadPlan,
+        store: JoinResultStore,
+        stats: ExecutionStats,
+    ):
+        self.workload = workload
+        self.left = left
+        self.right = right
+        self.plan = plan
+        self.store = store
+        self.stats = stats
+        self._functions = tuple(
+            workload.function_for(d) for d in workload.output_dims
+        )
+        self._conditions = {c.name: c for c in workload.join_conditions}
+        #: query name -> bit position, for lineage masks.
+        self.query_bits = {q.name: i for i, q in enumerate(workload)}
+        # Per-row selection lineage, evaluated once per base table
+        # (Section 6's cell query-lineage at tuple granularity).
+        if any(q.has_filters for q in workload):
+            self._sel_left = selection_bitmasks(workload, left, "left")
+            self._sel_right = selection_bitmasks(workload, right, "right")
+            self.stats.record_join_probes(left.cardinality + right.cardinality)
+        else:
+            self._sel_left = None
+            self._sel_right = None
+
+    def process(
+        self,
+        region: OutputRegion,
+        left_cell: LeafCell,
+        right_cell: LeafCell,
+    ) -> RegionOutcome:
+        """Join, project, and insert one region's tuples into the shared plan."""
+        if region.is_discarded:
+            raise ExecutionError(f"region #{region.region_id} was discarded")
+        self.stats.record_region_processed()
+        condition = self._conditions[region.condition_name]
+        left_idx, right_idx = join_cell_pair(
+            self.left, self.right, left_cell, right_cell, condition, self.stats
+        )
+        # Selection pushdown: drop join pairs that no query's filters accept
+        # before paying materialisation.
+        if self._sel_left is not None and len(left_idx):
+            tuple_masks = (
+                region.active_rql
+                & self._sel_left[left_idx]
+                & self._sel_right[right_idx]
+            )
+            keep = tuple_masks != 0
+            left_idx, right_idx = left_idx[keep], right_idx[keep]
+            tuple_masks = tuple_masks[keep]
+        else:
+            tuple_masks = np.full(len(left_idx), region.active_rql, dtype=np.int64)
+        outcome = RegionOutcome(region_id=region.region_id, join_count=len(left_idx))
+        if len(left_idx) == 0:
+            return outcome
+        self.stats.record_join_results(
+            len(left_idx), mapping_functions=len(self._functions)
+        )
+        matrix = apply_functions(
+            self._functions, self.left, self.right, left_idx, right_idx
+        )
+        admitted_sets: dict[str, set[int]] = {q.name: set() for q in self.workload}
+        evicted_sets: dict[str, set[int]] = {q.name: set() for q in self.workload}
+        # Insert a region's tuples best-first (ascending coordinate sum, the
+        # SFS presort): dominating tuples enter the windows early, so most
+        # later tuples are rejected after very few comparisons and eviction
+        # churn within the region disappears.
+        self.stats.clock.charge_sort(len(matrix))
+        for row in np.argsort(matrix.sum(axis=1), kind="stable").tolist():
+            identity = ResultIdentity(int(left_idx[row]), int(right_idx[row]))
+            key = self.store.add(identity, matrix[row], region.region_id)
+            outcome.inserted_keys.append(key)
+            report = self.plan.insert(key, matrix[row], int(tuple_masks[row]))
+            for name in report.admitted:
+                admitted_sets[name].add(key)
+            for name, evicted_keys in report.evicted.items():
+                for evicted_key in evicted_keys:
+                    if evicted_key in admitted_sets[name]:
+                        admitted_sets[name].discard(evicted_key)
+                    else:
+                        evicted_sets[name].add(evicted_key)
+        # Keep only keys still current after the whole region was absorbed.
+        for query in self.workload:
+            outcome.admitted[query.name] = [
+                k
+                for k in sorted(admitted_sets[query.name])
+                if self.plan.is_candidate(query.name, k)
+            ]
+            outcome.evicted[query.name] = sorted(evicted_sets[query.name])
+        return outcome
+
+
+__all__ = [
+    "JoinResultStore",
+    "RegionExecutor",
+    "RegionOutcome",
+    "ResultIdentity",
+    "join_cell_pair",
+]

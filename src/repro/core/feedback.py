@@ -1,0 +1,42 @@
+"""The satisfaction-based feedback mechanism (Section 6, Equation 11).
+
+After each region's tuple-level processing, each query's run-time
+satisfaction metric ``v(Q_i)`` is compared against the best-satisfied
+query's metric ``v_curr_max``; lagging queries get their CSM weight bumped
+proportionally so the optimizer next favours regions that serve them:
+
+    w'_i = w_i + (v_max - v_i) / sum_j (v_max - v_j)
+
+When every query is equally satisfied the denominator vanishes and weights
+stay unchanged (everyone is on track — Example 20's normalisation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+def update_weights(
+    weights: np.ndarray,
+    satisfactions: np.ndarray,
+) -> np.ndarray:
+    """Equation 11 applied to the whole weight vector at once."""
+    w = np.asarray(weights, dtype=float)
+    v = np.asarray(satisfactions, dtype=float)
+    if w.shape != v.shape:
+        raise ExecutionError(
+            f"weights shape {w.shape} does not match satisfactions {v.shape}"
+        )
+    if len(w) == 0:
+        return w.copy()
+    v_max = float(np.max(v))
+    gaps = v_max - v
+    denom = float(np.sum(gaps))
+    if denom <= 0.0:
+        return w.copy()
+    return w + gaps / denom
+
+
+__all__ = ["update_weights"]

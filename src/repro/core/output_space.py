@@ -1,0 +1,128 @@
+"""The abstract multi-query output space (Section 5).
+
+MQLA evaluates the workload coarsely over a ``d``-dimensional abstraction
+of the *output* of the shared plan, where ``d`` is the total number of
+skyline dimensions used across the workload.  :class:`OutputGrid` is that
+abstraction: a uniform grid over the output-dimension ranges.  Output
+*cells* are grid cells (Table 1's ``O_x``); output *regions* are the
+hyper-rectangles a pair of input cells maps onto, expressed as coordinate
+boxes over the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+#: Default grid resolution per output dimension.
+DEFAULT_DIVISIONS = 8
+
+
+@dataclass(frozen=True)
+class OutputGrid:
+    """Uniform grid over the workload's output dimensions."""
+
+    dims: tuple[str, ...]
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+    divisions: int = DEFAULT_DIVISIONS
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ExecutionError("output grid needs at least one dimension")
+        if not (len(self.dims) == len(self.lows) == len(self.highs)):
+            raise ExecutionError("output grid dims/lows/highs arity mismatch")
+        if self.divisions < 1:
+            raise ExecutionError(f"divisions must be >= 1, got {self.divisions}")
+        for lo, hi in zip(self.lows, self.highs):
+            if lo > hi:
+                raise ExecutionError(f"grid lower bound {lo} exceeds upper bound {hi}")
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.dims)
+
+    def _spans(self) -> np.ndarray:
+        lows = np.asarray(self.lows)
+        highs = np.asarray(self.highs)
+        return np.where(highs > lows, highs - lows, 1.0)
+
+    def coord_of(self, vector: np.ndarray) -> tuple[int, ...]:
+        """Grid coordinate of an output point (clamped into range)."""
+        vec = np.asarray(vector, dtype=float)
+        if len(vec) != self.dimensions:
+            raise ExecutionError(
+                f"point has {len(vec)} dims, grid has {self.dimensions}"
+            )
+        rel = (vec - np.asarray(self.lows)) / self._spans()
+        coords = np.floor(rel * self.divisions).astype(int)
+        coords = np.clip(coords, 0, self.divisions - 1)
+        return tuple(int(c) for c in coords)
+
+    def cell_lower(self, coord: "tuple[int, ...]") -> np.ndarray:
+        self._check_coord(coord)
+        widths = self._spans() / self.divisions
+        return np.asarray(self.lows) + np.asarray(coord) * widths
+
+    def cell_upper(self, coord: "tuple[int, ...]") -> np.ndarray:
+        self._check_coord(coord)
+        widths = self._spans() / self.divisions
+        return np.asarray(self.lows) + (np.asarray(coord) + 1) * widths
+
+    def box_of(
+        self, lower: np.ndarray, upper: np.ndarray
+    ) -> "tuple[tuple[int, ...], tuple[int, ...]]":
+        """Coordinate box (inclusive both ends) covering ``[lower, upper]``."""
+        return (self.coord_of(lower), self.coord_of(upper))
+
+    @staticmethod
+    def box_cell_count(lo: "tuple[int, ...]", hi: "tuple[int, ...]") -> int:
+        count = 1
+        for a, b in zip(lo, hi):
+            if b < a:
+                raise ExecutionError(f"invalid coordinate box: {lo} .. {hi}")
+            count *= b - a + 1
+        return count
+
+    @staticmethod
+    def cells_in_box(
+        lo: "tuple[int, ...]", hi: "tuple[int, ...]"
+    ) -> "Iterator[tuple[int, ...]]":
+        ranges = [range(a, b + 1) for a, b in zip(lo, hi)]
+        return product(*ranges)
+
+    def _check_coord(self, coord: "tuple[int, ...]") -> None:
+        if len(coord) != self.dimensions:
+            raise ExecutionError(
+                f"coordinate {coord} has wrong arity for {self.dimensions}-d grid"
+            )
+        for c in coord:
+            if not 0 <= c < self.divisions:
+                raise ExecutionError(f"coordinate {coord} outside grid")
+
+
+def grid_for_cells(
+    dims: "tuple[str, ...]",
+    lower_bounds: "list[np.ndarray]",
+    upper_bounds: "list[np.ndarray]",
+    divisions: int = DEFAULT_DIVISIONS,
+) -> OutputGrid:
+    """Build the output grid spanning a set of region bounds."""
+    if not lower_bounds:
+        raise ExecutionError("cannot size an output grid with no regions")
+    lows = np.min(np.vstack(lower_bounds), axis=0)
+    highs = np.max(np.vstack(upper_bounds), axis=0)
+    return OutputGrid(
+        dims=tuple(dims),
+        lows=tuple(float(x) for x in lows),
+        highs=tuple(float(x) for x in highs),
+        divisions=divisions,
+    )
+
+
+__all__ = ["DEFAULT_DIVISIONS", "OutputGrid", "grid_for_cells"]

@@ -1,0 +1,160 @@
+"""Output regions and region-level dominance (Section 5.2, Definition 8).
+
+An :class:`OutputRegion` is the image, under the workload's mapping
+functions, of one ``(left cell, right cell, join condition)`` triple — the
+unit of work CAQE's optimizer schedules.  Its *region query lineage*
+(``RQL``, Table 1) starts as the queries whose join signatures intersected
+(Section 5.1) and shrinks as tuple-level results of other regions dominate
+it for individual queries.
+
+Region dominance over a subspace ``V`` (Definition 8) compares bound
+corners:
+
+* ``R_i`` **dominates** ``R_j``  iff ``u_i <=_V l_j`` — every possible
+  point of ``R_i`` dominates every possible point of ``R_j``;
+* ``R_i`` **partially dominates** ``R_j`` iff some point of ``R_i`` *could*
+  dominate some point of ``R_j`` (``l_i <=_V u_j`` with a strict dimension)
+  — the condition under which the dependency graph draws an edge;
+* otherwise the regions are incomparable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+class RegionDominance(enum.Enum):
+    DOMINATES = "dominates"
+    PARTIAL = "partial"
+    INCOMPARABLE = "incomparable"
+
+
+@dataclass
+class OutputRegion:
+    """One schedulable unit of tuple-level work."""
+
+    region_id: int
+    left_cell_id: int
+    right_cell_id: int
+    condition_name: str
+    #: Output-space bounds over the grid's dimensions (full output space).
+    lower: np.ndarray
+    upper: np.ndarray
+    #: Query-lineage bitmask at creation time (bit i = workload query i).
+    rql: int
+    #: Coordinate box on the output grid (inclusive).
+    coord_lo: tuple[int, ...]
+    coord_hi: tuple[int, ...]
+    #: Estimated number of join results this region will materialise.
+    est_join_count: float
+    #: Sizes of the contributing input cells (for Equation 9).
+    left_size: int = 0
+    right_size: int = 0
+    #: Queries the region can still contribute to (shrinks at run time).
+    active_rql: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.lower = np.asarray(self.lower, dtype=float)
+        self.upper = np.asarray(self.upper, dtype=float)
+        if self.lower.shape != self.upper.shape:
+            raise ExecutionError("region bound arity mismatch")
+        if np.any(self.lower > self.upper):
+            raise ExecutionError(
+                f"region #{self.region_id}: lower bound exceeds upper bound"
+            )
+        if self.rql == 0:
+            raise ExecutionError(f"region #{self.region_id} serves no query")
+        if self.active_rql == 0:
+            self.active_rql = self.rql
+
+    @property
+    def cell_count(self) -> int:
+        count = 1
+        for a, b in zip(self.coord_lo, self.coord_hi):
+            count *= b - a + 1
+        return count
+
+    def serves(self, query_bit: int) -> bool:
+        return bool(self.active_rql & (1 << query_bit))
+
+    def deactivate_query(self, query_bit: int) -> None:
+        self.active_rql &= ~(1 << query_bit)
+
+    @property
+    def is_discarded(self) -> bool:
+        return self.active_rql == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"OutputRegion(#{self.region_id}, cells=({self.left_cell_id},"
+            f"{self.right_cell_id}), jc={self.condition_name}, "
+            f"rql={self.active_rql:#x})"
+        )
+
+
+def region_dominance(
+    r_i: OutputRegion,
+    r_j: OutputRegion,
+    positions: "Sequence[int]",
+) -> RegionDominance:
+    """Definition 8 over the subspace given by column ``positions``."""
+    pos = list(positions)
+    ui = r_i.upper[pos]
+    lj = r_j.lower[pos]
+    if np.all(ui <= lj) and np.any(ui < lj):
+        return RegionDominance.DOMINATES
+    li = r_i.lower[pos]
+    uj = r_j.upper[pos]
+    if np.all(li <= uj) and np.any(li < uj):
+        return RegionDominance.PARTIAL
+    return RegionDominance.INCOMPARABLE
+
+
+def point_dominates_region(
+    point: np.ndarray,
+    region: OutputRegion,
+    positions: "Sequence[int]",
+) -> bool:
+    """True iff ``point`` dominates *every* possible point of ``region``.
+
+    Used when tuple-level results discard not-yet-processed regions: a
+    confirmed result at or below the region's lower corner makes the whole
+    region unable to contribute.
+    """
+    pos = list(positions)
+    vec = np.asarray(point, dtype=float)[pos]
+    lo = region.lower[pos]
+    return bool(np.all(vec <= lo) and np.any(vec < lo))
+
+
+def point_could_be_dominated_by_region(
+    point: np.ndarray,
+    region: OutputRegion,
+    positions: "Sequence[int]",
+) -> bool:
+    """True iff some future tuple of ``region`` could dominate ``point``.
+
+    The progressive-reporting safety test (Section 6): a candidate result
+    may only be emitted once no remaining region can produce a dominating
+    tuple.  Future tuples of the region lie inside its bounds, and the most
+    dominating one is the lower corner.
+    """
+    pos = list(positions)
+    vec = np.asarray(point, dtype=float)[pos]
+    lo = region.lower[pos]
+    return bool(np.all(lo <= vec) and np.any(lo < vec))
+
+
+__all__ = [
+    "OutputRegion",
+    "RegionDominance",
+    "point_could_be_dominated_by_region",
+    "point_dominates_region",
+    "region_dominance",
+]

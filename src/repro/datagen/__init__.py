@@ -1,0 +1,21 @@
+"""Seeded synthetic dataset generators (benchmark and domain data)."""
+
+from repro.datagen.distributions import (
+    DISTRIBUTIONS,
+    anticorrelated,
+    correlated,
+    generate,
+    independent,
+)
+from repro.datagen.tables import TablePair, generate_pair, generate_table
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "TablePair",
+    "anticorrelated",
+    "correlated",
+    "generate",
+    "generate_pair",
+    "generate_table",
+    "independent",
+]

@@ -1,0 +1,219 @@
+"""Synthetic domain datasets for the motivating applications.
+
+The paper motivates CAQE with three applications (Section 1.1): a travel
+aggregator joining Hotels with Tours, a supply-chain application joining
+Retailers with Transporters (Example 14), and a stock-ticker workload.  The
+paper's authors used proprietary aggregator feeds; we substitute seeded
+synthetic generators that produce relations with the same shapes (see
+DESIGN.md §2), which is sufficient because every experiment in the paper
+measures algorithmic behaviour, not data provenance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relation import Attribute, Relation, Role, Schema
+from repro.rng import ensure_rng, spawn
+
+CITIES = (
+    "Paris", "London", "Rome", "Athens", "Berlin", "Madrid",
+    "Vienna", "Prague", "Lisbon", "Amsterdam",
+)
+
+COUNTRIES = (
+    "Brazil", "China", "Mexico", "Germany", "India", "USA",
+    "Japan", "France", "Italy", "Canada",
+)
+
+PARTS = (
+    "Tires", "Iron Ore", "Brass Sheets", "Dairy Products", "Medical Supplies",
+    "Textiles", "Circuit Boards", "Timber", "Solar Panels", "Glassware",
+)
+
+TICKERS = (
+    "ACME", "GLOBX", "INIT", "HOOLI", "UMBRL", "STARK",
+    "WAYNE", "TYREL", "CYBR", "NAKA",
+)
+
+HOTEL_SCHEMA = Schema(
+    [
+        Attribute("hotel_id", Role.PAYLOAD),
+        Attribute("city", Role.JOIN),
+        Attribute("price", Role.MEASURE),
+        Attribute("neg_rating", Role.MEASURE),   # 5 - rating: smaller is better
+        Attribute("distance", Role.MEASURE),
+        Attribute("wifi_fee", Role.MEASURE),
+    ]
+)
+
+TOUR_SCHEMA = Schema(
+    [
+        Attribute("tour_id", Role.PAYLOAD),
+        Attribute("city", Role.JOIN),
+        Attribute("tour_price", Role.MEASURE),
+        Attribute("neg_sights", Role.MEASURE),   # 50 - #sights: smaller is better
+        Attribute("duration", Role.MEASURE),
+        Attribute("transfer_dist", Role.MEASURE),
+    ]
+)
+
+RETAILER_SCHEMA = Schema(
+    [
+        Attribute("retailer_id", Role.PAYLOAD),
+        Attribute("country", Role.JOIN),
+        Attribute("part", Role.JOIN),
+        Attribute("unit_cost", Role.MEASURE),
+        Attribute("lead_time", Role.MEASURE),
+        Attribute("defect_rate", Role.MEASURE),
+    ]
+)
+
+TRANSPORTER_SCHEMA = Schema(
+    [
+        Attribute("transporter_id", Role.PAYLOAD),
+        Attribute("country", Role.JOIN),
+        Attribute("part", Role.JOIN),
+        Attribute("freight_cost", Role.MEASURE),
+        Attribute("transit_time", Role.MEASURE),
+        Attribute("loss_rate", Role.MEASURE),
+    ]
+)
+
+QUOTE_SCHEMA = Schema(
+    [
+        Attribute("quote_id", Role.PAYLOAD),
+        Attribute("ticker", Role.JOIN),
+        Attribute("price", Role.MEASURE),
+        Attribute("volatility", Role.MEASURE),
+        Attribute("spread", Role.MEASURE),
+    ]
+)
+
+SENTIMENT_SCHEMA = Schema(
+    [
+        Attribute("post_id", Role.PAYLOAD),
+        Attribute("ticker", Role.JOIN),
+        Attribute("neg_sentiment", Role.MEASURE),  # smaller = more positive
+        Attribute("staleness", Role.MEASURE),
+        Attribute("source_risk", Role.MEASURE),
+    ]
+)
+
+
+def _choice_codes(rng: np.random.Generator, values: tuple[str, ...], n: int) -> np.ndarray:
+    return rng.integers(0, len(values), size=n)
+
+
+def hotels(n: int = 500, *, seed=None) -> Relation:
+    """Hotels table (Examples 2–5): city-keyed rows with price/rating/distance/WiFi."""
+    rng = ensure_rng(seed)
+    streams = spawn(rng, 5)
+    return Relation(
+        "Hotels",
+        HOTEL_SCHEMA,
+        {
+            "hotel_id": np.arange(n),
+            "city": _choice_codes(streams[0], CITIES, n),
+            "price": 50.0 + streams[1].random(n) * 450.0,
+            "neg_rating": 5.0 - streams[2].integers(1, 6, size=n).astype(float),
+            "distance": streams[3].random(n) * 15.0,
+            "wifi_fee": streams[4].integers(0, 5, size=n) * 5.0,
+        },
+    )
+
+
+def tours(n: int = 500, *, seed=None) -> Relation:
+    """Tours table joined to Hotels by city (travel-planner workload)."""
+    rng = ensure_rng(seed)
+    streams = spawn(rng, 5)
+    return Relation(
+        "Tours",
+        TOUR_SCHEMA,
+        {
+            "tour_id": np.arange(n),
+            "city": _choice_codes(streams[0], CITIES, n),
+            "tour_price": 20.0 + streams[1].random(n) * 280.0,
+            "neg_sights": 50.0 - streams[2].integers(1, 31, size=n).astype(float),
+            "duration": streams[3].integers(1, 11, size=n).astype(float),
+            "transfer_dist": streams[4].random(n) * 20.0,
+        },
+    )
+
+
+def retailers(n: int = 500, *, seed=None) -> Relation:
+    """Retailers table of the supply-chain application (Example 14)."""
+    rng = ensure_rng(seed)
+    streams = spawn(rng, 5)
+    return Relation(
+        "Retailers",
+        RETAILER_SCHEMA,
+        {
+            "retailer_id": np.arange(n),
+            "country": _choice_codes(streams[0], COUNTRIES, n),
+            "part": _choice_codes(streams[1], PARTS, n),
+            "unit_cost": 1.0 + streams[2].random(n) * 99.0,
+            "lead_time": 1.0 + streams[3].random(n) * 59.0,
+            "defect_rate": streams[4].random(n) * 10.0,
+        },
+    )
+
+
+def transporters(n: int = 500, *, seed=None) -> Relation:
+    """Transporters table of the supply-chain application (Example 14)."""
+    rng = ensure_rng(seed)
+    streams = spawn(rng, 5)
+    return Relation(
+        "Transporters",
+        TRANSPORTER_SCHEMA,
+        {
+            "transporter_id": np.arange(n),
+            "country": _choice_codes(streams[0], COUNTRIES, n),
+            "part": _choice_codes(streams[1], PARTS, n),
+            "freight_cost": 1.0 + streams[2].random(n) * 49.0,
+            "transit_time": 1.0 + streams[3].random(n) * 29.0,
+            "loss_rate": streams[4].random(n) * 5.0,
+        },
+    )
+
+
+def quotes(n: int = 500, *, seed=None) -> Relation:
+    """Real-time stock quotes (Example 1)."""
+    rng = ensure_rng(seed)
+    streams = spawn(rng, 4)
+    return Relation(
+        "Quotes",
+        QUOTE_SCHEMA,
+        {
+            "quote_id": np.arange(n),
+            "ticker": _choice_codes(streams[0], TICKERS, n),
+            "price": 5.0 + streams[1].random(n) * 995.0,
+            "volatility": streams[2].random(n) * 100.0,
+            "spread": streams[3].random(n) * 10.0,
+        },
+    )
+
+
+def sentiment(n: int = 500, *, seed=None) -> Relation:
+    """Aggregated news / blog / social sentiment per ticker (Example 1)."""
+    rng = ensure_rng(seed)
+    streams = spawn(rng, 4)
+    return Relation(
+        "Sentiment",
+        SENTIMENT_SCHEMA,
+        {
+            "post_id": np.arange(n),
+            "ticker": _choice_codes(streams[0], TICKERS, n),
+            "neg_sentiment": streams[1].random(n) * 100.0,
+            "staleness": streams[2].random(n) * 48.0,
+            "source_risk": streams[3].random(n) * 10.0,
+        },
+    )
+
+
+__all__ = [
+    "CITIES", "COUNTRIES", "PARTS", "TICKERS",
+    "HOTEL_SCHEMA", "TOUR_SCHEMA", "RETAILER_SCHEMA", "TRANSPORTER_SCHEMA",
+    "QUOTE_SCHEMA", "SENTIMENT_SCHEMA",
+    "hotels", "tours", "retailers", "transporters", "quotes", "sentiment",
+]

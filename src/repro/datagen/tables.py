@@ -1,0 +1,137 @@
+"""Benchmark table-pair generation.
+
+The paper's experiments join two tables ``R`` and ``T`` (``|R| = |T| = N``)
+whose measure attributes follow one of the three skyline benchmark
+distributions, and control the equi-join selectivity sigma in
+``[1e-4, 1e-1]``.  For an equi-join over a uniformly distributed integer
+attribute with domain size ``D`` on both sides, the expected selectivity is
+``1 / D``; :func:`join_domain_size` inverts that relationship.
+
+Each generated table carries:
+
+* ``m1 .. m<dims>``   — measure columns feeding the workload's output
+  dimensions (the mapping functions in :mod:`repro.query.mapping` combine
+  ``R.mi`` with ``T.mi`` to produce output dimension ``d_i``);
+* ``jc1 .. jc<joins>`` — integer join columns, one per join condition in the
+  workload (Figure 1 uses two, ``JC1`` and ``JC2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.distributions import VALUE_HIGH, VALUE_LOW, generate
+from repro.errors import ReproError
+from repro.relation import Attribute, Relation, Role, Schema
+from repro.rng import ensure_rng, spawn
+
+
+def join_domain_size(selectivity: float) -> int:
+    """Domain size giving an expected equi-join selectivity of ``selectivity``."""
+    if not 0.0 < selectivity <= 1.0:
+        raise ReproError(f"selectivity must be in (0, 1], got {selectivity}")
+    return max(1, round(1.0 / selectivity))
+
+
+def measure_names(dims: int) -> tuple[str, ...]:
+    return tuple(f"m{i + 1}" for i in range(dims))
+
+
+def join_names(joins: int) -> tuple[str, ...]:
+    return tuple(f"jc{i + 1}" for i in range(joins))
+
+
+def table_schema(dims: int, joins: int) -> Schema:
+    """Schema shared by both benchmark tables."""
+    attributes = [Attribute(n, Role.MEASURE) for n in measure_names(dims)]
+    attributes += [Attribute(n, Role.JOIN) for n in join_names(joins)]
+    return Schema(attributes)
+
+
+@dataclass(frozen=True, slots=True)
+class TablePair:
+    """A generated ``(R, T)`` benchmark pair plus its generation parameters."""
+
+    left: Relation
+    right: Relation
+    distribution: str
+    selectivity: float
+    dims: int
+    joins: int
+    seed: int | None = field(default=None)
+
+    @property
+    def cardinality(self) -> int:
+        return self.left.cardinality
+
+
+def generate_table(
+    name: str,
+    distribution: str,
+    cardinality: int,
+    dims: int,
+    *,
+    joins: int = 2,
+    selectivity: float = 1e-2,
+    low: float = VALUE_LOW,
+    high: float = VALUE_HIGH,
+    seed=None,
+) -> Relation:
+    """Generate a single benchmark table."""
+    rng = ensure_rng(seed)
+    measure_rng, join_rng = spawn(rng, 2)
+    measures = generate(distribution, cardinality, dims, low=low, high=high, seed=measure_rng)
+    domain = join_domain_size(selectivity)
+    columns: dict[str, np.ndarray] = {
+        n: measures[:, i] for i, n in enumerate(measure_names(dims))
+    }
+    join_streams = spawn(join_rng, max(joins, 1))
+    for i, n in enumerate(join_names(joins)):
+        columns[n] = join_streams[i].integers(0, domain, size=cardinality)
+    return Relation(name, table_schema(dims, joins), columns)
+
+
+def generate_pair(
+    distribution: str,
+    cardinality: int,
+    dims: int,
+    *,
+    joins: int = 2,
+    selectivity: float = 1e-2,
+    low: float = VALUE_LOW,
+    high: float = VALUE_HIGH,
+    seed=None,
+) -> TablePair:
+    """Generate the paper's ``(R, T)`` pair with ``|R| = |T| = cardinality``."""
+    rng = ensure_rng(seed)
+    left_rng, right_rng = spawn(rng, 2)
+    left = generate_table(
+        "R", distribution, cardinality, dims,
+        joins=joins, selectivity=selectivity, low=low, high=high, seed=left_rng,
+    )
+    right = generate_table(
+        "T", distribution, cardinality, dims,
+        joins=joins, selectivity=selectivity, low=low, high=high, seed=right_rng,
+    )
+    return TablePair(
+        left=left,
+        right=right,
+        distribution=distribution,
+        selectivity=selectivity,
+        dims=dims,
+        joins=joins,
+        seed=seed if isinstance(seed, int) else None,
+    )
+
+
+__all__ = [
+    "TablePair",
+    "generate_pair",
+    "generate_table",
+    "join_domain_size",
+    "join_names",
+    "measure_names",
+    "table_schema",
+]

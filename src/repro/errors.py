@@ -1,0 +1,40 @@
+"""Exception hierarchy for the CAQE reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute, or schema was used inconsistently."""
+
+
+class QueryError(ReproError):
+    """A query, workload, or operator specification is invalid."""
+
+
+class ContractError(ReproError):
+    """A contract specification or utility function is invalid."""
+
+
+class PartitionError(ReproError):
+    """Input partitioning (quad-tree / leaf cells) failed or was misused."""
+
+
+class PlanError(ReproError):
+    """Shared-plan (subspace lattice / min-max cuboid) construction failed."""
+
+
+class ExecutionError(ReproError):
+    """The optimizer or executor reached an inconsistent runtime state."""
+
+
+class BenchmarkError(ReproError):
+    """An experiment configuration is invalid or a harness step failed."""

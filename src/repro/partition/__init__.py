@@ -1,0 +1,32 @@
+"""Input-space partitioning: hyper-rectangles, quad-trees, leaf cells, signatures."""
+
+from repro.partition.bounds import HyperRect
+from repro.partition.cells import LeafCell, make_leaf
+from repro.partition.quadtree import (
+    DEFAULT_CAPACITY,
+    Partitioning,
+    QuadTreeNode,
+    grid_partition,
+    quadtree_partition,
+)
+from repro.partition.signatures import (
+    common_values,
+    signature_of,
+    signatures_for_side,
+    signatures_intersect,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "HyperRect",
+    "LeafCell",
+    "Partitioning",
+    "QuadTreeNode",
+    "common_values",
+    "grid_partition",
+    "make_leaf",
+    "quadtree_partition",
+    "signature_of",
+    "signatures_for_side",
+    "signatures_intersect",
+]

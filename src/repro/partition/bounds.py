@@ -1,0 +1,92 @@
+"""Axis-aligned hyper-rectangles.
+
+Used for quad-tree cells over the input space and for output regions /
+output cells in the multi-query output space (Table 1's ``L(l, u)`` and
+``R(l, u)`` notation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class HyperRect:
+    """Closed axis-aligned box ``[lower, upper]`` in ``d`` dimensions."""
+
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise PartitionError(
+                f"bound arity mismatch: {len(self.lower)} vs {len(self.upper)}"
+            )
+        if not self.lower:
+            raise PartitionError("hyper-rectangle needs at least one dimension")
+        for lo, hi in zip(self.lower, self.upper):
+            if lo > hi:
+                raise PartitionError(f"lower bound {lo} exceeds upper bound {hi}")
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "HyperRect":
+        """Tightest box around a non-empty ``(n, d)`` point matrix."""
+        matrix = np.asarray(points, dtype=float)
+        if matrix.ndim != 2 or len(matrix) == 0:
+            raise PartitionError(f"need a non-empty 2-d matrix, got shape {matrix.shape}")
+        return cls(tuple(matrix.min(axis=0)), tuple(matrix.max(axis=0)))
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.lower)
+
+    @property
+    def center(self) -> tuple[float, ...]:
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.lower, self.upper))
+
+    def contains(self, point) -> bool:
+        vec = np.asarray(point, dtype=float)
+        return bool(
+            np.all(vec >= np.asarray(self.lower)) and np.all(vec <= np.asarray(self.upper))
+        )
+
+    def intersects(self, other: "HyperRect") -> bool:
+        for lo_a, hi_a, lo_b, hi_b in zip(self.lower, self.upper, other.lower, other.upper):
+            if hi_a < lo_b or hi_b < lo_a:
+                return False
+        return True
+
+    def volume(self) -> float:
+        sides = [hi - lo for lo, hi in zip(self.lower, self.upper)]
+        return float(np.prod(sides)) if sides else 0.0
+
+    def split_midpoint(self) -> "list[HyperRect]":
+        """All ``2^d`` quadrants around the midpoint (quad-tree split)."""
+        mid = self.center
+        quadrants: list[HyperRect] = []
+        d = self.dimensions
+        for code in range(2 ** d):
+            lower = []
+            upper = []
+            for axis in range(d):
+                if (code >> axis) & 1:
+                    lower.append(mid[axis])
+                    upper.append(self.upper[axis])
+                else:
+                    lower.append(self.lower[axis])
+                    upper.append(mid[axis])
+            quadrants.append(HyperRect(tuple(lower), tuple(upper)))
+        return quadrants
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"[{lo:g},{hi:g}]" for lo, hi in zip(self.lower, self.upper)
+        )
+        return f"HyperRect({pairs})"
+
+
+__all__ = ["HyperRect"]

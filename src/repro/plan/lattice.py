@@ -1,0 +1,80 @@
+"""The full subspace lattice (the skycube of Figure 5, as a plan object).
+
+Enumerates every non-empty subspace of the workload's skyline dimensions
+with the set of queries each serves (Definition 6's ``Q_Serve``).  The
+min-max cuboid (Figure 6) is the pruned version built on top of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.plan.subspace import SubspaceTable
+from repro.query.workload import Workload
+
+
+@dataclass(frozen=True)
+class LatticeNode:
+    """One subspace with the queries it serves."""
+
+    mask: int
+    level: int                 # |U| - 1, matching the paper's level numbering
+    #: Bitmask over workload query positions: bit i set iff this subspace
+    #: serves workload.queries[i] (Definition 6: U subset-of P_i).
+    qserve: int
+
+    def serves_count(self) -> int:
+        return self.qserve.bit_count()
+
+
+class SubspaceLattice:
+    """All ``2^d - 1`` subspaces of a workload's skyline dimensions."""
+
+    def __init__(self, workload: Workload):
+        dims = workload.skyline_dims
+        if not dims:
+            raise PlanError("workload has no skyline dimensions")
+        self.workload = workload
+        self.table = SubspaceTable(dims)
+        self.query_masks: tuple[int, ...] = tuple(
+            self.table.mask(q.preference.dims) for q in workload
+        )
+        nodes: dict[int, LatticeNode] = {}
+        for mask in range(1, self.table.full_mask + 1):
+            qserve = 0
+            for qi, pref_mask in enumerate(self.query_masks):
+                if (mask & pref_mask) == mask:
+                    qserve |= 1 << qi
+            nodes[mask] = LatticeNode(
+                mask=mask, level=mask.bit_count() - 1, qserve=qserve
+            )
+        self._nodes = nodes
+
+    def node(self, mask: int) -> LatticeNode:
+        try:
+            return self._nodes[mask]
+        except KeyError:
+            raise PlanError(f"no lattice node for mask {mask:#x}") from None
+
+    def qserve(self, mask: int) -> int:
+        return self.node(mask).qserve
+
+    def serving_queries(self, mask: int) -> "tuple[str, ...]":
+        qserve = self.qserve(mask)
+        return tuple(
+            q.name for qi, q in enumerate(self.workload) if (qserve >> qi) & 1
+        )
+
+    @property
+    def masks(self) -> "list[int]":
+        return sorted(self._nodes, key=lambda m: (m.bit_count(), m))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return (self._nodes[m] for m in self.masks)
+
+
+__all__ = ["LatticeNode", "SubspaceLattice"]

@@ -1,0 +1,152 @@
+"""The shared min-max cuboid plan (Section 4.1, Definition 7, Figure 6).
+
+Of the ``2^d - 1`` subspaces in the full skycube, the cuboid keeps only
+those that earn their place.  A subspace ``U`` (serving at least one query)
+is kept iff one of Definition 7's conditions holds:
+
+1. ``|U| = 1`` or ``U`` serves more than one query;
+2. no strict superset ``V`` exists with ``Q_Serve(U) subset-of Q_Serve(V)``
+   (``U`` is maximal for the queries it serves);
+3. ``U`` is the full skyline-dimension set of some workload query.
+
+For the Figure 1 workload this yields exactly Figure 6's three levels:
+all four singletons, ``{d1,d2}`` and ``{d2,d3}``, and the two 3-d query
+spaces — the minimal subspace set that still maximises sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.plan.lattice import SubspaceLattice
+from repro.query.workload import Workload
+
+
+@dataclass(frozen=True)
+class CuboidNode:
+    """One retained subspace with its plan-internal wiring."""
+
+    mask: int
+    level: int
+    qserve: int
+    #: Masks of this node's cuboid children: retained strict subsets with no
+    #: retained subspace strictly between them and this node.  Child results
+    #: seed this node's skyline evaluation (Theorem 1 / Corollary 1).
+    children: tuple[int, ...]
+    #: Which Definition 7 conditions admitted this node (for explainability).
+    reasons: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MinMaxCuboid:
+    """The pruned subspace lattice CAQE evaluates skylines over."""
+
+    workload: Workload
+    lattice: SubspaceLattice
+    nodes: "dict[int, CuboidNode]" = field(repr=False)
+    #: Mask of each query's full preference subspace, by query name.
+    query_nodes: "dict[str, int]"
+
+    @property
+    def masks(self) -> "list[int]":
+        """All retained masks in bottom-up evaluation order."""
+        return sorted(self.nodes, key=lambda m: (m.bit_count(), m))
+
+    @property
+    def levels(self) -> "dict[int, list[int]]":
+        """Masks grouped by the paper's level numbering (|U| - 1)."""
+        out: dict[int, list[int]] = {}
+        for mask in self.masks:
+            out.setdefault(mask.bit_count() - 1, []).append(mask)
+        return out
+
+    def node(self, mask: int) -> CuboidNode:
+        try:
+            return self.nodes[mask]
+        except KeyError:
+            raise PlanError(f"subspace mask {mask:#x} is not in the min-max cuboid") from None
+
+    def node_for_query(self, query_name: str) -> CuboidNode:
+        return self.node(self.query_nodes[query_name])
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        """Figure 6-style textual rendering, one level per line."""
+        table = self.lattice.table
+        lines = []
+        for level, masks in sorted(self.levels.items()):
+            rendered = "  ".join(table.label(m) for m in masks)
+            lines.append(f"level {level}: {rendered}")
+        return "\n".join(lines)
+
+
+def build_minmax_cuboid(workload: Workload) -> MinMaxCuboid:
+    """Apply Definition 7 to the workload's full subspace lattice."""
+    lattice = SubspaceLattice(workload)
+    table = lattice.table
+    query_masks = lattice.query_masks
+    query_mask_set = set(query_masks)
+
+    retained: dict[int, tuple[int, ...]] = {}
+    for mask in lattice.masks:
+        node = lattice.node(mask)
+        if node.qserve == 0:
+            continue
+        reasons: list[int] = []
+        if table.size(mask) == 1 or node.serves_count() > 1:
+            reasons.append(1)
+        has_absorbing_superset = any(
+            other != mask
+            and table.is_subset(mask, other)
+            and (node.qserve & lattice.qserve(other)) == node.qserve
+            for other in lattice.masks
+            if lattice.qserve(other) != 0
+        )
+        if not has_absorbing_superset:
+            reasons.append(2)
+        if mask in query_mask_set:
+            reasons.append(3)
+        if reasons:
+            retained[mask] = tuple(reasons)
+
+    # Wire children: for each retained node, the retained strict subsets not
+    # themselves below another retained strict subset of this node.
+    masks_sorted = sorted(retained, key=lambda m: (m.bit_count(), m))
+    nodes: dict[int, CuboidNode] = {}
+    for mask in masks_sorted:
+        subsets = [
+            m for m in masks_sorted if m != mask and table.is_subset(m, mask)
+        ]
+        maximal = [
+            m
+            for m in subsets
+            if not any(
+                other != m and table.is_subset(m, other) for other in subsets
+            )
+        ]
+        nodes[mask] = CuboidNode(
+            mask=mask,
+            level=mask.bit_count() - 1,
+            qserve=lattice.qserve(mask),
+            children=tuple(sorted(maximal)),
+            reasons=retained[mask],
+        )
+
+    query_nodes = {
+        query.name: query_masks[qi] for qi, query in enumerate(workload)
+    }
+    for name, mask in query_nodes.items():
+        if mask not in nodes:
+            raise PlanError(
+                f"internal error: query {name!r}'s preference subspace missing "
+                "from the cuboid (Definition 7 condition 3 guarantees it)"
+            )
+    return MinMaxCuboid(
+        workload=workload, lattice=lattice, nodes=nodes, query_nodes=query_nodes
+    )
+
+
+__all__ = ["CuboidNode", "MinMaxCuboid", "build_minmax_cuboid"]

@@ -1,0 +1,82 @@
+"""Workload sharing introspection.
+
+Quantifies how much execution sharing a workload admits before running
+anything: which queries overlap in which subspaces, how much the min-max
+cuboid shrinks the full skycube, and how tuple-level state will be grouped.
+Used by examples and handy when designing workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan.lattice import SubspaceLattice
+from repro.plan.minmax_cuboid import build_minmax_cuboid
+from repro.query.workload import Workload
+
+
+@dataclass(frozen=True)
+class SharingReport:
+    """Static sharing characteristics of one workload."""
+
+    query_count: int
+    skyline_dimensions: int
+    #: Subspaces in the full lattice (2^d - 1).
+    lattice_size: int
+    #: Subspaces the min-max cuboid retains.
+    cuboid_size: int
+    #: Subspaces serving two or more queries — where comparison sharing pays.
+    shared_subspaces: int
+    #: (query, query) pairs with at least one common skyline dimension.
+    overlapping_pairs: int
+    #: Tuple-level plan groups (distinct (join condition, selections)).
+    plan_groups: int
+
+    @property
+    def cuboid_reduction(self) -> float:
+        """Fraction of the lattice the cuboid prunes away."""
+        if self.lattice_size == 0:
+            return 0.0
+        return 1.0 - self.cuboid_size / self.lattice_size
+
+    def describe(self) -> str:
+        lines = [
+            f"queries: {self.query_count} over {self.skyline_dimensions} skyline dims",
+            f"subspace lattice: {self.lattice_size}; min-max cuboid: "
+            f"{self.cuboid_size} ({self.cuboid_reduction:.0%} pruned)",
+            f"subspaces serving >= 2 queries: {self.shared_subspaces}",
+            f"query pairs with overlapping dims: {self.overlapping_pairs}",
+            f"tuple-level plan groups: {self.plan_groups}",
+        ]
+        return "\n".join(lines)
+
+
+def sharing_report(workload: Workload) -> SharingReport:
+    """Analyse the sharing structure of ``workload``."""
+    lattice = SubspaceLattice(workload)
+    cuboid = build_minmax_cuboid(workload)
+    shared = sum(
+        1 for node in lattice if node.serves_count() >= 2
+    )
+    queries = list(workload)
+    overlapping = sum(
+        1
+        for i in range(len(queries))
+        for j in range(i + 1, len(queries))
+        if set(queries[i].preference.dims) & set(queries[j].preference.dims)
+    )
+    groups = {
+        (q.join_condition.name, q.left_filters, q.right_filters) for q in queries
+    }
+    return SharingReport(
+        query_count=len(workload),
+        skyline_dimensions=lattice.table.dimensions,
+        lattice_size=len(lattice),
+        cuboid_size=len(cuboid),
+        shared_subspaces=shared,
+        overlapping_pairs=overlapping,
+        plan_groups=len(groups),
+    )
+
+
+__all__ = ["SharingReport", "sharing_report"]

@@ -1,0 +1,269 @@
+"""Tuple-level shared skyline evaluation over the min-max cuboid.
+
+A :class:`SharedCuboidPlan` holds one incremental skyline window per cuboid
+subspace.  Inserting a (join-result) tuple walks the cuboid bottom-up:
+
+* level-0 and unseeded nodes run a normal window insert;
+* a node whose *child* subspace already admitted the tuple uses the
+  Theorem 1 / Corollary 1 shortcut: under the DVA property the tuple is
+  guaranteed to be in the parent skyline too, so the membership half of the
+  scan is skipped and only evictions are checked.
+
+This is exactly where the comparison sharing of Section 4.1 happens: a
+dominance comparison along the shared dimensions is performed once at the
+shared child instead of once per query; the saved work shows up directly in
+the Figure 10b metric.
+
+Each query ``Q_i`` reads its current candidate skyline from the window of
+its full preference subspace ``P_i`` (a cuboid node by Definition 7,
+condition 3).  Because skyline-over-join is non-monotonic, evictions are
+reported so executors know which earlier candidates became invalid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.plan.minmax_cuboid import MinMaxCuboid
+from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.window import SkylineWindow
+
+
+@dataclass
+class InsertReport:
+    """What one tuple insert did across the cuboid."""
+
+    key: Hashable
+    #: Cuboid masks whose skyline admitted the tuple.
+    admitted_masks: "set[int]" = field(default_factory=set)
+    #: Keys evicted from each mask's window by this insert.
+    evicted_by_mask: "dict[int, list[Hashable]]" = field(default_factory=dict)
+
+    def admitted_for(self, mask: int) -> bool:
+        return mask in self.admitted_masks
+
+
+class SharedCuboidPlan:
+    """Shared multi-query skyline state for one workload."""
+
+    def __init__(
+        self,
+        cuboid: MinMaxCuboid,
+        attribute_order: "Sequence[str]",
+        counter: "ComparisonCounter | None" = None,
+        *,
+        assume_dva: bool = True,
+    ):
+        self.cuboid = cuboid
+        self.attribute_order = tuple(attribute_order)
+        self.counter = counter
+        #: When False the Theorem 1 shortcut is disabled and every node runs
+        #: a full membership scan (correct for data violating DVA).
+        self.assume_dva = assume_dva
+        table = cuboid.lattice.table
+        missing = [d for d in table.dims if d not in self.attribute_order]
+        if missing:
+            raise PlanError(
+                f"attribute order {self.attribute_order} lacks skyline dims {missing}"
+            )
+        positions = {d: self.attribute_order.index(d) for d in table.dims}
+        self._windows: dict[int, SkylineWindow] = {}
+        for mask in cuboid.masks:
+            dims = tuple(positions[d] for d in table.names(mask))
+            self._windows[mask] = SkylineWindow(dims=dims, counter=counter)
+        self._query_mask = dict(cuboid.query_nodes)
+
+    # ------------------------------------------------------------------ #
+    def insert(
+        self,
+        key: Hashable,
+        vector: np.ndarray,
+        serve_mask: "int | None" = None,
+    ) -> InsertReport:
+        """Insert one tuple (full output vector) bottom-up; report effects.
+
+        ``serve_mask`` is the tuple's query lineage (the CQL of Section 6):
+        when given, only cuboid nodes serving at least one of those queries
+        are touched — the paper's restriction of skyline comparisons to
+        cells with intersecting lineage.  Skipping a node is sound because
+        a tuple whose region cannot contribute to a query is provably
+        dominated for that query's subspaces (see coarse skyline /
+        discard steps), so omitting it never changes a final skyline.
+        """
+        vec = np.asarray(vector, dtype=float)
+        if len(vec) != len(self.attribute_order):
+            raise PlanError(
+                f"vector has {len(vec)} values, plan expects {len(self.attribute_order)}"
+            )
+        report = InsertReport(key=key)
+        for mask in self.cuboid.masks:
+            node = self.cuboid.node(mask)
+            if serve_mask is not None and not (node.qserve & serve_mask):
+                continue
+            window = self._windows[mask]
+            seeded = self.assume_dva and any(
+                child in report.admitted_masks for child in node.children
+            )
+            if seeded:
+                outcome = window.insert_known_member(key, vec)
+            else:
+                outcome = window.insert(key, vec)
+            if outcome.admitted:
+                report.admitted_masks.add(mask)
+            if outcome.evicted:
+                report.evicted_by_mask[mask] = [e.key for e in outcome.evicted]
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Query-level views
+    # ------------------------------------------------------------------ #
+    def query_mask(self, query_name: str) -> int:
+        try:
+            return self._query_mask[query_name]
+        except KeyError:
+            raise PlanError(f"no query named {query_name!r} in the shared plan") from None
+
+    def window(self, mask: int) -> SkylineWindow:
+        try:
+            return self._windows[mask]
+        except KeyError:
+            raise PlanError(f"mask {mask:#x} is not a cuboid subspace") from None
+
+    def current_skyline(self, query_name: str) -> "list[Hashable]":
+        return self._windows[self.query_mask(query_name)].keys
+
+    def is_candidate(self, query_name: str, key: Hashable) -> bool:
+        return self._windows[self.query_mask(query_name)].contains_key(key)
+
+    def admitted_queries(self, report: InsertReport) -> "list[str]":
+        """Names of queries whose candidate skyline admitted the tuple."""
+        return [
+            name
+            for name, mask in self._query_mask.items()
+            if mask in report.admitted_masks
+        ]
+
+    def evicted_for_query(self, report: InsertReport, query_name: str) -> "list[Hashable]":
+        return report.evicted_by_mask.get(self.query_mask(query_name), [])
+
+    def window_sizes(self) -> "dict[int, int]":
+        return {mask: len(window) for mask, window in self._windows.items()}
+
+
+@dataclass
+class WorkloadInsertReport:
+    """Query-level view of one tuple insert across all plan groups."""
+
+    key: Hashable
+    #: Names of queries whose candidate skyline admitted the tuple.
+    admitted: "set[str]" = field(default_factory=set)
+    #: Per query name: previously-current keys this insert evicted.
+    evicted: "dict[str, list[Hashable]]" = field(default_factory=dict)
+
+
+class WorkloadPlan:
+    """Shared skyline plans for a workload with per-query selections.
+
+    The min-max cuboid's comparison sharing presumes queries that differ
+    *only* in their skyline dimensions (Section 4.1): window-level
+    dominance between two tuples is only meaningful when both tuples are
+    join results of the same queries (the CQL-intersection condition of
+    Section 6).  This wrapper therefore partitions the workload into
+    equivalence classes over ``(join condition, selections)`` and maintains
+    one :class:`SharedCuboidPlan` per class — within a class every
+    inserted tuple is a genuine join result of every class member, so
+    evictions are always valid; across classes nothing is shared at the
+    window level because nothing may be.  The paper's benchmark workloads
+    collapse to a single class.
+    """
+
+    def __init__(
+        self,
+        workload,
+        attribute_order: "Sequence[str]",
+        counter: "ComparisonCounter | None" = None,
+        *,
+        assume_dva: bool = True,
+    ):
+        from repro.plan.minmax_cuboid import build_minmax_cuboid
+
+        self.workload = workload
+        self.query_bits = {q.name: i for i, q in enumerate(workload)}
+        groups: dict[tuple, list[str]] = {}
+        for query in workload:
+            signature = (
+                query.join_condition.name,
+                query.left_filters,
+                query.right_filters,
+            )
+            groups.setdefault(signature, []).append(query.name)
+        self._groups: list[dict] = []
+        self._group_of: dict[str, dict] = {}
+        for names in groups.values():
+            sub = workload.subset(names)
+            cuboid = build_minmax_cuboid(sub)
+            plan = SharedCuboidPlan(
+                cuboid, attribute_order, counter=counter, assume_dva=assume_dva
+            )
+            group = {
+                "names": tuple(names),
+                "plan": plan,
+                # Local (sub-workload) bit per query name.
+                "local_bit": {name: i for i, name in enumerate(names)},
+            }
+            self._groups.append(group)
+            for name in names:
+                self._group_of[name] = group
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    def insert(
+        self, key: Hashable, vector: np.ndarray, serve_mask: "int | None" = None
+    ) -> WorkloadInsertReport:
+        """Insert into every group the tuple's lineage touches.
+
+        ``serve_mask`` uses *global* workload query bits; it is translated
+        to each group's local numbering.
+        """
+        report = WorkloadInsertReport(key=key)
+        for group in self._groups:
+            local_mask = 0
+            for name in group["names"]:
+                if serve_mask is None or (serve_mask >> self.query_bits[name]) & 1:
+                    local_mask |= 1 << group["local_bit"][name]
+            if local_mask == 0:
+                continue
+            plan: SharedCuboidPlan = group["plan"]
+            sub_report = plan.insert(key, vector, local_mask)
+            for name in group["names"]:
+                mask = plan.query_mask(name)
+                # A tuple may share a cuboid node with queries outside its
+                # own lineage and evict their candidates there; admissions
+                # only count for queries the tuple actually serves.
+                evicted = sub_report.evicted_by_mask.get(mask)
+                if evicted:
+                    report.evicted.setdefault(name, []).extend(evicted)
+                if (local_mask >> group["local_bit"][name]) & 1:
+                    if mask in sub_report.admitted_masks:
+                        report.admitted.add(name)
+        return report
+
+    def is_candidate(self, query_name: str, key: Hashable) -> bool:
+        return self._group_of[query_name]["plan"].is_candidate(query_name, key)
+
+    def current_skyline(self, query_name: str) -> "list[Hashable]":
+        return self._group_of[query_name]["plan"].current_skyline(query_name)
+
+
+__all__ = [
+    "InsertReport",
+    "SharedCuboidPlan",
+    "WorkloadInsertReport",
+    "WorkloadPlan",
+]

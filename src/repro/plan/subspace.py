@@ -1,0 +1,101 @@
+"""Bitmask representation of skyline subspaces.
+
+The min-max cuboid and the coarse skyline manipulate many subspaces of the
+workload's output dimensions; representing a subspace as a bitmask over a
+fixed dimension order makes subset tests and enumeration O(1) bit-ops.
+:class:`SubspaceTable` pins down that order for one workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PlanError
+
+
+class SubspaceTable:
+    """Bijective mapping between dimension-name sets and bitmasks."""
+
+    __slots__ = ("dims", "_bit_of")
+
+    def __init__(self, dims: "tuple[str, ...]"):
+        if not dims:
+            raise PlanError("subspace table needs at least one dimension")
+        if len(set(dims)) != len(dims):
+            raise PlanError(f"duplicate dimensions: {dims}")
+        self.dims = tuple(dims)
+        self._bit_of = {name: i for i, name in enumerate(dims)}
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.dims)
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << len(self.dims)) - 1
+
+    def mask(self, names: Iterable[str]) -> int:
+        out = 0
+        for name in names:
+            try:
+                out |= 1 << self._bit_of[name]
+            except KeyError:
+                raise PlanError(
+                    f"dimension {name!r} not in subspace table {self.dims}"
+                ) from None
+        if out == 0:
+            raise PlanError("empty subspace")
+        return out
+
+    def names(self, mask: int) -> "tuple[str, ...]":
+        self._check(mask)
+        return tuple(d for i, d in enumerate(self.dims) if (mask >> i) & 1)
+
+    def positions(self, mask: int) -> "tuple[int, ...]":
+        """Bit positions set in ``mask`` (column indices in dim order)."""
+        self._check(mask)
+        return tuple(i for i in range(len(self.dims)) if (mask >> i) & 1)
+
+    def size(self, mask: int) -> int:
+        self._check(mask)
+        return mask.bit_count()
+
+    def is_subset(self, inner: int, outer: int) -> bool:
+        self._check(inner)
+        self._check(outer)
+        return (inner & outer) == inner
+
+    def strict_subsets_of(self, mask: int) -> "list[int]":
+        """All non-empty strict subsets (ascending popcount then value)."""
+        self._check(mask)
+        bits = self.positions(mask)
+        subsets: list[int] = []
+        for code in range(1, (1 << len(bits)) - 1):
+            sub = 0
+            for i, bit in enumerate(bits):
+                if (code >> i) & 1:
+                    sub |= 1 << bit
+            subsets.append(sub)
+        return sorted(subsets, key=lambda m: (m.bit_count(), m))
+
+    def immediate_children(self, mask: int) -> "list[int]":
+        """Masks obtained by dropping exactly one dimension (non-empty only)."""
+        self._check(mask)
+        out = []
+        for pos in self.positions(mask):
+            child = mask & ~(1 << pos)
+            if child:
+                out.append(child)
+        return out
+
+    def label(self, mask: int) -> str:
+        return "{" + ", ".join(self.names(mask)) + "}"
+
+    def _check(self, mask: int) -> None:
+        if mask <= 0 or mask > self.full_mask:
+            raise PlanError(
+                f"mask {mask:#x} out of range for {self.dimensions}-dim table"
+            )
+
+
+__all__ = ["SubspaceTable"]

@@ -1,0 +1,53 @@
+"""Query algebra: predicates, mapping functions, preferences, SJ queries, workloads."""
+
+from repro.query.evaluate import (
+    ReferenceResult,
+    apply_functions,
+    hash_join,
+    reference_evaluate,
+)
+from repro.query.mapping import (
+    MappingFunction,
+    add,
+    left_only,
+    right_only,
+    scaled,
+    weighted_sum,
+)
+from repro.query.operators import PriorityClass, SkylineJoinQuery
+from repro.query.predicates import JoinCondition
+from repro.query.preference import Preference
+from repro.query.selection import AttributeFilter, Op, rows_passing, selection_bitmasks
+from repro.query.workload import (
+    PRIORITY_SCHEMES,
+    Workload,
+    assign_priorities,
+    random_workload,
+    subspace_workload,
+)
+
+__all__ = [
+    "PRIORITY_SCHEMES",
+    "AttributeFilter",
+    "JoinCondition",
+    "Op",
+    "rows_passing",
+    "selection_bitmasks",
+    "MappingFunction",
+    "Preference",
+    "PriorityClass",
+    "ReferenceResult",
+    "SkylineJoinQuery",
+    "Workload",
+    "add",
+    "apply_functions",
+    "assign_priorities",
+    "hash_join",
+    "left_only",
+    "random_workload",
+    "reference_evaluate",
+    "right_only",
+    "scaled",
+    "subspace_workload",
+    "weighted_sum",
+]

@@ -1,0 +1,128 @@
+"""Reference (ground-truth) evaluation of skyline-over-join queries.
+
+These routines evaluate one query the obvious way — materialise the full
+equi-join, apply the mapping functions, run a skyline — and are used as the
+correctness oracle for every execution strategy in the package: CAQE and
+all baselines must produce exactly this result set per query, whatever
+order they produce it in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.mapping import MappingFunction
+from repro.query.operators import SkylineJoinQuery
+from repro.query.predicates import JoinCondition
+from repro.relation import Relation
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.dominance import ComparisonCounter
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    condition: JoinCondition,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """All matching ``(left_index, right_index)`` pairs for an equi-join."""
+    condition.validate(left, right)
+    buckets: dict[object, list[int]] = {}
+    for i, value in enumerate(condition.left_values(left)):
+        buckets.setdefault(value.item() if hasattr(value, "item") else value, []).append(i)
+    left_out: list[int] = []
+    right_out: list[int] = []
+    for j, value in enumerate(condition.right_values(right)):
+        key = value.item() if hasattr(value, "item") else value
+        for i in buckets.get(key, ()):
+            left_out.append(i)
+            right_out.append(j)
+    return (np.asarray(left_out, dtype=np.intp), np.asarray(right_out, dtype=np.intp))
+
+
+def apply_functions(
+    functions: "tuple[MappingFunction, ...]",
+    left: Relation,
+    right: Relation,
+    left_idx: np.ndarray,
+    right_idx: np.ndarray,
+) -> np.ndarray:
+    """Evaluate mapping functions over aligned join pairs.
+
+    Returns a ``(len(left_idx), len(functions))`` matrix whose columns follow
+    the function order (i.e. the query's ``output_names``).
+    """
+    if len(left_idx) == 0:
+        return np.empty((0, len(functions)))
+    left_cols = {
+        attr: left.column(attr)[left_idx]
+        for fn in functions
+        for attr in fn.left_inputs
+    }
+    right_cols = {
+        attr: right.column(attr)[right_idx]
+        for fn in functions
+        for attr in fn.right_inputs
+    }
+    columns = [fn.apply(left_cols, right_cols) for fn in functions]
+    return np.column_stack(columns).astype(float)
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Ground-truth answer for one query."""
+
+    query: SkylineJoinQuery
+    #: Output matrix of *all* join results (columns = query.output_names).
+    join_matrix: np.ndarray
+    left_idx: np.ndarray
+    right_idx: np.ndarray
+    #: Row positions (into join_matrix) of the final skyline.
+    skyline_rows: tuple[int, ...]
+
+    @property
+    def skyline_matrix(self) -> np.ndarray:
+        return self.join_matrix[list(self.skyline_rows)]
+
+    @property
+    def skyline_pairs(self) -> "set[tuple[int, int]]":
+        """Provenance of skyline results as ``(left_row, right_row)`` pairs."""
+        return {
+            (int(self.left_idx[r]), int(self.right_idx[r])) for r in self.skyline_rows
+        }
+
+    @property
+    def join_count(self) -> int:
+        return len(self.join_matrix)
+
+
+def reference_evaluate(
+    query: SkylineJoinQuery,
+    left: Relation,
+    right: Relation,
+    counter: "ComparisonCounter | None" = None,
+) -> ReferenceResult:
+    """Select, materialise the join, project, and compute the exact skyline."""
+    from repro.query.selection import rows_passing
+
+    query.validate(left, right)
+    left_idx, right_idx = hash_join(left, right, query.join_condition)
+    if query.has_filters:
+        left_ok = rows_passing(query.left_filters, left)
+        right_ok = rows_passing(query.right_filters, right)
+        keep = left_ok[left_idx] & right_ok[right_idx]
+        left_idx, right_idx = left_idx[keep], right_idx[keep]
+    matrix = apply_functions(query.functions, left, right, left_idx, right_idx)
+    dims = query.preference.positions(query.output_names)
+    skyline_rows = tuple(bnl_skyline(matrix, dims=dims, counter=counter)) if len(matrix) else ()
+    return ReferenceResult(
+        query=query,
+        join_matrix=matrix,
+        left_idx=left_idx,
+        right_idx=right_idx,
+        skyline_rows=skyline_rows,
+    )
+
+
+__all__ = ["ReferenceResult", "apply_functions", "hash_join", "reference_evaluate"]

@@ -1,0 +1,135 @@
+"""Query specifications: the skyline-over-join operator (Section 2.2).
+
+A :class:`SkylineJoinQuery` bundles the three stages of ``SJ`` — the join
+condition ``JC``, the set of scalar mapping functions ``F`` producing output
+attributes ``X``, and the skyline preference ``P = (E, >)`` with
+``E subset-of X`` — plus the experiment's query priority ``pr_i`` used by
+Section 7.1 to order queries in the competitor techniques.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.mapping import MappingFunction
+from repro.query.predicates import JoinCondition
+from repro.query.preference import Preference
+from repro.query.selection import AttributeFilter
+from repro.relation import Relation
+
+
+class PriorityClass(enum.Enum):
+    """Section 7.1's three priority bands over ``pr_i`` in [0, 1]."""
+
+    HIGH = "high"        # pr in [0.70, 1.00]
+    MEDIUM = "medium"    # pr in [0.40, 0.69]
+    LOW = "low"          # pr in [0.00, 0.39]
+
+    @classmethod
+    def of(cls, priority: float) -> "PriorityClass":
+        if priority >= 0.70:
+            return cls.HIGH
+        if priority >= 0.40:
+            return cls.MEDIUM
+        return cls.LOW
+
+
+@dataclass(frozen=True)
+class SkylineJoinQuery:
+    """One ``SJ[JC, F, X, P](R, T)`` query with its workload priority.
+
+    ``left_filters`` / ``right_filters`` are optional per-query selection
+    predicates on the base tables (the select stage of select-project-join
+    sharing, Section 4.1); the shared executor evaluates them once per base
+    row and restricts the tuple's query lineage accordingly.
+    """
+
+    name: str
+    join_condition: JoinCondition
+    functions: tuple[MappingFunction, ...]
+    preference: Preference
+    priority: float = 1.0
+    left_filters: "tuple[AttributeFilter, ...]" = ()
+    right_filters: "tuple[AttributeFilter, ...]" = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("query needs a non-empty name")
+        if not self.functions:
+            raise QueryError(f"query {self.name!r} needs at least one mapping function")
+        outputs = [f.output for f in self.functions]
+        if len(set(outputs)) != len(outputs):
+            raise QueryError(f"query {self.name!r} has duplicate output attributes: {outputs}")
+        missing = set(self.preference.dims) - set(outputs)
+        if missing:
+            raise QueryError(
+                f"query {self.name!r}: preference dims {sorted(missing)} are not "
+                f"produced by any mapping function (outputs: {outputs})"
+            )
+        if not 0.0 <= self.priority <= 1.0:
+            raise QueryError(f"query {self.name!r}: priority must be in [0, 1]")
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(f.output for f in self.functions)
+
+    @property
+    def skyline_dims(self) -> tuple[str, ...]:
+        return self.preference.dims
+
+    @property
+    def priority_class(self) -> PriorityClass:
+        return PriorityClass.of(self.priority)
+
+    def function_for(self, output: str) -> MappingFunction:
+        for fn in self.functions:
+            if fn.output == output:
+                return fn
+        raise QueryError(f"query {self.name!r} has no mapping function for {output!r}")
+
+    def validate(self, left: Relation, right: Relation) -> None:
+        """Check every referenced attribute resolves against the base tables."""
+        self.join_condition.validate(left, right)
+        for f in self.left_filters:
+            f.validate(left)
+        for f in self.right_filters:
+            f.validate(right)
+        for fn in self.functions:
+            for attr in fn.left_inputs:
+                if attr not in left.schema:
+                    raise QueryError(
+                        f"query {self.name!r}: {fn.name} reads {attr!r} "
+                        f"missing from {left.name!r}"
+                    )
+            for attr in fn.right_inputs:
+                if attr not in right.schema:
+                    raise QueryError(
+                        f"query {self.name!r}: {fn.name} reads {attr!r} "
+                        f"missing from {right.name!r}"
+                    )
+
+    def with_priority(self, priority: float) -> "SkylineJoinQuery":
+        return SkylineJoinQuery(
+            name=self.name,
+            join_condition=self.join_condition,
+            functions=self.functions,
+            preference=self.preference,
+            priority=priority,
+            left_filters=self.left_filters,
+            right_filters=self.right_filters,
+        )
+
+    @property
+    def has_filters(self) -> bool:
+        return bool(self.left_filters or self.right_filters)
+
+    def __repr__(self) -> str:
+        return (
+            f"SJ[{self.join_condition.name}, F={[f.name for f in self.functions]}, "
+            f"P={list(self.preference.dims)}](pr={self.priority:.2f})"
+        )
+
+
+__all__ = ["PriorityClass", "SkylineJoinQuery"]

@@ -1,0 +1,61 @@
+"""Join predicates.
+
+The paper's workloads (Figure 1, Example 14) use equi-join conditions such
+as ``r_country = t_country``; queries may differ in which condition they
+use (``JC1`` vs ``JC2``).  A :class:`JoinCondition` names the pair of
+attributes being equated so the coarse-level join can build and intersect
+per-cell signatures over them (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.relation import Relation
+
+
+@dataclass(frozen=True, slots=True)
+class JoinCondition:
+    """Equi-join predicate ``left.left_attr == right.right_attr``."""
+
+    name: str
+    left_attr: str
+    right_attr: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("join condition needs a non-empty name")
+        if not self.left_attr or not self.right_attr:
+            raise QueryError(f"join condition {self.name!r} needs both attribute names")
+
+    def validate(self, left: Relation, right: Relation) -> None:
+        """Raise :class:`QueryError` unless both sides resolve."""
+        if self.left_attr not in left.schema:
+            raise QueryError(
+                f"{self.name}: attribute {self.left_attr!r} not in relation {left.name!r}"
+            )
+        if self.right_attr not in right.schema:
+            raise QueryError(
+                f"{self.name}: attribute {self.right_attr!r} not in relation {right.name!r}"
+            )
+
+    def matches(self, left_value, right_value) -> bool:
+        """Tuple-level predicate evaluation."""
+        return left_value == right_value
+
+    def left_values(self, left: Relation) -> np.ndarray:
+        return left.column(self.left_attr)
+
+    def right_values(self, right: Relation) -> np.ndarray:
+        return right.column(self.right_attr)
+
+    @classmethod
+    def on(cls, attr: str, name: "str | None" = None) -> "JoinCondition":
+        """Equi-join on the same attribute name in both relations."""
+        return cls(name or f"eq({attr})", attr, attr)
+
+
+__all__ = ["JoinCondition"]

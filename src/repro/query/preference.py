@@ -1,0 +1,62 @@
+"""Preferences: which output dimensions a query's skyline ranges over.
+
+Following Section 2.1, a preference ``P = (V, >)`` is a set of attributes
+(the *subspace* ``V``) with a strict partial order; as in the paper we fix
+the order to Pareto smaller-is-better, so a preference is fully described
+by its attribute tuple.  Tuple-level dominance itself lives in
+:mod:`repro.skyline.dominance`; this class carries the *named* subspace and
+its mapping onto positional vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True, slots=True)
+class Preference:
+    """A skyline preference over named output dimensions (smaller preferred)."""
+
+    dims: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise QueryError("a preference needs at least one dimension")
+        if len(set(self.dims)) != len(self.dims):
+            raise QueryError(f"preference has duplicate dimensions: {self.dims}")
+
+    @classmethod
+    def over(cls, *dims: str) -> "Preference":
+        return cls(tuple(dims))
+
+    def positions(self, attribute_order: Sequence[str]) -> tuple[int, ...]:
+        """Column indices of this preference's dims within ``attribute_order``."""
+        order = list(attribute_order)
+        try:
+            return tuple(order.index(d) for d in self.dims)
+        except ValueError as exc:
+            raise QueryError(
+                f"preference dims {self.dims} not all present in {tuple(order)}"
+            ) from exc
+
+    def is_subspace_of(self, other: "Preference | Iterable[str]") -> bool:
+        other_dims = other.dims if isinstance(other, Preference) else tuple(other)
+        return set(self.dims) <= set(other_dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __contains__(self, dim: object) -> bool:
+        return dim in self.dims
+
+    def __repr__(self) -> str:
+        return f"Preference({', '.join(self.dims)})"
+
+
+__all__ = ["Preference"]

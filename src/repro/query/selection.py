@@ -1,0 +1,105 @@
+"""Per-query selection predicates on the base tables.
+
+Section 4.1 notes that shared plans for selects are established technique
+[10, 18] and focuses the paper on the skyline stage; this module supplies
+that substrate.  Each query may filter either base table
+(``SkylineJoinQuery.left_filters`` / ``right_filters``); the shared
+executor evaluates every relation row against every query's filters *once*
+(one bitmask per row — precision sharing in the spirit of [18]) and
+restricts each join result's query lineage accordingly, so a tuple only
+enters the skyline windows of queries whose selections it satisfies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.relation import Relation
+
+
+class Op(enum.Enum):
+    """Comparison operators usable in selections."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    IN = "in"
+
+
+@dataclass(frozen=True)
+class AttributeFilter:
+    """One predicate ``attr <op> value`` against a base-table column."""
+
+    attr: str
+    op: Op
+    value: object
+
+    def __post_init__(self) -> None:
+        if not self.attr:
+            raise QueryError("filter needs an attribute name")
+        if not isinstance(self.op, Op):
+            raise QueryError(f"filter op must be an Op, got {self.op!r}")
+        if self.op is Op.IN and not isinstance(self.value, (set, frozenset, tuple, list)):
+            raise QueryError("Op.IN requires a collection value")
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        """Boolean mask over the relation's rows."""
+        column = relation.column(self.attr)
+        if self.op is Op.LT:
+            return column < self.value
+        if self.op is Op.LE:
+            return column <= self.value
+        if self.op is Op.GT:
+            return column > self.value
+        if self.op is Op.GE:
+            return column >= self.value
+        if self.op is Op.EQ:
+            return column == self.value
+        if self.op is Op.NE:
+            return column != self.value
+        return np.isin(column, list(self.value))
+
+    def validate(self, relation: Relation) -> None:
+        if self.attr not in relation.schema:
+            raise QueryError(
+                f"filter attribute {self.attr!r} not in relation {relation.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Filter({self.attr} {self.op.value} {self.value!r})"
+
+
+def rows_passing(
+    filters: "tuple[AttributeFilter, ...]", relation: Relation
+) -> np.ndarray:
+    """Conjunction of ``filters`` as a boolean row mask (all-true if none)."""
+    mask = np.ones(relation.cardinality, dtype=bool)
+    for f in filters:
+        mask &= f.evaluate(relation)
+    return mask
+
+
+def selection_bitmasks(workload, relation: Relation, side: str) -> np.ndarray:
+    """Per-row query-lineage bitmask from each query's selections.
+
+    Bit ``i`` of row ``r``'s mask is set iff row ``r`` satisfies workload
+    query ``i``'s filters on this ``side``.  Queries without filters accept
+    every row.  This is the once-per-row shared evaluation the executor
+    and the coarse join consume.
+    """
+    masks = np.zeros(relation.cardinality, dtype=np.int64)
+    for qi, query in enumerate(workload):
+        filters = query.left_filters if side == "left" else query.right_filters
+        passing = rows_passing(filters, relation)
+        masks |= np.where(passing, np.int64(1) << qi, np.int64(0))
+    return masks
+
+
+__all__ = ["AttributeFilter", "Op", "rows_passing", "selection_bitmasks"]

@@ -1,0 +1,6 @@
+"""Column-oriented relations and schemas."""
+
+from repro.relation.relation import Relation, concat
+from repro.relation.schema import Attribute, Role, Schema
+
+__all__ = ["Attribute", "Relation", "Role", "Schema", "concat"]

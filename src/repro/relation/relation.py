@@ -1,0 +1,125 @@
+"""Column-oriented in-memory relations.
+
+A :class:`Relation` stores each attribute as a numpy array, mirroring how
+analytical engines lay data out.  All algorithms in this package read
+relations through this interface, so the datasets produced by
+:mod:`repro.datagen` and the hand-built fixtures in the tests are fully
+interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relation.schema import Attribute, Role, Schema
+
+
+class Relation:
+    """An immutable table: a :class:`Schema` plus one numpy column per attribute."""
+
+    __slots__ = ("name", "schema", "_columns", "_cardinality")
+
+    def __init__(self, name: str, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            missing = set(schema.names) - set(columns)
+            extra = set(columns) - set(schema.names)
+            raise SchemaError(
+                f"columns do not match schema for relation {name!r}: "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        arrays: dict[str, np.ndarray] = {}
+        cardinality: int | None = None
+        for attr_name in schema.names:
+            column = np.asarray(columns[attr_name])
+            if column.ndim != 1:
+                raise SchemaError(f"column {attr_name!r} must be 1-dimensional")
+            if cardinality is None:
+                cardinality = len(column)
+            elif len(column) != cardinality:
+                raise SchemaError(
+                    f"column {attr_name!r} has {len(column)} rows, expected {cardinality}"
+                )
+            column.setflags(write=False)
+            arrays[attr_name] = column
+        self.name = name
+        self.schema = schema
+        self._columns = arrays
+        self._cardinality = int(cardinality or 0)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Iterable[tuple],
+    ) -> "Relation":
+        """Build a relation from an iterable of row tuples (schema order)."""
+        materialised = list(rows)
+        width = len(schema)
+        for row in materialised:
+            if len(row) != width:
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} values, schema expects {width}"
+                )
+        columns = {
+            attr: np.array([row[pos] for row in materialised])
+            for pos, attr in enumerate(schema.names)
+        }
+        if not materialised:
+            columns = {attr: np.empty(0, dtype=float) for attr in schema.names}
+        return cls(name, schema, columns)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def column(self, name: str) -> np.ndarray:
+        self.schema.position(name)  # raise SchemaError on unknown names
+        return self._columns[name]
+
+    def columns(self, names: Iterable[str]) -> np.ndarray:
+        """Return a read-only ``(cardinality, len(names))`` matrix."""
+        stacked = np.column_stack([self.column(n) for n in names])
+        stacked.setflags(write=False)
+        return stacked
+
+    def row(self, index: int) -> tuple:
+        return tuple(self._columns[n][index] for n in self.schema.names)
+
+    def take(self, indices: "np.ndarray | list[int]", name: "str | None" = None) -> "Relation":
+        """Row subset as a new relation (used by leaf cells)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        columns = {n: self._columns[n][idx] for n in self.schema.names}
+        return Relation(name or self.name, self.schema, columns)
+
+    @property
+    def cardinality(self) -> int:
+        return self._cardinality
+
+    def __len__(self) -> int:
+        return self._cardinality
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, |rows|={self._cardinality}, {self.schema!r})"
+
+
+def concat(name: str, relations: "list[Relation]") -> Relation:
+    """Vertically concatenate relations sharing one schema."""
+    if not relations:
+        raise SchemaError("concat needs at least one relation")
+    schema = relations[0].schema
+    for rel in relations[1:]:
+        if rel.schema != schema:
+            raise SchemaError("cannot concat relations with differing schemas")
+    columns = {
+        n: np.concatenate([rel.column(n) for rel in relations]) for n in schema.names
+    }
+    return Relation(name, schema, columns)
+
+
+__all__ = ["Relation", "concat", "Schema", "Attribute", "Role"]

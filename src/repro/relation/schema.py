@@ -1,0 +1,113 @@
+"""Schemas for the column-oriented relations used throughout the package.
+
+A :class:`Schema` is an ordered collection of named :class:`Attribute`
+objects.  Attributes are tagged with a *role* so downstream components can
+discover, for example, which columns may appear in join predicates
+(``JOIN``) and which feed skyline dimensions (``MEASURE``) without the
+caller having to repeat that information in every operator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+class Role(enum.Enum):
+    """How an attribute participates in skyline-over-join queries."""
+
+    #: Numeric column that mapping functions / skyline preferences consume.
+    MEASURE = "measure"
+    #: Discrete column usable in equi-join predicates (cell signatures are
+    #: built over these, see Section 5.1 of the paper).
+    JOIN = "join"
+    #: Carried through untouched (ids, labels, descriptions).
+    PAYLOAD = "payload"
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A single named column with its query role."""
+
+    name: str
+    role: Role = Role.MEASURE
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+
+
+class Schema:
+    """An ordered, name-unique collection of attributes."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: "list[Attribute] | tuple[Attribute, ...]"):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        index: dict[str, int] = {}
+        for pos, attr in enumerate(attrs):
+            if not isinstance(attr, Attribute):
+                raise SchemaError(f"expected Attribute, got {type(attr).__name__}")
+            if attr.name in index:
+                raise SchemaError(f"duplicate attribute name {attr.name!r}")
+            index[attr.name] = pos
+        self._attributes = attrs
+        self._index = index
+
+    @classmethod
+    def of(cls, **roles: Role) -> "Schema":
+        """Build a schema from ``name=Role`` keyword pairs, in order."""
+        return cls([Attribute(name, role) for name, role in roles.items()])
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self._attributes)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    def names_with_role(self, role: Role) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self._attributes if attr.role is role)
+
+    @property
+    def measure_names(self) -> tuple[str, ...]:
+        return self.names_with_role(Role.MEASURE)
+
+    @property
+    def join_names(self) -> tuple[str, ...]:
+        return self.names_with_role(Role.JOIN)
+
+    def position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}; schema has {self.names}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self._attributes[self.position(name)]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{a.name}:{a.role.value}" for a in self._attributes)
+        return f"Schema({cols})"

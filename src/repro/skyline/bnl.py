@@ -1,0 +1,33 @@
+"""Block-Nested-Loop skyline (Börzsönyi et al. [3]).
+
+The straightforward non-index algorithm: stream every point through a
+skyline window.  Returns the *indices* of skyline rows so callers can carry
+payload columns alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.window import SkylineWindow
+
+
+def bnl_skyline(
+    points: np.ndarray,
+    dims: "Sequence[int] | None" = None,
+    counter: "ComparisonCounter | None" = None,
+) -> "list[int]":
+    """Skyline row-indices of ``points`` over ``dims`` (ascending order)."""
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix of points, got shape {matrix.shape}")
+    window = SkylineWindow(dims=dims, counter=counter)
+    for row_index in range(len(matrix)):
+        window.insert(row_index, matrix[row_index])
+    return sorted(window.keys)
+
+
+__all__ = ["bnl_skyline"]

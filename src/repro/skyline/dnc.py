@@ -1,0 +1,87 @@
+"""Divide-and-conquer skyline (Börzsönyi et al. [3], basic variant).
+
+Splits the input by the median of the first compared dimension, computes
+both halves' skylines recursively, and merges: points of the worse half
+survive only if no point of the better half dominates them.  Comparisons
+are charged per pair test like every other algorithm in this package.
+
+The merge is the textbook quadratic variant (sufficient at reproduction
+scale); the asymptotically optimal multi-dimensional merge would change
+constants, not results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.skyline.dominance import ComparisonCounter
+
+#: Below this size the recursion bottoms out into a window scan.
+_BASE_CASE = 16
+
+
+def _bnl_base(matrix: np.ndarray, rows: "list[int]", dims, counter) -> "list[int]":
+    from repro.skyline.window import SkylineWindow
+
+    window = SkylineWindow(dims=dims, counter=counter)
+    for row in rows:
+        window.insert(row, matrix[row])
+    return sorted(window.keys)
+
+
+def _dominates(a: np.ndarray, b: np.ndarray, counter) -> bool:
+    if counter is not None:
+        counter.record()
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def _merge(
+    matrix: np.ndarray,
+    better: "list[int]",
+    worse: "list[int]",
+    dims: "list[int]",
+    counter,
+) -> "list[int]":
+    survivors = list(better)
+    for row in worse:
+        candidate = matrix[row][dims]
+        if not any(
+            _dominates(matrix[other][dims], candidate, counter) for other in better
+        ):
+            survivors.append(row)
+    return survivors
+
+
+def _dnc(matrix, rows, dims, counter):
+    if len(rows) <= _BASE_CASE:
+        return _bnl_base(matrix, rows, tuple(dims), counter)
+    values = matrix[rows][:, dims[0]]
+    median = float(np.median(values))
+    low = [r for r in rows if matrix[r][dims[0]] <= median]
+    high = [r for r in rows if matrix[r][dims[0]] > median]
+    if not low or not high:
+        # Degenerate split (many ties at the median): fall back.
+        return _bnl_base(matrix, rows, tuple(dims), counter)
+    sky_low = _dnc(matrix, low, dims, counter)
+    sky_high = _dnc(matrix, high, dims, counter)
+    return _merge(matrix, sky_low, sky_high, dims, counter)
+
+
+def dnc_skyline(
+    points: np.ndarray,
+    dims: "Sequence[int] | None" = None,
+    counter: "ComparisonCounter | None" = None,
+) -> "list[int]":
+    """Skyline row-indices via divide and conquer (ascending order)."""
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix of points, got shape {matrix.shape}")
+    if len(matrix) == 0:
+        return []
+    dim_list = list(dims) if dims is not None else list(range(matrix.shape[1]))
+    return sorted(_dnc(matrix, list(range(len(matrix))), dim_list, counter))
+
+
+__all__ = ["dnc_skyline"]

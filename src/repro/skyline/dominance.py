@@ -1,0 +1,115 @@
+"""Tuple-level dominance tests (Definitions 1 and 2).
+
+All tests use the paper's convention: attribute values are non-negative and
+*smaller values are preferred*.  ``a`` dominates ``b`` over dimensions ``V``
+iff ``a`` is no worse than ``b`` in every dimension of ``V`` and strictly
+better in at least one.
+
+Pairwise dominance comparisons are the CPU-cost unit the paper reports
+(Figure 10b), so every function here takes an optional
+:class:`ComparisonCounter` and charges exactly one comparison per invoked
+pair test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class ComparisonCounter:
+    """Counts pairwise dominance comparisons (the paper's CPU metric)."""
+
+    comparisons: int = 0
+    #: Optional callback invoked with the increment, letting the virtual
+    #: clock charge time for each comparison without a hard dependency.
+    on_increment: "callable | None" = field(default=None, repr=False)
+
+    def record(self, count: int = 1) -> None:
+        self.comparisons += count
+        if self.on_increment is not None:
+            self.on_increment(count)
+
+
+class Dominance(enum.Enum):
+    """Outcome of a single pairwise comparison."""
+
+    LEFT = "left"                  # a dominates b
+    RIGHT = "right"                # b dominates a
+    EQUAL = "equal"                # identical over the compared dims
+    INCOMPARABLE = "incomparable"  # each better somewhere
+
+
+def _subspace(point: np.ndarray, dims: "Sequence[int] | None") -> np.ndarray:
+    vec = np.asarray(point, dtype=float)
+    if dims is None:
+        return vec
+    return vec[list(dims)]
+
+
+def compare(
+    a: np.ndarray,
+    b: np.ndarray,
+    dims: "Sequence[int] | None" = None,
+    counter: "ComparisonCounter | None" = None,
+) -> Dominance:
+    """Full three-way comparison of ``a`` vs ``b`` over ``dims``."""
+    if counter is not None:
+        counter.record()
+    av = _subspace(a, dims)
+    bv = _subspace(b, dims)
+    a_le = bool(np.all(av <= bv))
+    b_le = bool(np.all(bv <= av))
+    if a_le and b_le:
+        return Dominance.EQUAL
+    if a_le:
+        return Dominance.LEFT
+    if b_le:
+        return Dominance.RIGHT
+    return Dominance.INCOMPARABLE
+
+
+def dominates(
+    a: np.ndarray,
+    b: np.ndarray,
+    dims: "Sequence[int] | None" = None,
+    counter: "ComparisonCounter | None" = None,
+) -> bool:
+    """Definition 1 / 2: ``a`` strictly dominates ``b`` over ``dims``."""
+    if counter is not None:
+        counter.record()
+    av = _subspace(a, dims)
+    bv = _subspace(b, dims)
+    return bool(np.all(av <= bv) and np.any(av < bv))
+
+
+def dominates_matrix(
+    points: np.ndarray,
+    candidate: np.ndarray,
+    dims: "Sequence[int] | None" = None,
+    counter: "ComparisonCounter | None" = None,
+) -> bool:
+    """True iff any row of ``points`` dominates ``candidate``.
+
+    Vectorised helper used by the reference evaluator; charges one
+    comparison per row actually examined (all of them — the vectorised form
+    cannot short-circuit, matching a worst-case BNL pass).
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.size == 0:
+        return False
+    if dims is not None:
+        pts = pts[:, list(dims)]
+        candidate = _subspace(candidate, dims)
+    if counter is not None:
+        counter.record(len(pts))
+    le = np.all(pts <= candidate, axis=1)
+    lt = np.any(pts < candidate, axis=1)
+    return bool(np.any(le & lt))
+
+
+__all__ = ["ComparisonCounter", "Dominance", "compare", "dominates", "dominates_matrix"]

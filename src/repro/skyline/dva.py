@@ -1,0 +1,41 @@
+"""The Distinct Value Attributes (DVA) property [36].
+
+DVA states that no two tuples share the same value in any single skyline
+dimension.  Under DVA, a subspace skyline is contained in every superspace
+skyline (Theorem 1), which is what lets the min-max cuboid reuse child
+results without re-checking dominance.  Real-valued benchmark data satisfies
+DVA with probability one; hand-crafted or integer data may not, so the
+shared plan verifies (or is told) whether it may take the shortcut.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def holds(points: np.ndarray, dims: "Sequence[int] | None" = None) -> bool:
+    """True iff no two rows share a value in any checked dimension."""
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {matrix.shape}")
+    columns = range(matrix.shape[1]) if dims is None else dims
+    for col in columns:
+        values = matrix[:, col]
+        if len(np.unique(values)) != len(values):
+            return False
+    return True
+
+
+def violating_dimensions(points: np.ndarray) -> "list[int]":
+    """Dimensions in which at least one value repeats."""
+    matrix = np.asarray(points, dtype=float)
+    return [
+        col
+        for col in range(matrix.shape[1])
+        if len(np.unique(matrix[:, col])) != len(matrix[:, col])
+    ]
+
+
+__all__ = ["holds", "violating_dimensions"]

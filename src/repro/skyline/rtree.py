@@ -1,0 +1,130 @@
+"""A minimal in-memory R-tree (STR bulk-loaded) for index-based skylines.
+
+The paper's related work (§8) contrasts non-index skyline algorithms (BNL,
+SFS) with index-based ones — Nearest Neighbor [16] and Branch-and-Bound
+Skyline [23] — both of which need a spatial index over the data.  This
+module supplies that substrate: a static R-tree bulk-loaded with the
+Sort-Tile-Recursive (STR) packing algorithm, exposing exactly what BBS
+needs — per-node minimum bounding rectangles and child traversal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Default maximum entries per node.
+DEFAULT_FANOUT = 8
+
+
+@dataclass
+class RTreeNode:
+    """One node: either ``children`` (internal) or ``entries`` (leaf)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    children: "list[RTreeNode]" = field(default_factory=list)
+    #: Leaf payload: row indices into the indexed matrix.
+    entries: "list[int]" = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def mindist(self) -> float:
+        """L1 distance of the MBR's lower corner from the origin — the
+        monotone priority BBS expands nodes by."""
+        return float(self.lower.sum())
+
+
+class RTree:
+    """Static STR-packed R-tree over a point matrix."""
+
+    def __init__(self, points: np.ndarray, fanout: int = DEFAULT_FANOUT):
+        matrix = np.asarray(points, dtype=float)
+        if matrix.ndim != 2:
+            raise ReproError(f"expected a 2-d matrix, got shape {matrix.shape}")
+        if fanout < 2:
+            raise ReproError(f"fanout must be >= 2, got {fanout}")
+        self.points = matrix
+        self.fanout = fanout
+        self.root = self._bulk_load(matrix, fanout)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _leaf(matrix: np.ndarray, rows: np.ndarray) -> RTreeNode:
+        block = matrix[rows]
+        return RTreeNode(
+            lower=block.min(axis=0),
+            upper=block.max(axis=0),
+            entries=[int(r) for r in rows],
+        )
+
+    @classmethod
+    def _str_tile(cls, matrix, rows, fanout, axis) -> "list[np.ndarray]":
+        """Sort-Tile-Recursive partitioning of ``rows`` into leaf groups."""
+        if len(rows) <= fanout:
+            return [rows]
+        d = matrix.shape[1]
+        ordered = rows[np.argsort(matrix[rows, axis % d], kind="stable")]
+        leaves_needed = math.ceil(len(rows) / fanout)
+        slabs = max(1, round(leaves_needed ** (1.0 / max(d - axis, 1))))
+        slab_size = math.ceil(len(rows) / slabs)
+        groups: list[np.ndarray] = []
+        for start in range(0, len(ordered), slab_size):
+            slab = ordered[start : start + slab_size]
+            if axis + 1 < d and len(slab) > fanout:
+                groups.extend(cls._str_tile(matrix, slab, fanout, axis + 1))
+            else:
+                for leaf_start in range(0, len(slab), fanout):
+                    groups.append(slab[leaf_start : leaf_start + fanout])
+        return groups
+
+    @classmethod
+    def _bulk_load(cls, matrix: np.ndarray, fanout: int) -> RTreeNode:
+        if len(matrix) == 0:
+            width = matrix.shape[1] if matrix.ndim == 2 else 0
+            return RTreeNode(lower=np.zeros(width), upper=np.zeros(width))
+        rows = np.arange(len(matrix), dtype=np.intp)
+        groups = cls._str_tile(matrix, rows, fanout, axis=0)
+        level: list[RTreeNode] = [cls._leaf(matrix, g) for g in groups if len(g)]
+        while len(level) > 1:
+            parents: list[RTreeNode] = []
+            # Pack siblings in lower-corner-sum order to keep MBRs tight.
+            level.sort(key=lambda n: float(n.lower.sum()))
+            for start in range(0, len(level), fanout):
+                children = level[start : start + fanout]
+                parents.append(
+                    RTreeNode(
+                        lower=np.min([c.lower for c in children], axis=0),
+                        upper=np.max([c.upper for c in children], axis=0),
+                        children=children,
+                    )
+                )
+            level = parents
+        return level[0]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        height, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def node_count(self) -> int:
+        def count(node: RTreeNode) -> int:
+            return 1 + sum(count(c) for c in node.children)
+
+        return count(self.root)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+__all__ = ["DEFAULT_FANOUT", "RTree", "RTreeNode"]

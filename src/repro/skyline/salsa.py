@@ -1,0 +1,73 @@
+"""SaLSa — Sort and Limit Skyline algorithm (Bartolini et al. [2]).
+
+Like SFS, SaLSa presorts the input by a monotone function, but it also
+maintains a *stop point*: once the minimum-coordinate statistic of the best
+tuple seen so far proves that no unseen tuple can enter the skyline, the
+scan terminates without reading the rest of the input ("computing the
+skyline without scanning the whole sky").
+
+We use the ``minC`` variant: sorting key ``min_k(v_k)`` (ties broken by the
+sum), stop condition ``max_k(stop_k) <= key(next)`` where ``stop`` is the
+coordinate-wise minimum... concretely, with the min-based key the scan can
+stop at the first unseen tuple whose key exceeds the *minimum over
+dimensions of the maximum coordinate* of some seen skyline point — we keep
+the simplest sound form: stop when the smallest unseen sort key is at least
+``min_k(p_k^max)`` for the current best stop point ``p``.
+
+The practical upshot measured by the tests: identical skylines to BNL/SFS,
+never more input tuples examined than the full scan, and often far fewer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.window import SkylineWindow
+
+
+def salsa_order(points: np.ndarray, dims: "Sequence[int] | None" = None) -> np.ndarray:
+    """SaLSa's minC sort: ascending min coordinate, then sum."""
+    matrix = np.asarray(points, dtype=float)
+    view = matrix if dims is None else matrix[:, list(dims)]
+    mins = view.min(axis=1)
+    sums = view.sum(axis=1)
+    return np.lexsort((sums, mins))
+
+
+def salsa_skyline(
+    points: np.ndarray,
+    dims: "Sequence[int] | None" = None,
+    counter: "ComparisonCounter | None" = None,
+) -> "tuple[list[int], int]":
+    """Skyline row-indices plus the number of input tuples examined.
+
+    The second return value is SaLSa's selling point: it may be well below
+    ``len(points)`` when an early tuple dominates aggressively.
+    """
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix of points, got shape {matrix.shape}")
+    view = matrix if dims is None else matrix[:, list(dims)]
+    order = salsa_order(matrix, dims)
+    window = SkylineWindow(dims=dims, counter=counter)
+    # Stop value: the minimum over seen skyline points of their maximum
+    # coordinate.  Any unseen tuple q has min_k(q_k) >= its sort key; if
+    # key(q) > stop then the stop point p satisfies p_k <= max_j p_j = stop
+    # < min_k q_k <= q_k for every k, i.e. p dominates q.
+    stop = np.inf
+    examined = 0
+    keys = view[order].min(axis=1)
+    for position, row in enumerate(order):
+        if keys[position] > stop:
+            break
+        examined += 1
+        outcome = window.insert(int(row), matrix[row])
+        if outcome.admitted:
+            stop = min(stop, float(view[row].max()))
+    return sorted(window.keys), examined
+
+
+__all__ = ["salsa_order", "salsa_skyline"]

@@ -1,0 +1,103 @@
+"""K-skyband: tuples dominated by fewer than ``k`` others.
+
+The skyline is the 1-skyband.  Progressive decision-support applications
+use skybands to hedge against retraction: a tuple in the k-skyband stays a
+top candidate even if up to ``k - 1`` better tuples arrive later.  This is
+the paper's natural "richer result sets" extension — the contract model
+and the executors are agnostic to which band the consumer asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.skyline.dominance import ComparisonCounter
+
+
+@dataclass
+class BandEntry:
+    key: Hashable
+    vector: np.ndarray
+    dominated_by: int = 0
+
+
+@dataclass
+class SkybandWindow:
+    """Incremental k-skyband maintenance (generalises SkylineWindow).
+
+    Keeps every point dominated by fewer than ``k`` *current band members*
+    whose own dominance count is...  precisely: a point belongs to the
+    k-skyband of the inserted set iff fewer than ``k`` inserted points
+    dominate it; dominators that are themselves dominated still count, so
+    the window tracks counts against *all* inserted points that remain
+    possible dominators — which is all points in the band plus none other,
+    because a point outside the band (dominated >= k times) cannot be
+    needed to certify another point's exclusion (its own k dominators
+    transitively dominate the victim too).
+    """
+
+    k: int = 1
+    dims: "tuple[int, ...] | None" = None
+    counter: "ComparisonCounter | None" = None
+    _entries: "list[BandEntry]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ReproError(f"k must be >= 1, got {self.k}")
+
+    def _project(self, point: np.ndarray) -> np.ndarray:
+        vec = np.asarray(point, dtype=float)
+        if self.dims is not None:
+            vec = vec[list(self.dims)]
+        return vec
+
+    def insert(self, key: Hashable, point: np.ndarray) -> bool:
+        """Insert; returns True iff the point is currently in the band."""
+        vec = self._project(point)
+        dominated_by = 0
+        for entry in self._entries:
+            if self.counter is not None:
+                self.counter.record()
+            if bool(np.all(entry.vector <= vec) and np.any(entry.vector < vec)):
+                dominated_by += 1
+            elif bool(np.all(vec <= entry.vector) and np.any(vec < entry.vector)):
+                entry.dominated_by += 1
+        self._entries = [e for e in self._entries if e.dominated_by < self.k]
+        if dominated_by < self.k:
+            self._entries.append(
+                BandEntry(key=key, vector=vec, dominated_by=dominated_by)
+            )
+            return True
+        return False
+
+    @property
+    def keys(self) -> "list[Hashable]":
+        return [e.key for e in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def k_skyband(
+    points: np.ndarray,
+    k: int,
+    dims: "Sequence[int] | None" = None,
+    counter: "ComparisonCounter | None" = None,
+) -> "list[int]":
+    """Row indices of the k-skyband (ascending order)."""
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise ReproError(f"expected a 2-d matrix of points, got shape {matrix.shape}")
+    window = SkybandWindow(
+        k=k, dims=tuple(dims) if dims is not None else None, counter=counter
+    )
+    for row in range(len(matrix)):
+        window.insert(row, matrix[row])
+    return sorted(window.keys)
+
+
+__all__ = ["BandEntry", "SkybandWindow", "k_skyband"]

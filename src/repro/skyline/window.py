@@ -1,0 +1,200 @@
+"""Incremental skyline maintenance (the BNL window).
+
+A :class:`SkylineWindow` holds the skyline of every point inserted so far
+over one fixed subspace.  It is the building block shared by the BNL and
+SFS algorithms, the full skycube, the min-max-cuboid shared plan and all
+executors: inserting a point either rejects it (dominated by the current
+window) or admits it, evicting any window entries it dominates.
+
+Skyline-over-join queries are **non-monotonic** (Section 1.4): an admitted
+point may invalidate previously admitted ones.  Evictions are therefore
+reported back to the caller so progressive executors know which earlier
+results became invalid.
+
+The window is stored as a growing numpy matrix so a whole scan is one
+vectorised comparison; the *charged* comparison count keeps sequential-BNL
+semantics (a rejected insert pays only up to its first dominator, an
+admitted insert pays one comparison per window entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.skyline.dominance import ComparisonCounter
+
+_INITIAL_CAPACITY = 16
+
+
+@dataclass(frozen=True, slots=True)
+class WindowEntry:
+    """A point kept in the window plus its caller-supplied identity."""
+
+    key: Hashable
+    vector: np.ndarray  # values over the window's subspace only
+
+
+@dataclass
+class InsertOutcome:
+    """Result of one :meth:`SkylineWindow.insert` call."""
+
+    admitted: bool
+    evicted: "list[WindowEntry]" = field(default_factory=list)
+    #: True when an identical vector was already present (ties are kept:
+    #: strict dominance cannot discard an equal point).
+    duplicate: bool = False
+
+
+class SkylineWindow:
+    """Skyline of all inserted points over a fixed list of dimensions."""
+
+    __slots__ = ("dims", "counter", "_matrix", "_keys", "_size")
+
+    def __init__(
+        self,
+        dims: "Sequence[int] | None" = None,
+        counter: "ComparisonCounter | None" = None,
+    ):
+        #: Column indices (into the full point vector) this window compares;
+        #: ``None`` means the full space.
+        self.dims = tuple(dims) if dims is not None else None
+        self.counter = counter
+        self._matrix: "np.ndarray | None" = None
+        self._keys: list[Hashable] = []
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    def _project(self, point: np.ndarray) -> np.ndarray:
+        vec = np.asarray(point, dtype=float)
+        if self.dims is not None:
+            vec = vec[list(self.dims)]
+        return vec
+
+    def _ensure_capacity(self, width: int) -> None:
+        if self._matrix is None:
+            self._matrix = np.empty((_INITIAL_CAPACITY, width))
+        elif self._size == len(self._matrix):
+            grown = np.empty((2 * len(self._matrix), width))
+            grown[: self._size] = self._matrix
+            self._matrix = grown
+
+    def _append(self, key: Hashable, vec: np.ndarray) -> None:
+        self._ensure_capacity(len(vec))
+        self._matrix[self._size] = vec
+        self._keys.append(key)
+        self._size += 1
+
+    def _compact(self, keep_mask: np.ndarray) -> "list[WindowEntry]":
+        """Drop entries where ``keep_mask`` is False; return them."""
+        removed: list[WindowEntry] = []
+        if np.all(keep_mask):
+            return removed
+        removed_idx = np.nonzero(~keep_mask)[0]
+        for i in removed_idx:
+            removed.append(WindowEntry(self._keys[i], self._matrix[i].copy()))
+        kept_idx = np.nonzero(keep_mask)[0]
+        self._matrix[: len(kept_idx)] = self._matrix[kept_idx]
+        self._keys = [self._keys[i] for i in kept_idx]
+        self._size = len(kept_idx)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    def insert(self, key: Hashable, point: np.ndarray) -> InsertOutcome:
+        """Try to add ``point``; returns admission status and evictions."""
+        vec = self._project(point)
+        if self._size == 0:
+            self._append(key, vec)
+            return InsertOutcome(admitted=True)
+        window = self._matrix[: self._size]
+        entry_le = np.all(window <= vec, axis=1)
+        new_le = np.all(vec <= window, axis=1)
+        equal = entry_le & new_le
+        dominators = entry_le & ~equal
+        duplicate = bool(np.any(equal))
+        if np.any(dominators):
+            # Sequential BNL stops at the first dominating entry.
+            if self.counter is not None:
+                self.counter.record(int(np.argmax(dominators)) + 1)
+            return InsertOutcome(admitted=False, duplicate=duplicate)
+        if self.counter is not None:
+            self.counter.record(self._size)
+        dominated = new_le & ~equal
+        evicted = self._compact(~dominated)
+        self._append(key, vec)
+        return InsertOutcome(admitted=True, evicted=evicted, duplicate=duplicate)
+
+    def insert_known_member(self, key: Hashable, point: np.ndarray) -> InsertOutcome:
+        """Insert a point expected to belong to this skyline (Theorem 1).
+
+        The sharing shortcut of Theorem 1 / Corollary 1: a point in a child
+        subspace's skyline is — under the DVA property — guaranteed to be in
+        the parent's skyline, so the scan never needs to stop early to hunt
+        for a dominator.  The full scan performed for evictions verifies the
+        claim as a side effect at no extra comparison cost, so the method
+        stays *correct* even when DVA does not hold (duplicate attribute
+        values): a genuinely dominated point is rejected, exactly like
+        :meth:`insert`, just without the early-termination discount.
+        """
+        vec = self._project(point)
+        if self._size == 0:
+            self._append(key, vec)
+            return InsertOutcome(admitted=True)
+        if self.counter is not None:
+            self.counter.record(self._size)
+        window = self._matrix[: self._size]
+        entry_le = np.all(window <= vec, axis=1)
+        new_le = np.all(vec <= window, axis=1)
+        equal = entry_le & new_le
+        if bool(np.any(entry_le & ~equal)):
+            # DVA violated: the "guaranteed member" is actually dominated.
+            return InsertOutcome(admitted=False, duplicate=bool(np.any(equal)))
+        dominated = new_le & ~equal
+        evicted = self._compact(~dominated)
+        self._append(key, vec)
+        return InsertOutcome(
+            admitted=True, evicted=evicted, duplicate=bool(np.any(equal))
+        )
+
+    # ------------------------------------------------------------------ #
+    def contains_key(self, key: Hashable) -> bool:
+        return key in self._keys
+
+    def remove_key(self, key: Hashable) -> bool:
+        """Drop an entry by identity (used when a result is retracted)."""
+        try:
+            index = self._keys.index(key)
+        except ValueError:
+            return False
+        keep = np.ones(self._size, dtype=bool)
+        keep[index] = False
+        self._compact(keep)
+        return True
+
+    @property
+    def keys(self) -> "list[Hashable]":
+        return list(self._keys)
+
+    @property
+    def vectors(self) -> np.ndarray:
+        if self._size == 0:
+            width = len(self.dims) if self.dims is not None else 0
+            return np.empty((0, width))
+        return self._matrix[: self._size].copy()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self):
+        return (
+            WindowEntry(self._keys[i], self._matrix[i].copy())
+            for i in range(self._size)
+        )
+
+    def __repr__(self) -> str:
+        return f"SkylineWindow(dims={self.dims}, size={self._size})"
+
+
+__all__ = ["InsertOutcome", "SkylineWindow", "WindowEntry"]

@@ -1,0 +1,122 @@
+"""Detailed behavioural tests for individual baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import JFSL, SSMJ, ProgXePlus, RoundRobin, SJFSL
+from repro.baselines.roundrobin import DEFAULT_QUANTUM
+from repro.contracts import c1, c2
+from repro.core import CAQEConfig
+from repro.datagen import generate_pair
+from repro.query import reference_evaluate, subspace_workload
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_pair("independent", 100, 4, selectivity=0.08, seed=83)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return subspace_workload(4, priority_scheme="uniform")
+
+
+@pytest.fixture(scope="module")
+def contracts(workload):
+    return {q.name: c2(scale=100.0) for q in workload}
+
+
+class TestRoundRobinDetails:
+    def test_quantum_changes_interleaving_not_results(
+        self, pair, workload, contracts
+    ):
+        fine = RoundRobin(quantum=8).run(pair.left, pair.right, workload, contracts)
+        coarse = RoundRobin(quantum=512).run(
+            pair.left, pair.right, workload, contracts
+        )
+        for q in workload:
+            assert fine.reported[q.name] == coarse.reported[q.name]
+        # Identical total work: same virtual completion time.
+        assert fine.horizon == pytest.approx(coarse.horizon)
+
+    def test_default_quantum(self):
+        assert RoundRobin().quantum == DEFAULT_QUANTUM
+
+    def test_completions_cluster_at_the_end(self, pair, workload, contracts):
+        """Time sharing: the spread of completion times is much narrower
+        than under sequential (JFSL) processing."""
+        rr = RoundRobin().run(pair.left, pair.right, workload, contracts)
+        jf = JFSL().run(pair.left, pair.right, workload, contracts)
+        rr_times = np.array([rr.logs[q.name].completion_time for q in workload])
+        jf_times = np.array([jf.logs[q.name].completion_time for q in workload])
+        assert rr_times.std() < jf_times.std()
+
+
+class TestSSMJDetails:
+    def test_local_pruning_never_loses_results(self, pair, workload, contracts):
+        result = SSMJ().run(pair.left, pair.right, workload, contracts)
+        for q in workload:
+            ref = reference_evaluate(q, pair.left, pair.right)
+            assert result.reported[q.name] == ref.skyline_pairs
+
+    def test_sort_cost_charged(self, pair, workload, contracts):
+        """SSMJ must pay for its presort (the 'sort' in sort-merge)."""
+        ssmj = SSMJ().run(pair.left, pair.right, workload, contracts)
+        # Reconstruct the non-sort virtual time from its counters; the
+        # actual horizon must exceed it.
+        s = ssmj.stats.summary()
+        cm = ssmj.stats.clock.cost_model
+        without_sort = (
+            s["join_probes"] * cm.join_probe
+            + s["join_results"] * (cm.join_result + 4 * cm.mapping)
+            + s["skyline_comparisons"] * cm.skyline_comparison
+            + s["results_reported"] * cm.output
+        )
+        assert ssmj.horizon > without_sort
+
+
+class TestProgXeDetails:
+    def test_forces_count_objective(self):
+        engine = ProgXePlus(CAQEConfig(objective="contract", enable_feedback=True))
+        assert engine.config.objective == "count"
+        assert not engine.config.enable_feedback
+
+    def test_sequential_by_priority(self, pair, workload, contracts):
+        result = ProgXePlus().run(pair.left, pair.right, workload, contracts)
+        # The highest-priority query's first result precedes the
+        # lowest-priority query's first result.
+        ordered = workload.by_priority()
+        first_hi = result.logs[ordered[0].name].timestamps.min()
+        first_lo = result.logs[ordered[-1].name].timestamps.min()
+        assert first_hi < first_lo
+
+
+class TestSJFSLDetails:
+    def test_forces_scan_objective_and_no_lookahead(self):
+        engine = SJFSL(CAQEConfig())
+        cfg = engine.config
+        assert cfg.objective == "scan"
+        assert not cfg.enable_depgraph
+        assert not cfg.enable_coarse_pruning
+        assert not cfg.enable_tuple_discard
+        assert not cfg.enable_feedback
+
+    def test_never_discards_regions(self, pair, workload, contracts):
+        result = SJFSL().run(pair.left, pair.right, workload, contracts)
+        assert result.stats.regions_discarded == 0
+
+
+class TestDeadlineBehaviour:
+    def test_blocking_strategies_score_zero_under_impossible_deadline(
+        self, pair, workload
+    ):
+        tight = {q.name: c1(1e-6) for q in workload}
+        for strategy in (JFSL(), SSMJ()):
+            result = strategy.run(pair.left, pair.right, workload, tight)
+            assert result.average_satisfaction() == 0.0
+
+    def test_everyone_scores_one_under_infinite_deadline(self, pair, workload):
+        lax = {q.name: c1(float("inf")) for q in workload}
+        for strategy in (JFSL(), SSMJ(), SJFSL()):
+            result = strategy.run(pair.left, pair.right, workload, lax)
+            assert result.average_satisfaction() == 1.0

@@ -1,0 +1,154 @@
+"""Tests for the competitor execution strategies (Section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FIGURE_STRATEGIES,
+    JFSL,
+    SSMJ,
+    ProgXePlus,
+    RoundRobin,
+    SJFSL,
+    all_strategy_names,
+    make_strategy,
+)
+from repro.contracts import c1, c2
+from repro.core import CAQEConfig
+from repro.datagen import generate_pair
+from repro.errors import BenchmarkError, ExecutionError
+from repro.query import reference_evaluate, subspace_workload
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_pair("independent", 120, 4, selectivity=0.05, seed=31)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return subspace_workload(4, priority_scheme="dims_desc")
+
+
+@pytest.fixture(scope="module")
+def contracts(workload):
+    return {q.name: c2(scale=100.0) for q in workload}
+
+
+@pytest.fixture(scope="module")
+def references(pair, workload):
+    return {
+        q.name: reference_evaluate(q, pair.left, pair.right).skyline_pairs
+        for q in workload
+    }
+
+
+@pytest.mark.parametrize("name", all_strategy_names())
+class TestAllStrategiesExact:
+    def test_results_match_reference(
+        self, name, pair, workload, contracts, references
+    ):
+        """Every technique must compute the exact same final answers —
+        they differ only in when results are delivered and at what cost."""
+        result = make_strategy(name).run(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert result.reported[query.name] == references[query.name], name
+
+    def test_logs_complete(self, name, pair, workload, contracts, references):
+        result = make_strategy(name).run(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert len(result.logs[query.name]) == len(references[query.name])
+
+    def test_missing_contract_raises(self, name, pair, workload, contracts):
+        incomplete = {k: v for k, v in contracts.items() if k != "Q3"}
+        with pytest.raises(ExecutionError):
+            make_strategy(name).run(pair.left, pair.right, workload, incomplete)
+
+
+class TestBlockingVsProgressive:
+    def test_jfsl_reports_each_query_at_one_instant(
+        self, pair, workload, contracts
+    ):
+        result = JFSL().run(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            ts = result.logs[query.name].timestamps
+            assert len(np.unique(ts)) == 1  # blocking per query
+
+    def test_ssmj_reports_each_query_at_one_instant(
+        self, pair, workload, contracts
+    ):
+        result = SSMJ().run(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert len(np.unique(result.logs[query.name].timestamps)) == 1
+
+    def test_jfsl_queries_finish_in_priority_order(self, pair, workload, contracts):
+        result = JFSL().run(pair.left, pair.right, workload, contracts)
+        finish = {
+            q.name: result.logs[q.name].completion_time for q in workload
+        }
+        ordered = [q.name for q in workload.by_priority()]
+        times = [finish[n] for n in ordered]
+        assert times == sorted(times)
+
+    def test_progressive_strategies_spread_results(self, pair, workload, contracts):
+        for strategy in (SJFSL(), ProgXePlus()):
+            result = strategy.run(pair.left, pair.right, workload, contracts)
+            all_ts = np.concatenate(
+                [result.logs[q.name].timestamps for q in workload]
+            )
+            assert len(np.unique(all_ts)) > len(workload)
+
+    def test_roundrobin_finishes_all_queries_late(self, pair, workload, contracts):
+        """Time-sharing pushes every completion toward the horizon."""
+        result = RoundRobin().run(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert (
+                result.logs[query.name].completion_time >= 0.5 * result.horizon
+            )
+
+
+class TestSharingEffects:
+    def test_jfsl_materialises_join_per_query(self, pair, workload, contracts):
+        jfsl = JFSL().run(pair.left, pair.right, workload, contracts)
+        sjfsl = SJFSL().run(pair.left, pair.right, workload, contracts)
+        # JFSL repeats the join |S_Q| times; the shared plan pays it once.
+        assert jfsl.stats.join_results > 5 * sjfsl.stats.join_results
+
+    def test_ssmj_local_pruning_reduces_join(self, pair, workload, contracts):
+        ssmj = SSMJ().run(pair.left, pair.right, workload, contracts)
+        jfsl = JFSL().run(pair.left, pair.right, workload, contracts)
+        assert ssmj.stats.join_results < jfsl.stats.join_results
+
+    def test_progxe_runs_queries_independently(self, pair, workload, contracts):
+        progxe = ProgXePlus().run(pair.left, pair.right, workload, contracts)
+        sjfsl = SJFSL().run(pair.left, pair.right, workload, contracts)
+        assert progxe.stats.join_results > sjfsl.stats.join_results
+
+
+class TestRegistry:
+    def test_figure_strategies(self):
+        assert FIGURE_STRATEGIES == ("CAQE", "S-JFSL", "JFSL", "ProgXe+", "SSMJ")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(BenchmarkError):
+            make_strategy("Oracle")
+
+    def test_config_threads_through(self, pair, workload, contracts):
+        cfg = CAQEConfig(target_cells=4)
+        result = make_strategy("CAQE", cfg).run(
+            pair.left, pair.right, workload, contracts
+        )
+        assert result.stats.regions_processed <= 16 * 16
+
+    def test_table3_matrix(self):
+        from repro.baselines import feature_matrix
+
+        matrix = feature_matrix()
+        assert matrix["CAQE"].supports_qos
+        assert not matrix["S-JFSL"].supports_qos
+        assert matrix["S-JFSL"].multiple_queries and matrix["S-JFSL"].progressive
+        assert not matrix["JFSL"].progressive
+        assert matrix["ProgXe+"].progressive and not matrix["ProgXe+"].multiple_queries
+        assert not matrix["SSMJ"].progressive
+        only_qos = [name for name, caps in matrix.items() if caps.supports_qos]
+        assert only_qos == ["CAQE"]

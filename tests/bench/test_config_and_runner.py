@@ -1,0 +1,152 @@
+"""Tests for the experiment harness (configs, calibration, runner)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.config import (
+    CALIBRATION,
+    PRIORITY_SCHEME_BY_CONTRACT,
+    ExperimentConfig,
+    experiment_for,
+    scale_factor,
+)
+from repro.bench.reporting import render_feature_matrix, render_table
+from repro.bench.runner import (
+    calibrated_contracts,
+    make_pair,
+    make_workload,
+    reference_time,
+    run_comparison,
+)
+from repro.contracts import (
+    DeadlineContract,
+    HybridContract,
+    LogDecayContract,
+    PercentPerIntervalContract,
+    SoftDeadlineContract,
+)
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig("independent", cardinality=80, selectivity=0.05, seed=3)
+
+
+class TestConfig:
+    def test_scale_factor_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+
+    def test_scale_factor_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        assert scale_factor() == 0.1
+
+    def test_scale_factor_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(BenchmarkError):
+            scale_factor()
+
+    def test_scaled_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        config = ExperimentConfig("independent", cardinality=100)
+        assert config.scaled().cardinality == 200
+
+    def test_experiment_for_known(self):
+        for dist in ("independent", "correlated", "anticorrelated"):
+            assert experiment_for(dist).distribution == dist
+
+    def test_experiment_for_unknown(self):
+        with pytest.raises(BenchmarkError):
+            experiment_for("zipf")
+
+    def test_priority_schemes_follow_section72(self):
+        assert PRIORITY_SCHEME_BY_CONTRACT["C1"] == "dims_asc"
+        assert PRIORITY_SCHEME_BY_CONTRACT["C2"] == "dims_asc"
+        assert PRIORITY_SCHEME_BY_CONTRACT["C3"] == "dims_desc"
+        assert PRIORITY_SCHEME_BY_CONTRACT["C4"] == "dims_desc"
+        assert PRIORITY_SCHEME_BY_CONTRACT["C5"] == "uniform"
+
+
+class TestCalibration:
+    def test_reference_time_positive(self, tiny_config):
+        pair = make_pair(tiny_config)
+        workload = make_workload(tiny_config, "C1")
+        assert reference_time(pair, workload, tiny_config) > 0
+
+    def test_contract_types(self):
+        workload = make_workload(
+            ExperimentConfig("independent", 50), "C1"
+        )
+        t_ref = 1000.0
+        assert isinstance(
+            calibrated_contracts("C1", workload, t_ref)["Q1"], DeadlineContract
+        )
+        assert isinstance(
+            calibrated_contracts("C2", workload, t_ref)["Q1"], LogDecayContract
+        )
+        assert isinstance(
+            calibrated_contracts("C3", workload, t_ref)["Q1"], SoftDeadlineContract
+        )
+        assert isinstance(
+            calibrated_contracts("C4", workload, t_ref)["Q1"],
+            PercentPerIntervalContract,
+        )
+        assert isinstance(
+            calibrated_contracts("C5", workload, t_ref)["Q1"], HybridContract
+        )
+
+    def test_deadline_scales_with_t_ref(self):
+        workload = make_workload(ExperimentConfig("independent", 50), "C1")
+        a = calibrated_contracts("C1", workload, 1000.0)["Q1"]
+        b = calibrated_contracts("C1", workload, 2000.0)["Q1"]
+        assert b.deadline == 2 * a.deadline
+        assert a.deadline == CALIBRATION["deadline_fraction"] * 1000.0
+
+    def test_unknown_contract_class(self):
+        workload = make_workload(ExperimentConfig("independent", 50), "C1")
+        with pytest.raises(BenchmarkError):
+            calibrated_contracts("C9", workload, 1.0)
+
+
+class TestRunComparison:
+    def test_comparison_runs_all_strategies(self, tiny_config):
+        comparison = run_comparison(tiny_config, "C1", ("CAQE", "JFSL"))
+        assert set(comparison.outcomes) == {"CAQE", "JFSL"}
+        for outcome in comparison.outcomes.values():
+            assert 0.0 <= outcome.average_satisfaction <= 1.0
+            assert outcome.stats["join_results"] > 0
+
+    def test_relative_to(self, tiny_config):
+        comparison = run_comparison(tiny_config, "C2", ("CAQE", "JFSL"))
+        rel = comparison.relative_to("JFSL", "join_results")
+        assert rel == pytest.approx(
+            comparison.stat("JFSL", "join_results")
+            / comparison.stat("CAQE", "join_results")
+        )
+        assert comparison.relative_to("CAQE", "join_results") == 1.0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bbbb"), [(1, 2.5), ("xx", 3.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+        assert "2.500" in text
+
+    def test_render_table_with_title(self):
+        text = render_table(("x",), [(1,)], title="T")
+        assert text.startswith("T\n")
+
+    def test_render_empty_rows(self):
+        text = render_table(("col",), [])
+        assert "col" in text
+
+    def test_feature_matrix_renders(self):
+        text = render_feature_matrix()
+        assert "CAQE" in text and "ProgXe+" in text

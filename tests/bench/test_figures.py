@@ -1,0 +1,90 @@
+"""Tests for the figure builders (small data sizes: structure, not shape)."""
+
+import pytest
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.figures import (
+    figure6_sizes,
+    figure9,
+    figure10,
+    figure11,
+    workload_of_size,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig("independent", cardinality=70, selectivity=0.05, seed=9)
+
+
+class TestWorkloadOfSize:
+    @pytest.mark.parametrize("size", [1, 3, 6, 11])
+    def test_sizes(self, size):
+        assert len(workload_of_size(size, "C2")) == size
+
+    def test_size_one_is_full_space_query(self):
+        wl = workload_of_size(1, "C2")
+        assert len(wl.queries[0].preference) == 4
+
+    def test_interleaving_is_diverse(self):
+        wl = workload_of_size(3, "C2")
+        sizes = sorted(len(q.preference) for q in wl)
+        assert len(set(sizes)) >= 2  # not all the same dimensionality
+
+    def test_priorities_follow_scheme(self):
+        wl = workload_of_size(11, "C3")  # dims_desc
+        full = next(q for q in wl if len(q.preference) == 4)
+        assert full.priority == min(q.priority for q in wl)
+
+
+class TestFigure6:
+    def test_sizes(self):
+        sizes = figure6_sizes()
+        assert sizes == {"full_skycube": 15, "min_max_cuboid": 8}
+
+
+class TestFigure9Structure:
+    def test_subset_of_contracts_and_strategies(self, tiny_config):
+        fig = figure9(
+            "independent",
+            config=tiny_config,
+            strategies=("CAQE", "JFSL"),
+            contract_classes=("C1",),
+        )
+        assert set(fig.comparisons) == {"C1"}
+        assert 0.0 <= fig.satisfaction("C1", "CAQE") <= 1.0
+        assert 0.0 <= fig.satisfaction("C1", "JFSL") <= 1.0
+
+    def test_table_renders(self, tiny_config):
+        fig = figure9(
+            "independent",
+            config=tiny_config,
+            strategies=("CAQE", "S-JFSL", "JFSL", "ProgXe+", "SSMJ"),
+            contract_classes=("C1",),
+        )
+        text = fig.table()
+        assert "Figure 9" in text and "C1" in text
+
+
+class TestFigure10Structure:
+    def test_relative_metrics(self, tiny_config):
+        fig = figure10(
+            "independent", config=tiny_config, strategies=("CAQE", "JFSL")
+        )
+        assert fig.relative("CAQE", "join_results") == 1.0
+        assert fig.relative("JFSL", "join_results") > 1.0
+        assert "Figure 10" in fig.table()
+
+
+class TestFigure11Structure:
+    def test_series_and_drop(self, tiny_config):
+        fig = figure11(
+            "C2",
+            sizes=(1, 3),
+            config=tiny_config,
+            strategies=("CAQE", "SSMJ"),
+        )
+        assert set(fig.series) == {1, 3}
+        assert 0.0 <= fig.satisfaction(1, "CAQE") <= 1.0
+        assert isinstance(fig.drop("CAQE"), float)
+        assert "Figure 11" in fig.table()

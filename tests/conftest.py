@@ -1,0 +1,57 @@
+"""Shared fixtures: the Figure-1 workload, small table pairs, helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import generate_pair
+from repro.query import (
+    JoinCondition,
+    Preference,
+    SkylineJoinQuery,
+    Workload,
+    add,
+    subspace_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def figure1_functions():
+    return tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in range(1, 5))
+
+
+@pytest.fixture(scope="session")
+def figure1_workload(figure1_functions):
+    """The paper's running workload (Figure 1) on a single join condition.
+
+    The original uses two join conditions; most plan-level tests only need
+    the skyline-dimension structure, which is unchanged by the condition.
+    """
+    jc = JoinCondition.on("jc1", name="JC1")
+    f = figure1_functions
+    return Workload(
+        [
+            SkylineJoinQuery("Q1", jc, f[:2], Preference.over("d1", "d2")),
+            SkylineJoinQuery("Q2", jc, f[:3], Preference.over("d1", "d2", "d3")),
+            SkylineJoinQuery("Q3", jc, f[1:3], Preference.over("d2", "d3")),
+            SkylineJoinQuery("Q4", jc, f[1:4], Preference.over("d2", "d3", "d4")),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def eleven_query_workload():
+    """The experiments' |S_Q| = 11 workload (all 2..4-dim subspaces)."""
+    return subspace_workload(4, priority_scheme="uniform")
+
+
+@pytest.fixture(scope="session")
+def small_pair():
+    """A small independent benchmark pair usable across integration tests."""
+    return generate_pair("independent", 200, 4, selectivity=0.05, seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,105 @@
+"""Tests for contract introspection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import ResultLog, c1, c2, c3, c4, c5
+from repro.contracts.analysis import (
+    contract_curve,
+    delivery_profile,
+    ideal_pacing,
+    ideal_satisfaction,
+    regret,
+)
+from repro.errors import ContractError
+
+
+class TestContractCurve:
+    def test_deadline_curve_is_a_step(self):
+        ts, u = contract_curve(c1(10.0), horizon=20.0, samples=41)
+        assert u[0] == 1.0 and u[-1] == 0.0
+        assert set(np.unique(u)) == {0.0, 1.0}
+
+    def test_decay_curve_is_nonincreasing(self):
+        for contract in (c2(), c3(5.0)):
+            _, u = contract_curve(contract, horizon=50.0)
+            assert np.all(np.diff(u) <= 1e-9), contract.name
+
+    def test_hybrid_single_tuple_curve_bounded(self):
+        """C5's single-tuple view multiplies a *negative* below-quota
+        cardinality term by a decaying time factor — bounded, not monotone."""
+        _, u = contract_curve(c5(0.1, 1.0), horizon=50.0)
+        assert np.all(u >= -1.0) and np.all(u <= 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ContractError):
+            contract_curve(c1(1.0), horizon=0.0)
+        with pytest.raises(ContractError):
+            contract_curve(c1(1.0), horizon=10.0, samples=1)
+
+
+class TestIdealPacing:
+    def test_time_contract_delivers_immediately(self):
+        schedule = ideal_pacing(c1(10.0), 5, horizon=100.0)
+        np.testing.assert_array_equal(schedule, np.zeros(5))
+
+    def test_quota_contract_paces(self):
+        contract = c4(fraction=0.25, interval=2.0)
+        schedule = ideal_pacing(contract, 8, horizon=100.0)
+        # 2 per interval across 4 intervals, at midpoints.
+        assert len(schedule) == 8
+        _, counts = np.unique(schedule, return_counts=True)
+        assert counts.tolist() == [2, 2, 2, 2]
+
+    def test_zero_results(self):
+        assert len(ideal_pacing(c1(1.0), 0, 10.0)) == 0
+
+    def test_ideal_satisfaction_is_max(self):
+        for contract in (c1(10.0), c4(0.1, 1.0)):
+            assert ideal_satisfaction(contract, 20, 100.0) == 1.0
+
+    def test_log_decay_ideal_below_one_is_fine(self):
+        value = ideal_satisfaction(c2(scale=0.001), 10, 100.0)
+        assert 0.0 <= value <= 1.0
+
+
+class TestDeliveryProfile:
+    def test_counts(self):
+        log = ResultLog("Q")
+        log.report_batch(["a", "b"], 0.5)
+        log.report_batch(["c"], 2.5)
+        np.testing.assert_array_equal(
+            delivery_profile(log, interval=1.0), [2, 0, 1]
+        )
+
+    def test_padding_to_horizon(self):
+        log = ResultLog("Q")
+        log.report("a", 0.5)
+        profile = delivery_profile(log, interval=1.0, horizon=5.0)
+        assert len(profile) == 5 and profile.sum() == 1
+
+    def test_empty_log(self):
+        profile = delivery_profile(ResultLog("Q"), 1.0, horizon=3.0)
+        np.testing.assert_array_equal(profile, [0, 0, 0])
+
+    def test_invalid_interval(self):
+        with pytest.raises(ContractError):
+            delivery_profile(ResultLog("Q"), 0.0)
+
+
+class TestRegret:
+    def test_perfect_execution_zero_regret(self):
+        log = ResultLog("Q")
+        log.report_batch(range(5), 0.0)
+        assert regret(c1(10.0), log) == 0.0
+
+    def test_late_execution_positive_regret(self):
+        log = ResultLog("Q")
+        log.report_batch(range(5), 50.0)
+        assert regret(c1(10.0), log, horizon=100.0) == 1.0
+
+    def test_bounded(self):
+        log = ResultLog("Q")
+        log.report_batch(range(3), 7.0)
+        for contract in (c1(10.0), c2(), c4(0.1, 2.0), c5(0.1, 2.0)):
+            assert 0.0 <= regret(contract, log, horizon=20.0) <= 1.0

@@ -1,0 +1,153 @@
+"""Tests for cardinality-based contracts (C4, Equations 3-4, Examples 9-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts.cardinality import (
+    PercentPerIntervalContract,
+    RateContract,
+    interval_counts,
+)
+from repro.errors import ContractError
+
+
+class TestIntervalCounts:
+    def test_basic_bucketing(self):
+        idx, counts = interval_counts(np.array([0.5, 0.9, 1.5, 3.2]), 1.0)
+        np.testing.assert_array_equal(idx, [0, 0, 1, 3])
+        np.testing.assert_array_equal(counts, [2, 1, 0, 1])
+
+    def test_zero_goes_to_first_interval(self):
+        idx, _ = interval_counts(np.array([0.0]), 1.0)
+        assert idx[0] == 0
+
+    def test_boundary_belongs_to_earlier_interval(self):
+        idx, _ = interval_counts(np.array([1.0, 2.0]), 1.0)
+        np.testing.assert_array_equal(idx, [0, 1])
+
+    def test_empty(self):
+        idx, counts = interval_counts(np.array([]), 1.0)
+        assert len(idx) == 0 and len(counts) == 0
+
+
+class TestPercentPerInterval:
+    def test_example9_meeting_quota(self):
+        """Equation 3: intervals delivering >= 10% of N score 1 per tuple."""
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        # 2 of N=20 per interval = exactly 10%.
+        ts = np.array([0.5, 0.6, 1.5, 1.6])
+        np.testing.assert_array_equal(c.tuple_utilities(ts, 20), [1.0] * 4)
+
+    def test_example9_missing_quota_is_negative(self):
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        # 1 of N=20 in the interval: ratio 0.05 -> 1/2 - 1 = -0.5.
+        u = c.tuple_utilities(np.array([0.5]), 20)
+        assert u[0] == pytest.approx(-0.5)
+
+    def test_pacing_gives_full_satisfaction(self):
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        # 10% of 20 results in each of 10 intervals.
+        ts = np.concatenate([np.full(2, t + 0.5) for t in range(10)])
+        assert c.satisfaction(ts, 20) == 1.0
+
+    def test_blocking_dump_scores_poorly(self):
+        """Everything delivered in interval 20: 19 empty intervals first,
+        so the average interval score collapses to ~1/20."""
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        ts = np.full(20, 19.5)
+        assert 0.0 < c.satisfaction(ts, 20) <= 0.06
+
+    def test_instant_dump_scores_one(self):
+        """Delivering 100% in the first interval trivially meets the quota."""
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        assert c.satisfaction(np.full(20, 0.5), 20) == 1.0
+
+    def test_satisfaction_zero_total(self):
+        c = PercentPerIntervalContract()
+        assert c.satisfaction(np.array([]), 0) == 1.0
+        assert c.satisfaction(np.array([]), 10) == 0.0
+
+    def test_batch_utility_meets_quota(self):
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        assert c.batch_utility(3.0, 10, 100) == pytest.approx(10.0)
+
+    def test_batch_utility_below_quota_clamped_to_zero(self):
+        """The optimizer's planning view clamps Equation 3's negative
+        branch (delivering a small batch must never look worse than
+        delivering nothing); pScore keeps the literal signed form."""
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        assert c.batch_utility(3.0, 5, 100) == 0.0
+        assert c.pscore(np.full(5, 3.0), 100) == pytest.approx(5 * (-0.5))
+
+    def test_batch_utilities_vector_matches_scalar(self):
+        c = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        times = np.array([1.0, 2.0, 3.0])
+        batches = np.array([10.0, 5.0, 0.0])
+        vec = c.batch_utilities(times, batches, 100)
+        for i in range(3):
+            assert vec[i] == pytest.approx(c.batch_utility(times[i], batches[i], 100))
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.5, -0.1])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(ContractError):
+            PercentPerIntervalContract(fraction=fraction)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ContractError):
+            PercentPerIntervalContract(interval=0.0)
+
+
+class TestRateContract:
+    def test_example10_at_rate(self):
+        """Equation 4: exactly 5 tuples/interval is ideal."""
+        c = RateContract(rate=5.0, interval=1.0)
+        ts = np.full(5, 0.5)
+        np.testing.assert_array_equal(c.tuple_utilities(ts, 5), [1.0] * 5)
+
+    def test_example10_overload_penalised(self):
+        c = RateContract(rate=5.0, interval=1.0)
+        ts = np.full(10, 0.5)  # 10 tuples in one interval: utility 5/10
+        np.testing.assert_allclose(c.tuple_utilities(ts, 10), 0.5)
+
+    def test_example10_starvation_penalised(self):
+        c = RateContract(rate=5.0, interval=1.0)
+        u = c.tuple_utilities(np.array([0.5]), 1)  # 1 of 5: utility 1/5
+        assert u[0] == pytest.approx(0.2)
+
+    def test_ideal_intervals(self):
+        c = RateContract(rate=5.0)
+        assert c.ideal_intervals(12) == 3
+        assert c.ideal_intervals(0) == 0
+
+    def test_batch_utilities_matches_scalar(self):
+        c = RateContract(rate=5.0)
+        for b in (0.0, 3.0, 5.0, 12.0):
+            assert c.batch_utilities(np.array([1.0]), np.array([b]), 10)[
+                0
+            ] == pytest.approx(c.batch_utility(1.0, b, 10))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ContractError):
+            RateContract(rate=0.0)
+
+
+@given(
+    ts=st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=50),
+    total=st.integers(1, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_c4_utilities_bounded(ts, total):
+    c = PercentPerIntervalContract(fraction=0.1, interval=5.0)
+    u = c.tuple_utilities(np.asarray(ts), total)
+    assert np.all(u <= 1.0) and np.all(u >= -1.0)
+    assert 0.0 <= c.satisfaction(np.asarray(ts), total) <= 1.0
+
+
+@given(ts=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_property_rate_utilities_bounded(ts):
+    c = RateContract(rate=3.0, interval=2.0)
+    u = c.tuple_utilities(np.asarray(ts), len(ts))
+    assert np.all(u >= 0.0) and np.all(u <= 1.0)

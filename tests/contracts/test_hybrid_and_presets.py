@@ -1,0 +1,106 @@
+"""Tests for hybrid contracts (Equation 5, C5) and the Table 2 presets."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    CONTRACT_CLASSES,
+    DeadlineContract,
+    HybridContract,
+    InverseTimeContract,
+    LogDecayContract,
+    PercentPerIntervalContract,
+    SoftDeadlineContract,
+    c1,
+    c2,
+    c3,
+    c4,
+    c5,
+    make,
+)
+from repro.errors import ContractError
+
+
+class TestInverseTime:
+    def test_clamped_early(self):
+        c = InverseTimeContract()
+        assert c.utility_at(0.5) == 1.0
+
+    def test_inverse_tail(self):
+        c = InverseTimeContract()
+        assert c.utility_at(4.0) == pytest.approx(0.25)
+
+    def test_scale(self):
+        c = InverseTimeContract(scale=10.0)
+        assert c.utility_at(40.0) == pytest.approx(0.25)
+
+
+class TestHybrid:
+    def test_equation5_product(self):
+        """Example 11 / Equation 5: combined utility is the product."""
+        card = PercentPerIntervalContract(fraction=0.1, interval=1.0)
+        time = DeadlineContract(5.0)
+        hybrid = HybridContract(card, time)
+        ts = np.array([0.5] * 10 + [6.5] * 10)  # two full-quota intervals
+        u = hybrid.tuple_utilities(ts, 100)
+        u_card = card.tuple_utilities(ts, 100)
+        u_time = time.tuple_utilities(ts, 100)
+        np.testing.assert_allclose(u, u_card * u_time)
+
+    def test_late_batch_has_zero_utility_under_deadline(self):
+        hybrid = HybridContract(
+            PercentPerIntervalContract(0.1, 1.0), DeadlineContract(5.0)
+        )
+        assert hybrid.batch_utility(10.0, 50, 100) == 0.0
+
+    def test_batch_utilities_vector_matches_scalar(self):
+        hybrid = c5(0.1, 1.0)
+        times = np.array([0.5, 3.0, 50.0])
+        batches = np.array([10.0, 2.0, 30.0])
+        vec = hybrid.batch_utilities(times, batches, 100)
+        for i in range(3):
+            assert vec[i] == pytest.approx(
+                hybrid.batch_utility(times[i], batches[i], 100), abs=1e-12
+            )
+
+    def test_rejects_non_contracts(self):
+        with pytest.raises(ContractError):
+            HybridContract("not a contract", DeadlineContract(1.0))  # type: ignore
+
+
+class TestPresets:
+    def test_c1_type(self):
+        assert isinstance(c1(10.0), DeadlineContract)
+
+    def test_c2_type(self):
+        assert isinstance(c2(), LogDecayContract)
+
+    def test_c3_type(self):
+        assert isinstance(c3(10.0), SoftDeadlineContract)
+
+    def test_c4_type_and_params(self):
+        contract = c4(fraction=0.2, interval=3.0)
+        assert isinstance(contract, PercentPerIntervalContract)
+        assert contract.fraction == 0.2 and contract.interval == 3.0
+
+    def test_c5_is_hybrid_of_c4_and_inverse_time(self):
+        contract = c5(0.1, 2.0, time_scale=5.0)
+        assert isinstance(contract, HybridContract)
+        assert isinstance(contract.cardinality, PercentPerIntervalContract)
+        assert isinstance(contract.time, InverseTimeContract)
+
+    @pytest.mark.parametrize("name", CONTRACT_CLASSES)
+    def test_make_builds_each_class(self, name):
+        contract = make(name, deadline=7.0, interval=2.0, fraction=0.25)
+        assert contract.name.startswith(name[:2]) or name in contract.name
+
+    def test_make_unknown_raises(self):
+        with pytest.raises(ContractError):
+            make("C9")
+
+    def test_table2_c5_time_component_is_1_over_ts(self):
+        """Table 2: C5's time factor is 1/ts (clamped)."""
+        contract = c5(0.1, 1.0)
+        # One full-quota interval at ts=4: card=1, time=1/4.
+        u = contract.tuple_utilities(np.full(10, 4.0), 100)
+        np.testing.assert_allclose(u, 0.25)

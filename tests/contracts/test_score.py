@@ -1,0 +1,116 @@
+"""Tests for result logs, pScore (Equations 6-7), and the runtime tracker."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    DeadlineContract,
+    ResultLog,
+    SatisfactionTracker,
+    c1,
+    c2,
+    pscore,
+    satisfaction,
+    score_workload,
+)
+from repro.errors import ContractError
+from repro.query import subspace_workload
+
+
+class TestResultLog:
+    def test_report_and_read(self):
+        log = ResultLog("Q1")
+        log.report(("a", 1), 1.0)
+        log.report(("b", 2), 2.5)
+        assert len(log) == 2
+        assert log.keys == [("a", 1), ("b", 2)]
+        np.testing.assert_array_equal(log.timestamps, [1.0, 2.5])
+        assert log.completion_time == 2.5
+
+    def test_rejects_time_travel(self):
+        log = ResultLog("Q1")
+        log.report("a", 5.0)
+        with pytest.raises(ContractError, match="non-monotonic"):
+            log.report("b", 4.0)
+
+    def test_batch(self):
+        log = ResultLog("Q1")
+        log.report_batch(["a", "b", "c"], 3.0)
+        assert len(log) == 3
+        assert log.completion_time == 3.0
+
+    def test_empty(self):
+        log = ResultLog("Q1")
+        assert len(log) == 0 and log.completion_time == 0.0
+
+
+class TestPscore:
+    def test_equation7_sums_utilities(self):
+        log = ResultLog("Q")
+        log.report_batch(range(3), 1.0)   # inside deadline
+        log.report_batch(range(3, 5), 20.0)  # outside
+        assert pscore(log, DeadlineContract(10.0)) == 3.0
+
+    def test_total_defaults_to_log_size(self):
+        log = ResultLog("Q")
+        log.report_batch(range(4), 1.0)
+        assert pscore(log, c1(10.0)) == 4.0
+
+    def test_satisfaction_normalised(self):
+        log = ResultLog("Q")
+        log.report_batch(range(2), 1.0)
+        log.report_batch(range(2, 4), 20.0)
+        assert satisfaction(log, DeadlineContract(10.0)) == 0.5
+
+
+class TestScoreWorkload:
+    def test_scores_all_queries(self):
+        wl = subspace_workload(3, priority_scheme="uniform")
+        contracts = {q.name: c1(10.0) for q in wl}
+        logs = {}
+        for q in wl:
+            log = ResultLog(q.name)
+            log.report_batch(range(2), 5.0)
+            logs[q.name] = log
+        score = score_workload(wl, contracts, logs)
+        assert set(score.per_query_satisfaction) == set(wl.names)
+        assert score.average_satisfaction == 1.0
+        assert score.total_pscore == 2.0 * len(wl)
+
+    def test_missing_log_counts_as_empty(self):
+        wl = subspace_workload(2)
+        contracts = {q.name: c1(10.0) for q in wl}
+        score = score_workload(wl, contracts, logs={}, totals={"Q1": 5.0})
+        assert score.per_query_pscore["Q1"] == 0.0
+        assert score.per_query_satisfaction["Q1"] == 0.0
+
+    def test_missing_contract_raises(self):
+        wl = subspace_workload(2)
+        with pytest.raises(ContractError, match="no contract"):
+            score_workload(wl, {}, logs={})
+
+
+class TestSatisfactionTracker:
+    def test_runtime_metric_updates(self):
+        tracker = SatisfactionTracker(
+            {"Q1": c1(10.0), "Q2": c1(10.0)},
+            {"Q1": 10.0, "Q2": 10.0},
+        )
+        assert tracker.runtime_satisfaction("Q1") == 0.0
+        tracker.record("Q1", ["a", "b"], 2.0)
+        assert tracker.runtime_satisfaction("Q1") == 1.0
+        assert tracker.runtime_satisfaction("Q2") == 0.0
+
+    def test_snapshot(self):
+        tracker = SatisfactionTracker({"Q1": c2()}, {"Q1": 5.0})
+        tracker.record("Q1", ["x"], 1.0)
+        snap = tracker.snapshot()
+        assert set(snap) == {"Q1"}
+        assert 0.0 <= snap["Q1"] <= 1.0
+
+    def test_reported_count_and_log(self):
+        tracker = SatisfactionTracker({"Q1": c1(5.0)}, {"Q1": 3.0})
+        tracker.record("Q1", ["a"], 1.0)
+        tracker.record("Q1", ["b"], 2.0)
+        assert tracker.reported_count("Q1") == 2
+        assert tracker.log("Q1").keys == ["a", "b"]

@@ -1,0 +1,170 @@
+"""Tests for time-based contracts (C1-C3, Equations 1-2, Examples 7-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts.time_based import (
+    DeadlineContract,
+    LogDecayContract,
+    PiecewiseTimeContract,
+    SoftDeadlineContract,
+)
+from repro.errors import ContractError
+
+
+class TestDeadline:
+    def test_example7_step_function(self):
+        """Example 7: all tuples after 30 minutes are useless."""
+        c = DeadlineContract(30.0)
+        u = c.tuple_utilities(np.array([0.0, 29.9, 30.0, 30.1, 100.0]), 10)
+        np.testing.assert_array_equal(u, [1.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_pscore_counts_only_in_deadline(self):
+        c = DeadlineContract(10.0)
+        assert c.pscore(np.array([1.0, 5.0, 15.0]), 3) == 2.0
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ContractError):
+            DeadlineContract(0.0)
+
+    def test_name_mentions_parameter(self):
+        assert "10" in DeadlineContract(10.0).name
+
+
+class TestLogDecay:
+    def test_clamped_to_one_early(self):
+        c = LogDecayContract()
+        assert c.utility_at(0.5) == 1.0
+        assert c.utility_at(2.0) == 1.0  # 1/log(2) > 1, clamped
+
+    def test_decays(self):
+        c = LogDecayContract()
+        assert c.utility_at(10.0) > c.utility_at(100.0) > c.utility_at(10000.0)
+
+    def test_matches_formula_beyond_e(self):
+        c = LogDecayContract()
+        assert c.utility_at(100.0) == pytest.approx(1.0 / np.log(100.0))
+
+    def test_scale_rescales_time_axis(self):
+        plain, scaled = LogDecayContract(), LogDecayContract(scale=10.0)
+        assert scaled.utility_at(1000.0) == pytest.approx(plain.utility_at(100.0))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ContractError):
+            LogDecayContract(0.0)
+
+
+class TestSoftDeadline:
+    def test_full_before_deadline(self):
+        c = SoftDeadlineContract(10.0)
+        np.testing.assert_array_equal(
+            c.tuple_utilities(np.array([0.0, 10.0]), 5), [1.0, 1.0]
+        )
+
+    def test_paper_example_12s_gives_half(self):
+        """§7.2: under C3 with t=10, a tuple at 12 s has utility 0.5."""
+        c = SoftDeadlineContract(10.0)
+        assert c.utility_at(12.0) == pytest.approx(0.5)
+
+    def test_hyperbolic_tail(self):
+        c = SoftDeadlineContract(10.0)
+        assert c.utility_at(20.0) == pytest.approx(0.1)
+        assert c.utility_at(110.0) == pytest.approx(0.01)
+
+    def test_tail_clamped_to_one(self):
+        c = SoftDeadlineContract(10.0)
+        assert c.utility_at(10.5) == 1.0  # 1/0.5 = 2, clamped
+
+
+class TestPiecewise:
+    def test_example8_shape(self):
+        """Example 8: 1 until 5, 0.8 until 30, log decay after."""
+        c = PiecewiseTimeContract(
+            steps=[(5.0, 1.0), (30.0, 0.8)],
+            tail=lambda ts: 1.0 / np.log(np.maximum(ts, 1.001)),
+        )
+        u = c.tuple_utilities(np.array([1.0, 5.0, 10.0, 30.0, 100.0]), 1)
+        assert u[0] == 1.0 and u[1] == 1.0
+        assert u[2] == 0.8 and u[3] == 0.8
+        assert u[4] == pytest.approx(1.0 / np.log(100.0))
+
+    def test_no_tail_defaults_to_zero(self):
+        c = PiecewiseTimeContract(steps=[(5.0, 1.0)])
+        assert c.utility_at(6.0) == 0.0
+
+    def test_rejects_unsorted_steps(self):
+        with pytest.raises(ContractError):
+            PiecewiseTimeContract(steps=[(10.0, 1.0), (5.0, 0.5)])
+
+    def test_rejects_out_of_range_utility(self):
+        with pytest.raises(ContractError):
+            PiecewiseTimeContract(steps=[(5.0, 1.5)])
+
+    def test_rejects_empty_steps(self):
+        with pytest.raises(ContractError):
+            PiecewiseTimeContract(steps=[])
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "contract",
+        [
+            DeadlineContract(10.0),
+            LogDecayContract(),
+            SoftDeadlineContract(10.0),
+            PiecewiseTimeContract(steps=[(5.0, 1.0)]),
+        ],
+    )
+    def test_rejects_negative_timestamps(self, contract):
+        with pytest.raises(ContractError):
+            contract.tuple_utilities(np.array([-1.0]), 1)
+
+    @pytest.mark.parametrize(
+        "contract",
+        [DeadlineContract(10.0), LogDecayContract(), SoftDeadlineContract(10.0)],
+    )
+    def test_batch_utility_scales_with_size(self, contract):
+        one = contract.batch_utility(5.0, 1, 100)
+        ten = contract.batch_utility(5.0, 10, 100)
+        assert ten == pytest.approx(10 * one)
+
+    def test_batch_utility_empty(self):
+        assert DeadlineContract(10.0).batch_utility(5.0, 0, 100) == 0.0
+
+    def test_satisfaction_empty_log(self):
+        c = DeadlineContract(10.0)
+        assert c.satisfaction(np.array([]), total_results=5) == 0.0
+        assert c.satisfaction(np.array([]), total_results=0) == 1.0
+
+
+@given(
+    ts=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=30),
+    deadline=st.floats(0.1, 1e5, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_time_utilities_within_unit_interval(ts, deadline):
+    arr = np.asarray(ts)
+    for contract in (
+        DeadlineContract(deadline),
+        LogDecayContract(),
+        SoftDeadlineContract(deadline),
+    ):
+        u = contract.tuple_utilities(arr, len(ts))
+        assert np.all(u >= 0.0) and np.all(u <= 1.0)
+
+
+@given(
+    early=st.floats(0, 100, allow_nan=False),
+    delta=st.floats(0.1, 1e4, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_time_utilities_never_increase_with_time(early, delta):
+    late = early + delta
+    for contract in (
+        DeadlineContract(50.0),
+        LogDecayContract(),
+        SoftDeadlineContract(50.0),
+    ):
+        assert contract.utility_at(late) <= contract.utility_at(early) + 1e-12

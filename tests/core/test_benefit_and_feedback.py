@@ -1,0 +1,205 @@
+"""Tests for the CSM benefit model (Eqs 8-10) and feedback (Eq 11)."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import c1, c2, c4
+from repro.core.benefit import (
+    BenefitModel,
+    prog_count_exact,
+    prog_ratio_volume,
+)
+from repro.core.clock import CostModel
+from repro.core.feedback import update_weights
+from repro.core.output_space import OutputGrid
+from repro.core.region import OutputRegion
+from repro.errors import ExecutionError
+from repro.plan import build_minmax_cuboid
+
+
+def region(region_id, lower, upper, coord_lo, coord_hi, rql=0b1, est=10.0):
+    return OutputRegion(
+        region_id=region_id,
+        left_cell_id=0,
+        right_cell_id=0,
+        condition_name="JC1",
+        lower=np.asarray(lower, dtype=float),
+        upper=np.asarray(upper, dtype=float),
+        rql=rql,
+        coord_lo=coord_lo,
+        coord_hi=coord_hi,
+        est_join_count=est,
+        left_size=10,
+        right_size=10,
+    )
+
+
+@pytest.fixture
+def grid():
+    return OutputGrid(("d1", "d2", "d3", "d4"), (0.0,) * 4, (8.0,) * 4, divisions=8)
+
+
+class TestProgCountExact:
+    def test_example18_style(self, grid):
+        """A dominator whose populated best cell kills part of the target
+        region: only cells strictly above that cell's upper corner are at
+        risk (Definition 11 / Example 18)."""
+        target = region(1, [4.0] * 4, [6.0] * 4, (4,) * 4, (5,) * 4)
+        dominator = region(2, [3.0] * 4, [5.0] * 4, (3,) * 4, (4,) * 4)
+        safe, total = prog_count_exact(target, [dominator], (0, 1, 2, 3), grid)
+        assert total == 16  # 2^4 cells
+        # Dominator's best cell upper corner is (4,4,4,4): every target cell
+        # whose lower corner is >= that with at least one strictly larger
+        # coordinate is at risk — all but the (4,4,4,4) cell itself.
+        assert safe == 1
+
+    def test_no_dominators_all_safe(self, grid):
+        target = region(1, [4.0] * 4, [6.0] * 4, (4,) * 4, (5,) * 4)
+        safe, total = prog_count_exact(target, [], (0, 1, 2, 3), grid)
+        assert safe == total == 16
+
+    def test_self_excluded(self, grid):
+        target = region(1, [0.0] * 4, [8.0] * 4, (0,) * 4, (7,) * 4)
+        safe, total = prog_count_exact(target, [target], (0, 1, 2, 3), grid)
+        assert safe == total
+
+    def test_total_kill(self, grid):
+        target = region(1, [6.0] * 4, [7.0] * 4, (6,) * 4, (6,) * 4)
+        dominator = region(2, [0.0] * 4, [1.0] * 4, (0,) * 4, (0,) * 4)
+        safe, total = prog_count_exact(target, [dominator], (0, 1, 2, 3), grid)
+        assert safe == 0 and total == 1
+
+
+class TestProgRatioVolume:
+    def test_no_dominators(self):
+        target = region(1, [0.0, 0.0], [4.0, 4.0], (0, 0), (3, 3))
+        assert prog_ratio_volume(target, [], (0, 1)) == 1.0
+
+    def test_quarter_coverage(self):
+        target = region(1, [0.0, 0.0], [4.0, 4.0], (0, 0), (3, 3))
+        dominator = region(2, [2.0, 2.0], [3.0, 3.0], (2, 2), (2, 2))
+        # Dominated sub-box = (2..4)x(2..4) = quarter of the target's box.
+        assert prog_ratio_volume(target, [dominator], (0, 1)) == pytest.approx(0.75)
+
+    def test_unreachable_dominator(self):
+        target = region(1, [0.0, 0.0], [2.0, 2.0], (0, 0), (1, 1))
+        dominator = region(2, [5.0, 5.0], [6.0, 6.0], (5, 5), (5, 5))
+        assert prog_ratio_volume(target, [dominator], (0, 1)) == 1.0
+
+    def test_full_coverage(self):
+        target = region(1, [2.0, 2.0], [4.0, 4.0], (2, 2), (3, 3))
+        dominator = region(2, [0.0, 0.0], [1.0, 1.0], (0, 0), (0, 0))
+        assert prog_ratio_volume(target, [dominator], (0, 1)) == 0.0
+
+    def test_ratio_decreases_with_more_dominators(self):
+        target = region(1, [0.0, 0.0], [4.0, 4.0], (0, 0), (3, 3))
+        d1 = region(2, [2.0, 2.0], [3.0, 3.0], (2, 2), (2, 2))
+        d2 = region(3, [1.0, 1.0], [2.0, 2.0], (1, 1), (1, 1))
+        one = prog_ratio_volume(target, [d1], (0, 1))
+        two = prog_ratio_volume(target, [d1, d2], (0, 1))
+        assert two < one
+
+
+class TestBenefitModel:
+    @pytest.fixture
+    def model(self, eleven_query_workload, grid):
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        contracts = {q.name: c2() for q in eleven_query_workload}
+        model = BenefitModel(
+            eleven_query_workload, cuboid, grid, contracts, CostModel()
+        )
+        return model
+
+    def test_estimate_requires_attach(self, model):
+        r = region(0, [0.0] * 4, [1.0] * 4, (0,) * 4, (0,) * 4)
+        with pytest.raises(ExecutionError):
+            model.estimate(r)
+
+    def test_estimate_zero_for_unserved_queries(self, model):
+        r = region(0, [0.0] * 4, [1.0] * 4, (0,) * 4, (0,) * 4, rql=0b1)
+        model.attach_regions([r])
+        est = model.estimate(r)
+        assert est.prog_est[0] > 0
+        assert np.all(est.prog_est[1:] == 0)
+
+    def test_cost_increases_with_join_estimate(self, model):
+        small = region(0, [0.0] * 4, [1.0] * 4, (0,) * 4, (0,) * 4, est=5.0)
+        large = region(1, [0.0] * 4, [1.0] * 4, (0,) * 4, (0,) * 4, est=500.0)
+        assert model.estimate_cost(large) > model.estimate_cost(small)
+
+    def test_csm_positive_when_contract_satisfiable(self, model):
+        r = region(0, [0.0] * 4, [1.0] * 4, (0,) * 4, (0,) * 4, rql=0b111)
+        model.attach_regions([r])
+        est = model.estimate(r)
+        weights = np.ones(11)
+        csm = model.csm(r, est, weights, now=0.0)
+        assert csm > 0.0
+
+    def test_csm_batch_matches_scalar(self, model):
+        regions = [
+            region(i, [float(i)] * 4, [float(i) + 1] * 4, (min(i, 7),) * 4,
+                   (min(i, 7),) * 4, rql=0b1111, est=20.0 + i)
+            for i in range(4)
+        ]
+        model.attach_regions(regions)
+        estimates = [model.estimate(r) for r in regions]
+        weights = np.linspace(0.5, 1.5, 11)
+        batch = model.csm_batch(estimates, weights, now=3.0)
+        for i, r in enumerate(regions):
+            assert batch[i] == pytest.approx(
+                model.csm(r, estimates[i], weights, now=3.0), abs=1e-9
+            )
+
+    def test_weight_zero_query_contributes_nothing(self, model):
+        r = region(0, [0.0] * 4, [1.0] * 4, (0,) * 4, (0,) * 4, rql=0b1)
+        model.attach_regions([r])
+        est = model.estimate(r)
+        weights = np.ones(11)
+        weights[0] = 0.0
+        assert model.csm(r, est, weights, now=0.0) == 0.0
+
+    def test_deactivation_improves_other_regions(self, model):
+        """Removing a dominator raises the victim's progressive estimate."""
+        victim = region(0, [4.0] * 4, [6.0] * 4, (4,) * 4, (5,) * 4, rql=0b1)
+        bully = region(1, [0.0] * 4, [2.0] * 4, (0,) * 4, (1,) * 4, rql=0b1)
+        model.attach_regions([victim, bully])
+        before = model.estimate(victim).prog_est[0]
+        model.note_removed(bully.region_id)
+        after = model.estimate(victim).prog_est[0]
+        assert after > before
+
+    def test_result_estimates(self, model, eleven_query_workload):
+        model.set_result_estimates({"Q1": 50.0})
+        assert model.result_estimates[0] == 50.0
+        assert model.result_estimates[1] == 1.0  # default floor
+
+
+class TestFeedback:
+    def test_example20(self):
+        """Example 20: satisfactions {0, 1, 0.7, 0} -> weights
+        {1.43, 1, 1.13, 1.43}."""
+        weights = np.ones(4)
+        sats = np.array([0.0, 1.0, 0.7, 0.0])
+        updated = update_weights(weights, sats)
+        np.testing.assert_allclose(updated, [1.4348, 1.0, 1.1304, 1.4348], atol=1e-3)
+
+    def test_all_equal_no_change(self):
+        weights = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(
+            update_weights(weights, np.array([0.5, 0.5])), weights
+        )
+
+    def test_lagging_query_gains_most(self):
+        updated = update_weights(np.ones(3), np.array([0.0, 0.5, 1.0]))
+        assert updated[0] > updated[1] > updated[2]
+
+    def test_weight_increase_bounded_by_one(self):
+        updated = update_weights(np.ones(5), np.array([0.0, 1.0, 1.0, 1.0, 1.0]))
+        assert updated.max() <= 2.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ExecutionError):
+            update_weights(np.ones(2), np.ones(3))
+
+    def test_empty(self):
+        assert len(update_weights(np.ones(0), np.ones(0))) == 0

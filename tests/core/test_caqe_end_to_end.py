@@ -1,0 +1,173 @@
+"""End-to-end tests for the CAQE driver (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import c1, c2, c3, c4, c5
+from repro.core import CAQE, CAQEConfig, run_caqe
+from repro.datagen import generate_pair
+from repro.errors import ExecutionError
+from repro.query import reference_evaluate, subspace_workload
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_pair("independent", 150, 4, selectivity=0.05, seed=23)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return subspace_workload(4, priority_scheme="dims_asc")
+
+
+@pytest.fixture(scope="module")
+def contracts(workload):
+    return {q.name: c2(scale=100.0) for q in workload}
+
+
+@pytest.fixture(scope="module")
+def references(pair, workload):
+    return {
+        q.name: reference_evaluate(q, pair.left, pair.right).skyline_pairs
+        for q in workload
+    }
+
+
+class TestCorrectness:
+    def test_reported_results_exactly_match_reference(
+        self, pair, workload, contracts, references
+    ):
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert result.reported[query.name] == references[query.name]
+
+    @pytest.mark.parametrize(
+        "tweak",
+        [
+            {"enable_feedback": False},
+            {"enable_depgraph": False},
+            {"enable_coarse_pruning": False},
+            {"enable_tuple_discard": False},
+            {"assume_dva": False},
+            {"objective": "count"},
+            {"objective": "scan"},
+            {"divisions": 4},
+            {"target_cells": 4},
+        ],
+    )
+    def test_every_configuration_is_exact(
+        self, pair, workload, contracts, references, tweak
+    ):
+        """Correctness must not depend on any optimisation toggle."""
+        config = CAQEConfig(**tweak)
+        result = CAQE(config).run(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert result.reported[query.name] == references[query.name]
+
+    @pytest.mark.parametrize("distribution", ["correlated", "anticorrelated"])
+    def test_other_distributions(self, workload, distribution):
+        pair = generate_pair(distribution, 120, 4, selectivity=0.05, seed=5)
+        contracts = {q.name: c1(1e7) for q in workload}
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            ref = reference_evaluate(query, pair.left, pair.right)
+            assert result.reported[query.name] == ref.skyline_pairs
+
+    def test_single_query_workload(self, pair):
+        wl = subspace_workload(4, min_size=4)  # just the full-space query
+        contracts = {q.name: c3(100.0) for q in wl}
+        result = run_caqe(pair.left, pair.right, wl, contracts)
+        ref = reference_evaluate(wl.queries[0], pair.left, pair.right)
+        assert result.reported[wl.queries[0].name] == ref.skyline_pairs
+
+
+class TestProgressiveness:
+    def test_results_are_spread_over_time(self, pair, workload, contracts):
+        """CAQE must not dump everything at the horizon: the first report
+        should land well before completion."""
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        all_ts = np.concatenate(
+            [result.logs[q.name].timestamps for q in workload]
+        )
+        assert all_ts.min() < 0.5 * result.horizon
+        spread = np.unique(all_ts)
+        assert len(spread) > 3  # genuinely incremental, not one batch
+
+    def test_timestamps_bounded_by_horizon(self, pair, workload, contracts):
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            ts = result.logs[query.name].timestamps
+            assert np.all(ts <= result.horizon + 1e-9)
+
+    def test_log_sizes_match_reported_sets(self, pair, workload, contracts):
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert len(result.logs[query.name]) == len(result.reported[query.name])
+
+
+class TestContractAwareness:
+    def test_deadline_contract_prioritises_its_query(self, pair, workload):
+        """A query with a tight deadline should receive a larger share of
+        its results before that deadline than under a scan-order run."""
+        tight = {q.name: c1(1e9) for q in workload}
+        tight["Q1"] = c1(2000.0)
+        caqe = run_caqe(pair.left, pair.right, workload, tight)
+        sat_caqe = caqe.satisfaction("Q1")
+        scan = CAQE(
+            CAQEConfig(objective="scan", enable_feedback=False)
+        ).run(pair.left, pair.right, workload, tight)
+        sat_scan = scan.satisfaction("Q1")
+        assert sat_caqe >= sat_scan
+
+    def test_missing_contract_raises(self, pair, workload, contracts):
+        incomplete = dict(contracts)
+        del incomplete["Q5"]
+        with pytest.raises(ExecutionError, match="Q5"):
+            run_caqe(pair.left, pair.right, workload, incomplete)
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ExecutionError):
+            CAQEConfig(objective="random")
+
+
+class TestRunResult:
+    def test_average_satisfaction_in_unit_interval(self, pair, workload, contracts):
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        assert 0.0 <= result.average_satisfaction() <= 1.0
+
+    def test_total_pscore_nonnegative(self, pair, workload, contracts):
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        assert result.total_pscore() >= 0.0
+
+    def test_stats_are_populated(self, pair, workload, contracts):
+        result = run_caqe(pair.left, pair.right, workload, contracts)
+        summary = result.stats.summary()
+        assert summary["join_results"] > 0
+        assert summary["skyline_comparisons"] > 0
+        assert summary["results_reported"] == sum(
+            len(result.logs[q.name]) for q in workload
+        )
+        assert result.horizon == summary["virtual_time"]
+
+    def test_shared_stats_accumulate(self, pair, workload, contracts):
+        from repro.core.stats import ExecutionStats
+
+        stats = ExecutionStats()
+        engine = CAQE()
+        engine.run(pair.left, pair.right, workload, contracts, stats)
+        t1 = stats.clock.now()
+        engine.run(pair.left, pair.right, workload, contracts, stats)
+        assert stats.clock.now() > t1
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self, workload, contracts):
+        pair = generate_pair("independent", 100, 4, selectivity=0.05, seed=77)
+        r1 = run_caqe(pair.left, pair.right, workload, contracts)
+        r2 = run_caqe(pair.left, pair.right, workload, contracts)
+        assert r1.horizon == r2.horizon
+        assert r1.stats.summary() == r2.stats.summary()
+        for query in workload:
+            np.testing.assert_array_equal(
+                r1.logs[query.name].timestamps, r2.logs[query.name].timestamps
+            )

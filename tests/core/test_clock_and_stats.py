@@ -1,0 +1,101 @@
+"""Tests for the virtual clock, cost model, and execution statistics."""
+
+import pytest
+
+from repro.core.clock import CostModel, VirtualClock
+from repro.core.stats import ExecutionStats
+from repro.errors import ExecutionError
+
+
+class TestCostModel:
+    def test_defaults_validate(self):
+        CostModel().validate()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ExecutionError):
+            VirtualClock(cost_model=CostModel(join_probe=-1.0))
+
+    def test_cost_regime_is_join_dominated(self):
+        """DESIGN.md §2: the paper's scale is join-dominated — materialising
+        a join result outweighs a single dominance comparison, and coarse
+        region tests are far cheaper than any tuple-level operation."""
+        cm = CostModel()
+        assert cm.join_result > cm.skyline_comparison > cm.mapping
+        assert cm.coarse_comparison < cm.join_probe
+        assert cm.coarse_comparison < 0.1 * cm.skyline_comparison
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ExecutionError):
+            VirtualClock().advance(-1.0)
+
+    def test_charging_methods(self):
+        cm = CostModel(
+            join_probe=1.0, join_result=2.0, mapping=0.5,
+            skyline_comparison=5.0, coarse_comparison=0.1,
+            region_overhead=10.0, output=0.2,
+        )
+        clock = VirtualClock(cost_model=cm)
+        clock.charge_join_probes(3)
+        clock.charge_join_results(2)
+        clock.charge_mappings(4)
+        clock.charge_skyline_comparisons(1)
+        clock.charge_coarse_comparisons(10)
+        clock.charge_region_overhead()
+        clock.charge_outputs(5)
+        assert clock.now() == pytest.approx(3 + 4 + 2 + 5 + 1 + 10 + 1)
+
+
+class TestExecutionStats:
+    def test_comparison_counter_advances_clock(self):
+        stats = ExecutionStats()
+        stats.comparison_counter.record(10)
+        assert stats.skyline_comparisons == 10
+        assert stats.elapsed == pytest.approx(
+            10 * stats.clock.cost_model.skyline_comparison
+        )
+
+    def test_record_join_results_with_mappings(self):
+        stats = ExecutionStats()
+        stats.record_join_results(4, mapping_functions=3)
+        assert stats.join_results == 4
+        cm = stats.clock.cost_model
+        assert stats.elapsed == pytest.approx(4 * cm.join_result + 12 * cm.mapping)
+
+    def test_region_counters(self):
+        stats = ExecutionStats()
+        stats.record_region_processed()
+        stats.record_region_discarded()
+        stats.record_region_discarded()
+        assert stats.regions_processed == 1
+        assert stats.regions_discarded == 2
+
+    def test_summary_keys(self):
+        stats = ExecutionStats()
+        summary = stats.summary()
+        assert {
+            "join_results",
+            "skyline_comparisons",
+            "virtual_time",
+            "results_reported",
+        } <= set(summary)
+
+    def test_with_cost_model(self):
+        cm = CostModel(skyline_comparison=1.0)
+        stats = ExecutionStats.with_cost_model(cm)
+        stats.comparison_counter.record()
+        assert stats.elapsed == 1.0
+
+    def test_outputs(self):
+        stats = ExecutionStats()
+        stats.record_outputs(7)
+        assert stats.results_reported == 7

@@ -1,0 +1,197 @@
+"""Tests for coarse skyline (Theorem 1 at region level) and the dependency graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.coarse_join import coarse_join
+from repro.core.coarse_skyline import coarse_skyline, dominated_flags
+from repro.core.depgraph import DependencyGraph, build_dependency_graph
+from repro.core.output_space import OutputGrid
+from repro.core.region import OutputRegion
+from repro.core.stats import ExecutionStats
+from repro.partition import quadtree_partition
+from repro.plan import build_minmax_cuboid
+
+
+def _mqla(workload, pair, capacity=40):
+    conditions = workload.join_conditions
+    lp = quadtree_partition(
+        pair.left, ("m1", "m2", "m3", "m4"), conditions, "left", capacity=capacity
+    )
+    rp = quadtree_partition(
+        pair.right, ("m1", "m2", "m3", "m4"), conditions, "right", capacity=capacity
+    )
+    stats = ExecutionStats()
+    cj = coarse_join(workload, lp, rp, stats)
+    return cj, stats
+
+
+class TestDominatedFlags:
+    def test_simple(self):
+        lower = np.array([[0.0, 0.0], [5.0, 5.0], [2.0, 0.5]])
+        upper = np.array([[1.0, 1.0], [6.0, 6.0], [3.0, 0.8]])
+        flags = dominated_flags(lower, upper)
+        # Region 1 is dominated by region 0; region 2 is incomparable to
+        # region 0 (better in d2, worse in d1).
+        np.testing.assert_array_equal(flags, [False, True, False])
+
+    def test_two_pass_equals_direct(self, rng):
+        """The strongest-first two-pass shortcut must match brute force."""
+        n = 1500  # above the single-pass threshold
+        lower = rng.random((n, 3)) * 50
+        upper = lower + rng.random((n, 3)) * 10
+        flags = dominated_flags(lower, upper)
+        # Brute force on a sample of rows.
+        for j in rng.integers(0, n, size=60):
+            expected = any(
+                np.all(upper[i] <= lower[j]) and np.any(upper[i] < lower[j])
+                for i in range(n)
+                if i != j
+            )
+            assert bool(flags[j]) == expected
+
+    def test_no_self_domination(self):
+        lower = np.array([[0.0, 0.0]])
+        upper = np.array([[1.0, 1.0]])
+        assert not dominated_flags(lower, upper)[0]
+
+
+class TestCoarseSkyline:
+    def test_reg_sets_cover_final_answers(
+        self, eleven_query_workload, small_pair
+    ):
+        """Soundness: pruning may never remove a region that contains an
+        actual final skyline result (verified end-to-end in integration
+        tests; here we check REG is a subset of alive regions)."""
+        cj, stats = _mqla(eleven_query_workload, small_pair)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        result = coarse_skyline(eleven_query_workload, cuboid, cj.regions, stats)
+        alive_ids = {r.region_id for r in cj.regions if not r.is_discarded}
+        for name, region_ids in result.reg.items():
+            assert region_ids <= alive_ids
+
+    def test_discarded_regions_serve_no_query(
+        self, eleven_query_workload, small_pair
+    ):
+        cj, stats = _mqla(eleven_query_workload, small_pair)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        result = coarse_skyline(eleven_query_workload, cuboid, cj.regions, stats)
+        by_id = {r.region_id: r for r in cj.regions}
+        for rid in result.discarded:
+            assert by_id[rid].is_discarded
+            for region_ids in result.reg.values():
+                assert rid not in region_ids
+
+    def test_nondominated_child_in_parent(
+        self, eleven_query_workload, small_pair
+    ):
+        """Theorem 1 at region level: non-dominated at a child subspace =>
+        present in every parent's non-dominated set (for candidates)."""
+        cj, stats = _mqla(eleven_query_workload, small_pair)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        result = coarse_skyline(eleven_query_workload, cuboid, cj.regions, stats)
+        for mask in cuboid.masks:
+            node = cuboid.node(mask)
+            for child in node.children:
+                assert result.nondominated[child] <= result.nondominated[mask]
+
+    def test_records_discards_in_stats(self, eleven_query_workload, small_pair):
+        cj, stats = _mqla(eleven_query_workload, small_pair, capacity=20)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        before = stats.regions_discarded
+        result = coarse_skyline(eleven_query_workload, cuboid, cj.regions, stats)
+        assert stats.regions_discarded - before == len(result.discarded)
+
+
+class TestDependencyGraphStructure:
+    def test_add_and_remove(self):
+        graph = DependencyGraph()
+        graph.add_edge(1, 2, 0b1)
+        graph.add_edge(1, 3, 0b10)
+        graph.add_edge(2, 3, 0b1)
+        assert graph.roots() == {1}
+        promoted = graph.remove_node(1)
+        assert promoted == {2}
+        assert graph.roots() == {2}
+        graph.remove_node(2)
+        assert graph.roots() == {3}
+
+    def test_edge_mask_merging(self):
+        graph = DependencyGraph()
+        graph.add_edge(1, 2, 0b01)
+        graph.add_edge(1, 2, 0b10)
+        assert graph.successors(1) == {2: 0b11}
+
+    def test_self_edge_ignored(self):
+        graph = DependencyGraph()
+        graph.add_edge(1, 1, 0b1)
+        assert graph.edge_count() == 0
+
+    def test_empty_query_mask_ignored(self):
+        graph = DependencyGraph()
+        graph.add_edge(1, 2, 0)
+        assert graph.edge_count() == 0
+
+    def test_force_roots(self):
+        graph = DependencyGraph()
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 1, 1)  # cycle
+        assert graph.roots() == set()
+        assert graph.force_roots() == {1, 2}
+        assert graph.roots() == {1, 2}
+
+    def test_remove_unknown_is_noop(self):
+        graph = DependencyGraph()
+        assert graph.remove_node(42) == set()
+
+    def test_contains(self):
+        graph = DependencyGraph()
+        graph.add_node(5)
+        assert 5 in graph and 6 not in graph
+
+
+class TestBuiltGraph:
+    def test_roots_exist(self, eleven_query_workload, small_pair):
+        cj, stats = _mqla(eleven_query_workload, small_pair)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        coarse_skyline(eleven_query_workload, cuboid, cj.regions, stats)
+        graph = build_dependency_graph(
+            eleven_query_workload, cuboid, cj.regions, cj.grid, stats
+        )
+        assert graph.roots(), "a built dependency graph must have roots"
+
+    def test_nodes_are_alive_regions(self, eleven_query_workload, small_pair):
+        cj, stats = _mqla(eleven_query_workload, small_pair)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        coarse_skyline(eleven_query_workload, cuboid, cj.regions, stats)
+        graph = build_dependency_graph(
+            eleven_query_workload, cuboid, cj.regions, cj.grid, stats
+        )
+        alive = {r.region_id for r in cj.regions if not r.is_discarded}
+        assert graph.nodes == alive
+
+    def test_no_per_query_two_cycles(self, eleven_query_workload, small_pair):
+        """The asymmetry rule prevents mutual edges *for the same query*
+        (edges both ways for different queries are legitimate)."""
+        cj, stats = _mqla(eleven_query_workload, small_pair)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        graph = build_dependency_graph(
+            eleven_query_workload, cuboid, cj.regions, cj.grid, stats
+        )
+        for source, targets in graph.edges_out.items():
+            for target, mask in targets.items():
+                reverse = graph.edges_out.get(target, {}).get(source, 0)
+                assert mask & reverse == 0
+
+    def test_edge_annotations_are_query_masks(
+        self, eleven_query_workload, small_pair
+    ):
+        cj, stats = _mqla(eleven_query_workload, small_pair)
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        graph = build_dependency_graph(
+            eleven_query_workload, cuboid, cj.regions, cj.grid, stats
+        )
+        full_mask = (1 << len(eleven_query_workload)) - 1
+        for targets in graph.edges_out.values():
+            for mask in targets.values():
+                assert 0 < mask <= full_mask

@@ -1,0 +1,136 @@
+"""Tests for epoch-based continuous CAQE."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import c2
+from repro.core import CAQEConfig
+from repro.core.continuous import ContinuousCAQE
+from repro.datagen import generate_pair
+from repro.errors import ExecutionError
+from repro.query import reference_evaluate, subspace_workload
+from repro.relation import Relation
+
+
+def _slice(relation: Relation, start: int, stop: int) -> Relation:
+    return relation.take(np.arange(start, stop), name=relation.name)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return subspace_workload(4, priority_scheme="uniform")
+
+
+@pytest.fixture(scope="module")
+def contracts(workload):
+    return {q.name: c2(scale=1000.0) for q in workload}
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_pair("independent", 120, 4, selectivity=0.08, seed=61)
+
+
+class TestEpochInvariant:
+    def test_cumulative_skyline_matches_reference_after_each_epoch(
+        self, workload, contracts, pair
+    ):
+        engine = ContinuousCAQE(workload, contracts)
+        chunks = [(0, 40), (40, 80), (80, 120)]
+        for start, stop in chunks:
+            engine.process_epoch(
+                left_delta=_slice(pair.left, start, stop),
+                right_delta=_slice(pair.right, start, stop),
+            )
+            cumulative_left = _slice(pair.left, 0, stop)
+            cumulative_right = _slice(pair.right, 0, stop)
+            for query in workload:
+                ref = reference_evaluate(query, cumulative_left, cumulative_right)
+                assert engine.current_skyline(query.name) == ref.skyline_pairs
+
+    def test_changelog_reconstructs_state(self, workload, contracts, pair):
+        engine = ContinuousCAQE(workload, contracts)
+        live: dict[str, set] = {q.name: set() for q in workload}
+        for start, stop in [(0, 60), (60, 120)]:
+            result = engine.process_epoch(
+                left_delta=_slice(pair.left, start, stop),
+                right_delta=_slice(pair.right, start, stop),
+            )
+            for query in workload:
+                live[query.name] |= result.new_results[query.name]
+                live[query.name] -= result.retracted[query.name]
+        for query in workload:
+            ref = reference_evaluate(query, pair.left, pair.right)
+            assert live[query.name] == ref.skyline_pairs
+
+    def test_one_sided_epochs(self, workload, contracts, pair):
+        """Deltas may arrive on only one table."""
+        engine = ContinuousCAQE(workload, contracts)
+        engine.process_epoch(
+            left_delta=_slice(pair.left, 0, 120),
+            right_delta=_slice(pair.right, 0, 60),
+        )
+        engine.process_epoch(right_delta=_slice(pair.right, 60, 120))
+        for query in workload:
+            ref = reference_evaluate(query, pair.left, pair.right)
+            assert engine.current_skyline(query.name) == ref.skyline_pairs
+
+    def test_retractions_happen(self, workload, contracts):
+        """A second epoch with dominating data must retract results."""
+        from repro.datagen.tables import table_schema
+
+        schema = table_schema(4, 2)
+        rng = np.random.default_rng(5)
+
+        def batch(low, high, n):
+            columns = {f"m{i}": low + rng.random(n) * (high - low) for i in range(1, 5)}
+            columns["jc1"] = np.zeros(n, dtype=int)  # everything joins
+            columns["jc2"] = np.zeros(n, dtype=int)
+            return Relation("R", schema, columns)
+
+        engine = ContinuousCAQE(workload, contracts)
+        first = engine.process_epoch(
+            left_delta=batch(50.0, 100.0, 20), right_delta=batch(50.0, 100.0, 20)
+        )
+        assert any(first.new_results[q.name] for q in workload)
+        second = engine.process_epoch(
+            left_delta=batch(1.0, 10.0, 10), right_delta=batch(1.0, 10.0, 10)
+        )
+        assert any(second.retracted[q.name] for q in workload)
+        assert all(second.net_change(q.name) is not None for q in workload)
+
+
+class TestApiContract:
+    def test_empty_epoch_rejected(self, workload, contracts):
+        engine = ContinuousCAQE(workload, contracts)
+        with pytest.raises(ExecutionError):
+            engine.process_epoch()
+
+    def test_missing_contract_rejected(self, workload, contracts):
+        incomplete = {k: v for k, v in contracts.items() if k != "Q2"}
+        with pytest.raises(ExecutionError):
+            ContinuousCAQE(workload, incomplete)
+
+    def test_logs_are_monotonic(self, workload, contracts, pair):
+        engine = ContinuousCAQE(workload, contracts, CAQEConfig(target_cells=4))
+        for start, stop in [(0, 60), (60, 120)]:
+            engine.process_epoch(
+                left_delta=_slice(pair.left, start, stop),
+                right_delta=_slice(pair.right, start, stop),
+            )
+        for query in workload:
+            ts = engine.logs[query.name].timestamps
+            assert np.all(np.diff(ts) >= 0)
+
+    def test_virtual_time_advances(self, workload, contracts, pair):
+        engine = ContinuousCAQE(workload, contracts)
+        r1 = engine.process_epoch(
+            left_delta=_slice(pair.left, 0, 60),
+            right_delta=_slice(pair.right, 0, 60),
+        )
+        r2 = engine.process_epoch(
+            left_delta=_slice(pair.left, 60, 120),
+            right_delta=_slice(pair.right, 60, 120),
+        )
+        assert r2.virtual_time > r1.virtual_time
+        assert r2.epoch == 2

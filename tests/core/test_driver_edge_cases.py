@@ -1,0 +1,139 @@
+"""Edge-case and failure-injection tests for the CAQE driver internals."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import c1, c2
+from repro.core import CAQE, CAQEConfig, run_caqe
+from repro.core.caqe import partition_attrs
+from repro.datagen import generate_pair
+from repro.errors import ExecutionError
+from repro.query import (
+    JoinCondition,
+    Preference,
+    SkylineJoinQuery,
+    Workload,
+    add,
+    reference_evaluate,
+    subspace_workload,
+)
+from repro.relation import Relation, Role, Schema
+
+
+class TestPartitionAttrs:
+    def test_left_and_right_sides(self, eleven_query_workload):
+        assert partition_attrs(eleven_query_workload, "left") == (
+            "m1", "m2", "m3", "m4",
+        )
+        assert partition_attrs(eleven_query_workload, "right") == (
+            "m1", "m2", "m3", "m4",
+        )
+
+    def test_one_sided_functions(self):
+        from repro.query.mapping import left_only
+
+        jc = JoinCondition.on("jc1")
+        fns = (left_only("m1", "d1"), add("m2", "m2", "d2"))
+        wl = Workload(
+            [SkylineJoinQuery("q", jc, fns, Preference.over("d1", "d2"))]
+        )
+        assert partition_attrs(wl, "left") == ("m1", "m2")
+        assert partition_attrs(wl, "right") == ("m2",)
+
+
+class TestEmptyAndDegenerateJoins:
+    def test_empty_join_raises_cleanly(self):
+        """Disjoint join domains: the coarse join proves zero results."""
+        schema = Schema.of(m1=Role.MEASURE, jc1=Role.JOIN)
+        left = Relation.from_rows("R", schema, [(1.0, 0), (2.0, 1)])
+        right = Relation.from_rows("T", schema, [(1.0, 7), (2.0, 8)])
+        wl = Workload(
+            [
+                SkylineJoinQuery(
+                    "q", JoinCondition.on("jc1"),
+                    (add("m1", "m1", "d1"),), Preference.over("d1"),
+                )
+            ]
+        )
+        with pytest.raises(ExecutionError, match="no cell pair"):
+            run_caqe(left, right, wl, {"q": c1(10.0)})
+
+    def test_single_row_tables(self):
+        schema = Schema.of(m1=Role.MEASURE, m2=Role.MEASURE, jc1=Role.JOIN)
+        left = Relation.from_rows("R", schema, [(1.0, 2.0, 0)])
+        right = Relation.from_rows("T", schema, [(3.0, 4.0, 0)])
+        wl = Workload(
+            [
+                SkylineJoinQuery(
+                    "q", JoinCondition.on("jc1"),
+                    (add("m1", "m1", "d1"), add("m2", "m2", "d2")),
+                    Preference.over("d1", "d2"),
+                )
+            ]
+        )
+        result = run_caqe(left, right, wl, {"q": c1(1e9)})
+        assert result.reported["q"] == {(0, 0)}
+
+    def test_identical_rows_everywhere(self):
+        """Total-tie data: every join result identical, all kept."""
+        schema = Schema.of(m1=Role.MEASURE, m2=Role.MEASURE, jc1=Role.JOIN)
+        left = Relation.from_rows("R", schema, [(5.0, 5.0, 0)] * 4)
+        right = Relation.from_rows("T", schema, [(5.0, 5.0, 0)] * 4)
+        wl = Workload(
+            [
+                SkylineJoinQuery(
+                    "q", JoinCondition.on("jc1"),
+                    (add("m1", "m1", "d1"), add("m2", "m2", "d2")),
+                    Preference.over("d1", "d2"),
+                )
+            ]
+        )
+        result = run_caqe(left, right, wl, {"q": c1(1e9)})
+        ref = reference_evaluate(wl["q"], left, right)
+        assert result.reported["q"] == ref.skyline_pairs
+        assert len(result.reported["q"]) == 16  # ties are all skyline
+
+
+class TestConfigKnobs:
+    def test_capacity_override(self):
+        config = CAQEConfig(partition_capacity=7)
+        assert config.capacity_for(10**6) == 7
+
+    def test_target_cells_derivation(self):
+        config = CAQEConfig(target_cells=10)
+        assert config.capacity_for(100) == 20  # 2x headroom
+
+    def test_capacity_floor(self):
+        assert CAQEConfig(target_cells=1000).capacity_for(1) >= 1
+
+    def test_extreme_grid_divisions_still_exact(self):
+        pair = generate_pair("independent", 80, 4, selectivity=0.1, seed=3)
+        wl = subspace_workload(4)
+        contracts = {q.name: c2(scale=100.0) for q in wl}
+        for divisions in (1, 32):
+            result = CAQE(CAQEConfig(divisions=divisions)).run(
+                pair.left, pair.right, wl, contracts
+            )
+            for q in wl:
+                ref = reference_evaluate(q, pair.left, pair.right)
+                assert result.reported[q.name] == ref.skyline_pairs, divisions
+
+
+class TestReportingStateInvariants:
+    def test_no_duplicate_reports(self):
+        pair = generate_pair("independent", 100, 4, selectivity=0.1, seed=9)
+        wl = subspace_workload(4)
+        contracts = {q.name: c2(scale=100.0) for q in wl}
+        result = run_caqe(pair.left, pair.right, wl, contracts)
+        for q in wl:
+            keys = result.logs[q.name].keys
+            assert len(keys) == len(set(keys))
+
+    def test_outputs_counter_matches_logs(self):
+        pair = generate_pair("correlated", 100, 4, selectivity=0.1, seed=9)
+        wl = subspace_workload(4)
+        contracts = {q.name: c2(scale=100.0) for q in wl}
+        result = run_caqe(pair.left, pair.right, wl, contracts)
+        assert result.stats.results_reported == sum(
+            len(result.logs[q.name]) for q in wl
+        )

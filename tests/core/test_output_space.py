@@ -1,0 +1,114 @@
+"""Tests for the output grid (Section 5's output cells)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.output_space import OutputGrid, grid_for_cells
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def grid():
+    return OutputGrid(dims=("d1", "d2"), lows=(0.0, 0.0), highs=(10.0, 20.0), divisions=5)
+
+
+class TestCoordOf:
+    def test_interior_point(self, grid):
+        assert grid.coord_of(np.array([3.0, 10.0])) == (1, 2)
+
+    def test_lower_corner(self, grid):
+        assert grid.coord_of(np.array([0.0, 0.0])) == (0, 0)
+
+    def test_upper_corner_clamped(self, grid):
+        assert grid.coord_of(np.array([10.0, 20.0])) == (4, 4)
+
+    def test_out_of_range_clamped(self, grid):
+        assert grid.coord_of(np.array([-5.0, 25.0])) == (0, 4)
+
+    def test_wrong_arity(self, grid):
+        with pytest.raises(ExecutionError):
+            grid.coord_of(np.array([1.0]))
+
+
+class TestCellBounds:
+    def test_cell_lower_upper(self, grid):
+        np.testing.assert_allclose(grid.cell_lower((1, 2)), [2.0, 8.0])
+        np.testing.assert_allclose(grid.cell_upper((1, 2)), [4.0, 12.0])
+
+    def test_invalid_coord(self, grid):
+        with pytest.raises(ExecutionError):
+            grid.cell_lower((5, 0))
+
+    def test_point_within_its_cell(self, grid):
+        point = np.array([7.3, 15.1])
+        coord = grid.coord_of(point)
+        assert np.all(grid.cell_lower(coord) <= point)
+        assert np.all(point <= grid.cell_upper(coord))
+
+
+class TestBoxes:
+    def test_box_of(self, grid):
+        lo, hi = grid.box_of(np.array([1.0, 1.0]), np.array([9.0, 19.0]))
+        assert lo == (0, 0) and hi == (4, 4)
+
+    def test_box_cell_count(self):
+        assert OutputGrid.box_cell_count((0, 0), (2, 3)) == 12
+        assert OutputGrid.box_cell_count((1, 1), (1, 1)) == 1
+
+    def test_invalid_box(self):
+        with pytest.raises(ExecutionError):
+            OutputGrid.box_cell_count((2,), (1,))
+
+    def test_cells_in_box(self):
+        cells = list(OutputGrid.cells_in_box((0, 1), (1, 2)))
+        assert cells == [(0, 1), (0, 2), (1, 1), (1, 2)]
+
+
+class TestGridForCells:
+    def test_spans_all_regions(self):
+        grid = grid_for_cells(
+            ("d1", "d2"),
+            [np.array([1.0, 2.0]), np.array([0.0, 5.0])],
+            [np.array([5.0, 8.0]), np.array([9.0, 6.0])],
+            divisions=4,
+        )
+        assert grid.lows == (0.0, 2.0)
+        assert grid.highs == (9.0, 8.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExecutionError):
+            grid_for_cells(("d1",), [], [])
+
+
+class TestValidation:
+    def test_degenerate_dimension_allowed(self):
+        grid = OutputGrid(dims=("d1",), lows=(5.0,), highs=(5.0,), divisions=4)
+        assert grid.coord_of(np.array([5.0])) == (0,)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ExecutionError):
+            OutputGrid(dims=("d1",), lows=(5.0,), highs=(4.0,))
+
+    def test_zero_divisions_rejected(self):
+        with pytest.raises(ExecutionError):
+            OutputGrid(dims=("d1",), lows=(0.0,), highs=(1.0,), divisions=0)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            OutputGrid(dims=("d1", "d2"), lows=(0.0,), highs=(1.0,))
+
+
+@given(
+    x=st.floats(0, 10, allow_nan=False),
+    y=st.floats(0, 20, allow_nan=False),
+    divisions=st.integers(1, 12),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_every_point_lands_in_containing_cell(x, y, divisions):
+    grid = OutputGrid(("a", "b"), (0.0, 0.0), (10.0, 20.0), divisions)
+    point = np.array([x, y])
+    coord = grid.coord_of(point)
+    assert np.all(grid.cell_lower(coord) <= point + 1e-9)
+    assert np.all(point <= grid.cell_upper(coord) + 1e-9)

@@ -1,0 +1,173 @@
+"""Tests for contract-driven Top-K-over-join processing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts import c1, c2
+from repro.core import CAQEConfig
+from repro.core.topk import TopKEngine, TopKJoinQuery, reference_topk
+from repro.datagen import generate_pair
+from repro.errors import ExecutionError, QueryError
+from repro.query import JoinCondition, add
+
+
+def _functions(dims=3):
+    return tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in range(1, dims + 1))
+
+
+def _query(name, weights, k, jc="jc1", priority=1.0):
+    return TopKJoinQuery(
+        name=name,
+        join_condition=JoinCondition.on(jc, name=f"JC:{jc}"),
+        functions=_functions(len(weights)),
+        weights=tuple(weights),
+        k=k,
+        priority=priority,
+    )
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_pair("independent", 150, 3, selectivity=0.05, seed=71)
+
+
+class TestQuerySpec:
+    def test_rejects_bad_k(self):
+        with pytest.raises(QueryError):
+            _query("q", (1.0, 1.0, 1.0), 0)
+
+    def test_rejects_weight_arity(self):
+        with pytest.raises(QueryError):
+            TopKJoinQuery(
+                "q", JoinCondition.on("jc1"), _functions(3), (1.0,), k=2
+            )
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(QueryError):
+            _query("q", (1.0, -1.0, 0.0), 2)
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(QueryError):
+            _query("q", (0.0, 0.0, 0.0), 2)
+
+    def test_score(self):
+        query = _query("q", (1.0, 2.0, 0.0), 2)
+        scores = query.score(np.array([[1.0, 1.0, 9.0], [2.0, 0.0, 9.0]]))
+        np.testing.assert_array_equal(scores, [3.0, 2.0])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_single_query_matches_reference(self, pair, k):
+        query = _query("q", (1.0, 0.5, 2.0), k)
+        contracts = {"q": c1(1e12)}
+        result = TopKEngine().run(pair.left, pair.right, [query], contracts)
+        assert result.results["q"] == reference_topk(query, pair.left, pair.right)
+
+    def test_multi_query_workload(self, pair):
+        queries = [
+            _query("cheap", (1.0, 0.0, 0.0), 10, priority=0.9),
+            _query("balanced", (1.0, 1.0, 1.0), 5, priority=0.5),
+            _query("quality", (0.0, 2.0, 1.0), 8, priority=0.2),
+        ]
+        contracts = {q.name: c2(scale=1000.0) for q in queries}
+        result = TopKEngine().run(pair.left, pair.right, queries, contracts)
+        for query in queries:
+            assert result.results[query.name] == reference_topk(
+                query, pair.left, pair.right
+            ), query.name
+
+    def test_k_larger_than_result_count(self, pair):
+        query = _query("q", (1.0, 1.0, 1.0), 10**6)
+        result = TopKEngine().run(
+            pair.left, pair.right, [query], {"q": c1(1e12)}
+        )
+        assert result.results["q"] == reference_topk(query, pair.left, pair.right)
+        assert len(result.results["q"]) < 10**6
+
+    def test_tie_heavy_scores(self):
+        """Integer-quantised data creates exact score ties; the engine's
+        pruning must stay tie-safe."""
+        pair = generate_pair("independent", 80, 3, selectivity=0.2, seed=5)
+        from repro.relation import Relation
+
+        def quantise(rel):
+            cols = {
+                n: (np.round(rel.column(n) / 25.0) * 25.0 if n.startswith("m")
+                    else rel.column(n))
+                for n in rel.schema.names
+            }
+            return Relation(rel.name, rel.schema, cols)
+
+        left, right = quantise(pair.left), quantise(pair.right)
+        query = _query("q", (1.0, 1.0, 0.0), 7)
+        result = TopKEngine().run(left, right, [query], {"q": c1(1e12)})
+        assert result.results["q"] == reference_topk(query, left, right)
+
+    def test_region_pruning_saves_join_work(self, pair):
+        """With a tiny k, most regions should be discarded unjoined."""
+        query = _query("q", (1.0, 1.0, 1.0), 1)
+        result = TopKEngine(CAQEConfig(target_cells=24)).run(
+            pair.left, pair.right, [query], {"q": c1(1e12)}
+        )
+        summary = result.stats.summary()
+        assert summary["regions_discarded"] > 0
+        # Far fewer join results than the full join.
+        from repro.query import hash_join
+
+        li, _ = hash_join(pair.left, pair.right, query.join_condition)
+        assert summary["join_results"] < len(li)
+
+
+class TestProgressiveness:
+    def test_results_reported_before_horizon(self, pair):
+        query = _query("q", (1.0, 1.0, 1.0), 20)
+        result = TopKEngine().run(
+            pair.left, pair.right, [query], {"q": c2(scale=100.0)}
+        )
+        ts = result.logs["q"].timestamps
+        assert len(ts) == len(result.results["q"])
+        assert ts.min() < result.horizon
+
+    def test_satisfaction_in_unit_interval(self, pair):
+        query = _query("q", (1.0, 1.0, 1.0), 10)
+        result = TopKEngine().run(
+            pair.left, pair.right, [query], {"q": c2(scale=100.0)}
+        )
+        assert 0.0 <= result.average_satisfaction() <= 1.0
+
+
+class TestApi:
+    def test_empty_workload_rejected(self, pair):
+        with pytest.raises(ExecutionError):
+            TopKEngine().run(pair.left, pair.right, [], {})
+
+    def test_missing_contract_rejected(self, pair):
+        query = _query("q", (1.0, 1.0, 1.0), 3)
+        with pytest.raises(ExecutionError):
+            TopKEngine().run(pair.left, pair.right, [query], {})
+
+    def test_duplicate_names_rejected(self, pair):
+        query = _query("q", (1.0, 1.0, 1.0), 3)
+        with pytest.raises(ExecutionError):
+            TopKEngine().run(
+                pair.left, pair.right, [query, query], {"q": c1(1.0)}
+            )
+
+
+@given(
+    seed=st.integers(0, 2000),
+    k=st.integers(1, 15),
+    w1=st.floats(0.0, 3.0),
+    w2=st.floats(0.1, 3.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_topk_always_matches_reference(seed, k, w1, w2):
+    pair = generate_pair("independent", 60, 2, selectivity=0.1, seed=seed)
+    query = TopKJoinQuery(
+        "q", JoinCondition.on("jc1"), _functions(2), (w1, w2), k=k
+    )
+    result = TopKEngine().run(pair.left, pair.right, [query], {"q": c1(1e12)})
+    assert result.results["q"] == reference_topk(query, pair.left, pair.right)

@@ -1,0 +1,97 @@
+"""Tests for the benchmark attribute distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import distributions as dist
+from repro.errors import ReproError
+
+
+@pytest.mark.parametrize("name", dist.DISTRIBUTIONS)
+class TestCommonProperties:
+    def test_shape(self, name):
+        data = dist.generate(name, 100, 4, seed=1)
+        assert data.shape == (100, 4)
+
+    def test_value_range(self, name):
+        data = dist.generate(name, 500, 3, seed=2)
+        assert data.min() >= dist.VALUE_LOW
+        assert data.max() <= dist.VALUE_HIGH
+
+    def test_custom_range(self, name):
+        data = dist.generate(name, 200, 2, low=0.0, high=1.0, seed=3)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_deterministic_with_seed(self, name):
+        a = dist.generate(name, 50, 3, seed=42)
+        b = dist.generate(name, 50, 3, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, name):
+        a = dist.generate(name, 50, 3, seed=1)
+        b = dist.generate(name, 50, 3, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_zero_cardinality(self, name):
+        assert dist.generate(name, 0, 3, seed=1).shape == (0, 3)
+
+    def test_negative_cardinality_raises(self, name):
+        with pytest.raises(ReproError):
+            dist.generate(name, -1, 3)
+
+    def test_zero_dimensions_raises(self, name):
+        with pytest.raises(ReproError):
+            dist.generate(name, 10, 0)
+
+
+class TestCorrelationStructure:
+    """The three distributions must actually differ in correlation sign."""
+
+    @staticmethod
+    def _mean_pairwise_corr(data):
+        corr = np.corrcoef(data, rowvar=False)
+        d = corr.shape[0]
+        off = corr[~np.eye(d, dtype=bool)]
+        return off.mean()
+
+    def test_correlated_is_positively_correlated(self):
+        data = dist.correlated(3000, 3, seed=5)
+        assert self._mean_pairwise_corr(data) > 0.5
+
+    def test_anticorrelated_is_negatively_correlated(self):
+        data = dist.anticorrelated(3000, 3, seed=5)
+        assert self._mean_pairwise_corr(data) < -0.1
+
+    def test_independent_is_uncorrelated(self):
+        data = dist.independent(3000, 3, seed=5)
+        assert abs(self._mean_pairwise_corr(data)) < 0.1
+
+    def test_skyline_size_ordering(self):
+        """corr << independent << anti-corr skyline sizes (§7.1)."""
+        from repro.skyline import bnl_skyline
+
+        sizes = {}
+        for name in dist.DISTRIBUTIONS:
+            data = dist.generate(name, 1000, 3, seed=9)
+            sizes[name] = len(bnl_skyline(data))
+        assert sizes["correlated"] < sizes["independent"] < sizes["anticorrelated"]
+
+    def test_unknown_distribution_raises(self):
+        with pytest.raises(ReproError, match="unknown distribution"):
+            dist.generate("zipfian", 10, 2)
+
+
+@given(
+    cardinality=st.integers(min_value=1, max_value=200),
+    dimensions=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_all_distributions_within_bounds(cardinality, dimensions, seed):
+    for name in dist.DISTRIBUTIONS:
+        data = dist.generate(name, cardinality, dimensions, seed=seed)
+        assert data.shape == (cardinality, dimensions)
+        assert np.all(data >= dist.VALUE_LOW)
+        assert np.all(data <= dist.VALUE_HIGH)

@@ -1,0 +1,57 @@
+"""Tests for the motivating-application domain datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import domains
+
+
+@pytest.mark.parametrize(
+    "factory,join_attr",
+    [
+        (domains.hotels, "city"),
+        (domains.tours, "city"),
+        (domains.retailers, "country"),
+        (domains.transporters, "country"),
+        (domains.quotes, "ticker"),
+        (domains.sentiment, "ticker"),
+    ],
+)
+class TestDomainTables:
+    def test_cardinality(self, factory, join_attr):
+        assert factory(37, seed=1).cardinality == 37
+
+    def test_deterministic(self, factory, join_attr):
+        a, b = factory(50, seed=9), factory(50, seed=9)
+        for name in a.schema.names:
+            np.testing.assert_array_equal(a.column(name), b.column(name))
+
+    def test_join_attr_is_code(self, factory, join_attr):
+        rel = factory(100, seed=2)
+        codes = rel.column(join_attr)
+        assert codes.min() >= 0
+        assert codes.max() < 10  # all vocabularies have 10 entries
+
+    def test_has_measures(self, factory, join_attr):
+        rel = factory(10, seed=3)
+        assert len(rel.schema.measure_names) >= 3
+
+
+class TestJoinability:
+    def test_hotels_tours_share_cities(self):
+        hotels = domains.hotels(200, seed=1)
+        tours = domains.tours(200, seed=2)
+        shared = set(hotels.column("city")) & set(tours.column("city"))
+        assert shared, "travel-planner join would be empty"
+
+    def test_retailers_transporters_share_countries_and_parts(self):
+        ret = domains.retailers(200, seed=1)
+        trans = domains.transporters(200, seed=2)
+        assert set(ret.column("country")) & set(trans.column("country"))
+        assert set(ret.column("part")) & set(trans.column("part"))
+
+    def test_smaller_is_better_encoding(self):
+        """Ratings/sights are negated so minimisation prefers the best."""
+        hotels = domains.hotels(100, seed=4)
+        neg = hotels.column("neg_rating")
+        assert neg.min() >= 0.0 and neg.max() <= 4.0  # ratings 1..5

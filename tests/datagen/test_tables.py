@@ -1,0 +1,97 @@
+"""Tests for benchmark table-pair generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.tables import (
+    generate_pair,
+    generate_table,
+    join_domain_size,
+    join_names,
+    measure_names,
+    table_schema,
+)
+from repro.errors import ReproError
+from repro.relation import Role
+
+
+class TestJoinDomainSize:
+    @pytest.mark.parametrize(
+        "selectivity,expected",
+        [(1.0, 1), (0.1, 10), (0.01, 100), (1e-4, 10000)],
+    )
+    def test_inverts_selectivity(self, selectivity, expected):
+        assert join_domain_size(selectivity) == expected
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ReproError):
+            join_domain_size(bad)
+
+
+class TestSchema:
+    def test_names(self):
+        assert measure_names(3) == ("m1", "m2", "m3")
+        assert join_names(2) == ("jc1", "jc2")
+
+    def test_roles(self):
+        schema = table_schema(2, 2)
+        assert schema.measure_names == ("m1", "m2")
+        assert schema.join_names == ("jc1", "jc2")
+        assert schema.attribute("jc1").role is Role.JOIN
+
+
+class TestGeneratePair:
+    def test_cardinalities_match(self):
+        pair = generate_pair("independent", 100, 3, seed=1)
+        assert pair.left.cardinality == pair.right.cardinality == 100
+        assert pair.cardinality == 100
+
+    def test_names(self):
+        pair = generate_pair("independent", 10, 2, seed=1)
+        assert pair.left.name == "R" and pair.right.name == "T"
+
+    def test_tables_are_independent(self):
+        pair = generate_pair("independent", 200, 2, seed=1)
+        assert not np.array_equal(pair.left.column("m1"), pair.right.column("m1"))
+
+    def test_deterministic(self):
+        a = generate_pair("correlated", 60, 3, seed=5)
+        b = generate_pair("correlated", 60, 3, seed=5)
+        np.testing.assert_array_equal(a.left.column("m2"), b.left.column("m2"))
+        np.testing.assert_array_equal(a.right.column("jc1"), b.right.column("jc1"))
+
+    def test_join_values_within_domain(self):
+        pair = generate_pair("independent", 300, 2, selectivity=0.1, seed=2)
+        domain = join_domain_size(0.1)
+        for rel in (pair.left, pair.right):
+            values = rel.column("jc1")
+            assert values.min() >= 0 and values.max() < domain
+
+    def test_empirical_selectivity_close(self):
+        """The realised equi-join selectivity should track the request."""
+        target = 0.02
+        pair = generate_pair("independent", 800, 2, selectivity=target, seed=3)
+        left = pair.left.column("jc1")
+        right = pair.right.column("jc1")
+        matches = sum(np.count_nonzero(right == v) for v in left)
+        realised = matches / (len(left) * len(right))
+        assert realised == pytest.approx(target, rel=0.25)
+
+    def test_measures_follow_requested_range(self):
+        pair = generate_pair("anticorrelated", 150, 4, seed=4)
+        for name in measure_names(4):
+            col = pair.left.column(name)
+            assert col.min() >= 1.0 and col.max() <= 100.0
+
+
+@given(
+    joins=st.integers(min_value=1, max_value=3),
+    dims=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_schema_width(joins, dims):
+    table = generate_table("X", "independent", 20, dims, joins=joins, seed=0)
+    assert len(table.schema) == dims + joins

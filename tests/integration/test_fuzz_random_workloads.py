@@ -1,0 +1,89 @@
+"""Whole-stack fuzzing with randomized workloads.
+
+Random skyline subsets, mixed join conditions, random per-query filters:
+every strategy must return exactly the reference answers every time.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import make_strategy
+from repro.contracts import c2
+from repro.datagen import generate_pair
+from repro.errors import QueryError
+from repro.query import random_workload, reference_evaluate
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = random_workload(5, seed=3)
+        b = random_workload(5, seed=3)
+        assert a.names == b.names
+        assert [q.preference.dims for q in a] == [q.preference.dims for q in b]
+        assert [q.priority for q in a] == [q.priority for q in b]
+
+    def test_sizes_and_dims(self):
+        wl = random_workload(7, dims=3, seed=1)
+        assert len(wl) == 7
+        for query in wl:
+            assert 1 <= len(query.preference) <= 3
+
+    def test_filters_appear_when_requested(self):
+        wl = random_workload(20, filter_probability=1.0, seed=2)
+        assert all(q.has_filters for q in wl)
+        wl = random_workload(20, filter_probability=0.0, seed=2)
+        assert not any(q.has_filters for q in wl)
+
+    def test_multi_condition(self):
+        wl = random_workload(20, join_attrs=("jc1", "jc2"), seed=4)
+        assert len(set(c.name for c in wl.join_conditions)) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_count(self, bad):
+        with pytest.raises(QueryError):
+            random_workload(bad)
+
+    def test_invalid_probability(self):
+        with pytest.raises(QueryError):
+            random_workload(3, filter_probability=1.5)
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    query_count=st.integers(1, 6),
+    filter_probability=st.sampled_from([0.0, 0.5, 1.0]),
+    two_conditions=st.booleans(),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_fuzz_caqe_and_sjfsl_exact(
+    seed, query_count, filter_probability, two_conditions
+):
+    join_attrs = ("jc1", "jc2") if two_conditions else ("jc1",)
+    pair = generate_pair(
+        "independent", 70, 4, joins=2, selectivity=0.1, seed=seed
+    )
+    workload = random_workload(
+        query_count,
+        dims=4,
+        join_attrs=join_attrs,
+        filter_probability=filter_probability,
+        seed=seed + 1,
+    )
+    contracts = {q.name: c2(scale=500.0) for q in workload}
+    references = {
+        q.name: reference_evaluate(q, pair.left, pair.right).skyline_pairs
+        for q in workload
+    }
+    for name in ("CAQE", "S-JFSL"):
+        result = make_strategy(name).run(pair.left, pair.right, workload, contracts)
+        for query in workload:
+            assert result.reported[query.name] == references[query.name], (
+                seed,
+                name,
+                query.name,
+            )

@@ -1,0 +1,67 @@
+"""Integration property tests: randomized workloads through the full stack."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import make_strategy
+from repro.contracts import c1, c4
+from repro.core import run_caqe
+from repro.datagen import generate_pair
+from repro.query import reference_evaluate, subspace_workload
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    distribution=st.sampled_from(["independent", "correlated", "anticorrelated"]),
+    min_size=st.integers(2, 4),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_caqe_exact_on_random_configurations(seed, distribution, min_size):
+    pair = generate_pair(distribution, 60, 4, selectivity=0.1, seed=seed)
+    workload = subspace_workload(4, min_size=min_size)
+    contracts = {q.name: c1(1e12) for q in workload}
+    result = run_caqe(pair.left, pair.right, workload, contracts)
+    for query in workload:
+        ref = reference_evaluate(query, pair.left, pair.right)
+        assert result.reported[query.name] == ref.skyline_pairs
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_progressive_reports_are_final(seed):
+    """No reported result may be absent from the query's true skyline —
+    progressive output must never retract."""
+    pair = generate_pair("independent", 70, 4, selectivity=0.1, seed=seed)
+    workload = subspace_workload(4)
+    contracts = {q.name: c4(0.1, 1000.0) for q in workload}
+    result = run_caqe(pair.left, pair.right, workload, contracts)
+    for query in workload:
+        ref = reference_evaluate(query, pair.left, pair.right)
+        reported_keys = set(result.logs[query.name].keys)
+        assert reported_keys <= ref.skyline_pairs or reported_keys == ref.skyline_pairs
+        # Log keys are unique: nothing is reported twice.
+        assert len(result.logs[query.name].keys) == len(reported_keys)
+
+
+def test_strategies_share_identical_inputs_give_identical_horizon_ordering():
+    """Sanity of the shared virtual-time axis: the blocking reference is the
+    slowest of the compared strategies on a join-heavy workload."""
+    pair = generate_pair("independent", 200, 4, selectivity=0.05, seed=3)
+    workload = subspace_workload(4)
+    contracts = {q.name: c1(1e12) for q in workload}
+    horizons = {}
+    for name in ("CAQE", "S-JFSL", "JFSL"):
+        res = make_strategy(name).run(pair.left, pair.right, workload, contracts)
+        horizons[name] = res.horizon
+    assert horizons["JFSL"] > horizons["CAQE"]
+    assert horizons["JFSL"] > horizons["S-JFSL"]

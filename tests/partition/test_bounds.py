@@ -1,0 +1,97 @@
+"""Tests for hyper-rectangles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.bounds import HyperRect
+
+
+class TestConstruction:
+    def test_valid(self):
+        rect = HyperRect((0.0, 0.0), (1.0, 2.0))
+        assert rect.dimensions == 2
+
+    def test_arity_mismatch(self):
+        with pytest.raises(PartitionError):
+            HyperRect((0.0,), (1.0, 2.0))
+
+    def test_inverted_bounds(self):
+        with pytest.raises(PartitionError):
+            HyperRect((2.0,), (1.0,))
+
+    def test_empty(self):
+        with pytest.raises(PartitionError):
+            HyperRect((), ())
+
+    def test_from_points(self):
+        pts = np.array([[1.0, 5.0], [3.0, 2.0]])
+        rect = HyperRect.from_points(pts)
+        assert rect.lower == (1.0, 2.0) and rect.upper == (3.0, 5.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(PartitionError):
+            HyperRect.from_points(np.empty((0, 2)))
+
+
+class TestGeometry:
+    def test_contains(self):
+        rect = HyperRect((0.0, 0.0), (2.0, 2.0))
+        assert rect.contains([1.0, 1.0])
+        assert rect.contains([0.0, 2.0])  # closed box
+        assert not rect.contains([3.0, 1.0])
+
+    def test_intersects(self):
+        a = HyperRect((0.0, 0.0), (2.0, 2.0))
+        b = HyperRect((1.0, 1.0), (3.0, 3.0))
+        c = HyperRect((5.0, 5.0), (6.0, 6.0))
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_touching_boxes_intersect(self):
+        a = HyperRect((0.0,), (1.0,))
+        b = HyperRect((1.0,), (2.0,))
+        assert a.intersects(b)
+
+    def test_volume(self):
+        assert HyperRect((0.0, 0.0), (2.0, 3.0)).volume() == 6.0
+        assert HyperRect((1.0,), (1.0,)).volume() == 0.0
+
+    def test_center(self):
+        assert HyperRect((0.0, 2.0), (2.0, 4.0)).center == (1.0, 3.0)
+
+
+class TestSplit:
+    def test_split_count(self):
+        rect = HyperRect((0.0, 0.0, 0.0), (2.0, 2.0, 2.0))
+        assert len(rect.split_midpoint()) == 8
+
+    def test_split_covers_volume(self):
+        rect = HyperRect((0.0, 0.0), (4.0, 2.0))
+        quads = rect.split_midpoint()
+        assert sum(q.volume() for q in quads) == pytest.approx(rect.volume())
+
+    def test_split_quadrant_bounds(self):
+        rect = HyperRect((0.0, 0.0), (2.0, 2.0))
+        quads = rect.split_midpoint()
+        # code 0 = lower half in both dims
+        assert quads[0].lower == (0.0, 0.0) and quads[0].upper == (1.0, 1.0)
+        # code 3 = upper half in both dims
+        assert quads[3].lower == (1.0, 1.0) and quads[3].upper == (2.0, 2.0)
+
+
+@given(
+    lows=st.lists(st.floats(0, 50, allow_nan=False), min_size=1, max_size=4),
+    deltas=st.lists(st.floats(0, 50, allow_nan=False), min_size=1, max_size=4),
+    t=st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_split_children_contain_their_points(lows, deltas, t):
+    d = min(len(lows), len(deltas), len(t))
+    lows, deltas, t = lows[:d], deltas[:d], t[:d]
+    rect = HyperRect(tuple(lows), tuple(l + w for l, w in zip(lows, deltas)))
+    point = [l + ti * w for l, w, ti in zip(lows, deltas, t)]
+    assert rect.contains(point)
+    assert any(q.contains(point) for q in rect.split_midpoint())

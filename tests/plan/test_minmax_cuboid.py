@@ -1,0 +1,126 @@
+"""Tests for the min-max cuboid (Definition 7, Figure 6)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan import build_minmax_cuboid
+from repro.query import subspace_workload
+
+
+class TestFigure6:
+    """The paper's exact example: the Figure-1 workload must produce the
+    Figure-6 cuboid — 4 singletons, {d1,d2} and {d2,d3}, and the two
+    3-d query subspaces."""
+
+    @pytest.fixture(autouse=True)
+    def _build(self, figure1_workload):
+        self.cuboid = build_minmax_cuboid(figure1_workload)
+        self.table = self.cuboid.lattice.table
+
+    def test_total_size(self):
+        assert len(self.cuboid) == 8  # vs 15 in the full skycube
+
+    def test_level0_has_all_singletons(self):
+        names = {self.table.names(m) for m in self.cuboid.levels[0]}
+        assert names == {("d1",), ("d2",), ("d3",), ("d4",)}
+
+    def test_level1_exactly_figure6(self):
+        names = {self.table.names(m) for m in self.cuboid.levels[1]}
+        assert names == {("d1", "d2"), ("d2", "d3")}
+
+    def test_level2_query_subspaces(self):
+        names = {self.table.names(m) for m in self.cuboid.levels[2]}
+        assert names == {("d1", "d2", "d3"), ("d2", "d3", "d4")}
+
+    def test_pruned_subspaces_absent(self):
+        for pruned in (["d1", "d3"], ["d2", "d4"], ["d3", "d4"], ["d1", "d4"]):
+            assert self.table.mask(pruned) not in self.cuboid.nodes
+
+    def test_every_query_has_a_node(self, figure1_workload):
+        for query in figure1_workload:
+            node = self.cuboid.node_for_query(query.name)
+            assert self.table.names(node.mask) == query.preference.dims
+
+    def test_children_wiring(self):
+        """{d1,d2,d3}'s cuboid children are {d1,d2} and {d2,d3}."""
+        mask = self.table.mask(["d1", "d2", "d3"])
+        children = {
+            self.table.names(c) for c in self.cuboid.node(mask).children
+        }
+        assert children == {("d1", "d2"), ("d2", "d3")}
+
+    def test_level1_children_are_singletons(self):
+        mask = self.table.mask(["d1", "d2"])
+        children = {self.table.names(c) for c in self.cuboid.node(mask).children}
+        assert children == {("d1",), ("d2",)}
+
+    def test_describe_renders_levels(self):
+        text = self.cuboid.describe()
+        assert "level 0" in text and "{d1, d2}" in text
+
+    def test_unknown_mask_raises(self):
+        with pytest.raises(PlanError):
+            self.cuboid.node(self.table.mask(["d1", "d4"]))
+
+
+class TestDefinition7Conditions:
+    def test_reasons_recorded(self, figure1_workload):
+        cuboid = build_minmax_cuboid(figure1_workload)
+        t = cuboid.lattice.table
+        # Singletons are admitted by condition 1.
+        assert 1 in cuboid.node(t.mask(["d1"])).reasons
+        # Query subspaces by condition 3.
+        assert 3 in cuboid.node(t.mask(["d1", "d2", "d3"])).reasons
+
+    def test_condition2_maximal_subspaces(self, figure1_workload):
+        cuboid = build_minmax_cuboid(figure1_workload)
+        t = cuboid.lattice.table
+        # {d2,d3,d4} has no absorbing superset -> condition 2 holds too.
+        assert 2 in cuboid.node(t.mask(["d2", "d3", "d4"])).reasons
+
+
+class TestElevenQueryWorkload:
+    def test_cuboid_is_full_lattice_when_every_subspace_is_a_query(
+        self, eleven_query_workload
+    ):
+        """With all 2..4-d subsets as queries, no subspace can be pruned."""
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        assert len(cuboid) == 15
+
+    def test_masks_bottom_up_order(self, eleven_query_workload):
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        sizes = [m.bit_count() for m in cuboid.masks]
+        assert sizes == sorted(sizes)
+
+
+class TestSmallWorkloads:
+    def test_single_query_cuboid(self):
+        wl = subspace_workload(3, min_size=3)  # one query over d1,d2,d3
+        cuboid = build_minmax_cuboid(wl)
+        # Singletons + the query subspace; 2-d subspaces serve only the one
+        # query and are absorbed by it.
+        sizes = sorted(m.bit_count() for m in cuboid.masks)
+        assert sizes == [1, 1, 1, 3]
+
+    def test_disjoint_queries(self):
+        from repro.query import (
+            JoinCondition,
+            Preference,
+            SkylineJoinQuery,
+            Workload,
+            add,
+        )
+
+        jc = JoinCondition.on("jc1")
+        fns = tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in (1, 2, 3, 4))
+        wl = Workload(
+            [
+                SkylineJoinQuery("A", jc, fns, Preference.over("d1", "d2")),
+                SkylineJoinQuery("B", jc, fns, Preference.over("d3", "d4")),
+            ]
+        )
+        cuboid = build_minmax_cuboid(wl)
+        t = cuboid.lattice.table
+        assert t.mask(["d1", "d2"]) in cuboid.nodes
+        assert t.mask(["d3", "d4"]) in cuboid.nodes
+        assert t.mask(["d1", "d3"]) not in cuboid.nodes

@@ -1,0 +1,66 @@
+"""Tests for the workload sharing report."""
+
+import pytest
+
+from repro.plan.report import sharing_report
+from repro.query import (
+    AttributeFilter,
+    JoinCondition,
+    Op,
+    Preference,
+    SkylineJoinQuery,
+    Workload,
+    add,
+    subspace_workload,
+)
+
+
+class TestSharingReport:
+    def test_figure1_workload(self, figure1_workload):
+        report = sharing_report(figure1_workload)
+        assert report.query_count == 4
+        assert report.skyline_dimensions == 4
+        assert report.lattice_size == 15
+        assert report.cuboid_size == 8
+        assert report.cuboid_reduction == pytest.approx(7 / 15)
+        # The fixture folds Figure 1 onto a single join condition.
+        assert report.plan_groups == 1
+
+    def test_eleven_query_workload(self, eleven_query_workload):
+        report = sharing_report(eleven_query_workload)
+        assert report.cuboid_size == 15  # every subspace is a query's space
+        assert report.plan_groups == 1
+        # All pairs overlap except the three disjoint 2-dim/2-dim splits.
+        assert report.overlapping_pairs == 11 * 10 // 2 - 3
+
+    def test_disjoint_queries_do_not_overlap(self):
+        jc = JoinCondition.on("jc1")
+        fns = tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in (1, 2, 3, 4))
+        wl = Workload(
+            [
+                SkylineJoinQuery("a", jc, fns, Preference.over("d1", "d2")),
+                SkylineJoinQuery("b", jc, fns, Preference.over("d3", "d4")),
+            ]
+        )
+        report = sharing_report(wl)
+        assert report.overlapping_pairs == 0
+        assert report.shared_subspaces == 0
+
+    def test_filters_split_plan_groups(self):
+        jc = JoinCondition.on("jc1")
+        fns = (add("m1", "m1", "d1"),)
+        wl = Workload(
+            [
+                SkylineJoinQuery("a", jc, fns, Preference.over("d1")),
+                SkylineJoinQuery(
+                    "b", jc, fns, Preference.over("d1"),
+                    left_filters=(AttributeFilter("m1", Op.LE, 10.0),),
+                ),
+            ]
+        )
+        assert sharing_report(wl).plan_groups == 2
+
+    def test_describe_renders(self):
+        report = sharing_report(subspace_workload(3))
+        text = report.describe()
+        assert "min-max cuboid" in text and "plan groups" in text

@@ -1,0 +1,140 @@
+"""Tests for tuple-level shared skyline evaluation over the cuboid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.plan import SharedCuboidPlan, build_minmax_cuboid
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.dominance import ComparisonCounter
+
+
+@pytest.fixture
+def plan(figure1_workload):
+    cuboid = build_minmax_cuboid(figure1_workload)
+    return SharedCuboidPlan(cuboid, figure1_workload.output_dims)
+
+
+class TestInsertSemantics:
+    def test_admission_report(self, plan):
+        report = plan.insert(0, np.array([1.0, 1.0, 1.0, 1.0]))
+        # First tuple is in every cuboid skyline.
+        assert report.admitted_masks == set(plan.cuboid.masks)
+        assert plan.admitted_queries(report) == ["Q1", "Q2", "Q3", "Q4"]
+
+    def test_dominated_tuple_rejected_everywhere(self, plan):
+        plan.insert(0, np.array([1.0, 1.0, 1.0, 1.0]))
+        report = plan.insert(1, np.array([2.0, 2.0, 2.0, 2.0]))
+        assert report.admitted_masks == set()
+
+    def test_eviction_reported_per_query(self, plan, figure1_workload):
+        plan.insert(0, np.array([5.0, 5.0, 5.0, 5.0]))
+        report = plan.insert(1, np.array([1.0, 1.0, 1.0, 1.0]))
+        for query in figure1_workload:
+            assert plan.evicted_for_query(report, query.name) == [0]
+
+    def test_subspace_membership_differs(self, plan):
+        plan.insert(0, np.array([1.0, 5.0, 5.0, 5.0]))
+        plan.insert(1, np.array([5.0, 1.0, 1.0, 1.0]))
+        # Over {d2,d3} (Q3), tuple 1 = (1,1) dominates tuple 0 = (5,5).
+        assert plan.is_candidate("Q3", 1)
+        assert not plan.is_candidate("Q3", 0)
+        # Over {d1,d2} (Q1), (1,5) and (5,1) are incomparable: both stay.
+        assert plan.is_candidate("Q1", 0) and plan.is_candidate("Q1", 1)
+
+    def test_wrong_vector_width(self, plan):
+        with pytest.raises(PlanError):
+            plan.insert(0, np.array([1.0, 2.0]))
+
+    def test_serve_mask_restricts_nodes(self, figure1_workload):
+        cuboid = build_minmax_cuboid(figure1_workload)
+        plan = SharedCuboidPlan(cuboid, figure1_workload.output_dims)
+        # Serve only Q1 (bit 0): only nodes serving Q1 are touched.
+        report = plan.insert(0, np.array([1.0, 1.0, 1.0, 1.0]), serve_mask=0b0001)
+        q1_mask = plan.query_mask("Q1")
+        assert q1_mask in report.admitted_masks
+        q4_mask = plan.query_mask("Q4")
+        assert q4_mask not in report.admitted_masks
+        assert len(plan.window(q4_mask)) == 0
+
+    def test_unknown_query_raises(self, plan):
+        with pytest.raises(PlanError):
+            plan.current_skyline("Q99")
+
+    def test_missing_dims_rejected(self, figure1_workload):
+        cuboid = build_minmax_cuboid(figure1_workload)
+        with pytest.raises(PlanError, match="lacks"):
+            SharedCuboidPlan(cuboid, ("d1", "d2"))
+
+
+class TestCorrectnessAgainstBNL:
+    @pytest.mark.parametrize("assume_dva", [True, False])
+    def test_per_query_skylines_match_bnl(
+        self, figure1_workload, rng, assume_dva
+    ):
+        cuboid = build_minmax_cuboid(figure1_workload)
+        plan = SharedCuboidPlan(
+            cuboid, figure1_workload.output_dims, assume_dva=assume_dva
+        )
+        pts = rng.random((250, 4)) * 100
+        for key in range(len(pts)):
+            plan.insert(key, pts[key])
+        for query in figure1_workload:
+            dims = query.preference.positions(figure1_workload.output_dims)
+            expected = set(bnl_skyline(pts, dims=dims))
+            assert set(plan.current_skyline(query.name)) == expected
+
+    def test_eleven_query_workload_all_match(self, eleven_query_workload, rng):
+        cuboid = build_minmax_cuboid(eleven_query_workload)
+        plan = SharedCuboidPlan(cuboid, eleven_query_workload.output_dims)
+        pts = rng.random((150, 4)) * 100
+        for key in range(len(pts)):
+            plan.insert(key, pts[key])
+        for query in eleven_query_workload:
+            dims = query.preference.positions(eleven_query_workload.output_dims)
+            assert set(plan.current_skyline(query.name)) == set(
+                bnl_skyline(pts, dims=dims)
+            )
+
+    def test_window_sizes_view(self, plan):
+        plan.insert(0, np.array([1.0, 2.0, 3.0, 4.0]))
+        sizes = plan.window_sizes()
+        assert all(size == 1 for size in sizes.values())
+
+
+class TestSharingAccounting:
+    def test_dva_seeding_reduces_comparisons(self, eleven_query_workload, rng):
+        """The Theorem-1 shortcut must never cost more than full scans."""
+        pts = rng.random((200, 4)) * 100
+        counts = {}
+        for assume_dva in (True, False):
+            cuboid = build_minmax_cuboid(eleven_query_workload)
+            counter = ComparisonCounter()
+            plan = SharedCuboidPlan(
+                cuboid,
+                eleven_query_workload.output_dims,
+                counter=counter,
+                assume_dva=assume_dva,
+            )
+            for key in range(len(pts)):
+                plan.insert(key, pts[key])
+            counts[assume_dva] = counter.comparisons
+        assert counts[True] <= counts[False]
+
+
+@given(seed=st.integers(0, 500), n=st.integers(1, 80))
+@settings(max_examples=20, deadline=None)
+def test_property_shared_plan_matches_bnl(figure1_workload, seed, n):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 4)) * 100
+    cuboid = build_minmax_cuboid(figure1_workload)
+    plan = SharedCuboidPlan(cuboid, figure1_workload.output_dims)
+    for key in range(n):
+        plan.insert(key, pts[key])
+    for query in figure1_workload:
+        dims = query.preference.positions(figure1_workload.output_dims)
+        assert set(plan.current_skyline(query.name)) == set(
+            bnl_skyline(pts, dims=dims)
+        )

@@ -1,0 +1,94 @@
+"""Tests for subspace bitmasks and the full lattice (Definition 6)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.lattice import SubspaceLattice
+from repro.plan.subspace import SubspaceTable
+
+
+@pytest.fixture
+def table():
+    return SubspaceTable(("d1", "d2", "d3", "d4"))
+
+
+class TestSubspaceTable:
+    def test_mask_roundtrip(self, table):
+        mask = table.mask(["d2", "d4"])
+        assert table.names(mask) == ("d2", "d4")
+        assert table.positions(mask) == (1, 3)
+        assert table.size(mask) == 2
+
+    def test_full_mask(self, table):
+        assert table.full_mask == 0b1111
+        assert table.names(table.full_mask) == ("d1", "d2", "d3", "d4")
+
+    def test_unknown_dim(self, table):
+        with pytest.raises(PlanError):
+            table.mask(["zzz"])
+
+    def test_empty_mask_rejected(self, table):
+        with pytest.raises(PlanError):
+            table.mask([])
+        with pytest.raises(PlanError):
+            table.names(0)
+
+    def test_is_subset(self, table):
+        a = table.mask(["d1"])
+        b = table.mask(["d1", "d2"])
+        assert table.is_subset(a, b)
+        assert not table.is_subset(b, a)
+
+    def test_strict_subsets(self, table):
+        mask = table.mask(["d1", "d2", "d3"])
+        subs = table.strict_subsets_of(mask)
+        assert len(subs) == 6  # 2^3 - 2
+        assert all(table.is_subset(s, mask) and s != mask for s in subs)
+
+    def test_immediate_children(self, table):
+        mask = table.mask(["d1", "d3"])
+        children = table.immediate_children(mask)
+        assert sorted(table.names(c) for c in children) == [("d1",), ("d3",)]
+
+    def test_singleton_has_no_children(self, table):
+        assert table.immediate_children(table.mask(["d1"])) == []
+
+    def test_label(self, table):
+        assert table.label(table.mask(["d1", "d3"])) == "{d1, d3}"
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(PlanError):
+            SubspaceTable(("a", "a"))
+
+
+class TestLattice:
+    def test_size_is_2_pow_d_minus_1(self, figure1_workload):
+        lattice = SubspaceLattice(figure1_workload)
+        assert len(lattice) == 15
+
+    def test_qserve_definition6(self, figure1_workload):
+        """Example 12: {d2,d3} serves Q2, Q3, Q4; {d2,d4} serves only Q4."""
+        lattice = SubspaceLattice(figure1_workload)
+        t = lattice.table
+        assert lattice.serving_queries(t.mask(["d2", "d3"])) == ("Q2", "Q3", "Q4")
+        assert lattice.serving_queries(t.mask(["d2", "d4"])) == ("Q4",)
+
+    def test_singletons_serve_superset_queries(self, figure1_workload):
+        lattice = SubspaceLattice(figure1_workload)
+        t = lattice.table
+        assert lattice.serving_queries(t.mask(["d2"])) == ("Q1", "Q2", "Q3", "Q4")
+        assert lattice.serving_queries(t.mask(["d4"])) == ("Q4",)
+
+    def test_full_space_serves_nobody(self, figure1_workload):
+        lattice = SubspaceLattice(figure1_workload)
+        assert lattice.qserve(lattice.table.full_mask) == 0
+
+    def test_levels_match_popcount(self, figure1_workload):
+        lattice = SubspaceLattice(figure1_workload)
+        for node in lattice:
+            assert node.level == bin(node.mask).count("1") - 1
+
+    def test_unknown_mask(self, figure1_workload):
+        lattice = SubspaceLattice(figure1_workload)
+        with pytest.raises(PlanError):
+            lattice.node(1 << 10)

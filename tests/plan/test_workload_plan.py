@@ -1,0 +1,116 @@
+"""Tests for WorkloadPlan: lineage-grouped shared skyline state."""
+
+import numpy as np
+import pytest
+
+from repro.plan import WorkloadPlan
+from repro.query import (
+    AttributeFilter,
+    JoinCondition,
+    Op,
+    Preference,
+    SkylineJoinQuery,
+    Workload,
+    add,
+)
+from repro.skyline.dominance import ComparisonCounter
+
+
+@pytest.fixture
+def fns():
+    return tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in (1, 2, 3))
+
+
+def _q(name, jc_attr, pref, fns, **kwargs):
+    return SkylineJoinQuery(
+        name, JoinCondition.on(jc_attr, name=f"JC:{jc_attr}"), fns,
+        Preference.over(*pref), **kwargs,
+    )
+
+
+class TestGrouping:
+    def test_single_condition_single_group(self, fns):
+        wl = Workload(
+            [
+                _q("a", "jc1", ("d1", "d2"), fns),
+                _q("b", "jc1", ("d2", "d3"), fns),
+            ]
+        )
+        plan = WorkloadPlan(wl, wl.output_dims)
+        assert plan.group_count == 1
+
+    def test_conditions_split_groups(self, fns):
+        wl = Workload(
+            [
+                _q("a", "jc1", ("d1", "d2"), fns),
+                _q("b", "jc2", ("d1", "d2"), fns),
+            ]
+        )
+        plan = WorkloadPlan(wl, wl.output_dims)
+        assert plan.group_count == 2
+
+    def test_filters_split_groups(self, fns):
+        filt = (AttributeFilter("m1", Op.LE, 50.0),)
+        wl = Workload(
+            [
+                _q("a", "jc1", ("d1", "d2"), fns),
+                _q("b", "jc1", ("d1", "d2"), fns, left_filters=filt),
+                _q("c", "jc1", ("d2", "d3"), fns, left_filters=filt),
+            ]
+        )
+        plan = WorkloadPlan(wl, wl.output_dims)
+        assert plan.group_count == 2  # {a} and {b, c}
+
+
+class TestLineageIsolation:
+    def test_cross_condition_tuples_do_not_evict(self, fns):
+        """The regression scenario: a JC1 tuple dominating a JC2 candidate
+        in the shared subspace must leave the JC2 window untouched."""
+        wl = Workload(
+            [
+                _q("wide", "jc1", ("d1", "d2", "d3"), fns),
+                _q("narrow", "jc2", ("d1", "d2"), fns),
+            ]
+        )
+        plan = WorkloadPlan(wl, wl.output_dims)
+        # Key 0: a JC2 join result (serves only 'narrow', bit 1).
+        plan.insert(0, np.array([5.0, 5.0, 5.0]), serve_mask=0b10)
+        assert plan.is_candidate("narrow", 0)
+        # Key 1: a JC1 tuple dominating key 0 — but not a JC2 result.
+        report = plan.insert(1, np.array([1.0, 1.0, 1.0]), serve_mask=0b01)
+        assert report.admitted == {"wide"}
+        assert plan.is_candidate("narrow", 0), "cross-condition eviction!"
+        assert not plan.is_candidate("narrow", 1)
+
+    def test_within_group_eviction_reported_per_query(self, fns):
+        wl = Workload(
+            [
+                _q("a", "jc1", ("d1", "d2"), fns),
+                _q("b", "jc1", ("d2", "d3"), fns),
+            ]
+        )
+        plan = WorkloadPlan(wl, wl.output_dims)
+        plan.insert(0, np.array([1.0, 9.0, 1.0]))  # in a's and b's skylines
+        report = plan.insert(1, np.array([0.5, 0.5, 0.5]))  # dominates all
+        assert report.admitted == {"a", "b"}
+        assert set(report.evicted) == {"a", "b"}
+        assert report.evicted["a"] == [0]
+
+    def test_serve_mask_none_means_everyone(self, fns):
+        wl = Workload([_q("a", "jc1", ("d1", "d2"), fns)])
+        plan = WorkloadPlan(wl, wl.output_dims)
+        report = plan.insert(0, np.array([1.0, 1.0, 1.0]))
+        assert report.admitted == {"a"}
+
+    def test_counter_shared_across_groups(self, fns):
+        counter = ComparisonCounter()
+        wl = Workload(
+            [
+                _q("a", "jc1", ("d1", "d2"), fns),
+                _q("b", "jc2", ("d1", "d2"), fns),
+            ]
+        )
+        plan = WorkloadPlan(wl, wl.output_dims, counter=counter)
+        plan.insert(0, np.array([1.0, 1.0, 1.0]))
+        plan.insert(1, np.array([2.0, 2.0, 2.0]))
+        assert counter.comparisons > 0

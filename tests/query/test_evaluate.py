@@ -1,0 +1,118 @@
+"""Tests for the reference (ground-truth) evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    JoinCondition,
+    Preference,
+    SkylineJoinQuery,
+    add,
+    apply_functions,
+    hash_join,
+    reference_evaluate,
+)
+from repro.relation import Relation, Role, Schema
+
+
+@pytest.fixture
+def tiny_tables():
+    schema = Schema.of(m1=Role.MEASURE, m2=Role.MEASURE, jc1=Role.JOIN)
+    left = Relation.from_rows(
+        "R", schema, [(1.0, 9.0, 0), (5.0, 5.0, 0), (2.0, 2.0, 1)]
+    )
+    right = Relation.from_rows(
+        "T", schema, [(1.0, 1.0, 0), (9.0, 9.0, 1), (3.0, 3.0, 2)]
+    )
+    return left, right
+
+
+class TestHashJoin:
+    def test_matches(self, tiny_tables):
+        left, right = tiny_tables
+        li, ri = hash_join(left, right, JoinCondition.on("jc1"))
+        pairs = set(zip(li.tolist(), ri.tolist()))
+        assert pairs == {(0, 0), (1, 0), (2, 1)}
+
+    def test_empty_join(self, tiny_tables):
+        left, right = tiny_tables
+        # join on measure column m1: values do not overlap except 1.0
+        li, ri = hash_join(left, right, JoinCondition("e", "m1", "m2"))
+        assert set(zip(li.tolist(), ri.tolist())) == {(0, 0)}
+
+    def test_matches_quadratic_reference(self, small_pair):
+        left, right = small_pair.left, small_pair.right
+        jc = JoinCondition.on("jc1")
+        li, ri = hash_join(left, right, jc)
+        expected = {
+            (i, j)
+            for i in range(left.cardinality)
+            for j in range(right.cardinality)
+            if left.column("jc1")[i] == right.column("jc1")[j]
+        }
+        assert set(zip(li.tolist(), ri.tolist())) == expected
+
+
+class TestApplyFunctions:
+    def test_column_order_matches_functions(self, tiny_tables):
+        left, right = tiny_tables
+        fns = (add("m1", "m1", "d1"), add("m2", "m2", "d2"))
+        matrix = apply_functions(
+            fns, left, right, np.array([0, 2]), np.array([0, 1])
+        )
+        np.testing.assert_array_equal(matrix, [[2.0, 10.0], [11.0, 11.0]])
+
+    def test_empty_input(self, tiny_tables):
+        left, right = tiny_tables
+        fns = (add("m1", "m1", "d1"),)
+        matrix = apply_functions(fns, left, right, np.array([], dtype=int), np.array([], dtype=int))
+        assert matrix.shape == (0, 1)
+
+
+class TestReferenceEvaluate:
+    def test_tiny_case_by_hand(self, tiny_tables):
+        left, right = tiny_tables
+        query = SkylineJoinQuery(
+            "Q",
+            JoinCondition.on("jc1"),
+            (add("m1", "m1", "d1"), add("m2", "m2", "d2")),
+            Preference.over("d1", "d2"),
+        )
+        # Join results: (0,0)->(2,10), (1,0)->(6,6), (2,1)->(11,11).
+        # (11,11) dominated by (6,6); (2,10) and (6,6) incomparable.
+        result = reference_evaluate(query, left, right)
+        assert result.join_count == 3
+        assert result.skyline_pairs == {(0, 0), (1, 0)}
+
+    def test_skyline_matrix_rows(self, tiny_tables):
+        left, right = tiny_tables
+        query = SkylineJoinQuery(
+            "Q",
+            JoinCondition.on("jc1"),
+            (add("m1", "m1", "d1"),),
+            Preference.over("d1"),
+        )
+        result = reference_evaluate(query, left, right)
+        assert result.skyline_matrix.shape[1] == 1
+        # 1-d skyline: the minimum d1 value (2.0) only.
+        assert result.skyline_matrix.min() == 2.0
+
+    def test_counts_comparisons(self, small_pair, eleven_query_workload):
+        from repro.skyline.dominance import ComparisonCounter
+
+        counter = ComparisonCounter()
+        reference_evaluate(
+            eleven_query_workload["Q1"],
+            small_pair.left,
+            small_pair.right,
+            counter=counter,
+        )
+        assert counter.comparisons > 0
+
+    def test_subspace_queries_share_join(self, small_pair, eleven_query_workload):
+        """All 11 queries see the same join cardinality (same condition)."""
+        counts = {
+            q.name: reference_evaluate(q, small_pair.left, small_pair.right).join_count
+            for q in eleven_query_workload
+        }
+        assert len(set(counts.values())) == 1

@@ -1,0 +1,101 @@
+"""Tests for per-query selection predicates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (
+    AttributeFilter,
+    JoinCondition,
+    Op,
+    Preference,
+    SkylineJoinQuery,
+    Workload,
+    add,
+    rows_passing,
+    selection_bitmasks,
+)
+from repro.relation import Relation, Role, Schema
+
+
+@pytest.fixture
+def rel():
+    schema = Schema.of(m1=Role.MEASURE, jc1=Role.JOIN)
+    return Relation.from_rows(
+        "R", schema, [(10.0, 0), (20.0, 1), (30.0, 0), (40.0, 2)]
+    )
+
+
+class TestAttributeFilter:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            (Op.LT, 25.0, [True, True, False, False]),
+            (Op.LE, 20.0, [True, True, False, False]),
+            (Op.GT, 25.0, [False, False, True, True]),
+            (Op.GE, 30.0, [False, False, True, True]),
+            (Op.EQ, 20.0, [False, True, False, False]),
+            (Op.NE, 20.0, [True, False, True, True]),
+            (Op.IN, {10.0, 40.0}, [True, False, False, True]),
+        ],
+    )
+    def test_operators(self, rel, op, value, expected):
+        mask = AttributeFilter("m1", op, value).evaluate(rel)
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_validate(self, rel):
+        AttributeFilter("m1", Op.LT, 5.0).validate(rel)
+        with pytest.raises(QueryError):
+            AttributeFilter("zzz", Op.LT, 5.0).validate(rel)
+
+    def test_in_requires_collection(self):
+        with pytest.raises(QueryError):
+            AttributeFilter("m1", Op.IN, 5.0)
+
+    def test_empty_attr_rejected(self):
+        with pytest.raises(QueryError):
+            AttributeFilter("", Op.LT, 5.0)
+
+
+class TestRowsPassing:
+    def test_conjunction(self, rel):
+        filters = (
+            AttributeFilter("m1", Op.GT, 10.0),
+            AttributeFilter("m1", Op.LT, 40.0),
+        )
+        np.testing.assert_array_equal(
+            rows_passing(filters, rel), [False, True, True, False]
+        )
+
+    def test_no_filters_all_pass(self, rel):
+        assert rows_passing((), rel).all()
+
+
+class TestSelectionBitmasks:
+    def test_masks_per_query(self, rel):
+        jc = JoinCondition.on("jc1")
+        fns = (add("m1", "m1", "d1"),)
+        q_all = SkylineJoinQuery("A", jc, fns, Preference.over("d1"))
+        q_low = SkylineJoinQuery(
+            "B", jc, fns, Preference.over("d1"),
+            left_filters=(AttributeFilter("m1", Op.LE, 20.0),),
+        )
+        wl = Workload([q_all, q_low])
+        masks = selection_bitmasks(wl, rel, "left")
+        # Row 0 (10.0): passes both -> 0b11; row 3 (40.0): only A -> 0b01.
+        np.testing.assert_array_equal(masks, [0b11, 0b11, 0b01, 0b01])
+
+    def test_right_side_uses_right_filters(self, rel):
+        jc = JoinCondition.on("jc1")
+        fns = (add("m1", "m1", "d1"),)
+        q = SkylineJoinQuery(
+            "A", jc, fns, Preference.over("d1"),
+            right_filters=(AttributeFilter("m1", Op.GT, 35.0),),
+        )
+        wl = Workload([q])
+        np.testing.assert_array_equal(
+            selection_bitmasks(wl, rel, "left"), [1, 1, 1, 1]
+        )
+        np.testing.assert_array_equal(
+            selection_bitmasks(wl, rel, "right"), [0, 0, 0, 1]
+        )

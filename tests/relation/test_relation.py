@@ -1,0 +1,118 @@
+"""Unit tests for the column-oriented relation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relation import Attribute, Relation, Role, Schema, concat
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(price=Role.MEASURE, city=Role.JOIN)
+
+
+@pytest.fixture
+def rel(schema):
+    return Relation(
+        "Hotels",
+        schema,
+        {"price": np.array([10.0, 20.0, 30.0]), "city": np.array([1, 2, 1])},
+    )
+
+
+class TestConstruction:
+    def test_cardinality(self, rel):
+        assert rel.cardinality == 3
+        assert len(rel) == 3
+
+    def test_missing_column_raises(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            Relation("H", schema, {"price": np.array([1.0])})
+
+    def test_extra_column_raises(self, schema):
+        with pytest.raises(SchemaError, match="extra"):
+            Relation(
+                "H",
+                schema,
+                {
+                    "price": np.array([1.0]),
+                    "city": np.array([1]),
+                    "bogus": np.array([0]),
+                },
+            )
+
+    def test_ragged_columns_raise(self, schema):
+        with pytest.raises(SchemaError, match="rows"):
+            Relation(
+                "H", schema, {"price": np.array([1.0, 2.0]), "city": np.array([1])}
+            )
+
+    def test_two_dimensional_column_raises(self, schema):
+        with pytest.raises(SchemaError, match="1-dimensional"):
+            Relation(
+                "H",
+                schema,
+                {"price": np.ones((2, 2)), "city": np.array([1, 2])},
+            )
+
+    def test_columns_are_read_only(self, rel):
+        with pytest.raises(ValueError):
+            rel.column("price")[0] = 99.0
+
+    def test_from_rows(self, schema):
+        rel = Relation.from_rows("H", schema, [(10.0, 1), (20.0, 2)])
+        assert rel.cardinality == 2
+        assert rel.row(1) == (20.0, 2)
+
+    def test_from_rows_empty(self, schema):
+        rel = Relation.from_rows("H", schema, [])
+        assert rel.cardinality == 0
+
+    def test_from_rows_wrong_width(self, schema):
+        with pytest.raises(SchemaError, match="values"):
+            Relation.from_rows("H", schema, [(1.0,)])
+
+
+class TestAccess:
+    def test_column(self, rel):
+        np.testing.assert_array_equal(rel.column("city"), [1, 2, 1])
+
+    def test_unknown_column_raises(self, rel):
+        with pytest.raises(SchemaError):
+            rel.column("nope")
+
+    def test_columns_matrix(self, rel):
+        matrix = rel.columns(["price", "city"])
+        assert matrix.shape == (3, 2)
+        np.testing.assert_array_equal(matrix[:, 1], [1, 2, 1])
+
+    def test_row(self, rel):
+        assert rel.row(0) == (10.0, 1)
+
+    def test_take(self, rel):
+        subset = rel.take([2, 0])
+        assert subset.cardinality == 2
+        np.testing.assert_array_equal(subset.column("price"), [30.0, 10.0])
+
+    def test_take_renames(self, rel):
+        assert rel.take([0], name="sub").name == "sub"
+
+
+class TestConcat:
+    def test_concat(self, rel, schema):
+        other = Relation.from_rows("H2", schema, [(5.0, 3)])
+        merged = concat("all", [rel, other])
+        assert merged.cardinality == 4
+        assert merged.row(3) == (5.0, 3)
+
+    def test_concat_empty_list_raises(self):
+        with pytest.raises(SchemaError):
+            concat("x", [])
+
+    def test_concat_schema_mismatch_raises(self, rel):
+        other = Relation.from_rows(
+            "T", Schema.of(other=Role.MEASURE), [(1.0,)]
+        )
+        with pytest.raises(SchemaError):
+            concat("x", [rel, other])

@@ -1,0 +1,75 @@
+"""Unit tests for schemas and attributes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relation import Attribute, Role, Schema
+
+
+class TestAttribute:
+    def test_default_role_is_measure(self):
+        assert Attribute("price").role is Role.MEASURE
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(SchemaError):
+            Attribute(7)  # type: ignore[arg-type]
+
+    def test_is_hashable_and_comparable(self):
+        assert Attribute("a") == Attribute("a")
+        assert hash(Attribute("a")) == hash(Attribute("a"))
+        assert Attribute("a") != Attribute("a", Role.JOIN)
+
+
+class TestSchema:
+    def test_preserves_order(self):
+        schema = Schema([Attribute("b"), Attribute("a")])
+        assert schema.names == ("b", "a")
+
+    def test_of_builder(self):
+        schema = Schema.of(price=Role.MEASURE, city=Role.JOIN, label=Role.PAYLOAD)
+        assert schema.names == ("price", "city", "label")
+        assert schema.attribute("city").role is Role.JOIN
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("x"), Attribute("x")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_non_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema(["price"])  # type: ignore[list-item]
+
+    def test_position_lookup(self):
+        schema = Schema.of(a=Role.MEASURE, b=Role.JOIN)
+        assert schema.position("b") == 1
+
+    def test_position_unknown_raises(self):
+        schema = Schema.of(a=Role.MEASURE)
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.position("zzz")
+
+    def test_role_filters(self):
+        schema = Schema.of(m1=Role.MEASURE, j1=Role.JOIN, p1=Role.PAYLOAD, m2=Role.MEASURE)
+        assert schema.measure_names == ("m1", "m2")
+        assert schema.join_names == ("j1",)
+
+    def test_contains_len_iter(self):
+        schema = Schema.of(a=Role.MEASURE, b=Role.JOIN)
+        assert "a" in schema and "zzz" not in schema
+        assert len(schema) == 2
+        assert [attr.name for attr in schema] == ["a", "b"]
+
+    def test_equality_and_hash(self):
+        s1 = Schema.of(a=Role.MEASURE, b=Role.JOIN)
+        s2 = Schema.of(a=Role.MEASURE, b=Role.JOIN)
+        s3 = Schema.of(b=Role.JOIN, a=Role.MEASURE)
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3  # order matters

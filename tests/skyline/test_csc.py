@@ -1,0 +1,83 @@
+"""Tests for the compressed skycube."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.skyline.csc import CompressedSkycube
+from repro.skyline.skycube import all_subspaces, compute_naive
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(99).random((120, 4)) * 100
+
+
+@pytest.fixture(scope="module")
+def csc(points):
+    return CompressedSkycube.build(points)
+
+
+@pytest.fixture(scope="module")
+def full(points):
+    return compute_naive(points)
+
+
+class TestReconstruction:
+    def test_every_subspace_reconstructs_exactly(self, csc, full):
+        for sub in all_subspaces(4):
+            assert csc.skyline(sub) == full.skyline(sub), sorted(sub)
+
+    def test_compression_saves_entries(self, csc, full):
+        assert csc.stored_entries < CompressedSkycube.full_entries(full)
+        assert 0.0 < csc.compression_ratio(full) < 1.0
+
+    def test_minimal_subspaces_are_minimal(self, csc, full):
+        for row in range(5):
+            for sub in csc.minimal_subspaces(row):
+                assert row in full.skyline(sub)
+                for drop in sub:
+                    child = sub - {drop}
+                    if child:
+                        assert row not in full.skyline(child)
+
+    def test_non_skyline_tuple_has_no_minimal_subspaces(self, csc, full):
+        full_space = frozenset(range(4))
+        outside = set(range(120)) - set(full.skyline(full_space))
+        # A tuple outside the full-space skyline is outside every skyline.
+        row = sorted(outside)[0]
+        assert csc.minimal_subspaces(row) == set()
+
+
+class TestValidation:
+    def test_rejects_non_dva(self):
+        pts = np.array([[1.0, 2.0], [1.0, 3.0]])
+        with pytest.raises(ReproError, match="DVA"):
+            CompressedSkycube.build(pts)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ReproError):
+            CompressedSkycube.build(np.array([1.0, 2.0]))
+
+    def test_invalid_subspace_query(self, csc):
+        with pytest.raises(ReproError):
+            csc.skyline(set())
+        with pytest.raises(ReproError):
+            csc.skyline({9})
+
+    def test_unknown_row(self, csc):
+        with pytest.raises(ReproError):
+            csc.minimal_subspaces(10**6)
+
+
+@given(n=st.integers(0, 40), seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_property_csc_reconstructs_all_subspaces(n, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 3)) * 100
+    csc = CompressedSkycube.build(pts)
+    full = compute_naive(pts)
+    for sub in all_subspaces(3):
+        assert csc.skyline(sub) == full.skyline(sub)

@@ -1,0 +1,138 @@
+"""Tests for tuple-level dominance (Definitions 1-2), incl. paper examples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.skyline.dominance import (
+    ComparisonCounter,
+    Dominance,
+    compare,
+    dominates,
+    dominates_matrix,
+)
+
+# The paper's Example 3 hotels: (price, 5-rating-ish kept as rating, distance, wifi).
+H1 = np.array([200.0, 5.0, 0.5, 20.0])
+H2 = np.array([350.0, 5.0, 0.5, 20.0])
+H3 = np.array([89.0, 2.0, 3.0, 0.0])
+
+
+class TestExample3FullSpace:
+    """Example 3 uses 'smaller is better' on price; rating 5 is mapped so
+    that equal ratings tie — we compare raw vectors where h1 <= h2."""
+
+    def test_h1_dominates_h2(self):
+        assert dominates(H1, H2)
+
+    def test_h2_not_dominates_h1(self):
+        assert not dominates(H2, H1)
+
+    def test_h1_h3_incomparable(self):
+        assert not dominates(H1, H3)
+        assert not dominates(H3, H1)
+
+
+class TestExample4Subspace:
+    def test_h3_dominates_both_in_price_wifi(self):
+        dims = (0, 3)  # price, wifi
+        assert dominates(H3, H1, dims=dims)
+        assert dominates(H3, H2, dims=dims)
+
+    def test_subspace_changes_outcome(self):
+        assert not dominates(H3, H1)  # full space: incomparable
+        assert dominates(H3, H1, dims=(0, 3))
+
+
+class TestCompare:
+    def test_left(self):
+        assert compare(H1, H2) is Dominance.LEFT
+
+    def test_right(self):
+        assert compare(H2, H1) is Dominance.RIGHT
+
+    def test_equal(self):
+        assert compare(H1, H1) is Dominance.EQUAL
+
+    def test_incomparable(self):
+        assert compare(H1, H3) is Dominance.INCOMPARABLE
+
+    def test_subspace_equal(self):
+        assert compare(H1, H2, dims=(1, 2)) is Dominance.EQUAL
+
+
+class TestStrictness:
+    def test_equal_vectors_do_not_dominate(self):
+        v = np.array([1.0, 2.0])
+        assert not dominates(v, v)
+
+    def test_weakly_smaller_dominates(self):
+        assert dominates(np.array([1.0, 2.0]), np.array([1.0, 3.0]))
+
+
+class TestCounter:
+    def test_counts_each_call(self):
+        counter = ComparisonCounter()
+        dominates(H1, H2, counter=counter)
+        compare(H1, H3, counter=counter)
+        assert counter.comparisons == 2
+
+    def test_matrix_counts_rows(self):
+        counter = ComparisonCounter()
+        dominates_matrix(np.vstack([H1, H2, H3]), H2, counter=counter)
+        assert counter.comparisons == 3
+
+    def test_on_increment_callback(self):
+        seen = []
+        counter = ComparisonCounter(on_increment=seen.append)
+        counter.record(3)
+        counter.record()
+        assert counter.comparisons == 4
+        assert seen == [3, 1]
+
+
+class TestDominatesMatrix:
+    def test_empty_matrix(self):
+        assert not dominates_matrix(np.empty((0, 2)), np.array([1.0, 1.0]))
+
+    def test_detects_dominator(self):
+        pts = np.array([[5.0, 5.0], [1.0, 1.0]])
+        assert dominates_matrix(pts, np.array([2.0, 2.0]))
+
+    def test_subspace(self):
+        pts = np.array([[5.0, 0.0]])
+        assert dominates_matrix(pts, np.array([1.0, 3.0]), dims=[1])
+
+
+points = arrays(np.float64, 3, elements=st.floats(0, 100, allow_nan=False))
+
+
+@given(a=points, b=points, c=points)
+@settings(max_examples=100, deadline=None)
+def test_property_dominance_is_a_strict_partial_order(a, b, c):
+    # Irreflexive.
+    assert not dominates(a, a)
+    # Asymmetric.
+    if dominates(a, b):
+        assert not dominates(b, a)
+    # Transitive.
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+@given(a=points, b=points)
+@settings(max_examples=100, deadline=None)
+def test_property_compare_consistent_with_dominates(a, b):
+    outcome = compare(a, b)
+    assert (outcome is Dominance.LEFT) == dominates(a, b)
+    assert (outcome is Dominance.RIGHT) == dominates(b, a)
+
+
+@given(a=points, b=points, dims=st.sets(st.integers(0, 2), min_size=1))
+@settings(max_examples=100, deadline=None)
+def test_property_subspace_dominance_from_full_dominance(a, b, dims):
+    """Full-space dominance implies weak subspace preference (never reversed)."""
+    if dominates(a, b):
+        assert not dominates(b, a, dims=sorted(dims))

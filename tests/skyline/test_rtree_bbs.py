@@ -1,0 +1,123 @@
+"""Tests for the R-tree substrate and the BBS index-based skyline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.skyline.bbs import bbs_skyline, bbs_skyline_stream
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.rtree import RTree
+
+
+class TestRTree:
+    def test_mbrs_contain_members(self, rng):
+        pts = rng.random((200, 3)) * 100
+        tree = RTree(pts, fanout=6)
+
+        def check(node):
+            if node.is_leaf:
+                for row in node.entries:
+                    assert np.all(pts[row] >= node.lower - 1e-9)
+                    assert np.all(pts[row] <= node.upper + 1e-9)
+                return set(node.entries)
+            covered = set()
+            for child in node.children:
+                assert np.all(child.lower >= node.lower - 1e-9)
+                assert np.all(child.upper <= node.upper + 1e-9)
+                covered |= check(child)
+            return covered
+
+        assert check(tree.root) == set(range(200))
+
+    def test_fanout_respected(self, rng):
+        pts = rng.random((300, 2)) * 10
+        tree = RTree(pts, fanout=4)
+
+        def check(node):
+            if node.is_leaf:
+                assert 1 <= len(node.entries) <= 4
+            else:
+                assert len(node.children) <= 4
+                for child in node.children:
+                    check(child)
+
+        check(tree.root)
+
+    def test_height_grows_with_size(self, rng):
+        small = RTree(rng.random((10, 2)), fanout=4)
+        large = RTree(rng.random((500, 2)), fanout=4)
+        assert large.height > small.height
+        assert large.node_count() > small.node_count()
+
+    def test_empty_tree(self):
+        tree = RTree(np.empty((0, 2)))
+        assert len(tree) == 0 and tree.root.is_leaf
+
+    def test_single_point(self):
+        tree = RTree(np.array([[1.0, 2.0]]))
+        assert tree.root.entries == [0]
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ReproError):
+            RTree(np.ones((3, 2)), fanout=1)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ReproError):
+            RTree(np.array([1.0, 2.0]))
+
+
+class TestBBS:
+    @pytest.mark.parametrize("n", [0, 1, 10, 300])
+    def test_matches_bnl(self, n, rng):
+        pts = rng.random((n, 3)) * 100
+        assert bbs_skyline(pts) == bnl_skyline(pts)
+
+    def test_subspace(self, rng):
+        pts = rng.random((200, 4)) * 100
+        for dims in [(0,), (1, 2), (0, 2, 3)]:
+            assert bbs_skyline(pts, dims=dims) == bnl_skyline(pts, dims=dims)
+
+    def test_progressive_order_is_by_l1(self, rng):
+        """BBS yields results in ascending L1 order — first result is the
+        minimum-sum skyline point, immediately final."""
+        pts = rng.random((300, 2)) * 100
+        tree = RTree(pts)
+        yielded = list(bbs_skyline_stream(tree))
+        sums = pts[yielded].sum(axis=1)
+        assert np.all(np.diff(sums) >= -1e-9)
+        assert yielded[0] == int(np.argmin(pts.sum(axis=1)))
+
+    def test_every_yield_is_final(self, rng):
+        pts = rng.random((200, 3)) * 100
+        truth = set(bnl_skyline(pts))
+        tree = RTree(pts)
+        for row in bbs_skyline_stream(tree):
+            assert row in truth  # never retracted
+
+    def test_fewer_dominance_work_than_bnl_on_correlated(self):
+        from repro.datagen.distributions import correlated
+
+        pts = correlated(1500, 3, seed=9)
+        c_bnl, c_bbs = ComparisonCounter(), ComparisonCounter()
+        assert bnl_skyline(pts, counter=c_bnl) == bbs_skyline(pts, counter=c_bbs)
+        assert c_bbs.comparisons < c_bnl.comparisons
+
+    def test_duplicates_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert bbs_skyline(pts) == [0, 1]
+
+
+@given(
+    n=st.integers(0, 80),
+    d=st.integers(2, 4),
+    fanout=st.integers(2, 9),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_bbs_exact_for_any_tree_shape(n, d, fanout, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, d)) * 100
+    assert bbs_skyline(pts, fanout=fanout) == bnl_skyline(pts)

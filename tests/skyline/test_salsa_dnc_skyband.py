@@ -1,0 +1,152 @@
+"""Tests for the extended skyline algorithm suite (SaLSa, D&C, k-skyband)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.dnc import dnc_skyline
+from repro.skyline.dominance import ComparisonCounter, dominates
+from repro.skyline.salsa import salsa_order, salsa_skyline
+from repro.skyline.skyband import SkybandWindow, k_skyband
+
+
+class TestSalsa:
+    def test_agrees_with_bnl(self, rng):
+        pts = rng.random((300, 3)) * 100
+        result, examined = salsa_skyline(pts)
+        assert result == bnl_skyline(pts)
+        assert examined <= len(pts)
+
+    def test_early_termination_on_dominant_point(self, rng):
+        """A near-origin point lets SaLSa stop far before the end."""
+        pts = rng.random((500, 3)) * 100 + 50
+        pts[123] = [0.1, 0.2, 0.3]  # dominates everything with max < mins
+        result, examined = salsa_skyline(pts)
+        assert result == [123]
+        assert examined < len(pts) / 2
+
+    def test_order_ascending_min(self, rng):
+        pts = rng.random((50, 4))
+        order = salsa_order(pts)
+        mins = pts[order].min(axis=1)
+        assert np.all(np.diff(mins) >= 0)
+
+    def test_subspace(self, rng):
+        pts = rng.random((200, 4)) * 100
+        result, _ = salsa_skyline(pts, dims=(1, 3))
+        assert result == bnl_skyline(pts, dims=(1, 3))
+
+    def test_empty(self):
+        result, examined = salsa_skyline(np.empty((0, 2)))
+        assert result == [] and examined == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            salsa_skyline(np.array([1.0, 2.0]))
+
+    def test_counts_comparisons(self, rng):
+        pts = rng.random((100, 2))
+        counter = ComparisonCounter()
+        salsa_skyline(pts, counter=counter)
+        assert counter.comparisons > 0
+
+
+class TestDivideAndConquer:
+    @pytest.mark.parametrize("n", [0, 1, 5, 16, 17, 200])
+    def test_agrees_with_bnl(self, n, rng):
+        pts = rng.random((n, 3)) * 100
+        assert dnc_skyline(pts) == bnl_skyline(pts)
+
+    def test_subspace(self, rng):
+        pts = rng.random((150, 4)) * 100
+        for dims in [(0,), (2, 3), (0, 1, 2)]:
+            assert dnc_skyline(pts, dims=dims) == bnl_skyline(pts, dims=dims)
+
+    def test_tie_heavy_data(self):
+        """Many duplicates on the split dimension (degenerate medians)."""
+        pts = np.array([[1.0, float(i % 7)] for i in range(60)])
+        assert dnc_skyline(pts) == bnl_skyline(pts)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            dnc_skyline(np.array([1.0]))
+
+    def test_counts_comparisons(self, rng):
+        pts = rng.random((100, 3))
+        counter = ComparisonCounter()
+        dnc_skyline(pts, counter=counter)
+        assert counter.comparisons > 0
+
+
+def brute_force_skyband(pts, k, dims=None):
+    view = pts if dims is None else pts[:, list(dims)]
+    out = []
+    for i in range(len(pts)):
+        dominators = sum(
+            1 for j in range(len(pts)) if dominates(view[j], view[i])
+        )
+        if dominators < k:
+            out.append(i)
+    return out
+
+
+class TestSkyband:
+    def test_one_skyband_is_skyline(self, rng):
+        pts = rng.random((150, 3)) * 100
+        assert k_skyband(pts, 1) == bnl_skyline(pts)
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_matches_brute_force(self, k, rng):
+        pts = rng.random((120, 3)) * 100
+        assert k_skyband(pts, k) == brute_force_skyband(pts, k)
+
+    def test_band_grows_with_k(self, rng):
+        pts = rng.random((150, 3)) * 100
+        sizes = [len(k_skyband(pts, k)) for k in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+        assert set(k_skyband(pts, 1)) <= set(k_skyband(pts, 2))
+
+    def test_subspace(self, rng):
+        pts = rng.random((100, 4)) * 100
+        assert k_skyband(pts, 2, dims=(0, 2)) == brute_force_skyband(
+            pts, 2, dims=(0, 2)
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            k_skyband(np.ones((3, 2)), 0)
+
+    def test_window_incremental(self):
+        window = SkybandWindow(k=2)
+        assert window.insert("a", np.array([3.0, 3.0]))
+        assert window.insert("b", np.array([2.0, 2.0]))
+        # 'c' dominated by both a and b -> out of the 2-skyband.
+        assert not window.insert("c", np.array([4.0, 4.0]))
+        # 'd' dominates a and b; 'a' now dominated by 2 points -> evicted.
+        assert window.insert("d", np.array([1.0, 1.0]))
+        assert set(window.keys) == {"b", "d"}
+
+    def test_rejects_1d(self):
+        with pytest.raises(ReproError):
+            k_skyband(np.array([1.0]), 1)
+
+
+@given(
+    n=st.integers(0, 60),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_skyband_and_algorithms_consistent(n, k, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 3)) * 100
+    band = k_skyband(pts, k)
+    assert band == brute_force_skyband(pts, k)
+    if n:
+        sky = bnl_skyline(pts)
+        assert set(sky) <= set(band)
+        assert dnc_skyline(pts) == sky
+        assert salsa_skyline(pts)[0] == sky

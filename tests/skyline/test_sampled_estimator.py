@@ -1,0 +1,75 @@
+"""Tests for the log-sampling skyline-cardinality estimator ([5])."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import distributions as dist
+from repro.errors import ReproError
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.estimate import SampledSkylineEstimator, buchta_skyline_size
+
+
+class TestFitAndPredict:
+    def test_predict_interpolates_actual_size(self):
+        pts = dist.independent(2000, 3, seed=3)
+        est = SampledSkylineEstimator.fit(pts, seed=1)
+        actual = len(bnl_skyline(pts))
+        assert actual / 3 <= est.predict(2000) <= actual * 3
+
+    def test_beats_buchta_on_anticorrelated(self):
+        """Buchta assumes independence; anti-correlated skylines are far
+        larger and the fitted model must track them better."""
+        pts = dist.anticorrelated(1500, 3, seed=7)
+        actual = len(bnl_skyline(pts))
+        fitted = SampledSkylineEstimator.fit(pts, seed=1).predict(1500)
+        buchta = buchta_skyline_size(1500, 3)
+        assert abs(fitted - actual) < abs(buchta - actual)
+        assert buchta < actual  # sanity: Buchta indeed underestimates here
+
+    def test_beats_buchta_on_correlated(self):
+        pts = dist.correlated(1500, 3, seed=7)
+        actual = len(bnl_skyline(pts))
+        fitted = SampledSkylineEstimator.fit(pts, seed=1).predict(1500)
+        buchta = buchta_skyline_size(1500, 3)
+        assert abs(fitted - actual) <= abs(buchta - actual)
+
+    def test_subspace_fit(self):
+        pts = dist.independent(800, 4, seed=5)
+        est = SampledSkylineEstimator.fit(pts, dims=(0, 1), seed=1)
+        actual = len(bnl_skyline(pts, dims=(0, 1)))
+        assert actual / 3 <= est.predict(800) <= actual * 3
+
+    def test_predict_monotone(self):
+        pts = dist.independent(500, 3, seed=2)
+        est = SampledSkylineEstimator.fit(pts, seed=1)
+        values = [est.predict(n) for n in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+
+    def test_predict_tiny_inputs(self):
+        est = SampledSkylineEstimator(2.0, 1.5)
+        assert est.predict(0) == 0.0
+        assert est.predict(1) == 1.0
+
+    def test_deterministic_fit(self):
+        pts = dist.independent(400, 3, seed=2)
+        a = SampledSkylineEstimator.fit(pts, seed=9)
+        b = SampledSkylineEstimator.fit(pts, seed=9)
+        assert a.coefficient == b.coefficient and a.exponent == b.exponent
+
+
+class TestValidation:
+    def test_too_few_rows(self):
+        with pytest.raises(ReproError):
+            SampledSkylineEstimator.fit(np.ones((2, 2)))
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ReproError):
+            SampledSkylineEstimator(-1.0, 1.0)
+
+    def test_exponent_clamped_to_dimensionality(self):
+        pts = dist.independent(600, 2, seed=4)
+        est = SampledSkylineEstimator.fit(pts, seed=1)
+        assert 0.0 <= est.exponent <= 2.0
+
+    def test_repr_mentions_model(self):
+        assert "ln(n)" in repr(SampledSkylineEstimator(1.0, 2.0))

@@ -1,0 +1,119 @@
+"""Tests for the full skycube (Figure 5) and its shared computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.skyline import dva
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.skycube import all_subspaces, compute_naive, compute_shared
+
+
+class TestAllSubspaces:
+    @pytest.mark.parametrize("d,expected", [(1, 1), (2, 3), (3, 7), (4, 15)])
+    def test_count_is_2_pow_d_minus_1(self, d, expected):
+        assert len(all_subspaces(d)) == expected
+
+    def test_ordered_smallest_first(self):
+        subs = all_subspaces(3)
+        sizes = [len(s) for s in subs]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_d(self):
+        with pytest.raises(ReproError):
+            all_subspaces(0)
+
+
+class TestSkycube:
+    @pytest.fixture
+    def points(self, rng):
+        return rng.random((150, 4)) * 100
+
+    def test_naive_matches_per_subspace_bnl(self, points):
+        cube = compute_naive(points)
+        for sub in all_subspaces(4):
+            assert cube.skyline(sub) == frozenset(
+                bnl_skyline(points, dims=sorted(sub))
+            )
+
+    def test_shared_equals_naive(self, points):
+        naive = compute_naive(points)
+        shared = compute_shared(points)
+        assert len(naive) == len(shared) == 15
+        for sub in naive.subspaces:
+            assert naive.skyline(sub) == shared.skyline(sub)
+
+    def test_shared_saves_comparisons(self, points):
+        c_naive, c_shared = ComparisonCounter(), ComparisonCounter()
+        compute_naive(points, c_naive)
+        compute_shared(points, c_shared)
+        assert c_shared.comparisons < c_naive.comparisons
+
+    def test_theorem1_subset_relation_under_dva(self, points):
+        """Under DVA, child-subspace skylines are subsets of parents'."""
+        assert dva.holds(points)
+        cube = compute_shared(points)
+        for sub in all_subspaces(4):
+            for extra in range(4):
+                if extra in sub:
+                    continue
+                parent = sub | {extra}
+                assert cube.skyline(sub) <= cube.skyline(parent)
+
+    def test_non_dva_falls_back_to_naive(self):
+        # Integer grid data with massive ties violates DVA.
+        pts = np.array([[1.0, 2.0], [1.0, 3.0], [2.0, 1.0], [2.0, 2.0]])
+        assert not dva.holds(pts)
+        shared = compute_shared(pts)
+        naive = compute_naive(pts)
+        for sub in naive.subspaces:
+            assert shared.skyline(sub) == naive.skyline(sub)
+
+    def test_unknown_subspace_raises(self, points):
+        cube = compute_naive(points[:, :2])
+        with pytest.raises(ReproError):
+            cube.skyline({5})
+
+    def test_contains(self, points):
+        cube = compute_naive(points[:, :2])
+        assert {0} in cube
+        assert {0, 1} in cube
+
+
+class TestDVA:
+    def test_holds_on_distinct(self):
+        assert dva.holds(np.array([[1.0, 5.0], [2.0, 4.0]]))
+
+    def test_fails_on_ties(self):
+        assert not dva.holds(np.array([[1.0, 5.0], [1.0, 4.0]]))
+
+    def test_violating_dimensions(self):
+        pts = np.array([[1.0, 5.0, 2.0], [1.0, 4.0, 2.0]])
+        assert dva.violating_dimensions(pts) == [0, 2]
+
+    def test_dims_argument(self):
+        pts = np.array([[1.0, 5.0], [1.0, 4.0]])
+        assert dva.holds(pts, dims=[1])
+        assert not dva.holds(pts, dims=[0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            dva.holds(np.array([1.0, 2.0]))
+
+
+@given(
+    n=st.integers(1, 60),
+    d=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_shared_always_equals_naive(n, d, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, d)) * 100
+    naive = compute_naive(pts)
+    shared = compute_shared(pts)
+    for sub in naive.subspaces:
+        assert naive.skyline(sub) == shared.skyline(sub)

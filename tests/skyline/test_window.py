@@ -1,0 +1,184 @@
+"""Tests for the incremental skyline window."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline.dominance import ComparisonCounter, dominates
+from repro.skyline.window import SkylineWindow
+
+
+class TestBasicInsertion:
+    def test_first_insert_admitted(self):
+        window = SkylineWindow()
+        outcome = window.insert("a", np.array([1.0, 2.0]))
+        assert outcome.admitted and not outcome.evicted
+        assert window.keys == ["a"]
+
+    def test_dominated_insert_rejected(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([1.0, 1.0]))
+        outcome = window.insert("b", np.array([2.0, 2.0]))
+        assert not outcome.admitted
+        assert window.keys == ["a"]
+
+    def test_dominating_insert_evicts(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([2.0, 2.0]))
+        window.insert("b", np.array([3.0, 1.0]))
+        outcome = window.insert("c", np.array([1.0, 1.0]))
+        assert outcome.admitted
+        assert {e.key for e in outcome.evicted} == {"a", "b"}
+        assert window.keys == ["c"]
+
+    def test_incomparable_coexist(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([1.0, 3.0]))
+        window.insert("b", np.array([3.0, 1.0]))
+        assert set(window.keys) == {"a", "b"}
+
+    def test_duplicate_vector_kept(self):
+        """Strict dominance cannot discard an equal point — ties co-exist."""
+        window = SkylineWindow()
+        window.insert("a", np.array([1.0, 1.0]))
+        outcome = window.insert("b", np.array([1.0, 1.0]))
+        assert outcome.admitted and outcome.duplicate
+        assert set(window.keys) == {"a", "b"}
+
+    def test_subspace_window_ignores_other_dims(self):
+        window = SkylineWindow(dims=(0,))
+        window.insert("a", np.array([1.0, 100.0]))
+        outcome = window.insert("b", np.array([2.0, 0.0]))
+        assert not outcome.admitted  # dominated on dim 0 alone
+
+
+class TestKnownMemberInsertion:
+    def test_admits_genuine_member(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([1.0, 3.0]))
+        outcome = window.insert_known_member("b", np.array([3.0, 1.0]))
+        assert outcome.admitted
+        assert set(window.keys) == {"a", "b"}
+
+    def test_rejects_when_claim_is_false(self):
+        """The Theorem-1 claim is verified for free during the eviction
+        scan; a dominated point is rejected (DVA-violation safety net)."""
+        window = SkylineWindow()
+        window.insert("a", np.array([1.0, 1.0]))
+        outcome = window.insert_known_member("b", np.array([5.0, 5.0]))
+        assert not outcome.admitted
+        assert window.keys == ["a"]
+
+    def test_still_evicts_dominated(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([3.0, 3.0]))
+        outcome = window.insert_known_member("b", np.array([1.0, 1.0]))
+        assert [e.key for e in outcome.evicted] == ["a"]
+
+    def test_duplicate_kept(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([2.0, 2.0]))
+        outcome = window.insert_known_member("b", np.array([2.0, 2.0]))
+        assert outcome.admitted and outcome.duplicate
+
+
+class TestRemoveAndQueries:
+    def test_remove_key(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([1.0, 3.0]))
+        window.insert("b", np.array([3.0, 1.0]))
+        assert window.remove_key("a")
+        assert window.keys == ["b"]
+        assert not window.remove_key("a")
+
+    def test_contains_key(self):
+        window = SkylineWindow()
+        window.insert("x", np.array([1.0]))
+        assert window.contains_key("x")
+        assert not window.contains_key("y")
+
+    def test_vectors_shape(self):
+        window = SkylineWindow(dims=(1,))
+        assert window.vectors.shape == (0, 1)
+        window.insert("a", np.array([9.0, 2.0]))
+        np.testing.assert_array_equal(window.vectors, [[2.0]])
+
+    def test_len_and_iter(self):
+        window = SkylineWindow()
+        window.insert("a", np.array([1.0, 3.0]))
+        window.insert("b", np.array([3.0, 1.0]))
+        assert len(window) == 2
+        assert {e.key for e in window} == {"a", "b"}
+
+
+class TestComparisonAccounting:
+    def test_admission_charges_window_size(self):
+        counter = ComparisonCounter()
+        window = SkylineWindow(counter=counter)
+        window.insert("a", np.array([1.0, 3.0]))  # empty window: 0
+        window.insert("b", np.array([3.0, 1.0]))  # vs 1 entry
+        window.insert("c", np.array([2.0, 2.0]))  # vs 2 entries
+        assert counter.comparisons == 3
+
+    def test_rejection_charges_up_to_first_dominator(self):
+        counter = ComparisonCounter()
+        window = SkylineWindow(counter=counter)
+        window.insert("a", np.array([5.0, 5.0]))
+        window.insert("b", np.array([1.0, 1.0]))  # evicts a; 1 comparison
+        counter.comparisons = 0
+        window.insert("c", np.array([2.0, 2.0]))  # rejected by b at pos 0
+        assert counter.comparisons == 1
+
+
+class TestGrowth:
+    def test_capacity_growth_preserves_content(self):
+        window = SkylineWindow()
+        # Anti-correlated points on a line: all incomparable, window grows.
+        for i in range(100):
+            window.insert(i, np.array([float(i), float(100 - i)]))
+        assert len(window) == 100
+        assert window.contains_key(0) and window.contains_key(99)
+
+
+@st.composite
+def point_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    return [
+        np.array(
+            draw(
+                st.lists(
+                    st.floats(0, 100, allow_nan=False), min_size=3, max_size=3
+                )
+            )
+        )
+        for _ in range(n)
+    ]
+
+
+@given(points=point_lists())
+@settings(max_examples=60, deadline=None)
+def test_property_window_is_skyline_of_inserted(points):
+    """Window = exactly the non-dominated subset of everything inserted."""
+    window = SkylineWindow()
+    for i, p in enumerate(points):
+        window.insert(i, p)
+    expected = {
+        i
+        for i, p in enumerate(points)
+        if not any(dominates(q, p) for q in points)
+    }
+    assert set(window.keys) == expected
+
+
+@given(points=point_lists())
+@settings(max_examples=40, deadline=None)
+def test_property_window_is_an_antichain(points):
+    window = SkylineWindow()
+    for i, p in enumerate(points):
+        window.insert(i, p)
+    vectors = window.vectors
+    for i in range(len(vectors)):
+        for j in range(len(vectors)):
+            if i != j:
+                assert not dominates(vectors[i], vectors[j])
