@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Performance-trajectory harness for the batch engine & scheduler cache.
+
+Times the Figure 9 (independent, C2) workload and a Figure 11-style
+workload-size sweep under the four ablation modes of the execution engine:
+
+* ``batch+cache``   — batch skyline insertion + incremental scheduler (default)
+* ``scalar+cache``  — per-tuple insertion, incremental scheduler
+* ``batch+naive``   — batch insertion, full benefit rescan per iteration
+* ``scalar+naive``  — the all-scalar naive baseline
+
+All four modes are semantically identical by construction; the harness
+*verifies* that every mode reports the same identity sets, charges the same
+skyline-comparison counts, and follows the same region schedule before it
+reports any timing, then writes machine-readable results (wall time,
+comparisons, speedups) to ``BENCH_perf.json`` so future PRs can track
+regressions.
+
+Run directly (not under pytest)::
+
+    python benchmarks/bench_perf_trajectory.py           # full sizes
+    python benchmarks/bench_perf_trajectory.py --quick   # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.config import ExperimentConfig, experiment_for  # noqa: E402
+from repro.bench.figures import workload_of_size  # noqa: E402
+from repro.bench.runner import (  # noqa: E402
+    calibrated_contracts,
+    make_pair,
+    make_workload,
+    reference_time,
+)
+from repro.core import CAQE  # noqa: E402
+
+#: Ablation modes as CAQEConfig overrides, slowest-baseline last.
+MODES = {
+    "batch+cache": {},
+    "scalar+cache": {"enable_batch_insert": False},
+    "batch+naive": {"enable_scheduler_cache": False},
+    "scalar+naive": {
+        "enable_batch_insert": False,
+        "enable_scheduler_cache": False,
+    },
+}
+
+
+def _time_modes(pair, workload, contracts, config: ExperimentConfig) -> dict:
+    """Run every ablation mode once; verify equivalence; report timings."""
+    rows = {}
+    reference = None
+    for mode, overrides in MODES.items():
+        caqe = CAQE(replace(config.caqe, **overrides))
+        start = time.perf_counter()
+        result = caqe.run(pair.left, pair.right, workload, contracts)
+        wall = time.perf_counter() - start
+        if reference is None:
+            reference = result
+        else:
+            if result.reported != reference.reported:
+                raise AssertionError(f"{mode}: reported identity sets differ")
+            if (
+                result.stats.skyline_comparisons
+                != reference.stats.skyline_comparisons
+            ):
+                raise AssertionError(f"{mode}: charged comparison counts differ")
+            if result.stats.region_trace != reference.stats.region_trace:
+                raise AssertionError(f"{mode}: region schedule differs")
+        rows[mode] = {
+            "wall_s": round(wall, 4),
+            "skyline_comparisons": result.stats.skyline_comparisons,
+            "virtual_time": result.stats.elapsed,
+            "regions_processed": result.stats.regions_processed,
+            "average_satisfaction": round(result.average_satisfaction(), 6),
+        }
+    fastest = rows["batch+cache"]["wall_s"]
+    for mode, row in rows.items():
+        row["speedup_vs_mode"] = round(row["wall_s"] / max(fastest, 1e-9), 2)
+    return {
+        "modes": rows,
+        "speedup": round(
+            rows["scalar+naive"]["wall_s"] / max(fastest, 1e-9), 2
+        ),
+        "equivalent": True,
+    }
+
+
+def bench_fig9_cell(quick: bool) -> dict:
+    """The Figure 9 independent / C2 cell under all four modes."""
+    config = experiment_for("independent")
+    if quick:
+        config = replace(config, cardinality=300)
+    workload = make_workload(config, "C2")
+    pair = make_pair(config)
+    t_ref = reference_time(pair, workload, config)
+    contracts = calibrated_contracts("C2", workload, t_ref)
+    out = _time_modes(pair, workload, contracts, config)
+    out["scenario"] = {
+        "figure": "9b",
+        "distribution": config.distribution,
+        "contract_class": "C2",
+        "cardinality": config.cardinality,
+        "queries": len(workload.queries),
+    }
+    return out
+
+
+def bench_fig11_sweep(quick: bool) -> "list[dict]":
+    """Figure 11-style workload-size sweep (C2, independent)."""
+    config = experiment_for("independent")
+    if quick:
+        config = replace(config, cardinality=300)
+        sizes = (3, 6)
+    else:
+        sizes = (3, 6, 11)
+    pair = make_pair(config)
+    single = workload_of_size(1, "C2", config.dims)
+    fixed_t_ref = 3.0 * reference_time(pair, single, config)
+    sweep = []
+    for size in sizes:
+        workload = workload_of_size(size, "C2", config.dims)
+        contracts = calibrated_contracts("C2", workload, fixed_t_ref)
+        cell = _time_modes(pair, workload, contracts, config)
+        cell["scenario"] = {
+            "figure": "11",
+            "distribution": config.distribution,
+            "contract_class": "C2",
+            "cardinality": config.cardinality,
+            "queries": size,
+        }
+        sweep.append(cell)
+    return sweep
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller cardinalities and fewer sweep points (CI smoke run)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_perf.json",
+        help="output JSON path (default: repo-root BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    fig9 = bench_fig9_cell(args.quick)
+    fig11 = bench_fig11_sweep(args.quick)
+    report = {
+        "bench": "perf_trajectory",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "fig9_independent_c2": fig9,
+        "fig11_size_sweep": fig11,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"Figure 9 independent/C2 ({fig9['scenario']['cardinality']} rows):")
+    for mode, row in fig9["modes"].items():
+        print(
+            f"  {mode:13s} wall={row['wall_s']:8.2f}s  "
+            f"comparisons={row['skyline_comparisons']}"
+        )
+    print(f"  speedup (batch+cache vs scalar+naive): {fig9['speedup']}x")
+    for cell in fig11:
+        queries = cell["scenario"]["queries"]
+        print(
+            f"Figure 11 sweep |S_Q|={queries}: speedup {cell['speedup']}x "
+            f"(naive {cell['modes']['scalar+naive']['wall_s']:.2f}s -> "
+            f"full {cell['modes']['batch+cache']['wall_s']:.2f}s)"
+        )
+    print(f"wrote {args.out}")
+    if not args.quick and fig9["speedup"] < 3.0:
+        print("WARNING: fig9 speedup below the 3x acceptance target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

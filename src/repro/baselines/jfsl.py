@@ -87,8 +87,8 @@ def _evaluate_blocking(
     matrix = apply_functions(query.functions, left, right, left_idx, right_idx)
     dims = query.preference.positions(query.output_names)
     window = SkylineWindow(dims=dims, counter=stats.comparison_counter)
-    for row in range(len(matrix)):
-        window.insert(row, matrix[row])
+    # Batch insertion is charge- and result-identical to the row loop.
+    window.insert_batch(list(range(len(matrix))), matrix)
     return {
         (int(left_idx[row]), int(right_idx[row])) for row in window.keys
     }

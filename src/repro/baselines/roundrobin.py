@@ -120,8 +120,8 @@ def _query_task(
     dims = query.preference.positions(query.output_names)
     window = SkylineWindow(dims=dims, counter=stats.comparison_counter)
     for start in range(0, len(matrix), quantum):
-        for row in range(start, min(start + quantum, len(matrix))):
-            window.insert(row, matrix[row])
+        stop = min(start + quantum, len(matrix))
+        window.insert_batch(list(range(start, stop)), matrix[start:stop])
         yield
     return {
         (int(left_idx[row]), int(right_idx[row])) for row in window.keys

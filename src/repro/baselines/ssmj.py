@@ -114,8 +114,7 @@ def _local_prune(
     pruned: dict[object, list[int]] = {}
     for key, rows in groups.items():
         window = SkylineWindow(counter=stats.comparison_counter)
-        for row in rows:
-            window.insert(row, matrix[row])
+        window.insert_batch(rows, matrix[rows])
         pruned[key] = sorted(window.keys)
     return pruned
 
@@ -153,8 +152,8 @@ def _evaluate_ssmj(
     window = SkylineWindow(dims=dims, counter=stats.comparison_counter)
     if len(matrix):
         stats.clock.charge_sort(len(matrix))  # the "sort" in sort-merge
-        for row in sfs_order(matrix, dims):
-            window.insert(int(row), matrix[int(row)])
+        order = np.asarray(sfs_order(matrix, dims), dtype=np.intp)
+        window.insert_batch([int(r) for r in order], matrix[order])
     return {
         (int(left_idx[row]), int(right_idx[row])) for row in window.keys
     }

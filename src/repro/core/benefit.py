@@ -59,21 +59,20 @@ def prog_count_exact(
     lower corner.
     """
     pos = list(positions)
-    threat_uppers = [
-        grid.cell_upper(d.coord_lo)[pos] for d in dominators if d.region_id != region.region_id
-    ]
-    total = 0
-    safe = 0
-    for coord in OutputGrid.cells_in_box(region.coord_lo, region.coord_hi):
-        total += 1
-        cell_lower = grid.cell_lower(coord)[pos]
-        at_risk = any(
-            bool(np.all(u <= cell_lower) and np.any(u < cell_lower))
-            for u in threat_uppers
-        )
-        if not at_risk:
-            safe += 1
-    return safe, total
+    threats = [d for d in dominators if d.region_id != region.region_id]
+    total = OutputGrid.box_cell_count(region.coord_lo, region.coord_hi)
+    if not threats:
+        return total, total
+    threat_uppers = np.vstack([grid.cell_upper(d.coord_lo)[pos] for d in threats])
+    coords = np.array(
+        list(OutputGrid.cells_in_box(region.coord_lo, region.coord_hi)),
+        dtype=np.intp,
+    )
+    cell_lowers = grid.cell_lowers(coords)[:, pos]  # (cells, |pos|)
+    le = np.all(threat_uppers[:, None, :] <= cell_lowers[None, :, :], axis=2)
+    lt = np.any(threat_uppers[:, None, :] < cell_lowers[None, :, :], axis=2)
+    at_risk = (le & lt).any(axis=0)
+    return int(total - int(at_risk.sum())), total
 
 
 def prog_ratio_volume(
@@ -140,7 +139,11 @@ def prog_ratio_sampled(
     """
     if len(dominator_lowers) == 0:
         return 1.0
-    samples = _sample_lattice(lower, upper)  # (S, d)
+    return _sampled_ratio(_sample_lattice(lower, upper), dominator_lowers)
+
+
+def _sampled_ratio(samples: np.ndarray, dominator_lowers: np.ndarray) -> float:
+    """The sampled non-dominated fraction over a precomputed lattice."""
     le = np.all(
         dominator_lowers[:, None, :] <= samples[None, :, :], axis=2
     )
@@ -156,6 +159,52 @@ class RegionEstimate:
     t_c: float
     #: ProgEst per workload-query bit (len == |S_Q|).
     prog_est: np.ndarray
+
+
+class _SampleCounts:
+    """Per-query incremental dominator counts over region sample lattices.
+
+    Row ``slot[rid]`` holds, for each lattice sample of region ``rid``, how
+    many *currently reaching* same-lineage regions dominate that sample.
+    The sampled progressive ratio is then ``1 - mean(counts > 0)`` — read in
+    O(S) — and stays exact under Algorithm 1's only membership events
+    (region removal and lineage loss) via one vectorised subtraction of the
+    departing region's domination mask per event.
+    """
+
+    __slots__ = ("samples", "counts", "uppers", "slot", "size")
+
+    def __init__(self, n_samples: int, width: int):
+        cap = 64
+        self.samples = np.empty((cap, n_samples, width))
+        self.counts = np.zeros((cap, n_samples), dtype=np.int32)
+        self.uppers = np.empty((cap, width))
+        self.slot: dict[int, int] = {}
+        self.size = 0
+
+    def add(
+        self,
+        region_id: int,
+        samples: np.ndarray,
+        upper: np.ndarray,
+        counts: np.ndarray,
+    ) -> int:
+        if self.size == len(self.samples):
+            def grown(arr: np.ndarray) -> np.ndarray:
+                out = np.empty((2 * len(arr), *arr.shape[1:]), dtype=arr.dtype)
+                out[: self.size] = arr[: self.size]
+                return out
+
+            self.samples = grown(self.samples)
+            self.counts = grown(self.counts)
+            self.uppers = grown(self.uppers)
+        row = self.size
+        self.samples[row] = samples
+        self.counts[row] = counts
+        self.uppers[row] = upper
+        self.slot[region_id] = row
+        self.size += 1
+        return row
 
 
 class BenefitModel:
@@ -183,7 +232,22 @@ class BenefitModel:
             for q in workload
         ]
         self.query_dims = [len(p) for p in self.query_positions]
-        self._estimates: dict[int, RegionEstimate] = {}
+        # Memoised time-invariant inputs: ``t_c``, the Buchta cardinality
+        # vector and the sample lattice depend only on a region's immutable
+        # geometry, so they survive every change to the progressive term.
+        self._costs: dict[int, float] = {}
+        self._cards: dict[int, np.ndarray] = {}
+        self._lattices: "dict[tuple[int, int], np.ndarray]" = {}
+        # Exact-branch ratio memo with *lazy validation*: each entry stores
+        # the exact reaching-dominator id set (as bytes) the ratio was
+        # computed from; a lookup reuses the value iff the current reach set
+        # matches — region geometry is immutable, so an unchanged id set
+        # implies bit-identical estimator inputs.
+        self._ratios: "dict[tuple[int, int], tuple[bytes, float]]" = {}
+        # Sampled-branch incremental state, one structure per query; rows
+        # are created lazily at a region's first sampled estimate and kept
+        # current by :meth:`note_removed`/:meth:`note_deactivation`.
+        self._scounts: "dict[int, _SampleCounts]" = {}
         #: Estimated final result count per query (needed by cardinality
         #: contracts); populated via :meth:`set_result_estimates`.
         self.result_estimates = np.ones(len(workload))
@@ -203,6 +267,11 @@ class BenefitModel:
     # ------------------------------------------------------------------ #
     def attach_regions(self, regions: "list[OutputRegion]") -> None:
         """Register the run's alive regions for vectorised estimation."""
+        self._costs.clear()
+        self._cards.clear()
+        self._lattices.clear()
+        self._ratios.clear()
+        self._scounts.clear()
         if not regions:
             self._lower_all = np.empty((0, len(self.workload.output_dims)))
             self._rql_all = np.empty(0, dtype=np.int64)
@@ -222,15 +291,55 @@ class BenefitModel:
 
     def note_removed(self, region_id: int) -> None:
         """A region was processed or fully discarded."""
+        if self._rql_all is not None and region_id < len(self._rql_all):
+            rql = int(self._rql_all[region_id])
+            for qi in range(len(self.workload)):
+                if (rql >> qi) & 1:
+                    self._retire_threat(region_id, qi)
         if self._active_all is not None and region_id < len(self._active_all):
             self._active_all[region_id] = False
-        self._estimates.pop(region_id, None)
+        self._costs.pop(region_id, None)
+        self._cards.pop(region_id, None)
+        for qi in range(len(self.workload)):
+            self._lattices.pop((region_id, qi), None)
+            self._ratios.pop((region_id, qi), None)
+            sc = self._scounts.get(qi)
+            if sc is not None:
+                sc.slot.pop(region_id, None)
 
     def note_deactivation(self, region_id: int, query_bit: int) -> None:
         """A region lost one query from its lineage."""
+        self._retire_threat(region_id, query_bit)
         if self._rql_all is not None and region_id < len(self._rql_all):
             self._rql_all[region_id] &= ~(np.int64(1) << query_bit)
-        self._estimates.pop(region_id, None)
+        self._ratios.pop((region_id, query_bit), None)
+
+    def _retire_threat(self, region_id: int, qi: int) -> None:
+        """Subtract a departing region's domination contribution from every
+        initialised sample-count row of query ``qi`` it reaches.
+
+        Geometry is immutable, so the reach test and domination mask
+        recomputed here are exactly what the row's initialisation counted —
+        the subtraction leaves each row equal to a from-scratch count over
+        the post-event membership.
+        """
+        sc = self._scounts.get(qi)
+        if sc is None or sc.size == 0 or self._lower_all is None:
+            return
+        positions = list(self.query_positions[qi])
+        lower = self._lower_all[region_id][positions]
+        n = sc.size
+        reach = np.all(lower[None, :] < sc.uppers[:n], axis=1)
+        own = sc.slot.get(region_id)
+        if own is not None:
+            reach[own] = False
+        rows = np.flatnonzero(reach)
+        if not rows.size:
+            return
+        samp = sc.samples[rows]
+        le = np.all(lower <= samp, axis=2)
+        lt = np.any(lower < samp, axis=2)
+        sc.counts[rows] -= (le & lt).astype(np.int32)
 
     # ------------------------------------------------------------------ #
     # Cost side
@@ -255,54 +364,211 @@ class BenefitModel:
         d = self.query_dims[qi]
         return buchta_skyline_size(region.est_join_count, d)
 
-    def prog_ratio(self, region: OutputRegion, qi: int) -> float:
-        """``ProgCount / CellCount`` against the currently active regions."""
-        if self._active_all is None:
-            raise ExecutionError("attach_regions() must run before estimation")
+    def _reaching_dominators(
+        self, region: OutputRegion, qi: int
+    ) -> "tuple[np.ndarray, np.ndarray, list[int]]":
+        """Active same-lineage regions whose lower corner reaches into
+        ``region``'s box over query ``qi``'s subspace.
+
+        Only these can lower the progressive ratio (a corner at or above the
+        box's upper bound in some dimension threatens no cell), so both the
+        exact and the sampled estimators are evaluated over this set — which
+        makes the set the *complete* input fingerprint of a cached ratio.
+        """
         positions = list(self.query_positions[qi])
         member = self._active_all & (((self._rql_all >> qi) & 1).astype(bool))
         if region.region_id < len(member):
             member = member.copy()
             member[region.region_id] = False
-        dominator_lowers = self._lower_all[member][:, positions]
-        if len(dominator_lowers) == 0:
+        ids = np.flatnonzero(member)
+        lowers = self._lower_all[ids][:, positions]
+        if len(ids):
+            reach = np.all(lowers < region.upper[positions], axis=1)
+            ids = ids[reach]
+            lowers = lowers[reach]
+        return ids, lowers, positions
+
+    def prog_ratio(self, region: OutputRegion, qi: int) -> float:
+        """``ProgCount / CellCount`` against the currently active regions."""
+        if self._active_all is None:
+            raise ExecutionError("attach_regions() must run before estimation")
+        ids, dominator_lowers, positions = self._reaching_dominators(region, qi)
+        if len(ids) == 0:
             return 1.0
         if (
             region.cell_count <= self.exact_cell_limit
-            and len(dominator_lowers) <= EXACT_DOMINATOR_LIMIT
+            and len(ids) <= EXACT_DOMINATOR_LIMIT
         ):
-            dominators = [
-                self._regions_by_id[int(rid)] for rid in np.nonzero(member)[0]
-            ]
+            dominators = [self._regions_by_id[int(rid)] for rid in ids]
             safe, total = prog_count_exact(
                 region, dominators, tuple(positions), self.grid
             )
             return safe / total if total else 0.0
         lo = region.lower[positions]
         hi = region.upper[positions]
-        reach = np.all(dominator_lowers < hi, axis=1)
-        if not np.any(reach):
+        return prog_ratio_sampled(lo, hi, dominator_lowers)
+
+    def _cards_for(self, region: OutputRegion) -> np.ndarray:
+        cards = self._cards.get(region.region_id)
+        if cards is None:
+            cards = np.array(
+                [self.cardinality(region, qi) for qi in range(len(self.workload))]
+            )
+            self._cards[region.region_id] = cards
+        return cards
+
+    def _cost_for(self, region: OutputRegion) -> float:
+        t_c = self._costs.get(region.region_id)
+        if t_c is None:
+            t_c = self.estimate_cost(region)
+            self._costs[region.region_id] = t_c
+        return t_c
+
+    def _lattice_for(
+        self, region: OutputRegion, qi: int, positions: "list[int]"
+    ) -> np.ndarray:
+        key = (region.region_id, qi)
+        samples = self._lattices.get(key)
+        if samples is None:
+            samples = _sample_lattice(
+                region.lower[positions], region.upper[positions]
+            )
+            self._lattices[key] = samples
+        return samples
+
+    def _ratio_value(
+        self,
+        region: OutputRegion,
+        qi: int,
+        ids: np.ndarray,
+        lowers: np.ndarray,
+        positions: "list[int]",
+        use_cache: bool,
+    ) -> float:
+        """Progressive ratio for one (region, query) given its reach set.
+
+        ``ids``/``lowers`` are the reaching dominators — the ratio's entire
+        input besides immutable region geometry.  With ``use_cache`` on,
+        exact-branch values are memoised against the id set and
+        sampled-branch values are read from the incrementally maintained
+        dominator counts; with it off everything is recomputed from scratch
+        (the naive-rescan mode the regression tests compare against).
+        Both modes return bit-identical values.
+        """
+        if len(ids) == 0:
             return 1.0
-        return prog_ratio_sampled(lo, hi, dominator_lowers[reach])
+        key = (region.region_id, qi)
+        if (
+            region.cell_count <= self.exact_cell_limit
+            and len(ids) <= EXACT_DOMINATOR_LIMIT
+        ):
+            fingerprint = ids.tobytes()
+            if use_cache:
+                hit = self._ratios.get(key)
+                if hit is not None and hit[0] == fingerprint:
+                    return hit[1]
+            dominators = [self._regions_by_id[int(r)] for r in ids]
+            safe, total = prog_count_exact(
+                region, dominators, tuple(positions), self.grid
+            )
+            ratio = safe / total if total else 0.0
+            self._ratios[key] = (fingerprint, ratio)
+            return ratio
+        samples = self._lattice_for(region, qi, positions)
+        if not use_cache:
+            return _sampled_ratio(samples, lowers)
+        sc = self._scounts.get(qi)
+        if sc is None:
+            sc = _SampleCounts(len(samples), len(positions))
+            self._scounts[qi] = sc
+        row = sc.slot.get(region.region_id)
+        if row is None:
+            le = np.all(lowers[:, None, :] <= samples[None, :, :], axis=2)
+            lt = np.any(lowers[:, None, :] < samples[None, :, :], axis=2)
+            counts = (le & lt).sum(axis=0, dtype=np.int32)
+            row = sc.add(
+                region.region_id, samples, region.upper[positions], counts
+            )
+        return float(1.0 - (sc.counts[row] > 0).mean())
 
     def estimate(self, region: OutputRegion) -> RegionEstimate:
-        """Compute (and cache) ``t_c`` and per-query ProgEst for a region."""
-        prog = np.zeros(len(self.workload))
-        for qi in range(len(self.workload)):
-            if not (region.active_rql >> qi) & 1:
+        """``t_c`` and per-query ProgEst for one region."""
+        return self.estimate_roots([region])[0]
+
+    def estimate_roots(
+        self,
+        regions: "list[OutputRegion]",
+        *,
+        use_cache: bool = True,
+    ) -> "list[RegionEstimate]":
+        """Estimates for one optimizer iteration's candidate set.
+
+        The reach test — which active same-lineage regions can lower each
+        candidate's progressive ratio — runs as one broadcast per query over
+        the whole candidate set; per candidate only a changed reach set
+        triggers an estimator call.  Results are bit-identical to calling
+        the estimators from scratch per candidate.
+        """
+        if self._active_all is None:
+            raise ExecutionError("attach_regions() must run before estimation")
+        n_q = len(self.workload)
+        prog = np.zeros((len(regions), n_q))
+        cards = [self._cards_for(r) for r in regions]
+        for qi in range(n_q):
+            rows = [k for k, r in enumerate(regions) if (r.active_rql >> qi) & 1]
+            if not rows:
                 continue
-            ratio = self.prog_ratio(region, qi)
-            prog[qi] = ratio * self.cardinality(region, qi)
-        est = RegionEstimate(t_c=self.estimate_cost(region), prog_est=prog)
-        self._estimates[region.region_id] = est
-        return est
-
-    def cached_estimate(self, region_id: int) -> "RegionEstimate | None":
-        return self._estimates.get(region_id)
-
-    def invalidate(self, region_ids) -> None:
-        for rid in region_ids:
-            self._estimates.pop(rid, None)
+            positions = list(self.query_positions[qi])
+            member = self._active_all & (((self._rql_all >> qi) & 1).astype(bool))
+            ids_all = np.flatnonzero(member)
+            if len(ids_all) == 0:
+                for k in rows:
+                    prog[k, qi] = cards[k][qi]
+                continue
+            lowers_all = self._lower_all[ids_all][:, positions]
+            uppers = np.vstack([regions[k].upper[positions] for k in rows])
+            reach = np.all(lowers_all[None, :, :] < uppers[:, None, :], axis=2)
+            rids = np.asarray([regions[k].region_id for k in rows])
+            reach &= ids_all[None, :] != rids[:, None]
+            n_dom = reach.sum(axis=1)
+            # Sampled-branch reads batch into one pass over the count rows;
+            # everything else (empty reach, exact branch, uninitialised
+            # count rows) goes through the scalar path.
+            sc = self._scounts.get(qi) if use_cache else None
+            batched: "list[int]" = []
+            batched_slots: "list[int]" = []
+            for j, k in enumerate(rows):
+                region = regions[k]
+                if n_dom[j] == 0:
+                    prog[k, qi] = cards[k][qi]
+                    continue
+                if sc is not None and not (
+                    region.cell_count <= self.exact_cell_limit
+                    and n_dom[j] <= EXACT_DOMINATOR_LIMIT
+                ):
+                    slot = sc.slot.get(region.region_id)
+                    if slot is not None:
+                        batched.append(k)
+                        batched_slots.append(slot)
+                        continue
+                row = reach[j]
+                ratio = self._ratio_value(
+                    region,
+                    qi,
+                    ids_all[row],
+                    lowers_all[row],
+                    positions,
+                    use_cache,
+                )
+                prog[k, qi] = ratio * cards[k][qi]
+            if batched:
+                ratios = 1.0 - (sc.counts[batched_slots] > 0).mean(axis=1)
+                for k, ratio in zip(batched, ratios.tolist()):
+                    prog[k, qi] = ratio * cards[k][qi]
+        return [
+            RegionEstimate(t_c=self._cost_for(r), prog_est=prog[k])
+            for k, r in enumerate(regions)
+        ]
 
     # ------------------------------------------------------------------ #
     # Equation 8

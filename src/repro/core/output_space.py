@@ -74,6 +74,11 @@ class OutputGrid:
         widths = self._spans() / self.divisions
         return np.asarray(self.lows) + (np.asarray(coord) + 1) * widths
 
+    def cell_lowers(self, coords: np.ndarray) -> np.ndarray:
+        """Lower corners of many cells at once; ``coords`` is ``(n, d)``."""
+        widths = self._spans() / self.divisions
+        return np.asarray(self.lows) + np.asarray(coords) * widths
+
     def box_of(
         self, lower: np.ndarray, upper: np.ndarray
     ) -> "tuple[tuple[int, ...], tuple[int, ...]]":

@@ -26,6 +26,9 @@ class ExecutionStats:
     regions_discarded: int = 0
     coarse_comparisons: int = 0
     results_reported: int = 0
+    #: Region ids in processing order (when callers pass them) — the
+    #: schedule trace the scheduler-equivalence tests compare.
+    region_trace: "list[int]" = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.comparison_counter = ComparisonCounter(
@@ -56,8 +59,10 @@ class ExecutionStats:
         if mapping_functions:
             self.clock.charge_mappings(count * mapping_functions)
 
-    def record_region_processed(self) -> None:
+    def record_region_processed(self, region_id: "int | None" = None) -> None:
         self.regions_processed += 1
+        if region_id is not None:
+            self.region_trace.append(region_id)
         self.clock.charge_region_overhead()
 
     def record_region_discarded(self) -> None:

@@ -118,6 +118,69 @@ class SharedCuboidPlan:
                 report.evicted_by_mask[mask] = [e.key for e in outcome.evicted]
         return report
 
+    def insert_batch(
+        self,
+        keys: "Sequence[Hashable]",
+        vectors: np.ndarray,
+        serve_masks: "np.ndarray | None" = None,
+    ) -> "list[InsertReport]":
+        """Insert a whole batch of tuples; equivalent to sequential inserts.
+
+        ``serve_masks`` carries one query-lineage mask per tuple.  The walk
+        is restructured mask-outer/tuple-inner so each cuboid window absorbs
+        its share of the batch in one :meth:`SkylineWindow.insert_batch`
+        call: windows are independent, and the Theorem 1 seeding decision
+        for a tuple at a parent node only reads that same tuple's admission
+        at child nodes — which the bottom-up mask order has already
+        produced.  Reports, final window contents and charged comparison
+        counts are identical to the tuple-at-a-time walk.
+        """
+        vecs = np.asarray(vectors, dtype=float)
+        if vecs.ndim != 2 or vecs.shape[1] != len(self.attribute_order):
+            raise PlanError(
+                f"batch has shape {vecs.shape}, plan expects "
+                f"(n, {len(self.attribute_order)})"
+            )
+        n = len(keys)
+        reports = [InsertReport(key=key) for key in keys]
+        if n == 0:
+            return reports
+        serve = (
+            np.asarray(serve_masks, dtype=np.int64)
+            if serve_masks is not None
+            else None
+        )
+        admitted_by_mask: "dict[int, np.ndarray]" = {}
+        for mask in self.cuboid.masks:
+            node = self.cuboid.node(mask)
+            if serve is None:
+                idx = np.arange(n)
+            else:
+                idx = np.flatnonzero((serve & node.qserve) != 0)
+                if idx.size == 0:
+                    continue
+            known = np.zeros(len(idx), dtype=bool)
+            if self.assume_dva:
+                for child in node.children:
+                    child_admitted = admitted_by_mask.get(child)
+                    if child_admitted is not None:
+                        known |= child_admitted[idx]
+            outcome = self._windows[mask].insert_batch(
+                [keys[i] for i in idx.tolist()], vecs[idx], known_member=known
+            )
+            mask_admitted = np.zeros(n, dtype=bool)
+            mask_admitted[idx] = outcome.admitted
+            admitted_by_mask[mask] = mask_admitted
+            for local, i in enumerate(idx.tolist()):
+                if outcome.admitted[local]:
+                    reports[i].admitted_masks.add(mask)
+                entry_evictions = outcome.evicted[local]
+                if entry_evictions:
+                    reports[i].evicted_by_mask[mask] = [
+                        e.key for e in entry_evictions
+                    ]
+        return reports
+
     # ------------------------------------------------------------------ #
     # Query-level views
     # ------------------------------------------------------------------ #
@@ -253,6 +316,48 @@ class WorkloadPlan:
                     if mask in sub_report.admitted_masks:
                         report.admitted.add(name)
         return report
+
+    def insert_batch(
+        self,
+        keys: "Sequence[Hashable]",
+        vectors: np.ndarray,
+        serve_masks: "np.ndarray | None" = None,
+    ) -> "list[WorkloadInsertReport]":
+        """Batch form of :meth:`insert`; one report per tuple, in order."""
+        vecs = np.asarray(vectors, dtype=float)
+        n = len(keys)
+        reports = [WorkloadInsertReport(key=key) for key in keys]
+        if n == 0:
+            return reports
+        serve = (
+            np.asarray(serve_masks, dtype=np.int64)
+            if serve_masks is not None
+            else None
+        )
+        for group in self._groups:
+            local_masks = np.zeros(n, dtype=np.int64)
+            for name in group["names"]:
+                bit = np.int64(1) << group["local_bit"][name]
+                if serve is None:
+                    local_masks |= bit
+                else:
+                    local_masks |= np.where(
+                        (serve >> self.query_bits[name]) & 1, bit, np.int64(0)
+                    )
+            if not np.any(local_masks):
+                continue
+            plan: SharedCuboidPlan = group["plan"]
+            sub_reports = plan.insert_batch(keys, vecs, local_masks)
+            for i, sub in enumerate(sub_reports):
+                for name in group["names"]:
+                    mask = plan.query_mask(name)
+                    evicted = sub.evicted_by_mask.get(mask)
+                    if evicted:
+                        reports[i].evicted.setdefault(name, []).extend(evicted)
+                    if (int(local_masks[i]) >> group["local_bit"][name]) & 1:
+                        if mask in sub.admitted_masks:
+                            reports[i].admitted.add(name)
+        return reports
 
     def is_candidate(self, query_name: str, key: Hashable) -> bool:
         return self._group_of[query_name]["plan"].is_candidate(query_name, key)

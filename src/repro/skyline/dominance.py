@@ -44,11 +44,27 @@ class Dominance(enum.Enum):
     INCOMPARABLE = "incomparable"  # each better somewhere
 
 
+#: Reusable index arrays per dims tuple — ``_subspace`` runs once per pair
+#: test, so rebuilding ``list(dims)`` and re-running ``np.asarray`` on every
+#: call dominates the cost of the comparison itself.
+_DIMS_INDEX_CACHE: "dict[tuple[int, ...], np.ndarray]" = {}
+
+
+def dims_index(dims: "Sequence[int]") -> np.ndarray:
+    """A cached ``np.intp`` index array for one subspace's dimensions."""
+    key = tuple(dims)
+    index = _DIMS_INDEX_CACHE.get(key)
+    if index is None:
+        index = np.asarray(key, dtype=np.intp)
+        _DIMS_INDEX_CACHE[key] = index
+    return index
+
+
 def _subspace(point: np.ndarray, dims: "Sequence[int] | None") -> np.ndarray:
     vec = np.asarray(point, dtype=float)
     if dims is None:
         return vec
-    return vec[list(dims)]
+    return vec[dims_index(dims)]
 
 
 def compare(
@@ -103,7 +119,7 @@ def dominates_matrix(
     if pts.size == 0:
         return False
     if dims is not None:
-        pts = pts[:, list(dims)]
+        pts = pts[:, dims_index(dims)]
         candidate = _subspace(candidate, dims)
     if counter is not None:
         counter.record(len(pts))
@@ -112,4 +128,11 @@ def dominates_matrix(
     return bool(np.any(le & lt))
 
 
-__all__ = ["ComparisonCounter", "Dominance", "compare", "dominates", "dominates_matrix"]
+__all__ = [
+    "ComparisonCounter",
+    "Dominance",
+    "compare",
+    "dims_index",
+    "dominates",
+    "dominates_matrix",
+]

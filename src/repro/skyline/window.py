@@ -24,7 +24,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
-from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.dominance import ComparisonCounter, dims_index
 
 _INITIAL_CAPACITY = 16
 
@@ -48,10 +48,32 @@ class InsertOutcome:
     duplicate: bool = False
 
 
+@dataclass
+class BatchInsertOutcome:
+    """Result of one :meth:`SkylineWindow.insert_batch` call.
+
+    Index ``i`` of every field describes what a sequential
+    :meth:`SkylineWindow.insert` of batch element ``i`` would have done —
+    the batch form is an execution strategy, not a semantic change.
+    """
+
+    admitted: np.ndarray  # bool per batch element
+    evicted: "list[list[WindowEntry]]"
+    duplicate: np.ndarray  # bool per batch element
+
+    def outcome(self, i: int) -> InsertOutcome:
+        """The equivalent scalar :class:`InsertOutcome` of element ``i``."""
+        return InsertOutcome(
+            admitted=bool(self.admitted[i]),
+            evicted=list(self.evicted[i]),
+            duplicate=bool(self.duplicate[i]),
+        )
+
+
 class SkylineWindow:
     """Skyline of all inserted points over a fixed list of dimensions."""
 
-    __slots__ = ("dims", "counter", "_matrix", "_keys", "_size")
+    __slots__ = ("dims", "counter", "_matrix", "_keys", "_size", "_dims_index")
 
     def __init__(
         self,
@@ -61,6 +83,7 @@ class SkylineWindow:
         #: Column indices (into the full point vector) this window compares;
         #: ``None`` means the full space.
         self.dims = tuple(dims) if dims is not None else None
+        self._dims_index = dims_index(self.dims) if self.dims is not None else None
         self.counter = counter
         self._matrix: "np.ndarray | None" = None
         self._keys: list[Hashable] = []
@@ -69,8 +92,8 @@ class SkylineWindow:
     # ------------------------------------------------------------------ #
     def _project(self, point: np.ndarray) -> np.ndarray:
         vec = np.asarray(point, dtype=float)
-        if self.dims is not None:
-            vec = vec[list(self.dims)]
+        if self._dims_index is not None:
+            vec = vec[self._dims_index]
         return vec
 
     def _ensure_capacity(self, width: int) -> None:
@@ -159,6 +182,115 @@ class SkylineWindow:
         )
 
     # ------------------------------------------------------------------ #
+    def insert_batch(
+        self,
+        keys: "Sequence[Hashable]",
+        matrix: np.ndarray,
+        known_member: "np.ndarray | None" = None,
+    ) -> BatchInsertOutcome:
+        """Insert many points at once, preserving sequential-BNL semantics.
+
+        Equivalent to calling :meth:`insert` (or, where ``known_member[i]``
+        is True, :meth:`insert_known_member`) once per batch element in
+        order — identical admissions, evictions, duplicate flags, final
+        window contents *and charged comparison counts* — but computed with
+        bulk dominance passes instead of per-tuple control flow.
+
+        The replay works in rounds: one ``(window × remaining)`` broadcast
+        classifies every not-yet-inserted point against the current window.
+        All points up to the first admissible one are rejected wholesale
+        (their charge is the position of their first dominator, read from
+        the same matrix), the admissible point is admitted — evicting the
+        window rows it dominates — and the next round rescans the shrunken
+        remainder against the updated window.  Rounds therefore cost one
+        vectorised pass per *admission*, not per insertion, and skyline
+        admissions are a vanishing fraction of inserts on all but tiny
+        batches.
+        """
+        mat = np.asarray(matrix, dtype=float)
+        if mat.ndim != 2:
+            mat = mat.reshape(len(keys), -1)
+        if self._dims_index is not None:
+            mat = mat[:, self._dims_index]
+        m = len(keys)
+        admitted = np.zeros(m, dtype=bool)
+        duplicate = np.zeros(m, dtype=bool)
+        evicted: "list[list[WindowEntry]]" = [[] for _ in range(m)]
+        if m == 0:
+            return BatchInsertOutcome(admitted, evicted, duplicate)
+        if known_member is None:
+            known = np.zeros(m, dtype=bool)
+        else:
+            known = np.asarray(known_member, dtype=bool)
+        cur = (
+            self._matrix[: self._size]
+            if self._size
+            else np.empty((0, mat.shape[1]))
+        )
+        cur_keys = list(self._keys)
+        total_charge = 0
+        pos = 0
+        while pos < m:
+            n_w = len(cur_keys)
+            if n_w == 0:
+                # Empty window: the first point enters for free.
+                admitted[pos] = True
+                cur = mat[pos : pos + 1]
+                cur_keys = [keys[pos]]
+                pos += 1
+                continue
+            rem = mat[pos:]
+            # entry_le[i, j]: window row i <= remaining point j everywhere.
+            entry_le = (cur[:, None, :] <= rem[None, :, :]).all(axis=2)
+            new_le = (cur[:, None, :] >= rem[None, :, :]).all(axis=2)
+            equal = entry_le & new_le
+            dominators = entry_le & ~equal
+            has_dom = dominators.any(axis=0)
+            open_slots = np.flatnonzero(~has_dom)
+            first = int(open_slots[0]) if open_slots.size else m - pos
+            if first:
+                # Rejected prefix: sequential BNL pays up to the first
+                # dominating entry; a Theorem-1 insert pays the full scan.
+                duplicate[pos : pos + first] = equal[:, :first].any(axis=0)
+                charges = np.where(
+                    known[pos : pos + first],
+                    n_w,
+                    dominators[:, :first].argmax(axis=0) + 1,
+                )
+                total_charge += int(charges.sum())
+            if pos + first < m:
+                j = pos + first
+                admitted[j] = True
+                duplicate[j] = bool(equal[:, first].any())
+                total_charge += n_w
+                kill = new_le[:, first] & ~equal[:, first]
+                if kill.any():
+                    kill_idx = np.flatnonzero(kill)
+                    evicted[j] = [
+                        WindowEntry(cur_keys[i], cur[i].copy())
+                        for i in kill_idx.tolist()
+                    ]
+                    keep = ~kill
+                    cur = cur[keep]
+                    cur_keys = [
+                        k for k, kept in zip(cur_keys, keep.tolist()) if kept
+                    ]
+                cur = np.vstack([cur, mat[j : j + 1]])
+                cur_keys.append(keys[j])
+                pos = j + 1
+            else:
+                break
+        if self.counter is not None and total_charge:
+            self.counter.record(total_charge)
+        self._size = len(cur_keys)
+        self._keys = cur_keys
+        width = cur.shape[1] if cur.size else mat.shape[1]
+        capacity = max(_INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length())
+        self._matrix = np.empty((capacity, width))
+        self._matrix[: self._size] = cur
+        return BatchInsertOutcome(admitted, evicted, duplicate)
+
+    # ------------------------------------------------------------------ #
     def contains_key(self, key: Hashable) -> bool:
         return key in self._keys
 
@@ -197,4 +329,4 @@ class SkylineWindow:
         return f"SkylineWindow(dims={self.dims}, size={self._size})"
 
 
-__all__ = ["InsertOutcome", "SkylineWindow", "WindowEntry"]
+__all__ = ["BatchInsertOutcome", "InsertOutcome", "SkylineWindow", "WindowEntry"]

@@ -1,0 +1,148 @@
+"""Equivalence of the batch engine and the incremental scheduler.
+
+The batch skyline insertion path and the cached benefit scheduler are pure
+performance work: every observable of a run — the reported identity sets,
+the charged comparison counts (Figure 10b), the virtual clock, and the
+*sequence of regions processed* — must be identical with the optimisations
+on or off.  These tests pin that down on the paper's Figure 1 workload and
+on a randomized 8-query workload.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.contracts import c2
+from repro.core import CAQE, CAQEConfig
+from repro.datagen import generate_pair
+from repro.query import (
+    JoinCondition,
+    Preference,
+    SkylineJoinQuery,
+    add,
+    reference_evaluate,
+)
+from repro.query.workload import Workload
+
+#: The four ablation corners of the execution engine.
+MODES = {
+    "batch+cache": {},
+    "scalar+cache": {"enable_batch_insert": False},
+    "batch+naive": {"enable_scheduler_cache": False},
+    "scalar+naive": {
+        "enable_batch_insert": False,
+        "enable_scheduler_cache": False,
+    },
+}
+
+
+def figure1_workload() -> Workload:
+    """The running example of the paper (Figure 1): Q1..Q4 over d1..d4."""
+    jc = JoinCondition.on("jc1", name="JC1")
+    fns = tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in range(1, 5))
+    return Workload(
+        [
+            SkylineJoinQuery("Q1", jc, fns[:2], Preference.over("d1", "d2")),
+            SkylineJoinQuery("Q2", jc, fns[:3], Preference.over("d1", "d2", "d3")),
+            SkylineJoinQuery("Q3", jc, fns[1:3], Preference.over("d2", "d3")),
+            SkylineJoinQuery("Q4", jc, fns[1:4], Preference.over("d2", "d3", "d4")),
+        ]
+    )
+
+
+def random_workload(n_queries: int, dims: int, seed: int) -> Workload:
+    """``n_queries`` random skyline subspaces over ``dims`` dimensions."""
+    rng = random.Random(seed)
+    jc = JoinCondition.on("jc1", name="JC1")
+    fns = tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in range(1, dims + 1))
+    names = tuple(f"d{i}" for i in range(1, dims + 1))
+    queries = []
+    for k in range(n_queries):
+        size = rng.randint(2, dims)
+        combo = sorted(rng.sample(range(dims), size))
+        queries.append(
+            SkylineJoinQuery(
+                name=f"Q{k + 1}",
+                join_condition=jc,
+                functions=fns,
+                preference=Preference(tuple(names[i] for i in combo)),
+                priority=rng.choice([0.3, 0.6, 0.9]),
+            )
+        )
+    return Workload(queries)
+
+
+def _run_all_modes(pair, workload, contracts):
+    results = {}
+    for mode, overrides in MODES.items():
+        config = CAQEConfig(**overrides)
+        results[mode] = CAQE(config).run(
+            pair.left, pair.right, workload, contracts
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig1_runs():
+    pair = generate_pair("independent", 150, 4, selectivity=0.05, seed=23)
+    workload = figure1_workload()
+    contracts = {q.name: c2(scale=100.0) for q in workload}
+    return pair, workload, _run_all_modes(pair, workload, contracts)
+
+
+@pytest.fixture(scope="module")
+def random8_runs():
+    pair = generate_pair("anticorrelated", 100, 4, selectivity=0.06, seed=91)
+    workload = random_workload(8, 4, seed=2014)
+    contracts = {q.name: c2(scale=80.0) for q in workload}
+    return pair, workload, _run_all_modes(pair, workload, contracts)
+
+
+class TestFigure1Workload:
+    def test_all_modes_report_the_reference_answer(self, fig1_runs):
+        pair, workload, results = fig1_runs
+        for query in workload:
+            ref = reference_evaluate(query, pair.left, pair.right)
+            for mode, result in results.items():
+                assert result.reported[query.name] == ref.skyline_pairs, mode
+
+    def test_cached_scheduler_picks_the_naive_region_sequence(self, fig1_runs):
+        _, _, results = fig1_runs
+        naive = results["batch+naive"].stats.region_trace
+        assert results["batch+cache"].stats.region_trace == naive
+        assert len(naive) > 0
+
+    def test_comparisons_and_clock_are_bit_identical(self, fig1_runs):
+        _, _, results = fig1_runs
+        ref = results["scalar+naive"]
+        for mode, result in results.items():
+            assert (
+                result.stats.skyline_comparisons
+                == ref.stats.skyline_comparisons
+            ), mode
+            assert result.stats.elapsed == ref.stats.elapsed, mode
+
+
+class TestRandomizedWorkload:
+    def test_all_modes_agree_on_every_observable(self, random8_runs):
+        _, workload, results = random8_runs
+        ref = results["scalar+naive"]
+        for mode, result in results.items():
+            for query in workload:
+                assert result.reported[query.name] == ref.reported[query.name]
+            assert (
+                result.stats.skyline_comparisons
+                == ref.stats.skyline_comparisons
+            ), mode
+            assert result.stats.region_trace == ref.stats.region_trace, mode
+            assert result.stats.elapsed == ref.stats.elapsed, mode
+
+    def test_randomized_answers_match_reference(self, random8_runs):
+        pair, workload, results = random8_runs
+        for query in workload:
+            ref = reference_evaluate(query, pair.left, pair.right)
+            assert (
+                results["batch+cache"].reported[query.name]
+                == ref.skyline_pairs
+            )

@@ -1,0 +1,143 @@
+"""Property tests: ``insert_batch`` ≡ a sequence of scalar inserts.
+
+The batch form is an *execution strategy*, not a semantic change: for any
+interleaving of :meth:`SkylineWindow.insert` and
+:meth:`SkylineWindow.insert_known_member` calls, replaying the same points
+through :meth:`SkylineWindow.insert_batch` must yield identical admissions,
+evictions, duplicate flags, final window contents **and charged comparison
+counts** (the Figure 10b metric).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.window import SkylineWindow
+
+
+@st.composite
+def batch_cases(draw):
+    """Points on a coarse grid (to provoke ties/dominance), plus a
+    known-member flag per point and arbitrary batch split points."""
+    n = draw(st.integers(min_value=0, max_value=30))
+    width = draw(st.integers(min_value=1, max_value=3))
+    points = [
+        np.array(
+            draw(
+                st.lists(
+                    st.integers(0, 4).map(float),
+                    min_size=width,
+                    max_size=width,
+                )
+            )
+        )
+        for _ in range(n)
+    ]
+    known = [draw(st.booleans()) for _ in range(n)]
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(0, max(n, 1)), min_size=0, max_size=4, unique=True
+            )
+        )
+    )
+    return points, known, cuts
+
+
+def _run_sequential(points, known):
+    counter = ComparisonCounter()
+    window = SkylineWindow(counter=counter)
+    outcomes = []
+    for i, (p, k) in enumerate(zip(points, known)):
+        method = window.insert_known_member if k else window.insert
+        outcomes.append(method(i, p))
+    return window, counter, outcomes
+
+
+def _run_batched(points, known, cuts):
+    counter = ComparisonCounter()
+    window = SkylineWindow(counter=counter)
+    outcomes = []
+    bounds = [0, *cuts, len(points)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi <= lo:
+            continue
+        batch = window.insert_batch(
+            list(range(lo, hi)),
+            np.vstack([points[i] for i in range(lo, hi)]),
+            known_member=np.array(known[lo:hi], dtype=bool),
+        )
+        outcomes.extend(batch.outcome(j) for j in range(hi - lo))
+    return window, counter, outcomes
+
+
+@given(case=batch_cases())
+@settings(max_examples=120, deadline=None)
+def test_property_batch_equals_sequential(case):
+    points, known, cuts = case
+    seq_window, seq_counter, seq_outcomes = _run_sequential(points, known)
+    bat_window, bat_counter, bat_outcomes = _run_batched(points, known, cuts)
+
+    for i, (seq, bat) in enumerate(zip(seq_outcomes, bat_outcomes)):
+        assert seq.admitted == bat.admitted, f"admission differs at {i}"
+        assert seq.duplicate == bat.duplicate, f"duplicate flag differs at {i}"
+        assert [e.key for e in seq.evicted] == [e.key for e in bat.evicted]
+        for se, be in zip(seq.evicted, bat.evicted):
+            np.testing.assert_array_equal(se.vector, be.vector)
+
+    assert seq_window.keys == bat_window.keys
+    np.testing.assert_array_equal(seq_window.vectors, bat_window.vectors)
+    # Figure 10b bit-identity: same total charged comparisons.
+    assert seq_counter.comparisons == bat_counter.comparisons
+
+
+@given(case=batch_cases())
+@settings(max_examples=60, deadline=None)
+def test_property_batch_respects_subspace_projection(case):
+    """A dims-restricted window batches over the projected columns only."""
+    points, known, cuts = case
+    wide = [np.concatenate([p, [float(i)]]) for i, p in enumerate(points)]
+    dims = tuple(range(len(points[0]))) if points else (0,)
+
+    seq_counter = ComparisonCounter()
+    seq = SkylineWindow(dims=dims, counter=seq_counter)
+    for i, (p, k) in enumerate(zip(wide, known)):
+        (seq.insert_known_member if k else seq.insert)(i, p)
+
+    bat_counter = ComparisonCounter()
+    bat = SkylineWindow(dims=dims, counter=bat_counter)
+    if wide:
+        bat.insert_batch(
+            list(range(len(wide))),
+            np.vstack(wide),
+            known_member=np.array(known, dtype=bool),
+        )
+
+    assert seq.keys == bat.keys
+    np.testing.assert_array_equal(seq.vectors, bat.vectors)
+    assert seq_counter.comparisons == bat_counter.comparisons
+
+
+def test_batch_on_empty_input_is_a_noop():
+    window = SkylineWindow()
+    outcome = window.insert_batch([], np.empty((0, 2)))
+    assert outcome.admitted.shape == (0,)
+    assert len(window) == 0
+
+
+def test_batch_continues_from_existing_window():
+    """A batch against a pre-populated window sees its entries."""
+    counter = ComparisonCounter()
+    window = SkylineWindow(counter=counter)
+    window.insert("seed", np.array([1.0, 1.0]))
+    counter.comparisons = 0
+    outcome = window.insert_batch(
+        ["a", "b"], np.array([[2.0, 2.0], [0.0, 0.0]])
+    )
+    assert not outcome.admitted[0]  # dominated by the seed entry
+    assert outcome.admitted[1]
+    assert [e.key for e in outcome.evicted[1]] == ["seed"]
+    assert window.keys == ["b"]
+    # "a" rejected at first dominator (1) + "b" admitted vs 1 entry (1).
+    assert counter.comparisons == 2
