@@ -35,6 +35,7 @@ from repro.core.region import OutputRegion
 from repro.errors import ExecutionError
 from repro.plan.minmax_cuboid import MinMaxCuboid
 from repro.query.workload import Workload
+from repro.skyline.dominance import dominance_broadcast, dominance_mask
 from repro.skyline.estimate import buchta_skyline_size
 
 #: Above this many output cells the exact progressive count switches to the
@@ -69,9 +70,7 @@ def prog_count_exact(
         dtype=np.intp,
     )
     cell_lowers = grid.cell_lowers(coords)[:, pos]  # (cells, |pos|)
-    le = np.all(threat_uppers[:, None, :] <= cell_lowers[None, :, :], axis=2)
-    lt = np.any(threat_uppers[:, None, :] < cell_lowers[None, :, :], axis=2)
-    at_risk = (le & lt).any(axis=0)
+    at_risk = dominance_mask(threat_uppers, cell_lowers).any(axis=0)
     return int(total - int(at_risk.sum())), total
 
 
@@ -144,11 +143,7 @@ def prog_ratio_sampled(
 
 def _sampled_ratio(samples: np.ndarray, dominator_lowers: np.ndarray) -> float:
     """The sampled non-dominated fraction over a precomputed lattice."""
-    le = np.all(
-        dominator_lowers[:, None, :] <= samples[None, :, :], axis=2
-    )
-    lt = np.any(dominator_lowers[:, None, :] < samples[None, :, :], axis=2)
-    dominated = (le & lt).any(axis=0)
+    dominated = dominance_mask(dominator_lowers, samples).any(axis=0)
     return float(1.0 - dominated.mean())
 
 
@@ -174,7 +169,7 @@ class _SampleCounts:
 
     __slots__ = ("samples", "counts", "uppers", "slot", "size")
 
-    def __init__(self, n_samples: int, width: int):
+    def __init__(self, n_samples: int, width: int) -> None:
         cap = 64
         self.samples = np.empty((cap, n_samples, width))
         self.counts = np.zeros((cap, n_samples), dtype=np.int32)
@@ -219,7 +214,7 @@ class BenefitModel:
         cost_model: CostModel,
         *,
         exact_cell_limit: int = EXACT_CELL_LIMIT,
-    ):
+    ) -> None:
         self.workload = workload
         self.grid = grid
         self.cost_model = cost_model
@@ -337,9 +332,9 @@ class BenefitModel:
         if not rows.size:
             return
         samp = sc.samples[rows]
-        le = np.all(lower <= samp, axis=2)
-        lt = np.any(lower < samp, axis=2)
-        sc.counts[rows] -= (le & lt).astype(np.int32)
+        sc.counts[rows] -= dominance_broadcast(lower, samp, axis=2).astype(
+            np.int32
+        )
 
     # ------------------------------------------------------------------ #
     # Cost side
@@ -483,9 +478,7 @@ class BenefitModel:
             self._scounts[qi] = sc
         row = sc.slot.get(region.region_id)
         if row is None:
-            le = np.all(lowers[:, None, :] <= samples[None, :, :], axis=2)
-            lt = np.any(lowers[:, None, :] < samples[None, :, :], axis=2)
-            counts = (le & lt).sum(axis=0, dtype=np.int32)
+            counts = dominance_mask(lowers, samples).sum(axis=0, dtype=np.int32)
             row = sc.add(
                 region.region_id, samples, region.upper[positions], counts
             )
@@ -587,7 +580,7 @@ class BenefitModel:
         total = 0.0
         for qi in range(len(self.workload)):
             batch = float(estimate.prog_est[qi])
-            if batch <= 0.0 or weights[qi] == 0.0:
+            if batch <= 0.0 or weights[qi] <= 0.0:
                 continue
             total += weights[qi] * self.contracts[qi].batch_utility(
                 report_time, batch, float(self.result_estimates[qi])
@@ -608,7 +601,7 @@ class BenefitModel:
         prog = np.vstack([e.prog_est for e in estimates])  # (R, Q)
         total = np.zeros(len(estimates))
         for qi in range(len(self.workload)):
-            if weights[qi] == 0.0:
+            if weights[qi] <= 0.0:
                 continue
             utilities = self.contracts[qi].batch_utilities(
                 times, prog[:, qi], float(self.result_estimates[qi])

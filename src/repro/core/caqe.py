@@ -30,7 +30,7 @@ from repro.core.clock import CostModel
 from repro.core.coarse_join import coarse_join
 from repro.core.coarse_skyline import coarse_skyline
 from repro.core.depgraph import DependencyGraph, build_dependency_graph
-from repro.core.executor import JoinResultStore, RegionExecutor
+from repro.core.executor import JoinResultStore, RegionExecutor, RegionOutcome
 from repro.core.feedback import update_weights
 from repro.core.output_space import DEFAULT_DIVISIONS
 from repro.core.region import OutputRegion
@@ -41,6 +41,7 @@ from repro.plan.minmax_cuboid import build_minmax_cuboid
 from repro.plan.shared_plan import WorkloadPlan
 from repro.query.workload import Workload
 from repro.relation import Relation
+from repro.skyline.dominance import dominance_mask
 from repro.skyline.estimate import buchta_skyline_size
 
 
@@ -156,7 +157,7 @@ class CAQE:
 
     name = "CAQE"
 
-    def __init__(self, config: "CAQEConfig | None" = None):
+    def __init__(self, config: "CAQEConfig | None" = None) -> None:
         self.config = config or CAQEConfig()
 
     # ------------------------------------------------------------------ #
@@ -317,7 +318,11 @@ class CAQE:
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _result_estimates(workload, cuboid, regions) -> "dict[str, float]":
+    def _result_estimates(
+        workload: Workload,
+        cuboid: MinMaxCuboid,
+        regions: "list[OutputRegion]",
+    ) -> "dict[str, float]":
         """Estimated final skyline size per query (for N_est in contracts)."""
         table = cuboid.lattice.table
         out: dict[str, float] = {}
@@ -356,7 +361,7 @@ class CAQE:
         self,
         region: OutputRegion,
         successors: "dict[int, int]",
-        outcome,
+        outcome: RegionOutcome,
         executor: RegionExecutor,
         alive: "dict[int, OutputRegion]",
         graph: DependencyGraph,
@@ -392,9 +397,7 @@ class CAQE:
                 [executor.store.vector(key) for key in keys]
             )[:, positions]
             corners = lowers[:, positions]
-            le = np.all(points[:, None, :] <= corners[None, :, :], axis=2)
-            lt = np.any(points[:, None, :] < corners[None, :, :], axis=2)
-            dominated[qi] = np.any(le & lt, axis=0)
+            dominated[qi] = dominance_mask(points, corners).any(axis=0)
         for t_pos, (target_id, target) in enumerate(targets):
             query_mask = successors[target_id]
             for qi, query in enumerate(executor.workload):
@@ -424,7 +427,7 @@ class _ReportingState:
     processed, discarded, or deactivated for the query.
     """
 
-    def __init__(self, workload: Workload, cuboid):
+    def __init__(self, workload: Workload, cuboid: MinMaxCuboid) -> None:
         self.workload = workload
         table = cuboid.lattice.table
         self.positions = {
@@ -441,16 +444,24 @@ class _ReportingState:
             q.name: {} for q in workload
         }
         self.reported: dict[str, set[int]] = {q.name: set() for q in workload}
-        self._store = None
+        self._store: "JoinResultStore | None" = None
 
     # -- candidate lifecycle ------------------------------------------- #
-    def apply_evictions(self, outcome, tracker) -> None:
+    def apply_evictions(
+        self, outcome: RegionOutcome, tracker: SatisfactionTracker
+    ) -> None:
         for query in self.workload:
             for key in outcome.evicted.get(query.name, ()):
                 self._drop_pending(query.name, key)
 
     def admit_candidates(
-        self, outcome, region, executor, alive, tracker, stats
+        self,
+        outcome: RegionOutcome,
+        region: OutputRegion,
+        executor: RegionExecutor,
+        alive: "dict[int, OutputRegion]",
+        tracker: SatisfactionTracker,
+        stats: ExecutionStats,
     ) -> None:
         self._store = executor.store
         now = stats.clock.now()
@@ -474,14 +485,12 @@ class _ReportingState:
             lowers = np.vstack([o.lower for _, o in serving])[:, positions]
             # threat[k, r]: region r could still produce a tuple dominating
             # candidate k (its best corner reaches below the candidate).
-            le = np.all(lowers[None, :, :] <= vectors[:, None, :], axis=2)
-            lt = np.any(lowers[None, :, :] < vectors[:, None, :], axis=2)
-            threat = le & lt
+            threat = dominance_mask(lowers, vectors).T
             for k_pos, key in enumerate(keys):
                 rids = {serving[r][0] for r in np.nonzero(threat[k_pos])[0]}
                 if rids:
                     self.pending[query.name][key] = rids
-                    for rid in rids:
+                    for rid in sorted(rids):
                         self.threats_by_region[query.name].setdefault(
                             rid, set()
                         ).add(key)
@@ -489,7 +498,13 @@ class _ReportingState:
                     self._emit(query.name, key, now, tracker, stats)
 
     # -- threat draining ------------------------------------------------ #
-    def release_region(self, region_id: int, rql: int, tracker, stats) -> None:
+    def release_region(
+        self,
+        region_id: int,
+        rql: int,
+        tracker: SatisfactionTracker,
+        stats: ExecutionStats,
+    ) -> None:
         for qi, query in enumerate(self.workload):
             if (rql >> qi) & 1:
                 self.release_region_for_query(
@@ -497,7 +512,11 @@ class _ReportingState:
                 )
 
     def release_region_for_query(
-        self, region_id: int, query_name: str, tracker, stats
+        self,
+        region_id: int,
+        query_name: str,
+        tracker: SatisfactionTracker,
+        stats: ExecutionStats,
     ) -> None:
         keys = self.threats_by_region[query_name].pop(region_id, set())
         now = stats.clock.now()
@@ -510,7 +529,14 @@ class _ReportingState:
                 del self.pending[query_name][key]
                 self._emit(query_name, key, now, tracker, stats)
 
-    def _emit(self, query_name: str, key: int, now: float, tracker, stats) -> None:
+    def _emit(
+        self,
+        query_name: str,
+        key: int,
+        now: float,
+        tracker: SatisfactionTracker,
+        stats: ExecutionStats,
+    ) -> None:
         if key in self.reported[query_name]:
             return
         self.reported[query_name].add(key)

@@ -31,6 +31,7 @@ from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
 from repro.plan.minmax_cuboid import MinMaxCuboid
 from repro.query.workload import Workload
+from repro.skyline.dominance import dominance_mask
 
 #: Row-chunk size for the pairwise dominance tests (bounds peak memory).
 _CHUNK = 512
@@ -55,9 +56,7 @@ def _dominated_by(
     flags = np.zeros(len(lower_candidates), dtype=bool)
     for start in range(0, len(upper_dominators), _CHUNK):
         u = upper_dominators[start : start + _CHUNK]
-        le = np.all(u[:, None, :] <= lower_candidates[None, :, :], axis=2)
-        lt = np.any(u[:, None, :] < lower_candidates[None, :, :], axis=2)
-        flags |= (le & lt).any(axis=0)
+        flags |= dominance_mask(u, lower_candidates).any(axis=0)
     return flags
 
 
@@ -186,7 +185,7 @@ def coarse_skyline(
         reg[query.name] = contributing
 
     discarded = {r.region_id for r in region_list if r.is_discarded}
-    for _ in discarded:
+    for _ in range(len(discarded)):
         stats.record_region_discarded()
     for mask in nondominated:
         nondominated[mask] -= discarded

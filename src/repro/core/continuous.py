@@ -34,16 +34,20 @@ from repro.contracts.score import ResultLog
 from repro.core.caqe import CAQEConfig, partition_attrs
 from repro.core.coarse_join import coarse_join
 from repro.core.executor import JoinResultStore, RegionExecutor
+from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
 from repro.errors import ExecutionError
 from repro.partition.cells import LeafCell
 from repro.partition.quadtree import Partitioning, quadtree_partition
 from repro.plan.shared_plan import WorkloadPlan
+from repro.query.predicates import JoinCondition
 from repro.query.workload import Workload
 from repro.relation import Relation, concat
 
 
-def _shift_cells(partitioning: Partitioning, row_offset: int, id_offset: int):
+def _shift_cells(
+    partitioning: Partitioning, row_offset: int, id_offset: int
+) -> "list[LeafCell]":
     """Rebase a delta partitioning onto cumulative row/cell numbering."""
     shifted = []
     for leaf in partitioning.leaves:
@@ -83,7 +87,7 @@ class ContinuousCAQE:
         workload: Workload,
         contracts: "dict[str, Contract]",
         config: "CAQEConfig | None" = None,
-    ):
+    ) -> None:
         missing = [q.name for q in workload if q.name not in contracts]
         if missing:
             raise ExecutionError(f"missing contracts for queries: {missing}")
@@ -164,7 +168,12 @@ class ContinuousCAQE:
         return self._emit_changelog()
 
     # ------------------------------------------------------------------ #
-    def _append(self, delta, side: str, conditions) -> "list[LeafCell]":
+    def _append(
+        self,
+        delta: "Relation | None",
+        side: str,
+        conditions: "tuple[JoinCondition, ...]",
+    ) -> "list[LeafCell]":
         if delta is None or delta.cardinality == 0:
             return []
         current = self._left if side == "left" else self._right
@@ -191,7 +200,12 @@ class ContinuousCAQE:
             self._right = merged
         return new_cells
 
-    def _regions_for(self, left_cells, right_cells, conditions):
+    def _regions_for(
+        self,
+        left_cells: "list[LeafCell]",
+        right_cells: "list[LeafCell]",
+        conditions: "tuple[JoinCondition, ...]",
+    ) -> "list[OutputRegion]":
         left_part = Partitioning(
             self._left.name, tuple(left_cells),
             left_cells[0].measure_attrs, depth=0,

@@ -26,6 +26,7 @@ from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
 from repro.plan.minmax_cuboid import MinMaxCuboid
 from repro.query.workload import Workload
+from repro.skyline.dominance import dominance_mask
 
 
 @dataclass(frozen=True)
@@ -148,9 +149,7 @@ def build_dependency_graph(
         u_best = best_cell_upper[np.ix_(idx, positions)]
         l_worst = worst_cell_lower[np.ix_(idx, positions)]
         # can[i, j]: a populated cell of i could dominate a cell of j.
-        can = np.all(u_best[:, None, :] <= l_worst[None, :, :], axis=2) & np.any(
-            u_best[:, None, :] < l_worst[None, :, :], axis=2
-        )
+        can = dominance_mask(u_best, l_worst)
         np.fill_diagonal(can, False)
         # Sort-merge-equivalent examined-pair count: pairs passing the
         # corner-sum prefilter sum(u_best_i) < sum(l_worst_j).

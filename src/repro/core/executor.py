@@ -29,7 +29,7 @@ from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
 from repro.errors import ExecutionError
 from repro.partition.cells import LeafCell
-from repro.plan.shared_plan import WorkloadPlan
+from repro.plan.shared_plan import WorkloadInsertReport, WorkloadPlan
 from repro.query.evaluate import apply_functions
 from repro.query.predicates import JoinCondition
 from repro.query.selection import selection_bitmasks
@@ -138,7 +138,7 @@ class RegionExecutor:
         stats: ExecutionStats,
         *,
         batch_inserts: bool = True,
-    ):
+    ) -> None:
         self.workload = workload
         self.left = left
         self.right = right
@@ -244,7 +244,7 @@ class RegionExecutor:
         admitted_sets: dict[str, set[int]] = {q.name: set() for q in self.workload}
         evicted_sets: dict[str, set[int]] = {q.name: set() for q in self.workload}
 
-        def absorb(key: int, report) -> None:
+        def absorb(key: int, report: "WorkloadInsertReport") -> None:
             for name in report.admitted:
                 admitted_sets[name].add(key)
             for name, evicted_keys in report.evicted.items():

@@ -27,6 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.skyline.dominance import dominates
 
 
 class RegionDominance(enum.Enum):
@@ -105,13 +106,9 @@ def region_dominance(
 ) -> RegionDominance:
     """Definition 8 over the subspace given by column ``positions``."""
     pos = list(positions)
-    ui = r_i.upper[pos]
-    lj = r_j.lower[pos]
-    if np.all(ui <= lj) and np.any(ui < lj):
+    if dominates(r_i.upper[pos], r_j.lower[pos]):
         return RegionDominance.DOMINATES
-    li = r_i.lower[pos]
-    uj = r_j.upper[pos]
-    if np.all(li <= uj) and np.any(li < uj):
+    if dominates(r_i.lower[pos], r_j.upper[pos]):
         return RegionDominance.PARTIAL
     return RegionDominance.INCOMPARABLE
 
@@ -129,8 +126,7 @@ def point_dominates_region(
     """
     pos = list(positions)
     vec = np.asarray(point, dtype=float)[pos]
-    lo = region.lower[pos]
-    return bool(np.all(vec <= lo) and np.any(vec < lo))
+    return dominates(vec, region.lower[pos])
 
 
 def point_could_be_dominated_by_region(
@@ -147,8 +143,7 @@ def point_could_be_dominated_by_region(
     """
     pos = list(positions)
     vec = np.asarray(point, dtype=float)[pos]
-    lo = region.lower[pos]
-    return bool(np.all(lo <= vec) and np.any(lo < vec))
+    return dominates(region.lower[pos], vec)
 
 
 __all__ = [

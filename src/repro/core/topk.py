@@ -26,6 +26,7 @@ stamped with virtual time and scored by the same Table 2 classes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from repro.contracts.score import ResultLog
 from repro.core.caqe import CAQEConfig
 from repro.core.coarse_join import coarse_join
 from repro.core.executor import join_cell_pair
+from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
 from repro.errors import ExecutionError, QueryError
 from repro.partition.quadtree import quadtree_partition
@@ -97,7 +99,7 @@ class _HeldResult:
     score: float
     identity: "tuple[int, int]"
 
-    def sort_key(self):
+    def sort_key(self) -> "tuple[float, tuple[int, int]]":
         return (self.score, self.identity)
 
 
@@ -127,7 +129,7 @@ class TopKEngine:
 
     name = "TopK-CAQE"
 
-    def __init__(self, config: "CAQEConfig | None" = None):
+    def __init__(self, config: "CAQEConfig | None" = None) -> None:
         self.config = config or CAQEConfig()
 
     def run(
@@ -284,8 +286,15 @@ class TopKEngine:
             )
         return Workload(shadows)
 
-    def _pick(self, remaining, region_lb, kth_best, queries, qbit,
-              remaining_serves):
+    def _pick(
+        self,
+        remaining: "dict[int, OutputRegion]",
+        region_lb: "dict[int, dict[str, float]]",
+        kth_best: "dict[str, float]",
+        queries: "tuple[TopKJoinQuery, ...]",
+        qbit: "dict[str, int]",
+        remaining_serves: "Callable[[OutputRegion, str], bool]",
+    ) -> "int | None":
         """Priority-weighted greedy: prefer regions that can still improve
         the most important queries, tie-broken by best possible score."""
         best_rid, best_key = None, None
@@ -303,7 +312,14 @@ class TopKEngine:
         return best_rid
 
     def _report_finals(
-        self, queries, held, remaining, region_lb, reported, logs, stats
+        self,
+        queries: "tuple[TopKJoinQuery, ...]",
+        held: "dict[str, list[_HeldResult]]",
+        remaining: "dict[int, OutputRegion]",
+        region_lb: "dict[int, dict[str, float]]",
+        reported: "dict[str, set[tuple[int, int]]]",
+        logs: "dict[str, ResultLog]",
+        stats: ExecutionStats,
     ) -> None:
         """Emit held results that no remaining region can displace."""
         now = stats.clock.now()

@@ -8,6 +8,7 @@ min-max cuboid (Figure 6) is the pruned version built on top of this.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import PlanError
 from repro.plan.subspace import SubspaceTable
@@ -31,7 +32,7 @@ class LatticeNode:
 class SubspaceLattice:
     """All ``2^d - 1`` subspaces of a workload's skyline dimensions."""
 
-    def __init__(self, workload: Workload):
+    def __init__(self, workload: Workload) -> None:
         dims = workload.skyline_dims
         if not dims:
             raise PlanError("workload has no skyline dimensions")
@@ -73,7 +74,7 @@ class SubspaceLattice:
     def __len__(self) -> int:
         return len(self._nodes)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[LatticeNode]":
         return (self._nodes[m] for m in self.masks)
 
 

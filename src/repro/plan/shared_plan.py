@@ -57,7 +57,7 @@ class SharedCuboidPlan:
         counter: "ComparisonCounter | None" = None,
         *,
         assume_dva: bool = True,
-    ):
+    ) -> None:
         self.cuboid = cuboid
         self.attribute_order = tuple(attribute_order)
         self.counter = counter
@@ -246,12 +246,12 @@ class WorkloadPlan:
 
     def __init__(
         self,
-        workload,
+        workload: Workload,
         attribute_order: "Sequence[str]",
         counter: "ComparisonCounter | None" = None,
         *,
         assume_dva: bool = True,
-    ):
+    ) -> None:
         from repro.plan.minmax_cuboid import build_minmax_cuboid
 
         self.workload = workload

@@ -18,7 +18,7 @@ class SubspaceTable:
 
     __slots__ = ("dims", "_bit_of")
 
-    def __init__(self, dims: "tuple[str, ...]"):
+    def __init__(self, dims: "tuple[str, ...]") -> None:
         if not dims:
             raise PlanError("subspace table needs at least one dimension")
         if len(set(dims)) != len(dims):

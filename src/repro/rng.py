@@ -8,16 +8,19 @@ experiments reproducible bit-for-bit (see DESIGN.md §6).
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
 #: Seed used whenever a caller does not supply one.  Fixed so the quickstart
 #: and test-suite defaults are stable across runs.
 DEFAULT_SEED = 20140324  # EDBT 2014 opened March 24, 2014.
 
-RngLike = "int | np.random.Generator | None"
+#: Anything :func:`ensure_rng` accepts: a seed, a generator, or ``None``.
+RngLike: TypeAlias = "int | np.random.Generator | None"
 
 
-def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be ``None`` (use :data:`DEFAULT_SEED`), an ``int``, or an
@@ -30,10 +33,13 @@ def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Gen
     return np.random.default_rng(seed)
 
 
-def spawn(rng: np.random.Generator, count: int) -> "list[np.random.Generator]":
+def spawn(rng: RngLike, count: int) -> "list[np.random.Generator]":
     """Split ``rng`` into ``count`` independent child generators.
 
     Used by the dataset generators so each table / column draws from its own
     stream; inserting a new column then never perturbs existing ones.
+    Accepts any :data:`RngLike`; seeds are normalised via :func:`ensure_rng`.
     """
-    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+    generator = ensure_rng(rng)
+    seed_seq = generator.bit_generator.seed_seq
+    return [np.random.default_rng(s) for s in seed_seq.spawn(count)]

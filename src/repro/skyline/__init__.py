@@ -4,7 +4,14 @@ from repro.skyline.bbs import bbs_skyline, bbs_skyline_stream
 from repro.skyline.bnl import bnl_skyline
 from repro.skyline.csc import CompressedSkycube
 from repro.skyline.dnc import dnc_skyline
-from repro.skyline.dominance import ComparisonCounter, Dominance, compare, dominates
+from repro.skyline.dominance import (
+    ComparisonCounter,
+    Dominance,
+    compare,
+    dominance_broadcast,
+    dominance_mask,
+    dominates,
+)
 from repro.skyline.estimate import (
     SampledSkylineEstimator,
     buchta_skyline_size,
@@ -38,6 +45,8 @@ __all__ = [
     "compute_naive",
     "compute_shared",
     "dnc_skyline",
+    "dominance_broadcast",
+    "dominance_mask",
     "dominates",
     "k_skyband",
     "region_cardinality",

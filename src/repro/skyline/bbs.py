@@ -22,7 +22,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.skyline.dominance import ComparisonCounter
-from repro.skyline.rtree import RTree
+from repro.skyline.rtree import RTree, RTreeNode
 from repro.skyline.window import SkylineWindow
 
 
@@ -40,7 +40,7 @@ def bbs_skyline_stream(
     tiebreak = itertools.count()
     heap: list = []
 
-    def push_node(node) -> None:
+    def push_node(node: "RTreeNode") -> None:
         heapq.heappush(
             heap, (float(node.lower[dim_list].sum()), next(tiebreak), "node", node)
         )

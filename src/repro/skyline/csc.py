@@ -15,6 +15,8 @@ the ablation bench reports.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.errors import ReproError
@@ -26,7 +28,9 @@ from repro.skyline.skycube import Skycube, all_subspaces, compute_shared
 class CompressedSkycube:
     """Minimal-subspace storage of all ``2^d - 1`` subspace skylines."""
 
-    def __init__(self, dimensions: int, minimal: "dict[int, set[frozenset[int]]]"):
+    def __init__(
+        self, dimensions: int, minimal: "dict[int, set[frozenset[int]]]"
+    ) -> None:
         self.dimensions = dimensions
         #: row index -> set of minimal subspaces (possibly empty).
         self._minimal = minimal
@@ -67,7 +71,7 @@ class CompressedSkycube:
         except KeyError:
             raise ReproError(f"row {row} was not part of this skycube") from None
 
-    def skyline(self, subspace) -> "frozenset[int]":
+    def skyline(self, subspace: "Iterable[int]") -> "frozenset[int]":
         """Reconstruct ``SKY_U``: rows with a minimal subspace inside ``U``."""
         target = frozenset(subspace)
         if not target or not target <= set(range(self.dimensions)):

@@ -16,13 +16,18 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.skyline.dominance import ComparisonCounter
+from repro.skyline.dominance import ComparisonCounter, dominates
 
 #: Below this size the recursion bottoms out into a window scan.
 _BASE_CASE = 16
 
 
-def _bnl_base(matrix: np.ndarray, rows: "list[int]", dims, counter) -> "list[int]":
+def _bnl_base(
+    matrix: np.ndarray,
+    rows: "list[int]",
+    dims: "tuple[int, ...]",
+    counter: "ComparisonCounter | None",
+) -> "list[int]":
     from repro.skyline.window import SkylineWindow
 
     window = SkylineWindow(dims=dims, counter=counter)
@@ -31,10 +36,10 @@ def _bnl_base(matrix: np.ndarray, rows: "list[int]", dims, counter) -> "list[int
     return sorted(window.keys)
 
 
-def _dominates(a: np.ndarray, b: np.ndarray, counter) -> bool:
-    if counter is not None:
-        counter.record()
-    return bool(np.all(a <= b) and np.any(a < b))
+def _dominates(
+    a: np.ndarray, b: np.ndarray, counter: "ComparisonCounter | None"
+) -> bool:
+    return dominates(a, b, counter=counter)
 
 
 def _merge(
@@ -42,7 +47,7 @@ def _merge(
     better: "list[int]",
     worse: "list[int]",
     dims: "list[int]",
-    counter,
+    counter: "ComparisonCounter | None",
 ) -> "list[int]":
     survivors = list(better)
     for row in worse:
@@ -54,7 +59,12 @@ def _merge(
     return survivors
 
 
-def _dnc(matrix, rows, dims, counter):
+def _dnc(
+    matrix: np.ndarray,
+    rows: "list[int]",
+    dims: "list[int]",
+    counter: "ComparisonCounter | None",
+) -> "list[int]":
     if len(rows) <= _BASE_CASE:
         return _bnl_base(matrix, rows, tuple(dims), counter)
     values = matrix[rows][:, dims[0]]

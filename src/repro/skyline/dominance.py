@@ -103,6 +103,32 @@ def dominates(
     return bool(np.all(av <= bv) and np.any(av < bv))
 
 
+def dominance_broadcast(
+    dominators: np.ndarray,
+    candidates: np.ndarray,
+    axis: int = -1,
+) -> np.ndarray:
+    """Broadcast form of Definition 1: ``all(<=, axis) & any(<, axis)``.
+
+    ``dominators`` and ``candidates`` are broadcast against each other and
+    reduced over ``axis`` (the attribute axis).  No comparisons are
+    charged — callers on charged paths account for their own counts; this
+    is the single audited implementation that CQ002 requires every
+    vectorised dominance test to flow through.
+    """
+    le = np.all(dominators <= candidates, axis=axis)
+    lt = np.any(dominators < candidates, axis=axis)
+    return le & lt
+
+
+def dominance_mask(dominators: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Cross mask: ``mask[i, j]`` iff ``dominators[i]`` dominates
+    ``candidates[j]`` (both inputs ``(n, d)`` / ``(m, d)`` row matrices)."""
+    return dominance_broadcast(
+        dominators[:, None, :], candidates[None, :, :], axis=2
+    )
+
+
 def dominates_matrix(
     points: np.ndarray,
     candidate: np.ndarray,
@@ -133,6 +159,8 @@ __all__ = [
     "Dominance",
     "compare",
     "dims_index",
+    "dominance_broadcast",
+    "dominance_mask",
     "dominates",
     "dominates_matrix",
 ]

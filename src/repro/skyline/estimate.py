@@ -60,7 +60,7 @@ class SampledSkylineEstimator:
     model stays sane on degenerate fits.
     """
 
-    def __init__(self, coefficient: float, exponent: float):
+    def __init__(self, coefficient: float, exponent: float) -> None:
         if coefficient < 0:
             raise ReproError(f"coefficient must be >= 0, got {coefficient}")
         self.coefficient = float(coefficient)
@@ -73,7 +73,7 @@ class SampledSkylineEstimator:
         dims: "tuple[int, ...] | None" = None,
         *,
         sample_sizes: "tuple[int, ...] | None" = None,
-        seed=None,
+        seed: "int | np.random.Generator | None" = None,
     ) -> "SampledSkylineEstimator":
         """Fit from nested samples of ``points`` over ``dims``."""
         from repro.skyline.bnl import bnl_skyline

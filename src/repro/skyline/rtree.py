@@ -44,7 +44,7 @@ class RTreeNode:
 class RTree:
     """Static STR-packed R-tree over a point matrix."""
 
-    def __init__(self, points: np.ndarray, fanout: int = DEFAULT_FANOUT):
+    def __init__(self, points: np.ndarray, fanout: int = DEFAULT_FANOUT) -> None:
         matrix = np.asarray(points, dtype=float)
         if matrix.ndim != 2:
             raise ReproError(f"expected a 2-d matrix, got shape {matrix.shape}")
@@ -65,7 +65,9 @@ class RTree:
         )
 
     @classmethod
-    def _str_tile(cls, matrix, rows, fanout, axis) -> "list[np.ndarray]":
+    def _str_tile(
+        cls, matrix: np.ndarray, rows: np.ndarray, fanout: int, axis: int
+    ) -> "list[np.ndarray]":
         """Sort-Tile-Recursive partitioning of ``rows`` into leaf groups."""
         if len(rows) <= fanout:
             return [rows]

@@ -9,7 +9,7 @@ sort-based progressive baselines such as SSMJ.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -47,7 +47,7 @@ def sfs_skyline_stream(
     points: np.ndarray,
     dims: "Sequence[int] | None" = None,
     counter: "ComparisonCounter | None" = None,
-):
+) -> "Iterator[int]":
     """Yield skyline row-indices in SFS emission order (progressive form).
 
     Because the presort guarantees admitted points are final, each yielded

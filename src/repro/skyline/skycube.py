@@ -46,7 +46,9 @@ def all_subspaces(d: int) -> "list[frozenset[int]]":
 class Skycube:
     """Mapping from subspace (frozenset of column indices) to skyline indices."""
 
-    def __init__(self, dimensions: int, skylines: "dict[frozenset[int], frozenset[int]]"):
+    def __init__(
+        self, dimensions: int, skylines: "dict[frozenset[int], frozenset[int]]"
+    ) -> None:
         self.dimensions = dimensions
         self._skylines = dict(skylines)
 

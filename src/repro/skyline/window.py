@@ -20,7 +20,7 @@ admitted insert pays one comparison per window entry).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Hashable, Iterator, Sequence
 
 import numpy as np
 
@@ -79,7 +79,7 @@ class SkylineWindow:
         self,
         dims: "Sequence[int] | None" = None,
         counter: "ComparisonCounter | None" = None,
-    ):
+    ) -> None:
         #: Column indices (into the full point vector) this window compares;
         #: ``None`` means the full space.
         self.dims = tuple(dims) if dims is not None else None
@@ -319,7 +319,7 @@ class SkylineWindow:
     def __len__(self) -> int:
         return self._size
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[WindowEntry]":
         return (
             WindowEntry(self._keys[i], self._matrix[i].copy())
             for i in range(self._size)

@@ -8,8 +8,6 @@ on or off.  These tests pin that down on the paper's Figure 1 workload and
 on a randomized 8-query workload.
 """
 
-import random
-
 import numpy as np
 import pytest
 
@@ -24,6 +22,7 @@ from repro.query import (
     reference_evaluate,
 )
 from repro.query.workload import Workload
+from repro.rng import ensure_rng
 
 #: The four ablation corners of the execution engine.
 MODES = {
@@ -53,21 +52,21 @@ def figure1_workload() -> Workload:
 
 def random_workload(n_queries: int, dims: int, seed: int) -> Workload:
     """``n_queries`` random skyline subspaces over ``dims`` dimensions."""
-    rng = random.Random(seed)
+    rng = ensure_rng(seed)
     jc = JoinCondition.on("jc1", name="JC1")
     fns = tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in range(1, dims + 1))
     names = tuple(f"d{i}" for i in range(1, dims + 1))
     queries = []
     for k in range(n_queries):
-        size = rng.randint(2, dims)
-        combo = sorted(rng.sample(range(dims), size))
+        size = int(rng.integers(2, dims + 1))
+        combo = sorted(rng.choice(dims, size=size, replace=False).tolist())
         queries.append(
             SkylineJoinQuery(
                 name=f"Q{k + 1}",
                 join_condition=jc,
                 functions=fns,
                 preference=Preference(tuple(names[i] for i in combo)),
-                priority=rng.choice([0.3, 0.6, 0.9]),
+                priority=float(rng.choice([0.3, 0.6, 0.9])),
             )
         )
     return Workload(queries)

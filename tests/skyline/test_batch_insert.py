@@ -38,7 +38,7 @@ def batch_cases(draw):
     cuts = sorted(
         draw(
             st.lists(
-                st.integers(0, max(n, 1)), min_size=0, max_size=4, unique=True
+                st.integers(0, n), min_size=0, max_size=4, unique=True
             )
         )
     )

@@ -1,0 +1,400 @@
+"""Fixture tests for the ``tools.caqe_check`` static-analysis suite.
+
+Each rule CQ001–CQ005 is exercised three ways:
+
+* a **violating** fixture written under a tmpdir whose layout mimics the
+  real tree (``repro/core/...``) so the path-fragment scoping triggers;
+* a **clean** fixture using the blessed spelling;
+* a **suppressed** fixture carrying ``# caqe-check: disable=RULE``.
+
+A final test runs the linter over the live ``src/repro`` tree and asserts
+it is violation-free — the same gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.caqe_check.cli import main as caqe_check_main  # noqa: E402
+from tools.caqe_check.engine import run_checks  # noqa: E402
+from tools.caqe_check.report import render_report  # noqa: E402
+
+
+def lint(tmp_path, relpath, source, *, select=None, docs_text=None):
+    """Write ``source`` at ``tmp_path/relpath`` and lint just that tree."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    docs_path = None
+    if docs_text is not None:
+        docs_path = tmp_path / "ARCHITECTURE.md"
+        docs_path.write_text(docs_text, encoding="utf-8")
+    return run_checks(
+        [tmp_path],
+        docs_path=docs_path,
+        select={select} if select else None,
+    )
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+# ------------------------------------------------------------------ #
+# CQ001 — RNG discipline
+# ------------------------------------------------------------------ #
+class TestCQ001:
+    def test_fires_on_stdlib_and_numpy_random(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            import random
+            from random import shuffle
+
+            import numpy as np
+
+
+            def draw():
+                return np.random.default_rng(0).random()
+            """,
+            select="CQ001",
+        )
+        assert codes(found) == ["CQ001", "CQ001", "CQ001"]
+
+    def test_clean_when_using_ensure_rng(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            from repro.rng import ensure_rng
+
+
+            def draw(seed):
+                return ensure_rng(seed).random()
+            """,
+            select="CQ001",
+        )
+        assert found == []
+
+    def test_rng_module_itself_is_exempt(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/rng.py",
+            "import numpy as np\n\nrng = np.random.default_rng(0)\n",
+            select="CQ001",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            "import random  # caqe-check: disable=CQ001\n",
+            select="CQ001",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ002 — dominance discipline
+# ------------------------------------------------------------------ #
+class TestCQ002:
+    def test_fires_on_inline_tuple_dominance(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            import numpy as np
+
+
+            def dominated(a, b):
+                return np.all(a <= b) and np.any(a < b)
+            """,
+            select="CQ002",
+        )
+        assert codes(found) == ["CQ002"]
+
+    def test_fires_on_staged_local_variables(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/plan/mod.py",
+            """\
+            import numpy as np
+
+
+            def dominated(a, b):
+                le = np.all(a <= b, axis=1)
+                lt = np.any(a < b, axis=1)
+                return le & lt
+            """,
+            select="CQ002",
+        )
+        assert codes(found) == ["CQ002"]
+
+    def test_clean_when_calling_shared_helper(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            from repro.skyline.dominance import dominates
+
+
+            def dominated(a, b, counter):
+                return dominates(a, b, counter=counter)
+            """,
+            select="CQ002",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            import numpy as np
+
+
+            def dominated(a, b):
+                # caqe-check: disable=CQ002
+                return np.all(a <= b) and np.any(a < b)
+            """,
+            select="CQ002",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ003 — iteration-order hygiene
+# ------------------------------------------------------------------ #
+class TestCQ003:
+    def test_fires_on_set_and_keys_iteration(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def schedule(pending, table):
+                out = []
+                for rid in pending | {0}:
+                    out.append(rid)
+                for key in table.keys():
+                    out.append(key)
+                return out
+            """,
+            select="CQ003",
+        )
+        assert codes(found) == ["CQ003", "CQ003"]
+
+    def test_fires_via_set_bound_local(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def schedule(items):
+                live = {i for i in items}
+                return [x for x in live]
+            """,
+            select="CQ003",
+        )
+        assert codes(found) == ["CQ003"]
+
+    def test_sorted_wrapper_is_clean(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def schedule(pending):
+                return [rid for rid in sorted(pending)]
+            """,
+            select="CQ003",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def schedule(pending):
+                out = []
+                for rid in pending & {1, 2}:  # caqe-check: disable=CQ003
+                    out.append(rid)
+                return out
+            """,
+            select="CQ003",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ004 — config-flag registry
+# ------------------------------------------------------------------ #
+_CONFIG_SRC = """\
+from dataclasses import dataclass
+
+
+@dataclass
+class CAQEConfig:
+    divisions: int = 4
+    enable_widget: bool = True
+
+
+def use(config):
+    return config.divisions
+"""
+
+
+class TestCQ004:
+    def test_fires_on_unread_and_undocumented_field(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/config.py",
+            _CONFIG_SRC,
+            select="CQ004",
+            docs_text="Only `divisions` is documented here.",
+        )
+        messages = [v.message for v in found]
+        assert codes(found) == ["CQ004", "CQ004"]
+        assert any("never read" in m for m in messages)
+        assert any("not mentioned" in m for m in messages)
+
+    def test_clean_when_read_and_documented(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/config.py",
+            _CONFIG_SRC.replace(
+                "return config.divisions",
+                "return config.divisions and config.enable_widget",
+            ),
+            select="CQ004",
+            docs_text="`divisions` and `enable_widget` are documented.",
+        )
+        assert found == []
+
+    def test_pragma_on_definition_line_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/config.py",
+            _CONFIG_SRC.replace(
+                "enable_widget: bool = True",
+                "enable_widget: bool = True  # caqe-check: disable=CQ004",
+            ),
+            select="CQ004",
+            docs_text="Only `divisions` is documented here.",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ005 — float-equality lint
+# ------------------------------------------------------------------ #
+class TestCQ005:
+    def test_fires_on_float_literal_equality(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/contracts/mod.py",
+            """\
+            def stale(weight, offset):
+                return weight == 0.0 or offset != -1.5
+            """,
+            select="CQ005",
+        )
+        assert codes(found) == ["CQ005", "CQ005"]
+
+    def test_threshold_comparison_is_clean(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/contracts/mod.py",
+            """\
+            def stale(weight):
+                return weight <= 0.0
+            """,
+            select="CQ005",
+        )
+        assert found == []
+
+    def test_integer_equality_is_out_of_scope(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/contracts/mod.py",
+            "def is_root(mask):\n    return mask == 0\n",
+            select="CQ005",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/contracts/mod.py",
+            """\
+            def stale(weight):
+                return weight == 0.0  # caqe-check: disable=CQ005
+            """,
+            select="CQ005",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# Pragma placement + reporting + the live tree
+# ------------------------------------------------------------------ #
+class TestPragmasAndReport:
+    def test_file_header_pragma_disables_whole_file(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            # caqe-check: disable=CQ001
+            \"\"\"Module docstring.\"\"\"
+
+            import random
+
+            from random import shuffle
+            """,
+            select="CQ001",
+        )
+        assert found == []
+
+    def test_disable_all_suppresses_every_rule(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            # caqe-check: disable=all
+            import random
+
+            def stale(weight):
+                return weight == 0.0
+            """,
+        )
+        assert found == []
+
+    def test_report_rendering_is_sorted_and_counted(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            "import random\nfrom random import shuffle\n",
+            select="CQ001",
+        )
+        report = render_report(found)
+        lines = report.splitlines()
+        assert lines[-1] == "caqe-check: 2 violation(s)"
+        assert lines == sorted(lines[:-1]) + [lines[-1]]
+
+    def test_clean_report(self):
+        assert render_report([]) == "caqe-check: clean"
+
+
+class TestLiveTree:
+    def test_src_repro_is_violation_free(self, capsys):
+        """The shipped tree passes its own linter (the CI gate)."""
+        status = caqe_check_main([str(REPO_ROOT / "src" / "repro")])
+        out = capsys.readouterr().out
+        assert status == 0, f"caqe-check reported violations:\n{out}"
+        assert "caqe-check: clean" in out

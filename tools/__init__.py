@@ -1,0 +1,5 @@
+"""Repo-native developer tooling (not shipped with the ``repro`` package).
+
+``tools.caqe_check``        — the CAQE invariant linter (CQ001–CQ005).
+``tools.determinism_audit`` — cross-``PYTHONHASHSEED`` regression gate.
+"""

@@ -1,0 +1,26 @@
+"""``caqe-check`` — the CAQE repo-native static analysis suite.
+
+Five AST-based rules encode the invariants the paper's correctness and
+reproducibility claims rest on (see docs/ARCHITECTURE.md §6):
+
+* **CQ001** RNG discipline — all randomness through ``repro.rng``;
+* **CQ002** dominance discipline — no inline dominance re-implementations
+  outside ``repro.skyline.dominance``;
+* **CQ003** iteration-order hygiene in the scheduler/executor layer;
+* **CQ004** every ``CAQEConfig`` field read somewhere and documented;
+* **CQ005** no float-literal equality in the estimation/contract layer.
+
+Suppress a hit with ``# caqe-check: disable=CQ00X`` (same line, the line
+above, or file-wide above the module docstring).
+"""
+
+from tools.caqe_check.engine import CheckedFile, collect_files, run_checks
+from tools.caqe_check.report import Violation, render_report
+
+__all__ = [
+    "CheckedFile",
+    "Violation",
+    "collect_files",
+    "render_report",
+    "run_checks",
+]

@@ -1,0 +1,6 @@
+"""``python -m tools.caqe_check`` entry point."""
+
+from tools.caqe_check.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Command-line front end: ``python -m tools.caqe_check [paths...]``.
+
+Default run lints the given paths (``src/repro`` when omitted) with
+CQ001–CQ005 and exits 1 on any violation.  The two companion gates ride
+on the same entry point:
+
+* ``--mypy`` — run ``mypy --strict`` over the typed packages (config in
+  ``pyproject.toml``); skipped with a notice when mypy is not installed,
+  so offline environments stay green;
+* ``--determinism`` — run :mod:`tools.determinism_audit` (two child
+  interpreters under different ``PYTHONHASHSEED`` values);
+* ``--all`` — lint + both gates, the CI configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.caqe_check.engine import run_checks
+from tools.caqe_check.report import render_report
+
+#: Repo root = parent of the ``tools`` package.
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+DEFAULT_PATHS = ("src/repro",)
+DOCS_PATH = "docs/ARCHITECTURE.md"
+
+
+def run_lint(paths: "list[str]", select: "set[str] | None") -> int:
+    roots = [Path(p) for p in paths]
+    docs = REPO_ROOT / DOCS_PATH
+    violations = run_checks(roots, docs_path=docs, select=select)
+    print(render_report(violations))
+    return 1 if violations else 0
+
+
+def run_mypy_gate() -> int:
+    """``mypy --strict`` over the typed packages; soft-skip when absent."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        print("caqe-check: mypy not installed; typing gate skipped")
+        return 0
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+    )
+    return result.returncode
+
+
+def run_determinism_gate() -> int:
+    from tools.determinism_audit import main as audit_main
+
+    return audit_main([])
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="caqe-check",
+        description="CAQE invariant linter + typing & determinism gates",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only the named rule(s), e.g. --select CQ001",
+    )
+    parser.add_argument(
+        "--mypy", action="store_true", help="also run the mypy --strict gate"
+    )
+    parser.add_argument(
+        "--determinism",
+        action="store_true",
+        help="also run the PYTHONHASHSEED determinism audit",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="lint + mypy gate + determinism audit (CI configuration)",
+    )
+    args = parser.parse_args(argv)
+
+    select = (
+        {rule.upper() for rule in args.select} if args.select else None
+    )
+    status = run_lint(args.paths, select)
+    if args.mypy or args.all:
+        status = max(status, run_mypy_gate())
+    if args.determinism or args.all:
+        status = max(status, run_determinism_gate())
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

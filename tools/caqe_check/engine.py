@@ -1,0 +1,126 @@
+"""File collection and rule dispatch for ``caqe-check``.
+
+Rules come in two shapes:
+
+* **file rules** — ``check(file: CheckedFile) -> list[Violation]``; run on
+  every collected ``*.py`` file whose path matches the rule's scope;
+* **project rules** — ``check_project(files, docs_text) -> list[Violation]``;
+  run once over the whole collection (cross-file invariants such as the
+  CQ004 config-flag registry).
+
+Paths are normalised to POSIX form so scope matching by path fragment
+(``/core/``, ``repro/rng.py``) behaves identically on every platform and
+for fixture trees created under a tmpdir.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from tools.caqe_check.pragma import Suppressions, parse_pragmas
+from tools.caqe_check.report import Violation
+
+
+@dataclass
+class CheckedFile:
+    """One parsed source file plus its pragma index."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    def violation(self, node: ast.AST, code: str, message: str) -> "Violation | None":
+        """Build a :class:`Violation` unless a pragma suppresses it."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressions.is_suppressed(code, line):
+            return None
+        return Violation(self.posix, line, col, code, message)
+
+
+def load_file(path: Path) -> "CheckedFile | None":
+    """Parse ``path``; unparseable files are skipped (pytest owns syntax)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    return CheckedFile(path, source, tree, parse_pragmas(source))
+
+
+def collect_files(paths: "list[Path]") -> "list[CheckedFile]":
+    """Expand files/directories into parsed ``CheckedFile`` records."""
+    seen: "set[Path]" = set()
+    ordered: "list[Path]" = []
+    for root in paths:
+        candidates = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            ordered.append(candidate)
+    files = []
+    for path in ordered:
+        loaded = load_file(path)
+        if loaded is not None:
+            files.append(loaded)
+    return files
+
+
+def run_checks(
+    paths: "list[Path]",
+    *,
+    docs_path: "Path | None" = None,
+    select: "set[str] | None" = None,
+) -> "list[Violation]":
+    """Run every (selected) rule over ``paths`` and return sorted hits."""
+    from tools.caqe_check.rules import FILE_RULES, PROJECT_RULES
+
+    files = collect_files(paths)
+    violations: "list[Violation]" = []
+    for rule in FILE_RULES:
+        if select and rule.CODE not in select:
+            continue
+        for file in files:
+            violations.extend(rule.check(file))
+    docs_text = None
+    if docs_path is not None and docs_path.exists():
+        docs_text = docs_path.read_text(encoding="utf-8")
+    for rule in PROJECT_RULES:
+        if select and rule.CODE not in select:
+            continue
+        violations.extend(rule.check_project(files, docs_text))
+    return sorted(violations)
+
+
+# --------------------------------------------------------------------- #
+# Shared AST helpers used by several rules
+# --------------------------------------------------------------------- #
+def dotted_name(node: ast.AST) -> "tuple[str, ...] | None":
+    """``np.random.default_rng`` -> ("np", "random", "default_rng")."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def contains_compare(node: ast.AST, ops: "tuple[type, ...]") -> bool:
+    """True iff ``node`` contains a comparison using one of ``ops``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Compare) and any(
+            isinstance(op, ops) for op in sub.ops
+        ):
+            return True
+    return False

@@ -1,0 +1,30 @@
+"""Violation records and plain-text rendering for ``caqe-check``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def render_report(violations: "list[Violation]") -> str:
+    """Deterministic (path, line, code)-sorted report, one hit per line."""
+    lines = [v.render() for v in sorted(violations)]
+    lines.append(
+        f"caqe-check: {len(violations)} violation(s)"
+        if violations
+        else "caqe-check: clean"
+    )
+    return "\n".join(lines)

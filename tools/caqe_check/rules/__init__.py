@@ -1,0 +1,20 @@
+"""Rule registry for ``caqe-check``.
+
+``FILE_RULES`` run per file; ``PROJECT_RULES`` run once over the whole
+collection.  Order is the report order for equal (path, line) hits.
+"""
+
+from tools.caqe_check.rules import (
+    cq001_rng,
+    cq002_dominance,
+    cq003_iteration,
+    cq004_config,
+    cq005_float_eq,
+)
+
+FILE_RULES = (cq001_rng, cq002_dominance, cq003_iteration, cq005_float_eq)
+PROJECT_RULES = (cq004_config,)
+
+ALL_CODES = tuple(rule.CODE for rule in FILE_RULES + PROJECT_RULES)
+
+__all__ = ["ALL_CODES", "FILE_RULES", "PROJECT_RULES"]

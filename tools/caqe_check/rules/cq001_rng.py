@@ -1,0 +1,76 @@
+"""CQ001 — RNG discipline (DESIGN.md §6).
+
+Every stochastic component must draw from a seeded stream handed out by
+``repro.rng.ensure_rng`` / ``repro.rng.spawn``.  Inside ``repro`` (except
+``repro/rng.py`` itself) this rule forbids:
+
+* ``import random`` / ``from random import ...`` — the stdlib generator is
+  global mutable state;
+* ``import numpy.random`` / ``from numpy.random import ...`` — ditto for
+  the legacy numpy surface;
+* any *call* through ``np.random.*`` / ``numpy.random.*`` — both the
+  global-state functions (``np.random.seed``, ``np.random.rand``) and ad
+  hoc generator construction (``np.random.default_rng``).
+
+``np.random.Generator`` used in annotations or ``isinstance`` checks is
+fine — only calls and imports are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.caqe_check.engine import CheckedFile, dotted_name
+from tools.caqe_check.report import Violation
+
+CODE = "CQ001"
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+def _in_scope(posix: str) -> bool:
+    return "repro/" in posix and not posix.endswith("repro/rng.py")
+
+
+def check(file: CheckedFile) -> "list[Violation]":
+    if not _in_scope(file.posix):
+        return []
+    violations: "list[Violation]" = []
+
+    def emit(node: ast.AST, message: str) -> None:
+        violation = file.violation(node, CODE, message)
+        if violation is not None:
+            violations.append(violation)
+
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random" or alias.name.startswith("numpy.random"):
+                    emit(
+                        node,
+                        f"import of {alias.name!r}: draw from a seeded "
+                        "stream via repro.rng.ensure_rng/spawn instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "random" or module.startswith("numpy.random"):
+                emit(
+                    node,
+                    f"import from {module!r}: draw from a seeded stream "
+                    "via repro.rng.ensure_rng/spawn instead",
+                )
+        elif isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if (
+                chain is not None
+                and len(chain) >= 3
+                and chain[0] in _NUMPY_ALIASES
+                and chain[1] == "random"
+            ):
+                emit(
+                    node,
+                    f"call to {'.'.join(chain)}: global/ad hoc numpy RNG; "
+                    "route through repro.rng.ensure_rng/spawn",
+                )
+    return violations

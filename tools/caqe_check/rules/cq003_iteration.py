@@ -1,0 +1,133 @@
+"""CQ003 — iteration-order hygiene in the scheduler/executor layer.
+
+Algorithm 1's region choice must be a deterministic function of the
+CSM/benefit model (Eq. 8–10): bit-identical ``region_trace`` across runs
+is a tested guarantee.  ``set``/``frozenset`` iteration order depends on
+``PYTHONHASHSEED`` for ``str`` (and generally on insertion history), so a
+set iterated inside the scheduling path can silently leak hash order into
+the region schedule.  ``dict.keys()`` rides along per the audit policy:
+iterate the dict itself (explicitly insertion-ordered) or sort.
+
+Scope: modules under ``core/`` — the scheduler/executor layer.  Flagged:
+``for`` loops and comprehensions whose iterable is
+
+* a ``set``/``frozenset`` literal, comprehension, or constructor call;
+* a ``.keys()`` call;
+* a local name bound to one of the above in the same scope;
+
+unless the iterable is wrapped in ``sorted(...)``.  Loops whose order is
+provably irrelevant can carry ``# caqe-check: disable=CQ003``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.caqe_check.engine import CheckedFile, dotted_name
+from tools.caqe_check.report import Violation
+
+CODE = "CQ003"
+
+_SCOPE_FRAGMENT = "/core/"
+
+
+def _in_scope(posix: str) -> bool:
+    return _SCOPE_FRAGMENT in posix
+
+
+def _is_set_expr(node: ast.AST) -> "str | None":
+    """Describe ``node`` if it produces a set-like or ``.keys()`` view."""
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return "set expression"
+    if isinstance(node, ast.Call):
+        chain = dotted_name(node.func)
+        if chain is not None and chain[-1] in ("set", "frozenset") and len(chain) == 1:
+            return f"{chain[-1]}() result"
+        if chain is not None and chain[-1] == "keys":
+            return ".keys() view"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            return ".keys() view"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        # set algebra (a & b, a | b, a - b) — only set-like when an operand
+        # is itself set-like; conservative: require one classified operand.
+        if _is_set_expr(node.left) or _is_set_expr(node.right):
+            return "set expression"
+    return None
+
+
+class _ScopeVisitor:
+    """Track set-bound names per function scope and flag iterations."""
+
+    def __init__(self, file: CheckedFile) -> None:
+        self.file = file
+        self.violations: "list[Violation]" = []
+
+    def _iterable_kind(
+        self, node: ast.AST, set_names: "dict[str, str]"
+    ) -> "str | None":
+        direct = _is_set_expr(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, ast.Name):
+            return set_names.get(node.id)
+        return None
+
+    def scan(self, body: "list[ast.stmt]") -> None:
+        set_names: "dict[str, str]" = {}
+        nodes: "list[ast.AST]" = []
+        stack: "list[ast.AST]" = [
+            stmt
+            for stmt in body
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stack.append(child)
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                kind = _is_set_expr(node.value)
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            set_names[target.id] = kind
+        iterables: "list[tuple[ast.AST, ast.AST]]" = []
+        for node in nodes:
+            if isinstance(node, ast.For):
+                iterables.append((node, node.iter))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    iterables.append((node, generator.iter))
+        for anchor, iterable in iterables:
+            kind = self._iterable_kind(iterable, set_names)
+            if kind is None:
+                continue
+            violation = self.file.violation(
+                anchor,
+                CODE,
+                f"iteration over {kind}: order follows hash/insertion "
+                "state; wrap in sorted(...) or iterate a deterministic "
+                "container",
+            )
+            if violation is not None:
+                self.violations.append(violation)
+
+
+def check(file: CheckedFile) -> "list[Violation]":
+    if not _in_scope(file.posix):
+        return []
+    visitor = _ScopeVisitor(file)
+    scopes: "list[list[ast.stmt]]" = [file.tree.body]
+    for node in ast.walk(file.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node.body)
+    for body in scopes:
+        visitor.scan(body)
+    return visitor.violations

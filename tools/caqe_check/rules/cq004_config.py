@@ -1,0 +1,89 @@
+"""CQ004 — config-flag registry.
+
+Every ``CAQEConfig`` field is an experiment surface: ablation corners are
+meaningful only if the flag is actually consulted somewhere, and
+reproducible only if it is documented.  This project rule parses the
+``CAQEConfig`` dataclass, then requires each field to be
+
+* **read** somewhere in the scanned tree — an attribute load with the
+  field's name outside the field's own definition line; and
+* **documented** — mentioned (word-boundary match) in
+  ``docs/ARCHITECTURE.md`` (or the docs text handed to the checker).
+
+A field can opt out with ``# caqe-check: disable=CQ004`` on its
+definition line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.caqe_check.engine import CheckedFile
+from tools.caqe_check.report import Violation
+
+CODE = "CQ004"
+
+_CONFIG_CLASS = "CAQEConfig"
+
+
+def _find_config_class(
+    files: "list[CheckedFile]",
+) -> "tuple[CheckedFile, ast.ClassDef] | None":
+    for file in files:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef) and node.name == _CONFIG_CLASS:
+                return file, node
+    return None
+
+
+def _config_fields(cls: ast.ClassDef) -> "list[tuple[str, int]]":
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _attribute_reads(files: "list[CheckedFile]") -> "set[str]":
+    reads: "set[str]" = set()
+    for file in files:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                reads.add(node.attr)
+    return reads
+
+
+def check_project(
+    files: "list[CheckedFile]", docs_text: "str | None"
+) -> "list[Violation]":
+    located = _find_config_class(files)
+    if located is None:
+        return []
+    config_file, cls = located
+    reads = _attribute_reads(files)
+    violations: "list[Violation]" = []
+
+    def emit(line: int, message: str) -> None:
+        if config_file.suppressions.is_suppressed(CODE, line):
+            return
+        violations.append(Violation(config_file.posix, line, 0, CODE, message))
+
+    for name, line in _config_fields(cls):
+        if name not in reads:
+            emit(
+                line,
+                f"config field {name!r} is never read in the scanned tree "
+                "(dead ablation flag?)",
+            )
+        if docs_text is not None and not re.search(
+            rf"\b{re.escape(name)}\b", docs_text
+        ):
+            emit(
+                line,
+                f"config field {name!r} is not mentioned in "
+                "docs/ARCHITECTURE.md",
+            )
+    return violations

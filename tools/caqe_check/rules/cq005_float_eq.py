@@ -1,0 +1,62 @@
+"""CQ005 — float-equality lint for the estimation/contract layer.
+
+Contract scores, benefit estimates, and skyline-cardinality fits are all
+floating-point pipelines; exact ``==`` / ``!=`` against a float literal in
+them is almost always a latent bug (a value that arrives via one more
+multiplication stops matching).  Use ``math.isclose`` or an explicit
+epsilon comparison; sentinel checks that really do mean "bit-exact" can
+carry ``# caqe-check: disable=CQ005``.
+
+Scope: ``contracts/`` modules, ``core/benefit.py``, and
+``skyline/estimate.py``.  Flagged: any ``==`` or ``!=`` where either side
+is a float constant (``x == 0.0``, ``ratio != 1.0``).  Integer-constant
+comparisons (``len(xs) == 0``) are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.caqe_check.engine import CheckedFile
+from tools.caqe_check.report import Violation
+
+CODE = "CQ005"
+
+_SCOPE_FRAGMENTS = ("/contracts/", "core/benefit.py", "skyline/estimate.py")
+
+
+def _in_scope(posix: str) -> bool:
+    return any(fragment in posix for fragment in _SCOPE_FRAGMENTS)
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # Negative literals parse as UnaryOp(USub, Constant).
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_constant(node.operand)
+    return False
+
+
+def check(file: CheckedFile) -> "list[Violation]":
+    if not _in_scope(file.posix):
+        return []
+    violations: "list[Violation]" = []
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        comparators = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, comparators, comparators[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_constant(left) or _is_float_constant(right):
+                violation = file.violation(
+                    node,
+                    CODE,
+                    "exact equality against a float literal; use "
+                    "math.isclose or an explicit epsilon",
+                )
+                if violation is not None:
+                    violations.append(violation)
+                break
+    return violations
