@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fault-tolerant execution demo: chaos on the Figure-1 workload.
+
+Runs the paper's four-query running example through the robustness layer
+(docs/ARCHITECTURE.md §9) under three escalating fault regimes:
+
+1. corrupted base tables — the sanitizer quarantines NaN/inf/out-of-domain
+   tuples and the engine answers from the clean remainder;
+2. region-executor failures — transient failures are retried with capped
+   exponential backoff, repeat offenders are quarantined and their queries
+   get degraded (MQLA-bound) answers;
+3. virtual-clock stragglers against a per-query time budget — when the
+   budget lapses, every remaining region is answered from coarse bounds,
+   flagged approximate.
+
+Everything is seeded: run it twice and every trace, retry, and degraded
+report is identical.
+
+Run:  python examples/chaos_demo.py
+"""
+
+from repro import CAQE, CAQEConfig, c2, generate_pair
+from repro.query import JoinCondition, Preference, SkylineJoinQuery, add
+from repro.query.workload import Workload
+from repro.robustness import FaultConfig, FaultPlan, RetryPolicy
+
+SEED = 23
+
+# 1. The Figure-1 workload: Q1..Q4 over output dimensions d1..d4.
+jc = JoinCondition.on("jc1", name="JC1")
+fns = tuple(add(f"m{i}", f"m{i}", f"d{i}") for i in range(1, 5))
+workload = Workload(
+    [
+        SkylineJoinQuery("Q1", jc, fns[:2], Preference.over("d1", "d2")),
+        SkylineJoinQuery("Q2", jc, fns[:3], Preference.over("d1", "d2", "d3")),
+        SkylineJoinQuery("Q3", jc, fns[1:3], Preference.over("d2", "d3")),
+        SkylineJoinQuery("Q4", jc, fns[1:4], Preference.over("d2", "d3", "d4")),
+    ]
+)
+pair = generate_pair("independent", 200, 4, selectivity=0.05, seed=SEED)
+contracts = {q.name: c2(scale=100.0) for q in workload}
+
+
+def execute(label, config):
+    result = CAQE(config).run(pair.left, pair.right, workload, contracts)
+    stats = result.stats.summary()
+    print(f"\n=== {label} ===")
+    print(f"  virtual clock        : {stats['virtual_time']:,.0f}")
+    print(f"  tuples quarantined   : {stats['tuples_quarantined']}")
+    print(f"  region retries       : {stats['region_retries']}")
+    print(f"  regions quarantined  : {stats['regions_quarantined']}")
+    print(f"  degraded reports     : {stats['degraded_reports']}")
+    for query in workload:
+        tag = " (degraded)" if result.is_degraded(query.name) else ""
+        print(f"  {query.name}: {len(result.reported[query.name])} results{tag}")
+    return result
+
+
+baseline = execute("baseline (no faults)", CAQEConfig())
+
+# 2. Corrupted inputs: 8% of each table's rows get a NaN/inf/out-of-domain
+#    measure; the sanitizer absorbs them into per-relation quarantine lists.
+corrupt = execute(
+    "corrupted inputs + sanitizer",
+    CAQEConfig(
+        enable_sanitize=True,
+        fault_plan=FaultPlan(FaultConfig(seed=SEED, corrupt_fraction=0.08)),
+    ),
+)
+for side, report in corrupt.quarantine.items():
+    print(f"  {side} table: dropped {report.rows_dropped}/{report.rows_scanned} "
+          f"rows {report.counts_by_reason()}")
+
+# 3. Region failures: 20% of attempts fail transiently, 5% of regions fail
+#    persistently and end up quarantined with degraded answers.
+execute(
+    "region failures + retry/quarantine",
+    CAQEConfig(
+        enable_recovery=True,
+        retry_policy=RetryPolicy(max_attempts=3),
+        fault_plan=FaultPlan(
+            FaultConfig(
+                seed=SEED,
+                region_failure_rate=0.2,
+                persistent_failure_rate=0.05,
+            )
+        ),
+    ),
+)
+
+# 4. Stragglers against a budget: half the regions run 8x slow, the budget
+#    lapses, and the tail of every query's answer degrades to MQLA bounds.
+degraded = execute(
+    "stragglers + virtual-time budget",
+    CAQEConfig(
+        enable_recovery=True,
+        fault_plan=FaultPlan(
+            FaultConfig(seed=SEED, straggler_rate=0.5, straggler_factor=8.0)
+        ),
+        query_time_budget=0.4 * baseline.horizon,
+    ),
+)
+for name, reports in degraded.degraded.items():
+    for report in reports[:2]:
+        lo = ", ".join(f"{v:.1f}" for v in report.lower)
+        hi = ", ".join(f"{v:.1f}" for v in report.upper)
+        print(f"  {name} region #{report.region_id} ~{report.est_join_count:.0f} "
+              f"results in box [{lo}]..[{hi}] ({report.reason})")
+
+assert any(degraded.is_degraded(q.name) for q in workload), (
+    "expected the tight budget to force degradation"
+)
+print("\nEvery query answered in every regime; degradation flagged explicitly.")

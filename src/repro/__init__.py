@@ -31,7 +31,12 @@ from repro.contracts import (
 )
 from repro.core import CAQE, CAQEConfig, CostModel, RunResult, run_caqe
 from repro.datagen import TablePair, generate_pair, generate_table
-from repro.errors import ReproError
+from repro.errors import (
+    BudgetExhausted,
+    DataError,
+    RegionFailure,
+    ReproError,
+)
 from repro.query import (
     JoinCondition,
     MappingFunction,
@@ -48,13 +53,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Attribute",
+    "BudgetExhausted",
     "CAQE",
     "CAQEConfig",
     "Contract",
     "CostModel",
+    "DataError",
     "JoinCondition",
     "MappingFunction",
     "Preference",
+    "RegionFailure",
     "Relation",
     "ReproError",
     "ResultLog",

@@ -35,12 +35,22 @@ from repro.core.feedback import update_weights
 from repro.core.output_space import DEFAULT_DIVISIONS
 from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
-from repro.errors import ExecutionError
+from repro.errors import BudgetExhausted, ExecutionError, RegionFailure
 from repro.partition.quadtree import Partitioning, quadtree_partition
 from repro.plan.minmax_cuboid import build_minmax_cuboid
 from repro.plan.shared_plan import WorkloadPlan
 from repro.query.workload import Workload
 from repro.relation import Relation
+from repro.robustness.faults import FaultPlan
+from repro.robustness.recovery import (
+    REASON_BUDGET,
+    REASON_QUARANTINE,
+    RETRY,
+    DegradedReport,
+    RegionSupervisor,
+    RetryPolicy,
+)
+from repro.robustness.sanitize import QuarantineReport, sanitize_relation
 from repro.skyline.dominance import dominance_mask
 from repro.skyline.estimate import buchta_skyline_size
 
@@ -87,6 +97,24 @@ class CAQEConfig:
     #: count-driven policy of ProgXe+); ``"scan"`` processes regions in
     #: creation order (the S-JFSL pipeline).
     objective: str = "contract"
+    #: Robustness layer (docs/ARCHITECTURE.md §9).  All default-off: a run
+    #: with every switch at its default is bit-identical to a build
+    #: without the layer (the 4-corner equivalence suite pins this down).
+    #: Validate measure columns and quarantine NaN/inf/out-of-domain
+    #: tuples before partitioning.
+    enable_sanitize: bool = False
+    #: Magnitude bound for the sanitizer's domain check.
+    sanitize_domain_limit: float = 1e9
+    #: Region-level retry with backoff + quarantine of repeat offenders.
+    enable_recovery: bool = False
+    #: Backoff shape used when ``enable_recovery`` is on.
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-query virtual-time budget; when the clock passes it, the
+    #: query's remaining regions are answered from coarse MQLA bounds
+    #: (graceful degradation).  ``None`` disables the budget.
+    query_time_budget: "float | None" = None
+    #: Deterministic fault-injection plan (chaos testing only).
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.objective not in ("contract", "count", "scan"):
@@ -98,6 +126,11 @@ class CAQEConfig:
             raise ExecutionError(
                 f"unknown partition_split {self.partition_split!r}; "
                 "expected 'quad' or 'kd'"
+            )
+        if self.query_time_budget is not None and self.query_time_budget <= 0:
+            raise ExecutionError(
+                f"query_time_budget must be positive, got "
+                f"{self.query_time_budget}"
             )
 
     def capacity_for(self, cardinality: int) -> int:
@@ -119,6 +152,17 @@ class RunResult:
     horizon: float
     #: Per query: reported result identities as (left_row, right_row) pairs.
     reported: "dict[str, set[tuple[int, int]]]"
+    #: Per query: approximate answers issued under graceful degradation
+    #: (coarse MQLA bounds of regions never processed at tuple level).
+    #: Empty in healthy runs.
+    degraded: "dict[str, list[DegradedReport]]" = field(default_factory=dict)
+    #: Per input side ("left"/"right"): the sanitizer's quarantine report,
+    #: present only when tuples were actually quarantined.
+    quarantine: "dict[str, QuarantineReport]" = field(default_factory=dict)
+
+    def is_degraded(self, query_name: str) -> bool:
+        """True iff part of this query's answer is approximate."""
+        return bool(self.degraded.get(query_name))
 
     def satisfaction(self, query_name: str) -> float:
         log = self.logs[query_name]
@@ -181,6 +225,26 @@ class CAQE:
             stats = ExecutionStats.with_cost_model(cfg.cost_model)
         conditions = workload.join_conditions
 
+        # -- Robustness preamble (docs/ARCHITECTURE.md §9) ---------------- #
+        # Fault injection corrupts the inputs *before* sanitisation so the
+        # quarantine path is exercised exactly as a bad upstream feed would.
+        fault_plan = cfg.fault_plan
+        inject = fault_plan is not None and fault_plan.active
+        if inject:
+            left, right, _injected = fault_plan.corrupt_pair(left, right)
+        quarantine: "dict[str, QuarantineReport]" = {}
+        if cfg.enable_sanitize:
+            left, left_report = sanitize_relation(
+                left, domain_limit=cfg.sanitize_domain_limit
+            )
+            right, right_report = sanitize_relation(
+                right, domain_limit=cfg.sanitize_domain_limit
+            )
+            for side, report in (("left", left_report), ("right", right_report)):
+                if report:
+                    quarantine[side] = report
+                    stats.record_tuples_quarantined(report.rows_dropped)
+
         # -- Step 0: input partitioning ---------------------------------- #
         left_attrs = partition_attrs(workload, "left") or left.schema.measure_names
         right_attrs = partition_attrs(workload, "right") or right.schema.measure_names
@@ -241,6 +305,27 @@ class CAQE:
 
         # -- Step 4: Algorithm 1 main loop -------------------------------- #
         state = _ReportingState(workload, cuboid)
+        supervisor = (
+            RegionSupervisor(cfg.retry_policy) if cfg.enable_recovery else None
+        )
+        degraded: "dict[str, list[DegradedReport]]" = {
+            q.name: [] for q in workload
+        }
+        degraded_queries: "set[int]" = set()
+        fault_hook = None
+        if inject:
+
+            def fault_hook(target: OutputRegion) -> None:
+                attempt = (
+                    supervisor.next_attempt(target.region_id)
+                    if supervisor is not None
+                    else 1
+                )
+                if fault_plan.region_fails(target.region_id, attempt):
+                    raise RegionFailure(
+                        target.region_id, attempt, "injected fault"
+                    )
+
         executor = RegionExecutor(
             workload,
             left,
@@ -249,11 +334,26 @@ class CAQE:
             JoinResultStore(),
             stats,
             batch_inserts=cfg.enable_batch_insert,
+            fault_hook=fault_hook,
         )
         cells_left = {c.cell_id: c for c in left_part.leaves}
         cells_right = {c.cell_id: c for c in right_part.leaves}
 
         while alive:
+            if cfg.query_time_budget is not None:
+                self._degrade_exhausted_queries(
+                    workload,
+                    alive,
+                    graph,
+                    benefit,
+                    state,
+                    tracker,
+                    stats,
+                    degraded,
+                    degraded_queries,
+                )
+                if not alive:
+                    break
             roots = graph.roots() & alive.keys()
             if not roots:
                 roots = graph.force_roots() & alive.keys()
@@ -261,11 +361,42 @@ class CAQE:
                 roots, alive, benefit, weights, stats.clock.now()
             )
             captured_successors = graph.successors(region.region_id)
-            outcome = executor.process(
-                region,
-                cells_left[region.left_cell_id],
-                cells_right[region.right_cell_id],
+            straggler_factor = (
+                fault_plan.straggler_factor_for(region.region_id)
+                if inject
+                else 1.0
             )
+            started = stats.clock.now()
+            try:
+                outcome = executor.process(
+                    region,
+                    cells_left[region.left_cell_id],
+                    cells_right[region.right_cell_id],
+                )
+            except RegionFailure:
+                if supervisor is None:
+                    raise
+                if supervisor.record_failure(region.region_id) == RETRY:
+                    stats.record_region_retry(
+                        supervisor.backoff_for(region.region_id)
+                    )
+                else:
+                    self._quarantine_region(
+                        workload,
+                        region,
+                        alive,
+                        graph,
+                        benefit,
+                        state,
+                        tracker,
+                        stats,
+                        degraded,
+                    )
+                continue
+            if straggler_factor > 1.0:
+                stats.record_straggler_penalty(
+                    (straggler_factor - 1.0) * (stats.clock.now() - started)
+                )
             # Region leaves the remaining set before safety checks run.
             # Remaining regions that counted it as a potential dominator
             # lose a threat — their progressive estimates improve; the
@@ -314,6 +445,8 @@ class CAQE:
             stats=stats,
             horizon=stats.clock.now(),
             reported=reported,
+            degraded={name: reports for name, reports in degraded.items() if reports},
+            quarantine=quarantine,
         )
 
     # ------------------------------------------------------------------ #
@@ -416,6 +549,110 @@ class CAQE:
                 graph.remove_node(target_id)
                 benefit.note_removed(target_id)
                 state.release_region(target_id, target.rql, tracker, stats)
+
+    # -- robustness layer (docs/ARCHITECTURE.md §9) --------------------- #
+    @staticmethod
+    def _degraded_report(
+        query_name: str, region: OutputRegion, reason: str, now: float
+    ) -> DegradedReport:
+        """Approximate answer from the region's coarse MQLA bounds."""
+        return DegradedReport(
+            query_name=query_name,
+            region_id=region.region_id,
+            lower=tuple(float(v) for v in region.lower),
+            upper=tuple(float(v) for v in region.upper),
+            est_join_count=float(region.est_join_count),
+            reason=reason,
+            timestamp=now,
+        )
+
+    def _quarantine_region(
+        self,
+        workload: Workload,
+        region: OutputRegion,
+        alive: "dict[int, OutputRegion]",
+        graph: DependencyGraph,
+        benefit: BenefitModel,
+        state: "_ReportingState",
+        tracker: SatisfactionTracker,
+        stats: ExecutionStats,
+        degraded: "dict[str, list[DegradedReport]]",
+    ) -> None:
+        """Retire a repeatedly-failing region without blocking dependents.
+
+        The region leaves the dependency graph through the normal
+        ``remove_node`` path, so its successors are promoted to roots
+        exactly as if it had been processed; each query it served gets a
+        degraded (MQLA-bound) answer, and any progressive-reporting
+        threats it held are released so pending candidates can emit.
+        """
+        stats.record_region_quarantined()
+        now = stats.clock.now()
+        for qi, query in enumerate(workload):
+            if region.serves(qi):
+                degraded[query.name].append(
+                    self._degraded_report(
+                        query.name, region, REASON_QUARANTINE, now
+                    )
+                )
+                stats.record_degraded_reports(1)
+        del alive[region.region_id]
+        graph.remove_node(region.region_id)
+        benefit.note_removed(region.region_id)
+        state.release_region(region.region_id, region.rql, tracker, stats)
+
+    def _degrade_exhausted_queries(
+        self,
+        workload: Workload,
+        alive: "dict[int, OutputRegion]",
+        graph: DependencyGraph,
+        benefit: BenefitModel,
+        state: "_ReportingState",
+        tracker: SatisfactionTracker,
+        stats: ExecutionStats,
+        degraded: "dict[str, list[DegradedReport]]",
+        degraded_queries: "set[int]",
+    ) -> None:
+        """Graceful degradation once the virtual clock passes the budget.
+
+        Each newly-exhausted query receives, for every remaining region
+        serving it, an approximate answer from the region's coarse MQLA
+        bounds; the region is deactivated for that query so its pending
+        candidates emit immediately instead of starving.  Regions left
+        serving no query at all are retired.
+        """
+        budget = self.config.query_time_budget
+        now = stats.clock.now()
+        if budget is None or now < budget:
+            return
+        if not self.config.enable_recovery:
+            # Degradation is a recovery-layer behaviour; without it the
+            # budget is a hard limit and exhaustion fails loudly.
+            raise BudgetExhausted(
+                f"virtual-time budget {budget:g} exhausted at t={now:g} "
+                f"with {len(alive)} region(s) outstanding "
+                "(enable_recovery=True degrades gracefully instead)"
+            )
+        for qi, query in enumerate(workload):
+            if qi in degraded_queries:
+                continue
+            degraded_queries.add(qi)
+            for rid in sorted(alive):
+                region = alive.get(rid)
+                if region is None or not region.serves(qi):
+                    continue
+                degraded[query.name].append(
+                    self._degraded_report(query.name, region, REASON_BUDGET, now)
+                )
+                stats.record_degraded_reports(1)
+                region.deactivate_query(qi)
+                benefit.note_deactivation(rid, qi)
+                state.release_region_for_query(rid, query.name, tracker, stats)
+                if region.is_discarded:
+                    del alive[rid]
+                    graph.remove_node(rid)
+                    benefit.note_removed(rid)
+                    state.release_region(rid, region.rql, tracker, stats)
 
 
 class _ReportingState:

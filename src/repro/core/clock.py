@@ -112,5 +112,14 @@ class VirtualClock:
         if n > 1:
             self.advance(self.cost_model.sort_key * n * math.log2(n))
 
+    # Robustness-layer charges (docs/ARCHITECTURE.md §9). -----------------
+    def charge_retry_backoff(self, units: float) -> None:
+        """Wait out a failed region's backoff window in virtual time."""
+        self.advance(units)
+
+    def charge_straggler_penalty(self, units: float) -> None:
+        """Extra virtual time a simulated straggler region costs."""
+        self.advance(units)
+
 
 __all__ = ["CostModel", "VirtualClock"]

@@ -36,13 +36,15 @@ from repro.core.coarse_join import coarse_join
 from repro.core.executor import JoinResultStore, RegionExecutor
 from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, RegionFailure
 from repro.partition.cells import LeafCell
 from repro.partition.quadtree import Partitioning, quadtree_partition
 from repro.plan.shared_plan import WorkloadPlan
 from repro.query.predicates import JoinCondition
 from repro.query.workload import Workload
 from repro.relation import Relation, concat
+from repro.robustness.recovery import RETRY, RegionSupervisor
+from repro.robustness.sanitize import QuarantineReport, sanitize_relation
 
 
 def _shift_cells(
@@ -74,6 +76,10 @@ class EpochResult:
     #: Per query: previously reported identities retracted this epoch.
     retracted: "dict[str, set[tuple[int, int]]]"
     virtual_time: float
+    #: Failed region evaluations replayed this epoch (recovery layer).
+    region_retries: int = 0
+    #: Regions that exhausted their retries and were quarantined.
+    regions_quarantined: int = 0
 
     def net_change(self, query_name: str) -> int:
         return len(self.new_results[query_name]) - len(self.retracted[query_name])
@@ -109,6 +115,28 @@ class ContinuousCAQE:
         self._left_cells: list[LeafCell] = []
         self._right_cells: list[LeafCell] = []
         self._epoch = 0
+        # Robustness layer (docs/ARCHITECTURE.md §9): the supervisor's
+        # failure history persists across epochs (region ids are unique
+        # run-wide), so a region quarantined in one epoch stays out.
+        self._supervisor = (
+            RegionSupervisor(self.config.retry_policy)
+            if self.config.enable_recovery
+            else None
+        )
+        plan = self.config.fault_plan
+        self._inject = plan is not None and plan.active
+        #: Sanitizer reports keyed "side@epochN", only for dirty deltas.
+        self.quarantine: dict[str, QuarantineReport] = {}
+
+    def _fault_hook(self, region: OutputRegion) -> None:
+        """Chaos-testing injection point (see :class:`RegionExecutor`)."""
+        attempt = (
+            self._supervisor.next_attempt(region.region_id)
+            if self._supervisor is not None
+            else 1
+        )
+        if self.config.fault_plan.region_fails(region.region_id, attempt):
+            raise RegionFailure(region.region_id, attempt, "injected fault")
 
     # ------------------------------------------------------------------ #
     @property
@@ -154,18 +182,67 @@ class ContinuousCAQE:
             regions += self._regions_for(old_left, new_right_cells, conditions)
 
         executor = RegionExecutor(
-            self.workload, self._left, self._right, self.plan, self.store, self.stats
+            self.workload,
+            self._left,
+            self._right,
+            self.plan,
+            self.store,
+            self.stats,
+            fault_hook=self._fault_hook if self._inject else None,
         )
         cells_l = {c.cell_id: c for c in self._left_cells}
         cells_r = {c.cell_id: c for c in self._right_cells}
         # Largest expected contribution first: a cheap greedy stand-in for
         # the full CSM (the finite-run optimizer owns that machinery).
-        for region in sorted(regions, key=lambda r: -r.est_join_count):
-            executor.process(
-                region, cells_l[region.left_cell_id], cells_r[region.right_cell_id]
-            )
+        ordered = sorted(regions, key=lambda r: -r.est_join_count)
+        retried, quarantined = self._process_with_replay(
+            executor, ordered, cells_l, cells_r
+        )
 
-        return self._emit_changelog()
+        return self._emit_changelog(retried, quarantined)
+
+    def _process_with_replay(
+        self,
+        executor: RegionExecutor,
+        ordered: "list[OutputRegion]",
+        cells_l: "dict[int, LeafCell]",
+        cells_r: "dict[int, LeafCell]",
+    ) -> "tuple[int, int]":
+        """Epoch-level replay of the epoch's failed remainder.
+
+        Region failures raise at executor entry (before any shared-plan
+        mutation), so the failed subset of an epoch can be replayed
+        wholesale: each replay pass re-runs every still-failing region
+        after its backoff was charged to the virtual clock.  Regions that
+        exhaust the retry policy are quarantined — the epoch still
+        completes and emits its changelog rather than wedging the stream.
+        """
+        pending = ordered
+        retried = 0
+        quarantined = 0
+        while pending:
+            failed: "list[OutputRegion]" = []
+            for region in pending:
+                try:
+                    executor.process(
+                        region,
+                        cells_l[region.left_cell_id],
+                        cells_r[region.right_cell_id],
+                    )
+                except RegionFailure:
+                    if self._supervisor is None:
+                        raise
+                    if self._supervisor.record_failure(region.region_id) == RETRY:
+                        self.stats.record_region_retry(
+                            self._supervisor.backoff_for(region.region_id)
+                        )
+                        retried += 1
+                        failed.append(region)
+                    else:
+                        self.stats.record_region_quarantined()
+                        quarantined += 1
+            pending = failed
+        return retried, quarantined
 
     # ------------------------------------------------------------------ #
     def _append(
@@ -176,6 +253,15 @@ class ContinuousCAQE:
     ) -> "list[LeafCell]":
         if delta is None or delta.cardinality == 0:
             return []
+        if self.config.enable_sanitize:
+            delta, report = sanitize_relation(
+                delta, domain_limit=self.config.sanitize_domain_limit
+            )
+            if report:
+                self.quarantine[f"{side}@epoch{self._epoch}"] = report
+                self.stats.record_tuples_quarantined(report.rows_dropped)
+            if delta.cardinality == 0:
+                return []
         current = self._left if side == "left" else self._right
         offset = current.cardinality if current is not None else 0
         merged = delta if current is None else concat(current.name, [current, delta])
@@ -229,7 +315,9 @@ class ContinuousCAQE:
         self._region_seq = offset
         return result.regions
 
-    def _emit_changelog(self) -> EpochResult:
+    def _emit_changelog(
+        self, retried: int = 0, quarantined: int = 0
+    ) -> EpochResult:
         now = self.stats.clock.now()
         new_results: dict[str, set[tuple[int, int]]] = {}
         retracted: dict[str, set[tuple[int, int]]] = {}
@@ -253,6 +341,8 @@ class ContinuousCAQE:
             new_results=new_results,
             retracted=retracted,
             virtual_time=now,
+            region_retries=retried,
+            regions_quarantined=quarantined,
         )
 
 

@@ -21,7 +21,7 @@ set of remaining regions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Callable, Hashable
 
 import numpy as np
 
@@ -138,6 +138,7 @@ class RegionExecutor:
         stats: ExecutionStats,
         *,
         batch_inserts: bool = True,
+        fault_hook: "Callable[[OutputRegion], None] | None" = None,
     ) -> None:
         self.workload = workload
         self.left = left
@@ -146,6 +147,11 @@ class RegionExecutor:
         self.store = store
         self.stats = stats
         self.batch_inserts = batch_inserts
+        #: Chaos-testing hook consulted at the top of :meth:`process`; it
+        #: may raise :class:`~repro.errors.RegionFailure`.  Failing *before*
+        #: any store/plan mutation keeps shared state consistent, so a
+        #: retried region is a clean re-execution (no duplicate inserts).
+        self.fault_hook = fault_hook
         # Hash-join build tables memoised per (cell, join condition): a cell
         # shared by many surviving regions is hashed once, not once per
         # region.  The scan is still *charged* each time — the virtual cost
@@ -216,6 +222,8 @@ class RegionExecutor:
         """Join, project, and insert one region's tuples into the shared plan."""
         if region.is_discarded:
             raise ExecutionError(f"region #{region.region_id} was discarded")
+        if self.fault_hook is not None:
+            self.fault_hook(region)
         self.stats.record_region_processed(region.region_id)
         condition = self._conditions[region.condition_name]
         left_idx, right_idx = self._join_cells(left_cell, right_cell, condition)

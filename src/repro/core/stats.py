@@ -26,6 +26,13 @@ class ExecutionStats:
     regions_discarded: int = 0
     coarse_comparisons: int = 0
     results_reported: int = 0
+    #: Robustness-layer counters (docs/ARCHITECTURE.md §9); all stay zero
+    #: unless faults fire or degradation triggers.
+    tuples_quarantined: int = 0
+    region_retries: int = 0
+    regions_quarantined: int = 0
+    degraded_reports: int = 0
+    straggler_penalty: float = 0.0
     #: Region ids in processing order (when callers pass them) — the
     #: schedule trace the scheduler-equivalence tests compare.
     region_trace: "list[int]" = field(default_factory=list)
@@ -76,6 +83,29 @@ class ExecutionStats:
         self.results_reported += count
         self.clock.charge_outputs(count)
 
+    # -- robustness layer ---------------------------------------------- #
+    def record_tuples_quarantined(self, count: int) -> None:
+        """Corrupted base tuples dropped by the sanitizer (uncharged: the
+        validation scan elides modelled work, it does not add any)."""
+        self.tuples_quarantined += count
+
+    def record_region_retry(self, backoff: float) -> None:
+        """One failed region attempt; the backoff wait burns virtual time."""
+        self.region_retries += 1
+        self.clock.charge_retry_backoff(backoff)
+
+    def record_region_quarantined(self) -> None:
+        self.regions_quarantined += 1
+
+    def record_degraded_reports(self, count: int) -> None:
+        """Approximate (MQLA-bound) answers issued; each costs one output."""
+        self.degraded_reports += count
+        self.clock.charge_outputs(count)
+
+    def record_straggler_penalty(self, units: float) -> None:
+        self.straggler_penalty += units
+        self.clock.charge_straggler_penalty(units)
+
     def summary(self) -> "dict[str, float]":
         return {
             "join_results": self.join_results,
@@ -85,6 +115,11 @@ class ExecutionStats:
             "regions_processed": self.regions_processed,
             "regions_discarded": self.regions_discarded,
             "results_reported": self.results_reported,
+            "tuples_quarantined": self.tuples_quarantined,
+            "region_retries": self.region_retries,
+            "regions_quarantined": self.regions_quarantined,
+            "degraded_reports": self.degraded_reports,
+            "straggler_penalty": self.straggler_penalty,
             "virtual_time": self.elapsed,
         }
 

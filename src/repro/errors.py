@@ -36,5 +36,42 @@ class ExecutionError(ReproError):
     """The optimizer or executor reached an inconsistent runtime state."""
 
 
+class DataError(ReproError):
+    """Input data violated its declared domain (NaN/inf/out-of-range).
+
+    Raised by the sanitizer when quarantine is disabled but corrupted
+    tuples are encountered, so bad values never reach dominance tests
+    (a single NaN poisons every comparison it participates in).
+    """
+
+
+class RegionFailure(ExecutionError):
+    """Tuple-level evaluation of one region failed.
+
+    The recovery layer treats this as *retryable*: the region may be
+    re-scheduled with backoff and, after repeated failures, quarantined.
+    Recovery code catches exactly this class — never bare ``Exception``
+    (enforced by caqe-check rule CQ006) — so programming errors still
+    propagate.
+    """
+
+    def __init__(self, region_id: int, attempt: int, reason: str = "") -> None:
+        self.region_id = region_id
+        self.attempt = attempt
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"region #{region_id} failed on attempt {attempt}{detail}"
+        )
+
+
+class BudgetExhausted(ExecutionError):
+    """A query's per-run virtual-time budget ran out.
+
+    Signals the driver to switch the affected query to graceful
+    degradation (remaining regions answered from coarse MQLA bounds)
+    instead of starving the rest of the workload.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment configuration is invalid or a harness step failed."""

@@ -1,0 +1,137 @@
+"""Region-level recovery: retry with backoff, quarantine, degradation.
+
+The state machines here are deliberately *pure* — they decide, the driver
+(:mod:`repro.core.caqe` / :mod:`repro.core.continuous`) acts — so the
+recovery semantics can be unit-tested without running the engine.
+
+Lifecycle of a failing region (see docs/ARCHITECTURE.md §9):
+
+``healthy --RegionFailure--> retrying --(attempts < max)--> retry with
+capped exponential backoff charged to the virtual clock --(attempts ==
+max)--> quarantined``.
+
+A quarantined region is removed from the dependency graph through the
+normal :meth:`~repro.core.depgraph.DependencyGraph.remove_node` path, so
+its dependents are *promoted to roots*, never discarded or blocked; the
+queries it served receive a :class:`DegradedReport` built from the
+region's coarse MQLA bounds instead of tuple-level results.  The same
+degraded answer shape backs graceful degradation when a query's
+virtual-time budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+
+#: Supervisor verdicts after one recorded failure.
+RETRY = "retry"
+QUARANTINE = "quarantine"
+
+#: Reasons attached to degraded reports.
+REASON_BUDGET = "budget"
+REASON_QUARANTINE = "quarantine"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for failed region evaluations."""
+
+    #: Total evaluation attempts per region (1 initial + retries).
+    max_attempts: int = 3
+    #: Virtual-time backoff before the first retry.
+    backoff_base: float = 50.0
+    #: Multiplier applied per additional retry.
+    backoff_factor: float = 2.0
+    #: Hard cap on a single backoff charge.
+    backoff_cap: float = 800.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExecutionError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ExecutionError("backoff charges must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ExecutionError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff(self, failure_count: int) -> float:
+        """Virtual time charged after the ``failure_count``-th failure."""
+        if failure_count < 1:
+            raise ExecutionError(
+                f"failure_count must be >= 1, got {failure_count}"
+            )
+        raw = self.backoff_base * self.backoff_factor ** (failure_count - 1)
+        return float(min(raw, self.backoff_cap))
+
+
+@dataclass(frozen=True)
+class DegradedReport:
+    """Approximate answer for one (query, region) served from MQLA bounds.
+
+    Emitted instead of tuple-level results when a region is quarantined or
+    a query's time budget runs out: consumers learn *where* the missing
+    results would lie (the region's output-space box) and roughly how many
+    there were, flagged unambiguously as approximate.
+    """
+
+    query_name: str
+    region_id: int
+    #: Coarse output-space bounds of the unprocessed region.
+    lower: "tuple[float, ...]"
+    upper: "tuple[float, ...]"
+    #: MQLA's estimated join-result count for the region.
+    est_join_count: float
+    #: Why the region was degraded: "budget" or "quarantine".
+    reason: str
+    #: Virtual time at which the degraded answer was issued.
+    timestamp: float
+
+
+@dataclass
+class RegionSupervisor:
+    """Tracks per-region failures and issues retry/quarantine verdicts."""
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    failures: "dict[int, int]" = field(default_factory=dict)
+    quarantined: "set[int]" = field(default_factory=set)
+
+    def next_attempt(self, region_id: int) -> int:
+        """1-based attempt number the region's next evaluation will be."""
+        return self.failures.get(region_id, 0) + 1
+
+    def record_failure(self, region_id: int) -> str:
+        """Register one failure; return :data:`RETRY` or :data:`QUARANTINE`."""
+        count = self.failures.get(region_id, 0) + 1
+        self.failures[region_id] = count
+        if count >= self.policy.max_attempts:
+            self.quarantined.add(region_id)
+            return QUARANTINE
+        return RETRY
+
+    def backoff_for(self, region_id: int) -> float:
+        """Backoff charge for the region's most recent failure."""
+        count = self.failures.get(region_id, 0)
+        if count < 1:
+            raise ExecutionError(
+                f"region #{region_id} has no recorded failure to back off from"
+            )
+        return self.policy.backoff(count)
+
+    def is_quarantined(self, region_id: int) -> bool:
+        return region_id in self.quarantined
+
+
+__all__ = [
+    "QUARANTINE",
+    "REASON_BUDGET",
+    "REASON_QUARANTINE",
+    "RETRY",
+    "DegradedReport",
+    "RegionSupervisor",
+    "RetryPolicy",
+]

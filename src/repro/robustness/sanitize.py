@@ -1,0 +1,143 @@
+"""Input sanitisation: quarantine corrupted tuples before they poison runs.
+
+Skyline dominance over IEEE floats is silently wrong in the presence of
+``NaN`` (every comparison involving it is false, so a ``NaN`` tuple is
+never dominated *and* never dominates — it lodges in every window it
+reaches), and ``±inf`` collapses whole subspaces.  The sanitizer scans a
+relation's measure columns once, quarantines offending rows into a
+structured per-relation report, and hands the engine a clean relation.
+
+Two dispositions:
+
+* ``"quarantine"`` (default) — drop bad rows, record each offending
+  *(row, attribute, reason)* triple in the :class:`QuarantineReport`;
+* ``"raise"`` — raise :class:`~repro.errors.DataError` on the first bad
+  relation (for pipelines that prefer failing loudly to dropping data).
+
+A relation with no violations is returned *unchanged* (same object), so
+enabling sanitisation on clean data is bit-identical to disabling it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError, ExecutionError
+from repro.relation import Relation
+
+#: Default magnitude bound for the "domain" check: benchmark measures are
+#: generated in small positive ranges, so anything beyond this is a feed
+#: glitch rather than data.
+DEFAULT_DOMAIN_LIMIT = 1e9
+
+
+@dataclass(frozen=True)
+class QuarantinedTuple:
+    """One quarantined row and the first violation found in it."""
+
+    row: int
+    attribute: str
+    reason: str  # "nan" | "inf" | "domain"
+
+
+@dataclass
+class QuarantineReport:
+    """Structured outcome of sanitising one relation."""
+
+    relation: str
+    quarantined: "list[QuarantinedTuple]" = field(default_factory=list)
+    rows_scanned: int = 0
+
+    @property
+    def rows_dropped(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def rows_kept(self) -> int:
+        return self.rows_scanned - self.rows_dropped
+
+    def counts_by_reason(self) -> "dict[str, int]":
+        counts: "dict[str, int]" = {}
+        for record in self.quarantined:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts
+
+    def __bool__(self) -> bool:
+        return bool(self.quarantined)
+
+
+def sanitize_relation(
+    relation: Relation,
+    *,
+    domain_limit: float = DEFAULT_DOMAIN_LIMIT,
+    on_violation: str = "quarantine",
+) -> "tuple[Relation, QuarantineReport]":
+    """Scan measure columns; quarantine (or raise on) corrupted rows.
+
+    Returns ``(clean_relation, report)``.  When nothing is wrong the
+    input relation object itself is returned, guaranteeing bit-identical
+    behaviour for clean data.
+    """
+    if on_violation not in ("quarantine", "raise"):
+        raise ExecutionError(
+            f"unknown sanitizer disposition {on_violation!r}; "
+            "expected 'quarantine' or 'raise'"
+        )
+    if domain_limit <= 0:
+        raise ExecutionError(
+            f"sanitizer domain_limit must be positive, got {domain_limit}"
+        )
+    report = QuarantineReport(
+        relation=relation.name, rows_scanned=relation.cardinality
+    )
+    n = relation.cardinality
+    measures = relation.schema.measure_names
+    if n == 0 or not measures:
+        return relation, report
+
+    bad_rows = np.zeros(n, dtype=bool)
+    # First violation per row wins, scanning attributes in schema order so
+    # the report is deterministic regardless of numpy internals.
+    first_reason: "dict[int, QuarantinedTuple]" = {}
+    for attribute in measures:
+        values = np.asarray(relation.column(attribute), dtype=float)
+        nan_mask = np.isnan(values)
+        inf_mask = np.isinf(values)
+        domain_mask = ~nan_mask & ~inf_mask & (np.abs(values) > domain_limit)
+        for reason, mask in (
+            ("nan", nan_mask),
+            ("inf", inf_mask),
+            ("domain", domain_mask),
+        ):
+            for row in np.nonzero(mask)[0].tolist():
+                if row not in first_reason:
+                    first_reason[row] = QuarantinedTuple(
+                        row=row, attribute=attribute, reason=reason
+                    )
+        bad_rows |= nan_mask | inf_mask | domain_mask
+
+    if not bad_rows.any():
+        return relation, report
+
+    report.quarantined = [
+        first_reason[row] for row in sorted(first_reason)
+    ]
+    if on_violation == "raise":
+        worst = report.quarantined[0]
+        raise DataError(
+            f"relation {relation.name!r}: {report.rows_dropped} corrupted "
+            f"row(s); first at row {worst.row}, attribute "
+            f"{worst.attribute!r} ({worst.reason})"
+        )
+    keep = np.nonzero(~bad_rows)[0]
+    return relation.take(keep), report
+
+
+__all__ = [
+    "DEFAULT_DOMAIN_LIMIT",
+    "QuarantineReport",
+    "QuarantinedTuple",
+    "sanitize_relation",
+]

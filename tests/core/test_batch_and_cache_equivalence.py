@@ -24,7 +24,7 @@ from repro.query import (
 from repro.query.workload import Workload
 from repro.rng import ensure_rng
 
-#: The four ablation corners of the execution engine.
+#: The ablation corners of the execution engine.
 MODES = {
     "batch+cache": {},
     "scalar+cache": {"enable_batch_insert": False},
@@ -33,6 +33,9 @@ MODES = {
         "enable_batch_insert": False,
         "enable_scheduler_cache": False,
     },
+    # Robustness switches on with no faults injected must also be a
+    # pure no-op (docs/ARCHITECTURE.md §9).
+    "robust-noop": {"enable_sanitize": True, "enable_recovery": True},
 }
 
 

@@ -203,3 +203,37 @@ class TestFeedback:
 
     def test_empty(self):
         assert len(update_weights(np.ones(0), np.ones(0))) == 0
+
+
+class TestFeedbackEdgeCases:
+    def test_all_zero_satisfaction_leaves_weights_unchanged(self):
+        """v_max = 0 means every gap is 0: nobody is lagging anybody."""
+        weights = np.array([1.0, 2.5, 0.4])
+        updated = update_weights(weights, np.zeros(3))
+        np.testing.assert_array_equal(updated, weights)
+
+    def test_returned_array_is_a_defensive_copy(self):
+        weights = np.ones(2)
+        updated = update_weights(weights, np.zeros(2))
+        updated[0] = 99.0
+        assert weights[0] == 1.0
+
+    def test_single_query_workload_is_a_fixed_point(self):
+        """One query is trivially the best-satisfied; no redistribution."""
+        for satisfaction in (0.0, 0.3, 1.0):
+            np.testing.assert_array_equal(
+                update_weights(np.array([1.7]), np.array([satisfaction])),
+                np.array([1.7]),
+            )
+
+    def test_renormalisation_after_query_fully_satisfied(self):
+        """A fully satisfied query stops gaining weight; the lagging
+        queries split exactly one unit of extra weight between them
+        (Eq. 11's denominator normalises the gap vector)."""
+        weights = np.ones(3)
+        sats = np.array([1.0, 0.2, 0.6])
+        updated = update_weights(weights, sats)
+        assert updated[0] == weights[0]
+        increments = updated - weights
+        np.testing.assert_allclose(np.sum(increments), 1.0)
+        assert increments[1] > increments[2] > 0.0

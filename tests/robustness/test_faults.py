@@ -1,0 +1,134 @@
+"""Unit tests for the deterministic fault-injection plan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import generate_pair
+from repro.errors import ExecutionError
+from repro.robustness.faults import (
+    CORRUPTION_KINDS,
+    FaultConfig,
+    FaultPlan,
+)
+
+
+def plan(**overrides):
+    return FaultPlan(FaultConfig(**overrides))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field", ["corrupt_fraction", "region_failure_rate",
+                  "persistent_failure_rate", "straggler_rate"],
+    )
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_must_lie_in_unit_interval(self, field, bad):
+        with pytest.raises(ExecutionError, match=field):
+            plan(**{field: bad})
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ExecutionError, match="straggler_factor"):
+            plan(straggler_rate=0.5, straggler_factor=0.5)
+
+    def test_active_property(self):
+        assert not plan().active
+        assert plan(corrupt_fraction=0.1).active
+        assert plan(region_failure_rate=0.1).active
+        assert plan(persistent_failure_rate=0.1).active
+        assert plan(straggler_rate=0.1).active
+
+
+class TestCorruption:
+    def test_zero_fraction_returns_same_object(self):
+        pair = generate_pair("independent", 50, 3, selectivity=0.1, seed=7)
+        corrupted, injected = plan().corrupt_relation(pair.left, 0)
+        assert corrupted is pair.left
+        assert injected == []
+
+    def test_corruption_count_and_audit_trail(self):
+        pair = generate_pair("independent", 100, 3, selectivity=0.1, seed=7)
+        p = plan(seed=3, corrupt_fraction=0.1)
+        corrupted, injected = p.corrupt_relation(pair.left, 0)
+        assert corrupted is not pair.left
+        assert len(injected) == 10
+        for fault in injected:
+            assert fault.relation == pair.left.name
+            assert fault.kind in CORRUPTION_KINDS
+            value = corrupted.column(fault.attribute)[fault.row]
+            if fault.kind == "nan":
+                assert np.isnan(value)
+            elif fault.kind in ("posinf", "neginf"):
+                assert np.isinf(value)
+            else:
+                assert abs(value) > 1e9
+
+    def test_input_relation_is_not_mutated(self):
+        pair = generate_pair("independent", 60, 3, selectivity=0.1, seed=7)
+        originals = {
+            name: pair.left.column(name).copy()
+            for name in pair.left.schema.names
+        }
+        plan(seed=3, corrupt_fraction=0.2).corrupt_relation(pair.left, 0)
+        for name, column in originals.items():
+            np.testing.assert_array_equal(pair.left.column(name), column)
+
+    def test_sides_draw_independent_schedules(self):
+        pair = generate_pair("independent", 100, 3, selectivity=0.1, seed=7)
+        p = plan(seed=3, corrupt_fraction=0.1)
+        _, left_faults = p.corrupt_relation(pair.left, 0)
+        _, right_faults = p.corrupt_relation(pair.left, 1)
+        assert [f.row for f in left_faults] != [f.row for f in right_faults]
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_replays_identical_corruption(self, seed):
+        pair = generate_pair("independent", 80, 3, selectivity=0.1, seed=5)
+        p1 = plan(seed=seed, corrupt_fraction=0.1)
+        p2 = plan(seed=seed, corrupt_fraction=0.1)
+        _, first = p1.corrupt_relation(pair.left, 0)
+        _, second = p2.corrupt_relation(pair.left, 0)
+        assert first == second
+
+
+class TestRegionFailures:
+    def test_zero_rates_never_fail(self):
+        p = plan()
+        assert not any(p.region_fails(rid, 1) for rid in range(50))
+
+    def test_draws_are_order_independent(self):
+        p = plan(seed=11, region_failure_rate=0.3, persistent_failure_rate=0.1)
+        sites = [(rid, attempt) for rid in range(30) for attempt in (1, 2, 3)]
+        forward = {site: p.region_fails(*site) for site in sites}
+        backward = {site: p.region_fails(*site) for site in reversed(sites)}
+        assert forward == backward
+
+    def test_persistent_failure_hits_every_attempt(self):
+        p = plan(seed=11, persistent_failure_rate=1.0)
+        assert all(p.region_fails(rid, attempt)
+                   for rid in range(10) for attempt in (1, 2, 3))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_verdicts(self, seed):
+        p1 = plan(seed=seed, region_failure_rate=0.4)
+        p2 = plan(seed=seed, region_failure_rate=0.4)
+        for rid in range(40):
+            assert p1.region_fails(rid, 1) == p2.region_fails(rid, 1)
+
+
+class TestStragglers:
+    def test_zero_rate_always_on_time(self):
+        p = plan()
+        assert all(p.straggler_factor_for(rid) == 1.0 for rid in range(50))
+
+    def test_factor_is_binary_and_deterministic(self):
+        p = plan(seed=13, straggler_rate=0.5, straggler_factor=6.0)
+        factors = [p.straggler_factor_for(rid) for rid in range(100)]
+        assert set(factors) == {1.0, 6.0}
+        assert factors == [p.straggler_factor_for(rid) for rid in range(100)]
+
+    def test_rate_one_makes_every_region_a_straggler(self):
+        p = plan(seed=13, straggler_rate=1.0, straggler_factor=3.0)
+        assert all(p.straggler_factor_for(rid) == 3.0 for rid in range(20))

@@ -1,0 +1,93 @@
+"""Unit tests for the retry/quarantine state machine."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.robustness.recovery import (
+    QUARANTINE,
+    RETRY,
+    DegradedReport,
+    RegionSupervisor,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, backoff_base=50.0, backoff_factor=2.0,
+            backoff_cap=300.0,
+        )
+        assert [policy.backoff(n) for n in range(1, 6)] == [
+            50.0, 100.0, 200.0, 300.0, 300.0,
+        ]
+
+    def test_backoff_requires_at_least_one_failure(self):
+        with pytest.raises(ExecutionError, match="failure_count"):
+            RetryPolicy().backoff(0)
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"max_attempts": 0}, "max_attempts"),
+            ({"backoff_base": -1.0}, "non-negative"),
+            ({"backoff_cap": -1.0}, "non-negative"),
+            ({"backoff_factor": 0.5}, "backoff_factor"),
+        ],
+    )
+    def test_validation(self, overrides, match):
+        with pytest.raises(ExecutionError, match=match):
+            RetryPolicy(**overrides)
+
+
+class TestRegionSupervisor:
+    def test_retry_until_attempts_exhausted_then_quarantine(self):
+        supervisor = RegionSupervisor(RetryPolicy(max_attempts=3))
+        assert supervisor.record_failure(7) == RETRY
+        assert supervisor.record_failure(7) == RETRY
+        assert supervisor.record_failure(7) == QUARANTINE
+        assert supervisor.is_quarantined(7)
+        assert not supervisor.is_quarantined(8)
+
+    def test_single_attempt_policy_quarantines_immediately(self):
+        supervisor = RegionSupervisor(RetryPolicy(max_attempts=1))
+        assert supervisor.record_failure(1) == QUARANTINE
+
+    def test_next_attempt_counts_from_one(self):
+        supervisor = RegionSupervisor(RetryPolicy(max_attempts=5))
+        assert supervisor.next_attempt(3) == 1
+        supervisor.record_failure(3)
+        assert supervisor.next_attempt(3) == 2
+
+    def test_failures_are_tracked_per_region(self):
+        supervisor = RegionSupervisor(RetryPolicy(max_attempts=2))
+        supervisor.record_failure(1)
+        assert supervisor.record_failure(2) == RETRY
+        assert supervisor.record_failure(1) == QUARANTINE
+        assert not supervisor.is_quarantined(2)
+
+    def test_backoff_for_follows_the_failure_count(self):
+        supervisor = RegionSupervisor(
+            RetryPolicy(max_attempts=4, backoff_base=10.0, backoff_factor=3.0,
+                        backoff_cap=1000.0)
+        )
+        supervisor.record_failure(5)
+        assert supervisor.backoff_for(5) == 10.0
+        supervisor.record_failure(5)
+        assert supervisor.backoff_for(5) == 30.0
+
+    def test_backoff_for_without_failure_raises(self):
+        with pytest.raises(ExecutionError, match="no recorded failure"):
+            RegionSupervisor().backoff_for(9)
+
+
+class TestDegradedReport:
+    def test_is_immutable(self):
+        report = DegradedReport(
+            query_name="Q1", region_id=3, lower=(0.0,), upper=(1.0,),
+            est_join_count=5.0, reason="budget", timestamp=12.0,
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.reason = "quarantine"

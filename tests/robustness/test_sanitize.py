@@ -1,0 +1,114 @@
+"""Unit tests for the input sanitizer (robustness layer, §9)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, ExecutionError
+from repro.relation import Relation, Role, Schema
+from repro.robustness.sanitize import (
+    QuarantineReport,
+    sanitize_relation,
+)
+
+
+def make_relation(prices, ratings=None, name="Hotels"):
+    prices = np.asarray(prices, dtype=float)
+    if ratings is None:
+        ratings = np.arange(len(prices), dtype=float)
+    schema = Schema.of(price=Role.MEASURE, rating=Role.MEASURE, city=Role.JOIN)
+    return Relation(
+        name,
+        schema,
+        {
+            "price": prices,
+            "rating": np.asarray(ratings, dtype=float),
+            "city": np.arange(len(prices)),
+        },
+    )
+
+
+class TestCleanInput:
+    def test_clean_relation_is_returned_unchanged(self):
+        rel = make_relation([1.0, 2.0, 3.0])
+        clean, report = sanitize_relation(rel)
+        assert clean is rel
+        assert not report
+        assert report.rows_scanned == 3
+        assert report.rows_dropped == 0
+        assert report.rows_kept == 3
+
+    def test_empty_relation_is_a_noop(self):
+        rel = make_relation([])
+        clean, report = sanitize_relation(rel)
+        assert clean is rel
+        assert report.rows_scanned == 0
+
+
+class TestQuarantine:
+    def test_nan_inf_and_domain_rows_are_dropped(self):
+        rel = make_relation([1.0, np.nan, np.inf, -np.inf, 1e12, 2.0])
+        clean, report = sanitize_relation(rel)
+        assert clean.cardinality == 2
+        np.testing.assert_array_equal(clean.column("price"), [1.0, 2.0])
+        assert report.rows_dropped == 4
+        assert report.counts_by_reason() == {"nan": 1, "inf": 2, "domain": 1}
+
+    def test_report_records_row_attribute_and_reason(self):
+        rel = make_relation([1.0, np.nan, 2.0])
+        _, report = sanitize_relation(rel)
+        (record,) = report.quarantined
+        assert (record.row, record.attribute, record.reason) == (1, "price", "nan")
+
+    def test_first_violation_per_row_in_schema_order(self):
+        # Row 0 is bad in both measures; the earlier schema column wins.
+        rel = make_relation([np.nan], ratings=[np.inf])
+        _, report = sanitize_relation(rel)
+        (record,) = report.quarantined
+        assert record.attribute == "price"
+        assert record.reason == "nan"
+
+    def test_domain_limit_is_configurable(self):
+        rel = make_relation([5.0, 50.0])
+        clean, report = sanitize_relation(rel, domain_limit=10.0)
+        assert clean.cardinality == 1
+        assert report.counts_by_reason() == {"domain": 1}
+
+    def test_join_columns_are_not_inspected(self):
+        schema = Schema.of(price=Role.MEASURE, city=Role.JOIN)
+        rel = Relation(
+            "H",
+            schema,
+            {"price": np.array([1.0]), "city": np.array([10**12])},
+        )
+        clean, report = sanitize_relation(rel)
+        assert clean is rel
+        assert not report
+
+
+class TestRaiseMode:
+    def test_raise_mode_raises_data_error(self):
+        rel = make_relation([1.0, np.nan])
+        with pytest.raises(DataError, match="corrupted"):
+            sanitize_relation(rel, on_violation="raise")
+
+    def test_raise_mode_passes_clean_data(self):
+        rel = make_relation([1.0, 2.0])
+        clean, _ = sanitize_relation(rel, on_violation="raise")
+        assert clean is rel
+
+    def test_unknown_disposition_rejected(self):
+        rel = make_relation([1.0])
+        with pytest.raises(ExecutionError, match="disposition"):
+            sanitize_relation(rel, on_violation="ignore")
+
+    def test_non_positive_domain_limit_rejected(self):
+        rel = make_relation([1.0])
+        with pytest.raises(ExecutionError, match="domain_limit"):
+            sanitize_relation(rel, domain_limit=0.0)
+
+
+class TestReportShape:
+    def test_bool_reflects_quarantine(self):
+        assert not QuarantineReport(relation="R")
+        _, report = sanitize_relation(make_relation([np.nan]))
+        assert report

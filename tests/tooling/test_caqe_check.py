@@ -1,6 +1,6 @@
 """Fixture tests for the ``tools.caqe_check`` static-analysis suite.
 
-Each rule CQ001–CQ005 is exercised three ways:
+Each rule CQ001–CQ006 is exercised three ways:
 
 * a **violating** fixture written under a tmpdir whose layout mimics the
   real tree (``repro/core/...``) so the path-fragment scoping triggers;
@@ -337,6 +337,112 @@ class TestCQ005:
                 return weight == 0.0  # caqe-check: disable=CQ005
             """,
             select="CQ005",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ006 — exception discipline
+# ------------------------------------------------------------------ #
+class TestCQ006:
+    def test_fires_on_bare_and_broad_except(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/robustness/mod.py",
+            """\
+            def recover(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+
+
+            def swallow(fn):
+                try:
+                    return fn()
+                except:
+                    return None
+            """,
+            select="CQ006",
+        )
+        assert codes(found) == ["CQ006", "CQ006"]
+
+    def test_fires_on_broad_class_inside_tuple(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def recover(fn):
+                try:
+                    return fn()
+                except (ValueError, Exception):
+                    return None
+            """,
+            select="CQ006",
+        )
+        assert codes(found) == ["CQ006"]
+
+    def test_clean_when_catching_repro_error_subclass(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/robustness/mod.py",
+            """\
+            from repro.errors import RegionFailure
+
+
+            def recover(fn):
+                try:
+                    return fn()
+                except RegionFailure:
+                    return None
+            """,
+            select="CQ006",
+        )
+        assert found == []
+
+    def test_clean_when_handler_reraises(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def cleanup_then_propagate(fn, release):
+                try:
+                    return fn()
+                except Exception:
+                    release()
+                    raise
+            """,
+            select="CQ006",
+        )
+        assert found == []
+
+    def test_out_of_tree_files_are_not_flagged(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "scripts/mod.py",
+            """\
+            def recover(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """,
+            select="CQ006",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def recover(fn):
+                try:
+                    return fn()
+                except Exception:  # caqe-check: disable=CQ006
+                    return None
+            """,
+            select="CQ006",
         )
         assert found == []
 

@@ -10,9 +10,16 @@ from tools.caqe_check.rules import (
     cq003_iteration,
     cq004_config,
     cq005_float_eq,
+    cq006_exceptions,
 )
 
-FILE_RULES = (cq001_rng, cq002_dominance, cq003_iteration, cq005_float_eq)
+FILE_RULES = (
+    cq001_rng,
+    cq002_dominance,
+    cq003_iteration,
+    cq005_float_eq,
+    cq006_exceptions,
+)
 PROJECT_RULES = (cq004_config,)
 
 ALL_CODES = tuple(rule.CODE for rule in FILE_RULES + PROJECT_RULES)

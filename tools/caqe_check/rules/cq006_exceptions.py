@@ -1,0 +1,85 @@
+"""CQ006 — exception discipline for the recovery paths.
+
+The robustness layer (docs/ARCHITECTURE.md §9) retries and quarantines
+failing regions; if recovery code caught bare ``Exception`` it would also
+swallow programming errors (``TypeError``, ``KeyError`` from a refactor)
+and convert bugs into silent data loss.  Inside ``src/repro`` this rule
+forbids:
+
+* ``except:`` — the bare clause;
+* ``except Exception:`` / ``except BaseException:`` — including either
+  class inside a tuple handler.
+
+A broad handler is permitted when its body *re-raises* (contains a bare
+``raise``), the idiom for cleanup-then-propagate.  Handlers must
+otherwise name what they expect — normally a
+:class:`repro.errors.ReproError` subclass.  Deliberate broad catches at
+a process boundary can carry ``# caqe-check: disable=CQ006``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.caqe_check.engine import CheckedFile, dotted_name
+from tools.caqe_check.report import Violation
+
+CODE = "CQ006"
+
+_BANNED = {"Exception", "BaseException"}
+
+
+def _in_scope(posix: str) -> bool:
+    return "repro/" in posix
+
+
+def _names_banned_class(node: "ast.expr | None") -> "str | None":
+    """The banned class name a handler type mentions, if any."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            hit = _names_banned_class(element)
+            if hit is not None:
+                return hit
+        return None
+    chain = dotted_name(node)
+    if chain is not None and chain[-1] in _BANNED:
+        return chain[-1]
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True iff the handler body contains a bare ``raise``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def check(file: CheckedFile) -> "list[Violation]":
+    if not _in_scope(file.posix):
+        return []
+    violations: "list[Violation]" = []
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _reraises(node):
+            continue
+        if node.type is None:
+            message = (
+                "bare 'except:' swallows programming errors; catch a "
+                "ReproError subclass or re-raise"
+            )
+        else:
+            banned = _names_banned_class(node.type)
+            if banned is None:
+                continue
+            message = (
+                f"'except {banned}:' swallows programming errors; catch a "
+                "ReproError subclass or re-raise"
+            )
+        violation = file.violation(node, CODE, message)
+        if violation is not None:
+            violations.append(violation)
+    return violations
