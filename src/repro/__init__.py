@@ -31,11 +31,15 @@ from repro.contracts import (
 )
 from repro.core import CAQE, CAQEConfig, CostModel, RunResult, run_caqe
 from repro.datagen import TablePair, generate_pair, generate_table
+from repro.durability import resume_continuous, resume_run
 from repro.errors import (
     BudgetExhausted,
     DataError,
+    DurabilityError,
+    QueryCancelled,
     RegionFailure,
     ReproError,
+    ResumeMismatch,
 )
 from repro.query import (
     JoinCondition,
@@ -48,6 +52,7 @@ from repro.query import (
     subspace_workload,
 )
 from repro.relation import Attribute, Relation, Role, Schema
+from repro.serving import CAQEServer, CancellationToken, Rejected
 
 __version__ = "1.0.0"
 
@@ -56,16 +61,22 @@ __all__ = [
     "BudgetExhausted",
     "CAQE",
     "CAQEConfig",
+    "CAQEServer",
+    "CancellationToken",
     "Contract",
     "CostModel",
     "DataError",
+    "DurabilityError",
     "JoinCondition",
     "MappingFunction",
     "Preference",
+    "QueryCancelled",
     "RegionFailure",
+    "Rejected",
     "Relation",
     "ReproError",
     "ResultLog",
+    "ResumeMismatch",
     "Role",
     "RunResult",
     "Schema",
@@ -82,6 +93,8 @@ __all__ = [
     "generate_table",
     "pscore",
     "reference_evaluate",
+    "resume_continuous",
+    "resume_run",
     "run_caqe",
     "satisfaction",
     "score_workload",

@@ -35,7 +35,12 @@ from repro.core.feedback import update_weights
 from repro.core.output_space import DEFAULT_DIVISIONS
 from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
-from repro.errors import BudgetExhausted, ExecutionError, RegionFailure
+from repro.errors import (
+    BudgetExhausted,
+    ExecutionError,
+    QueryCancelled,
+    RegionFailure,
+)
 from repro.partition.quadtree import Partitioning, quadtree_partition
 from repro.plan.minmax_cuboid import build_minmax_cuboid
 from repro.plan.shared_plan import WorkloadPlan
@@ -115,6 +120,30 @@ class CAQEConfig:
     query_time_budget: "float | None" = None
     #: Deterministic fault-injection plan (chaos testing only).
     fault_plan: "FaultPlan | None" = None
+    #: Durability layer (docs/ARCHITECTURE.md §10).  All default-off and
+    #: bit-identical when off (6th corner of the equivalence suite).
+    #: Write a fsync'd journal record after every completed region and
+    #: periodic full snapshots, making the run resumable after SIGKILL.
+    enable_journal: bool = False
+    #: Directory holding the journal and snapshot files (required when
+    #: ``enable_journal`` is on; one directory per run).
+    journal_dir: "str | None" = None
+    #: Full-snapshot cadence, in completed regions.
+    checkpoint_every_regions: int = 25
+    #: Serving layer (:mod:`repro.serving`).  Bound of the admission
+    #: queue: submissions beyond it are shed with ``Rejected``.
+    server_queue_limit: int = 16
+    #: Worker threads draining the admission queue.
+    server_workers: int = 2
+    #: Consecutive quarantine-failures of one workload signature that
+    #: trip its circuit breaker open.
+    server_breaker_threshold: int = 3
+    #: Rejected submissions an open breaker absorbs before allowing a
+    #: half-open trial (event-count cooldown — wall clocks are banned).
+    server_breaker_cooldown: int = 8
+    #: Default per-query virtual-time deadline applied by the server
+    #: when a submission carries none.  ``None`` = no deadline.
+    server_default_deadline: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.objective not in ("contract", "count", "scan"):
@@ -131,6 +160,33 @@ class CAQEConfig:
             raise ExecutionError(
                 f"query_time_budget must be positive, got "
                 f"{self.query_time_budget}"
+            )
+        if self.enable_journal and not self.journal_dir:
+            raise ExecutionError(
+                "enable_journal=True requires journal_dir to be set"
+            )
+        if self.checkpoint_every_regions < 1:
+            raise ExecutionError(
+                f"checkpoint_every_regions must be >= 1, got "
+                f"{self.checkpoint_every_regions}"
+            )
+        for knob in (
+            "server_queue_limit",
+            "server_workers",
+            "server_breaker_threshold",
+            "server_breaker_cooldown",
+        ):
+            if getattr(self, knob) < 1:
+                raise ExecutionError(
+                    f"{knob} must be >= 1, got {getattr(self, knob)}"
+                )
+        if (
+            self.server_default_deadline is not None
+            and self.server_default_deadline <= 0
+        ):
+            raise ExecutionError(
+                f"server_default_deadline must be positive, got "
+                f"{self.server_default_deadline}"
             )
 
     def capacity_for(self, cardinality: int) -> int:
@@ -196,6 +252,52 @@ def partition_attrs(workload: Workload, side: str) -> "tuple[str, ...]":
     return tuple(seen)
 
 
+@dataclass
+class _RunState:
+    """Mutable state of one in-flight :class:`CAQE` run.
+
+    Bundles everything Algorithm 1's loop touches so the durability layer
+    can snapshot it (:func:`_dump_run_state`) and a resumed run can
+    overwrite it (:func:`_restore_run_state`).  Fields hold the
+    post-corruption / post-sanitisation inputs — the versions the
+    executor actually reads.
+    """
+
+    workload: Workload
+    contracts: "dict[str, Contract]"
+    left: Relation
+    right: Relation
+    stats: ExecutionStats
+    plan: WorkloadPlan
+    cuboid: "MinMaxCuboid"
+    #: Every coarse-join region in creation order (including discarded
+    #: ones) — the stable universe snapshot region-ids resolve against.
+    regions: "list[OutputRegion]"
+    alive: "dict[int, OutputRegion]"
+    graph: DependencyGraph
+    benefit: BenefitModel
+    estimates: "dict[str, float]"
+    tracker: SatisfactionTracker
+    weights: np.ndarray
+    state: "_ReportingState"
+    supervisor: "RegionSupervisor | None"
+    degraded: "dict[str, list[DegradedReport]]"
+    degraded_queries: "set[int]"
+    cells_left: "dict[int, LeafCell]"
+    cells_right: "dict[int, LeafCell]"
+    quarantine: "dict[str, QuarantineReport]"
+    fault_plan: "FaultPlan | None"
+    inject: bool
+    executor: "RegionExecutor | None" = None
+    #: Journal sequence number of the last completed region.
+    seq: int = 0
+    #: Fault-plan decisions consulted so far.  The plan itself is
+    #: stateless (hash-based, order-independent); the cursor is recorded
+    #: in journal records so resume verification catches any divergence
+    #: in the fault-decision schedule.
+    rng_cursor: int = 0
+
+
 class CAQE:
     """Contract-Aware Query Execution over one pair of base tables."""
 
@@ -212,17 +314,83 @@ class CAQE:
         workload: Workload,
         contracts: "dict[str, Contract]",
         stats: "ExecutionStats | None" = None,
+        *,
+        cancel_token: "object | None" = None,
+        _resume: "object | None" = None,
     ) -> RunResult:
         """Execute the workload; ``stats`` may be shared across runs so
-        baselines that process queries sequentially accumulate one clock."""
+        baselines that process queries sequentially accumulate one clock.
+
+        ``cancel_token`` is any object exposing ``is_cancelled() -> bool``;
+        it is polled at every region boundary and a true answer raises
+        :class:`~repro.errors.QueryCancelled` (the serving layer's
+        cooperative cancellation).  ``_resume`` is internal — use
+        :func:`repro.durability.resume_run`.
+        """
         cfg = self.config
         workload.validate(left, right)
         missing = [q.name for q in workload if q.name not in contracts]
         if missing:
             raise ExecutionError(f"missing contracts for queries: {missing}")
-
         if stats is None:
             stats = ExecutionStats.with_cost_model(cfg.cost_model)
+
+        rs = self._prepare(left, right, workload, contracts, stats)
+
+        durability = None
+        if cfg.enable_journal:
+            # Function-level imports break the package cycle with
+            # repro.durability.recover (which needs this module) and keep
+            # the journal-off hot path import-free.
+            from repro.durability.journal import RegionJournal, run_fingerprint
+            from repro.durability.runtime import RunDurability
+
+            # Fingerprint over the *original* inputs: fault corruption and
+            # sanitisation are deterministic stages of the run itself, so
+            # run identity is defined before either applies.
+            fingerprint = run_fingerprint(cfg, left, right, workload)
+            if _resume is not None:
+                if _resume.snapshot is not None:
+                    _restore_run_state(rs, _resume.snapshot["state"])
+                durability = RunDurability(
+                    _resume.journal,
+                    cfg.journal_dir,
+                    fingerprint,
+                    cfg.checkpoint_every_regions,
+                    list(_resume.expected),
+                )
+            else:
+                journal = RegionJournal.create(cfg.journal_dir, fingerprint)
+                durability = RunDurability(
+                    journal,
+                    cfg.journal_dir,
+                    fingerprint,
+                    cfg.checkpoint_every_regions,
+                )
+        elif _resume is not None:
+            raise ExecutionError("resuming a run requires enable_journal=True")
+
+        try:
+            self._execute(rs, durability, cancel_token)
+        finally:
+            if durability is not None:
+                durability.close()
+        return self._finalize(rs)
+
+    # ------------------------------------------------------------------ #
+    def _prepare(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+        stats: ExecutionStats,
+    ) -> _RunState:
+        """The deterministic prologue — everything before Algorithm 1's
+        loop.  A resumed run re-executes this from the original inputs and
+        then overwrites the mutable pieces from the snapshot (restoring
+        the stats/clock last erases the prologue's re-charges)."""
+        cfg = self.config
         conditions = workload.join_conditions
 
         # -- Robustness preamble (docs/ARCHITECTURE.md §9) ---------------- #
@@ -303,7 +471,7 @@ class CAQE:
             [q.priority if cfg.use_priority_weights else 1.0 for q in workload]
         )
 
-        # -- Step 4: Algorithm 1 main loop -------------------------------- #
+        # -- Step 4: assemble the mutable loop state ---------------------- #
         state = _ReportingState(workload, cuboid)
         supervisor = (
             RegionSupervisor(cfg.retry_policy) if cfg.enable_recovery else None
@@ -311,7 +479,31 @@ class CAQE:
         degraded: "dict[str, list[DegradedReport]]" = {
             q.name: [] for q in workload
         }
-        degraded_queries: "set[int]" = set()
+        rs = _RunState(
+            workload=workload,
+            contracts=contracts,
+            left=left,
+            right=right,
+            stats=stats,
+            plan=plan,
+            cuboid=cuboid,
+            regions=regions,
+            alive=alive,
+            graph=graph,
+            benefit=benefit,
+            estimates=estimates,
+            tracker=tracker,
+            weights=weights,
+            state=state,
+            supervisor=supervisor,
+            degraded=degraded,
+            degraded_queries=set(),
+            cells_left={c.cell_id: c for c in left_part.leaves},
+            cells_right={c.cell_id: c for c in right_part.leaves},
+            quarantine=quarantine,
+            fault_plan=fault_plan,
+            inject=inject,
+        )
         fault_hook = None
         if inject:
 
@@ -321,12 +513,13 @@ class CAQE:
                     if supervisor is not None
                     else 1
                 )
+                rs.rng_cursor += 1
                 if fault_plan.region_fails(target.region_id, attempt):
                     raise RegionFailure(
                         target.region_id, attempt, "injected fault"
                     )
 
-        executor = RegionExecutor(
+        rs.executor = RegionExecutor(
             workload,
             left,
             right,
@@ -336,62 +529,80 @@ class CAQE:
             batch_inserts=cfg.enable_batch_insert,
             fault_hook=fault_hook,
         )
-        cells_left = {c.cell_id: c for c in left_part.leaves}
-        cells_right = {c.cell_id: c for c in right_part.leaves}
+        return rs
 
-        while alive:
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self,
+        rs: _RunState,
+        durability: "object | None" = None,
+        cancel_token: "object | None" = None,
+    ) -> None:
+        """Algorithm 1's main loop over the remaining regions."""
+        cfg = self.config
+        workload, stats, executor = rs.workload, rs.stats, rs.executor
+        while rs.alive:
+            if cancel_token is not None and cancel_token.is_cancelled():
+                raise QueryCancelled(
+                    f"run cancelled at region boundary "
+                    f"(t={stats.clock.now():g}, "
+                    f"{len(rs.alive)} region(s) outstanding)"
+                )
             if cfg.query_time_budget is not None:
                 self._degrade_exhausted_queries(
                     workload,
-                    alive,
-                    graph,
-                    benefit,
-                    state,
-                    tracker,
+                    rs.alive,
+                    rs.graph,
+                    rs.benefit,
+                    rs.state,
+                    rs.tracker,
                     stats,
-                    degraded,
-                    degraded_queries,
+                    rs.degraded,
+                    rs.degraded_queries,
                 )
-                if not alive:
+                if not rs.alive:
                     break
-            roots = graph.roots() & alive.keys()
+            roots = rs.graph.roots() & rs.alive.keys()
             if not roots:
-                roots = graph.force_roots() & alive.keys()
+                roots = rs.graph.force_roots() & rs.alive.keys()
             region = self._pick_region(
-                roots, alive, benefit, weights, stats.clock.now()
+                roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
             )
-            captured_successors = graph.successors(region.region_id)
-            straggler_factor = (
-                fault_plan.straggler_factor_for(region.region_id)
-                if inject
-                else 1.0
-            )
+            captured_successors = rs.graph.successors(region.region_id)
+            if rs.inject:
+                rs.rng_cursor += 1
+                straggler_factor = rs.fault_plan.straggler_factor_for(
+                    region.region_id
+                )
+            else:
+                straggler_factor = 1.0
             started = stats.clock.now()
             try:
                 outcome = executor.process(
                     region,
-                    cells_left[region.left_cell_id],
-                    cells_right[region.right_cell_id],
+                    rs.cells_left[region.left_cell_id],
+                    rs.cells_right[region.right_cell_id],
                 )
             except RegionFailure:
-                if supervisor is None:
+                if rs.supervisor is None:
                     raise
-                if supervisor.record_failure(region.region_id) == RETRY:
+                if rs.supervisor.record_failure(region.region_id) == RETRY:
                     stats.record_region_retry(
-                        supervisor.backoff_for(region.region_id)
+                        rs.supervisor.backoff_for(region.region_id)
                     )
                 else:
                     self._quarantine_region(
                         workload,
                         region,
-                        alive,
-                        graph,
-                        benefit,
-                        state,
-                        tracker,
+                        rs.alive,
+                        rs.graph,
+                        rs.benefit,
+                        rs.state,
+                        rs.tracker,
                         stats,
-                        degraded,
+                        rs.degraded,
                     )
+                    self._journal_region(rs, durability, region, "quarantined")
                 continue
             if straggler_factor > 1.0:
                 stats.record_straggler_penalty(
@@ -403,13 +614,13 @@ class CAQE:
             # benefit model's memoised ratios self-validate against the
             # changed membership at the next lookup (Algorithm 1's
             # "Update R_f's CSM scores").
-            del alive[region.region_id]
-            graph.remove_node(region.region_id)
-            benefit.note_removed(region.region_id)
+            del rs.alive[region.region_id]
+            rs.graph.remove_node(region.region_id)
+            rs.benefit.note_removed(region.region_id)
 
-            state.apply_evictions(outcome, tracker)
-            state.admit_candidates(
-                outcome, region, executor, alive, tracker, stats
+            rs.state.apply_evictions(outcome, rs.tracker)
+            rs.state.admit_candidates(
+                outcome, region, executor, rs.alive, rs.tracker, stats
             )
             if cfg.enable_tuple_discard:
                 self._discard_dominated(
@@ -417,36 +628,82 @@ class CAQE:
                     captured_successors,
                     outcome,
                     executor,
-                    alive,
-                    graph,
-                    benefit,
-                    state,
-                    tracker,
+                    rs.alive,
+                    rs.graph,
+                    rs.benefit,
+                    rs.state,
+                    rs.tracker,
                     stats,
                 )
-            state.release_region(region.region_id, region.rql, tracker, stats)
+            rs.state.release_region(
+                region.region_id, region.rql, rs.tracker, stats
+            )
 
             if cfg.enable_feedback:
                 sats = np.array(
-                    [tracker.runtime_satisfaction(q.name) for q in workload]
+                    [rs.tracker.runtime_satisfaction(q.name) for q in workload]
                 )
-                weights = update_weights(weights, sats)
+                rs.weights = update_weights(rs.weights, sats)
 
-        state.assert_drained()
-        logs = {q.name: tracker.log(q.name) for q in workload}
+            self._journal_region(rs, durability, region, "processed")
+
+    def _journal_region(
+        self,
+        rs: _RunState,
+        durability: "object | None",
+        region: OutputRegion,
+        event: str,
+    ) -> None:
+        """Journal one completed (processed or quarantined) region.
+
+        The record carries the run's externally observable progress —
+        cumulative comparison count, virtual-clock reading, per-query
+        reported counts, fault-decision cursor — so resume verification
+        compares the replay against the persisted history field for
+        field (write-ahead: the record is fsync'd before the loop picks
+        the next region).
+        """
+        rs.seq += 1
+        if durability is None:
+            return
+        record = {
+            "seq": rs.seq,
+            "event": event,
+            "region": region.region_id,
+            "rql": region.rql,
+            "comparisons": int(rs.stats.skyline_comparisons),
+            "clock": float(rs.stats.clock.now()),
+            "reported": [
+                len(rs.state.reported[q.name]) for q in rs.workload
+            ],
+            "rng": rs.rng_cursor,
+        }
+        durability.on_region_complete(record, lambda: _dump_run_state(rs))
+
+    def _finalize(self, rs: _RunState) -> RunResult:
+        """Package the drained loop state into a :class:`RunResult`."""
+        rs.state.assert_drained()
+        logs = {q.name: rs.tracker.log(q.name) for q in rs.workload}
         reported = {
-            name: {executor.store.identity(k).as_tuple() for k in state.reported[name]}
-            for name in state.reported
+            name: {
+                rs.executor.store.identity(k).as_tuple()
+                for k in rs.state.reported[name]
+            }
+            for name in rs.state.reported
         }
         return RunResult(
-            workload=workload,
-            contracts=dict(contracts),
+            workload=rs.workload,
+            contracts=dict(rs.contracts),
             logs=logs,
-            stats=stats,
-            horizon=stats.clock.now(),
+            stats=rs.stats,
+            horizon=rs.stats.clock.now(),
             reported=reported,
-            degraded={name: reports for name, reports in degraded.items() if reports},
-            quarantine=quarantine,
+            degraded={
+                name: reports
+                for name, reports in rs.degraded.items()
+                if reports
+            },
+            quarantine=rs.quarantine,
         )
 
     # ------------------------------------------------------------------ #
@@ -797,6 +1054,98 @@ class _ReportingState:
             raise ExecutionError(
                 f"progressive reporting did not drain: {leftovers}"
             )
+
+
+# --------------------------------------------------------------------- #
+# Durability codecs (docs/ARCHITECTURE.md §10.2)
+# --------------------------------------------------------------------- #
+def _dump_run_state(rs: _RunState) -> "dict[str, object]":
+    """Serialise the mutable loop state of a run for a snapshot.
+
+    Only state Algorithm 1 mutates is captured — the deterministic
+    prologue (partitions, cuboid, coarse join, regions, benefit caches)
+    is reconstructed by re-running :meth:`CAQE._prepare` on resume.
+    """
+    from repro.durability import checkpoint as cp
+
+    return {
+        "seq": rs.seq,
+        "rng": rs.rng_cursor,
+        "stats": cp.dump_stats(rs.stats),
+        # (region_id, active_rql) in dict insertion order.
+        "alive": [[rid, region.active_rql] for rid, region in rs.alive.items()],
+        "graph": cp.dump_graph(rs.graph),
+        "weights": [float(w) for w in rs.weights],
+        "store": cp.dump_store(rs.executor.store),
+        "windows": cp.dump_plan_windows(rs.plan),
+        "reporting": {
+            "pending": {
+                name: [
+                    [key, sorted(threats)]
+                    for key, threats in rs.state.pending[name].items()
+                ]
+                for name in rs.state.pending
+            },
+            "reported": {
+                name: sorted(keys) for name, keys in rs.state.reported.items()
+            },
+        },
+        "logs": cp.dump_logs(
+            {q.name: rs.tracker.log(q.name) for q in rs.workload}
+        ),
+        "supervisor": cp.dump_supervisor(rs.supervisor),
+        "degraded": cp.dump_degraded(rs.degraded),
+        "degraded_queries": sorted(rs.degraded_queries),
+    }
+
+
+def _restore_run_state(rs: _RunState, state: "dict[str, object]") -> None:
+    """Overwrite a freshly prepared run with snapshotted loop state.
+
+    The stats/clock restore comes first only by convention — every piece
+    here is an overwrite, so after this returns no trace of the
+    prologue's re-charges or of the pre-snapshot loop iterations
+    remains; the run continues bit-identically to the killed one.
+    """
+    from repro.durability import checkpoint as cp
+
+    cp.load_stats(rs.stats, state["stats"])
+    by_id = {r.region_id: r for r in rs.regions}
+    alive: "dict[int, OutputRegion]" = {}
+    for rid, active_rql in state["alive"]:
+        region = by_id[int(rid)]
+        region.active_rql = int(active_rql)
+        alive[region.region_id] = region
+    rs.alive = alive
+    rs.graph = cp.load_graph(state["graph"])
+    # Re-attach wipes and lazily rebuilds the benefit caches; warm and
+    # cold caches are bit-identical by construction (memoisation only
+    # skips recomputation of values that would come out equal).
+    rs.benefit.attach_regions(list(alive.values()))
+    rs.weights = np.asarray([float(w) for w in state["weights"]], dtype=float)
+    cp.load_store(rs.executor.store, state["store"])
+    cp.load_plan_windows(rs.plan, state["windows"])
+    st = rs.state
+    st.pending = {q.name: {} for q in rs.workload}
+    st.threats_by_region = {q.name: {} for q in rs.workload}
+    st.reported = {q.name: set() for q in rs.workload}
+    reporting = state["reporting"]
+    for name, items in reporting["pending"].items():
+        for key, threats in items:
+            key = int(key)
+            rids = {int(r) for r in threats}
+            st.pending[name][key] = set(rids)
+            for rid in sorted(rids):
+                st.threats_by_region[name].setdefault(rid, set()).add(key)
+    for name, keys in reporting["reported"].items():
+        st.reported[name] = {int(k) for k in keys}
+    st._store = rs.executor.store
+    rs.tracker._logs.update(cp.load_logs(state["logs"]))
+    cp.load_supervisor(rs.supervisor, state["supervisor"])
+    rs.degraded = cp.load_degraded(state["degraded"])
+    rs.degraded_queries = {int(qi) for qi in state["degraded_queries"]}
+    rs.seq = int(state["seq"])
+    rs.rng_cursor = int(state["rng"])
 
 
 def run_caqe(

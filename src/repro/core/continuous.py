@@ -93,6 +93,8 @@ class ContinuousCAQE:
         workload: Workload,
         contracts: "dict[str, Contract]",
         config: "CAQEConfig | None" = None,
+        *,
+        _fresh: bool = True,
     ) -> None:
         missing = [q.name for q in workload if q.name not in contracts]
         if missing:
@@ -127,6 +129,42 @@ class ContinuousCAQE:
         self._inject = plan is not None and plan.active
         #: Sanitizer reports keyed "side@epochN", only for dirty deltas.
         self.quarantine: dict[str, QuarantineReport] = {}
+        # Durability layer (docs/ARCHITECTURE.md §10): one journal record
+        # per completed region, snapshots on cadence plus at every epoch
+        # boundary (the stream's natural recovery point).
+        self._seq = 0
+        self._rng_cursor = 0
+        self._durability = None
+        self._fingerprint = ""
+        if self.config.enable_journal and _fresh:
+            self._init_durability()
+
+    def _init_durability(self) -> None:
+        from repro.durability.checkpoint import write_snapshot
+        from repro.durability.journal import (
+            RegionJournal,
+            continuous_fingerprint,
+        )
+        from repro.durability.runtime import RunDurability
+
+        directory = self.config.journal_dir
+        fingerprint = continuous_fingerprint(self.config, self.workload)
+        journal = RegionJournal.create(directory, fingerprint)
+        self._fingerprint = fingerprint
+        self._durability = RunDurability(
+            journal,
+            directory,
+            fingerprint,
+            self.config.checkpoint_every_regions,
+        )
+        # Seq-0 snapshot of the empty engine: resume works even when the
+        # process dies before its first epoch completes a region.
+        write_snapshot(directory, 0, fingerprint, self._dump_state(None))
+
+    def close(self) -> None:
+        """Release the journal file handle (no-op when journal is off)."""
+        if self._durability is not None:
+            self._durability.close()
 
     def _fault_hook(self, region: OutputRegion) -> None:
         """Chaos-testing injection point (see :class:`RegionExecutor`)."""
@@ -135,6 +173,7 @@ class ContinuousCAQE:
             if self._supervisor is not None
             else 1
         )
+        self._rng_cursor += 1
         if self.config.fault_plan.region_fails(region.region_id, attempt):
             raise RegionFailure(region.region_id, attempt, "injected fault")
 
@@ -199,7 +238,9 @@ class ContinuousCAQE:
             executor, ordered, cells_l, cells_r
         )
 
-        return self._emit_changelog(retried, quarantined)
+        result = self._emit_changelog(retried, quarantined)
+        self._journal_epoch_end()
+        return result
 
     def _process_with_replay(
         self,
@@ -207,6 +248,7 @@ class ContinuousCAQE:
         ordered: "list[OutputRegion]",
         cells_l: "dict[int, LeafCell]",
         cells_r: "dict[int, LeafCell]",
+        epoch_state: "tuple[list[OutputRegion], list[OutputRegion], int, int] | None" = None,
     ) -> "tuple[int, int]":
         """Epoch-level replay of the epoch's failed remainder.
 
@@ -216,33 +258,259 @@ class ContinuousCAQE:
         after its backoff was charged to the virtual clock.  Regions that
         exhaust the retry policy are quarantined — the epoch still
         completes and emits its changelog rather than wedging the stream.
+
+        ``epoch_state`` is a resumed epoch's mid-flight position
+        ``(pending, failed, retried, quarantined)``; fresh epochs start
+        from ``ordered``.  Every completed (processed or quarantined)
+        region is journalled with the exact in-flight remainder, so a
+        mid-epoch snapshot can restart this loop at the same position.
         """
-        pending = ordered
-        retried = 0
-        quarantined = 0
-        while pending:
+        if epoch_state is None:
+            pending = list(ordered)
             failed: "list[OutputRegion]" = []
-            for region in pending:
-                try:
-                    executor.process(
-                        region,
-                        cells_l[region.left_cell_id],
-                        cells_r[region.right_cell_id],
+            retried = 0
+            quarantined = 0
+        else:
+            pending, failed, retried, quarantined = epoch_state
+        while pending or failed:
+            if not pending:
+                # Next replay pass: re-run this pass's failures in order.
+                pending, failed = failed, []
+            region = pending.pop(0)
+            try:
+                executor.process(
+                    region,
+                    cells_l[region.left_cell_id],
+                    cells_r[region.right_cell_id],
+                )
+            except RegionFailure:
+                if self._supervisor is None:
+                    raise
+                if self._supervisor.record_failure(region.region_id) == RETRY:
+                    self.stats.record_region_retry(
+                        self._supervisor.backoff_for(region.region_id)
                     )
-                except RegionFailure:
-                    if self._supervisor is None:
-                        raise
-                    if self._supervisor.record_failure(region.region_id) == RETRY:
-                        self.stats.record_region_retry(
-                            self._supervisor.backoff_for(region.region_id)
-                        )
-                        retried += 1
-                        failed.append(region)
-                    else:
-                        self.stats.record_region_quarantined()
-                        quarantined += 1
-            pending = failed
+                    retried += 1
+                    failed.append(region)
+                    continue
+                self.stats.record_region_quarantined()
+                quarantined += 1
+                self._journal_epoch_region(
+                    region, "quarantined", pending, failed, retried, quarantined
+                )
+                continue
+            self._journal_epoch_region(
+                region, "processed", pending, failed, retried, quarantined
+            )
         return retried, quarantined
+
+    # -- durability hooks (docs/ARCHITECTURE.md §10.5) ------------------- #
+    def _journal_record(self, event: str, region_id: int, rql: int) -> "dict":
+        self._seq += 1
+        return {
+            "seq": self._seq,
+            "epoch": self._epoch,
+            "event": event,
+            "region": region_id,
+            "rql": rql,
+            "comparisons": int(self.stats.skyline_comparisons),
+            "clock": float(self.stats.clock.now()),
+            "reported": [
+                len(self._reported[q.name]) for q in self.workload
+            ],
+            "rng": self._rng_cursor,
+        }
+
+    def _journal_epoch_region(
+        self,
+        region: OutputRegion,
+        event: str,
+        pending: "list[OutputRegion]",
+        failed: "list[OutputRegion]",
+        retried: int,
+        quarantined: int,
+    ) -> None:
+        record = self._journal_record(event, region.region_id, region.rql)
+        if self._durability is None:
+            return
+        from repro.durability import checkpoint as cp
+
+        inflight = {
+            "pending": [cp.dump_region(r) for r in pending],
+            "failed": [cp.dump_region(r) for r in failed],
+            "retried": retried,
+            "quarantined": quarantined,
+        }
+        self._durability.on_region_complete(
+            record, lambda: self._dump_state(inflight)
+        )
+
+    def _journal_epoch_end(self) -> None:
+        record = self._journal_record("epoch_end", -1, 0)
+        if self._durability is None:
+            return
+        self._durability.on_region_complete(
+            record, lambda: self._dump_state(None)
+        )
+        # Epoch boundaries always checkpoint, cadence or not — they are
+        # the recovery points that need no delta re-feeding.
+        self._durability.checkpoint_now(
+            int(record["seq"]), lambda: self._dump_state(None)
+        )
+
+    def _dump_state(self, inflight: "dict | None") -> "dict":
+        """Full engine state; ``inflight`` carries a mid-epoch position."""
+        from repro.durability import checkpoint as cp
+
+        return {
+            "epoch": self._epoch,
+            "region_seq": getattr(self, "_region_seq", 0),
+            "seq": self._seq,
+            "rng": self._rng_cursor,
+            "stats": cp.dump_stats(self.stats),
+            "left": (
+                cp.dump_relation(self._left) if self._left is not None else None
+            ),
+            "right": (
+                cp.dump_relation(self._right)
+                if self._right is not None
+                else None
+            ),
+            "left_cells": [cp.dump_cell(c) for c in self._left_cells],
+            "right_cells": [cp.dump_cell(c) for c in self._right_cells],
+            "windows": cp.dump_plan_windows(self.plan),
+            "store": cp.dump_store(self.store),
+            "logs": cp.dump_logs(self.logs),
+            "reported": {
+                name: sorted(keys) for name, keys in self._reported.items()
+            },
+            "supervisor": cp.dump_supervisor(self._supervisor),
+            "quarantine": cp.dump_quarantine(self.quarantine),
+            "inflight": inflight,
+        }
+
+    def _restore_state(self, state: "dict") -> None:
+        from repro.durability import checkpoint as cp
+
+        cp.load_stats(self.stats, state["stats"])
+        self._left = (
+            cp.load_relation(state["left"]) if state["left"] is not None else None
+        )
+        self._right = (
+            cp.load_relation(state["right"])
+            if state["right"] is not None
+            else None
+        )
+        self._left_cells = [cp.load_cell(c) for c in state["left_cells"]]
+        self._right_cells = [cp.load_cell(c) for c in state["right_cells"]]
+        cp.load_store(self.store, state["store"])
+        cp.load_plan_windows(self.plan, state["windows"])
+        self.logs = cp.load_logs(state["logs"])
+        self._reported = {
+            name: {int(k) for k in keys}
+            for name, keys in state["reported"].items()
+        }
+        cp.load_supervisor(self._supervisor, state["supervisor"])
+        self.quarantine = cp.load_quarantine(state["quarantine"])
+        self._epoch = int(state["epoch"])
+        self._region_seq = int(state["region_seq"])
+        self._seq = int(state["seq"])
+        self._rng_cursor = int(state["rng"])
+
+    def _finish_epoch(self, inflight: "dict") -> EpochResult:
+        """Complete the epoch a snapshot interrupted mid-flight."""
+        from repro.durability import checkpoint as cp
+
+        pending = [cp.load_region(r) for r in inflight["pending"]]
+        failed = [cp.load_region(r) for r in inflight["failed"]]
+        executor = RegionExecutor(
+            self.workload,
+            self._left,
+            self._right,
+            self.plan,
+            self.store,
+            self.stats,
+            fault_hook=self._fault_hook if self._inject else None,
+        )
+        cells_l = {c.cell_id: c for c in self._left_cells}
+        cells_r = {c.cell_id: c for c in self._right_cells}
+        retried, quarantined = self._process_with_replay(
+            executor,
+            [],
+            cells_l,
+            cells_r,
+            epoch_state=(
+                pending,
+                failed,
+                int(inflight["retried"]),
+                int(inflight["quarantined"]),
+            ),
+        )
+        result = self._emit_changelog(retried, quarantined)
+        self._journal_epoch_end()
+        return result
+
+    @classmethod
+    def resume(
+        cls,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+        config: "CAQEConfig",
+    ) -> "tuple[ContinuousCAQE, EpochResult | None]":
+        """Reconstruct a killed continuous run from its journal directory.
+
+        Returns ``(engine, epoch_result)`` where ``epoch_result`` is the
+        changelog of the epoch the crash interrupted (finished here via
+        verified replay) or ``None`` when the crash fell on an epoch
+        boundary.  Journal records newer than the snapshot that belong to
+        epochs whose deltas were never checkpointed stay queued: re-feed
+        the same deltas and they verify record for record
+        (:class:`~repro.errors.ResumeMismatch` on any divergence).
+        """
+        from repro.durability import checkpoint as cp
+        from repro.durability.journal import (
+            RegionJournal,
+            continuous_fingerprint,
+        )
+        from repro.durability.runtime import RunDurability
+        from repro.errors import DurabilityError
+
+        if not config.enable_journal or not config.journal_dir:
+            raise DurabilityError(
+                "continuous resume requires enable_journal=True and a "
+                "journal_dir"
+            )
+        fingerprint = continuous_fingerprint(config, workload)
+        journal, records = RegionJournal.open_resume(
+            config.journal_dir, fingerprint
+        )
+        max_seq = int(records[-1]["seq"]) if records else None
+        snapshot = cp.latest_snapshot(
+            config.journal_dir, fingerprint, max_seq=max_seq
+        )
+        if snapshot is None:
+            journal.close()
+            raise DurabilityError(
+                "no intact snapshot to resume from (the seq-0 snapshot is "
+                "written at engine construction — is this the right "
+                "journal_dir?)"
+            )
+        engine = cls(workload, contracts, config, _fresh=False)
+        engine._restore_state(snapshot["state"])
+        expected = [
+            r for r in records if int(r["seq"]) > int(snapshot["seq"])
+        ]
+        engine._fingerprint = fingerprint
+        engine._durability = RunDurability(
+            journal,
+            config.journal_dir,
+            fingerprint,
+            config.checkpoint_every_regions,
+            expected,
+        )
+        inflight = snapshot["state"].get("inflight")
+        result = engine._finish_epoch(inflight) if inflight is not None else None
+        return engine, result
 
     # ------------------------------------------------------------------ #
     def _append(

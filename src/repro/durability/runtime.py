@@ -1,0 +1,99 @@
+"""Driver-side durability coordinator (docs/ARCHITECTURE.md §10.3).
+
+:class:`RunDurability` sits between a driver loop (finite
+:class:`~repro.core.caqe.CAQE` or :class:`~repro.core.continuous.ContinuousCAQE`)
+and the on-disk journal/snapshots.  The driver calls
+:meth:`RunDurability.on_region_complete` after every completed region
+with the region's journal record and a zero-argument state dumper;
+the coordinator then either
+
+* **verifies** — while replaying a resumed run through the journalled
+  region sequence, the freshly computed record must equal the persisted
+  one field for field (bit-identical floats included), else
+  :class:`~repro.errors.ResumeMismatch`; or
+* **appends** — past the old journal tail, the record is fsync'd before
+  the driver proceeds (write-ahead: a crash can lose at most the region
+  currently in flight, never a journalled one);
+
+and, every ``checkpoint_every_regions`` completed regions, writes a full
+snapshot (skipped when the file already exists from the pre-crash run).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.durability.checkpoint import snapshot_path, write_snapshot
+from repro.durability.journal import RegionJournal
+from repro.errors import ResumeMismatch
+
+import os
+
+
+class RunDurability:
+    """Verify-then-append journal cursor plus checkpoint cadence."""
+
+    def __init__(
+        self,
+        journal: RegionJournal,
+        directory: str,
+        fingerprint: str,
+        checkpoint_every: int,
+        expected: "list[dict[str, Any]] | None" = None,
+    ) -> None:
+        self.journal = journal
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self.checkpoint_every = max(int(checkpoint_every), 1)
+        #: Journal records ahead of the restored snapshot, awaiting
+        #: re-execution; drained front to back as regions complete.
+        self._expected: "deque[dict[str, Any]]" = deque(expected or [])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def verifying(self) -> bool:
+        """True while replaying the journalled tail of a resumed run."""
+        return bool(self._expected)
+
+    def on_region_complete(
+        self,
+        record: "dict[str, Any]",
+        dump_state: "Callable[[], dict[str, Any]]",
+    ) -> None:
+        if self._expected:
+            persisted = self._expected.popleft()
+            if persisted != record:
+                drift = sorted(
+                    k
+                    for k in set(persisted) | set(record)
+                    if persisted.get(k) != record.get(k)
+                )
+                raise ResumeMismatch(
+                    f"replay diverged from journal at seq "
+                    f"{record.get('seq')}: fields {drift} differ "
+                    f"(journalled {persisted!r}, replayed {record!r})"
+                )
+        else:
+            self.journal.append(record)
+        seq = int(record["seq"])
+        if seq % self.checkpoint_every == 0:
+            self.checkpoint_now(seq, dump_state)
+
+    def checkpoint_now(
+        self, seq: int, dump_state: "Callable[[], dict[str, Any]]"
+    ) -> None:
+        """Write the snapshot for ``seq`` unless one already exists.
+
+        An existing file means the pre-crash run already wrote this
+        snapshot; determinism makes the two byte-equivalent in content,
+        so keeping the original is safe and cheaper.
+        """
+        if not os.path.exists(snapshot_path(self.directory, seq)):
+            write_snapshot(self.directory, seq, self.fingerprint, dump_state())
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+__all__ = ["RunDurability"]

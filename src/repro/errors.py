@@ -73,5 +73,36 @@ class BudgetExhausted(ExecutionError):
     """
 
 
+class QueryCancelled(ExecutionError):
+    """A run was cooperatively cancelled at a region boundary.
+
+    Raised by the driver when the caller-supplied cancellation token
+    (see :class:`repro.serving.CancellationToken`) is set.  The check
+    runs only between regions, so shared state is always left at a
+    consistent region boundary — a journalled run cancelled this way is
+    resumable exactly like a crashed one.
+    """
+
+
+class DurabilityError(ExecutionError):
+    """On-disk durability state (journal or snapshot) is unusable.
+
+    Covers a missing/foreign journal, a checksum failure that is not a
+    clean torn tail, and fingerprint mismatches between the journal and
+    the run configuration/inputs it is being replayed against.
+    """
+
+
+class ResumeMismatch(DurabilityError):
+    """Deterministic replay diverged from the write-ahead journal.
+
+    The resume protocol re-executes regions recorded after the restored
+    snapshot and verifies each completed region against its journal
+    record (region id, comparison count, virtual clock, report counts).
+    Any difference means the inputs or code changed since the journal
+    was written — continuing would silently produce a different run.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment configuration is invalid or a harness step failed."""

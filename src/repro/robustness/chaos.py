@@ -18,6 +18,12 @@ checks the robustness layer's contract on each:
 * **everything** — all of the above at once, executed twice to prove
   determinism under identical fault seeds.
 
+With ``--journal`` every fault corner additionally runs under the
+write-ahead region journal (a fresh scratch directory per run) while the
+baseline stays plain — so the noop invariant then also proves
+journal-on == journal-off bit-identity under every fault corner, and the
+determinism invariant proves journalled runs replay identically.
+
 Any violated invariant prints a ``FAIL`` line and the process exits 1 —
 the shape CI's ``chaos`` job consumes.
 """
@@ -25,6 +31,8 @@ the shape CI's ``chaos`` job consumes.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import tempfile
 
 from repro.contracts.presets import c2
 from repro.core.caqe import CAQE, CAQEConfig, RunResult
@@ -81,10 +89,10 @@ class _Checker:
 
 
 def run_matrix(
-    seed: int, cardinality: int, checker: _Checker
+    seed: int, cardinality: int, checker: _Checker, journal: bool = False
 ) -> None:
     """Run every fault corner for one seed and record its invariants."""
-    print(f"seed {seed}:")
+    print(f"seed {seed}{' (journaled)' if journal else ''}:")
     pair = generate_pair(
         "independent", cardinality, 4, selectivity=0.05, seed=seed
     )
@@ -92,9 +100,23 @@ def run_matrix(
     contracts = {q.name: c2(scale=100.0) for q in workload}
 
     def execute(config: CAQEConfig) -> RunResult:
-        return CAQE(config).run(pair.left, pair.right, workload, contracts)
+        if not journal:
+            return CAQE(config).run(
+                pair.left, pair.right, workload, contracts
+            )
+        with tempfile.TemporaryDirectory(prefix="caqe-chaos-") as scratch:
+            journaled = dataclasses.replace(
+                config, enable_journal=True, journal_dir=scratch
+            )
+            return CAQE(journaled).run(
+                pair.left, pair.right, workload, contracts
+            )
 
-    baseline = execute(CAQEConfig())
+    # The baseline always runs plain: under --journal the noop invariant
+    # below then proves journal-on == journal-off bit-identity.
+    baseline = CAQE(CAQEConfig()).run(
+        pair.left, pair.right, workload, contracts
+    )
 
     # noop: switches on, no faults -> bit-identical to baseline.
     noop = execute(CAQEConfig(enable_sanitize=True, enable_recovery=True))
@@ -244,12 +266,18 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="rows per base table (default: 80 with --smoke, 150 without)",
     )
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="run every fault corner under the write-ahead region "
+        "journal (baseline stays plain, proving on==off bit-identity)",
+    )
     args = parser.parse_args(argv)
     cardinality = args.cardinality or (80 if args.smoke else 150)
 
     checker = _Checker()
     for seed in args.seeds:
-        run_matrix(seed, cardinality, checker)
+        run_matrix(seed, cardinality, checker, journal=args.journal)
     if checker.failures:
         print(f"chaos: {len(checker.failures)} invariant(s) violated")
         return 1

@@ -21,6 +21,7 @@ virtual-time budget runs out.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
@@ -59,14 +60,35 @@ class RetryPolicy:
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
 
+    @property
+    def max_retries(self) -> int:
+        """Retries after the initial attempt (0 = quarantine on first failure)."""
+        return self.max_attempts - 1
+
     def backoff(self, failure_count: int) -> float:
-        """Virtual time charged after the ``failure_count``-th failure."""
+        """Virtual time charged after the ``failure_count``-th failure.
+
+        Overflow-safe: ``backoff_factor ** (failure_count - 1)`` exceeds
+        float range long before ``failure_count`` exhausts any realistic
+        retry budget, but a supervisor with a huge ``max_attempts`` (or a
+        caller probing directly) must still get the capped charge instead
+        of an :class:`OverflowError`.
+        """
         if failure_count < 1:
             raise ExecutionError(
                 f"failure_count must be >= 1, got {failure_count}"
             )
-        raw = self.backoff_base * self.backoff_factor ** (failure_count - 1)
-        return float(min(raw, self.backoff_cap))
+        if self.backoff_base == 0.0:
+            # A zero base stays zero under any growth factor; short-circuit
+            # so gigantic exponents cannot overflow a product with 0.
+            return 0.0
+        try:
+            raw = self.backoff_base * self.backoff_factor ** (failure_count - 1)
+        except OverflowError:
+            return float(self.backoff_cap)
+        if math.isinf(raw) or raw > self.backoff_cap:
+            return float(self.backoff_cap)
+        return float(raw)
 
 
 @dataclass(frozen=True)

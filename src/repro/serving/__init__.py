@@ -1,0 +1,46 @@
+"""Overload-safe concurrent serving of CAQE workloads.
+
+``python -m repro.serving`` runs a self-contained quickstart demo;
+:mod:`repro.serving.server` holds the implementation.  See
+docs/ARCHITECTURE.md §10.6 for the admission/cancellation state machine.
+"""
+
+from repro.serving.server import (
+    ANSWERED,
+    CANCELLED,
+    CAQEServer,
+    CLOSED,
+    CancellationToken,
+    CircuitBreaker,
+    DEGRADED,
+    FAILED,
+    HALF_OPEN,
+    OPEN,
+    REASON_CIRCUIT_OPEN,
+    REASON_QUEUE_FULL,
+    REASON_SERVER_CLOSED,
+    Rejected,
+    ServedResult,
+    Ticket,
+    workload_signature,
+)
+
+__all__ = [
+    "ANSWERED",
+    "CANCELLED",
+    "CAQEServer",
+    "CLOSED",
+    "CancellationToken",
+    "CircuitBreaker",
+    "DEGRADED",
+    "FAILED",
+    "HALF_OPEN",
+    "OPEN",
+    "REASON_CIRCUIT_OPEN",
+    "REASON_QUEUE_FULL",
+    "REASON_SERVER_CLOSED",
+    "Rejected",
+    "ServedResult",
+    "Ticket",
+    "workload_signature",
+]

@@ -1,0 +1,427 @@
+"""The overload-safe concurrent serving layer (docs/ARCHITECTURE.md §10.6).
+
+:class:`CAQEServer` turns the single-run engine into a small decision
+support service over one fixed pair of base tables:
+
+* **bounded admission** — submissions enter a fixed-size queue drained
+  by worker threads; when the queue is full the submission is *shed*
+  with an explicit :class:`Rejected` (reason ``"queue_full"``) instead
+  of growing an unbounded backlog;
+* **deadlines** — a per-submission deadline is mapped onto the engine's
+  deterministic virtual-clock budget (``query_time_budget`` with
+  ``enable_recovery=True``), so a workload past its deadline finishes
+  with degraded MQLA-bound answers rather than running forever;
+* **cooperative cancellation** — every admitted submission carries a
+  :class:`CancellationToken` polled at region boundaries; cancelling
+  mid-run raises :class:`~repro.errors.QueryCancelled` inside the worker
+  and the ticket completes with status ``"cancelled"``;
+* **circuit breaking** — a per-workload-signature :class:`CircuitBreaker`
+  opens after repeated runs that quarantined regions (persistent
+  :class:`~repro.errors.RegionFailure` offenders) and sheds further
+  submissions of that workload (reason ``"circuit_open"``) until an
+  event-count cooldown admits a half-open trial.
+
+Wall clocks are banned in ``src/repro`` (caqe-check rule CQ007), so the
+breaker cooldown counts *events* (rejected submissions), not seconds —
+the same load that trips a breaker is what eventually re-tests it.
+
+Every admitted submission terminates: answered, degraded, cancelled, or
+failed.  Worker threads never hold a lock while running the engine, and
+the queue is the only cross-thread handoff, so the server cannot
+deadlock on its own primitives.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import threading
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.core.caqe import CAQE, CAQEConfig, RunResult
+from repro.errors import QueryCancelled, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.contracts.base import Contract
+    from repro.query.workload import Workload
+    from repro.relation import Relation
+
+#: Ticket states / final statuses.
+ANSWERED = "answered"
+DEGRADED = "degraded"
+CANCELLED = "cancelled"
+FAILED = "failed"
+
+#: Rejection reasons.
+REASON_QUEUE_FULL = "queue_full"
+REASON_CIRCUIT_OPEN = "circuit_open"
+REASON_SERVER_CLOSED = "server_closed"
+
+
+class CancellationToken:
+    """Thread-safe cooperative-cancellation flag.
+
+    The engine polls :meth:`is_cancelled` at every region boundary; the
+    duck-typed protocol (any object with ``is_cancelled()``) keeps the
+    core free of serving imports.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def is_cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """A shed submission and the explicit reason it was shed."""
+
+    reason: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # a rejection is falsy; tickets are truthy
+        return False
+
+
+@dataclass
+class ServedResult:
+    """Terminal outcome of one admitted submission."""
+
+    status: str
+    result: "RunResult | None" = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (ANSWERED, DEGRADED)
+
+
+class Ticket:
+    """Handle for one admitted submission (truthy, unlike Rejected)."""
+
+    def __init__(
+        self,
+        ticket_id: int,
+        workload: "Workload",
+        contracts: "dict[str, Contract]",
+        deadline: "float | None",
+        token: CancellationToken,
+        signature: str,
+    ) -> None:
+        self.ticket_id = ticket_id
+        self.workload = workload
+        self.contracts = contracts
+        self.deadline = deadline
+        self.token = token
+        self.signature = signature
+        self._done = threading.Event()
+        self._outcome: "ServedResult | None" = None
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (effective at the next region
+        boundary, or immediately if the run has not started)."""
+        self.token.cancel()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: "float | None" = None) -> ServedResult:
+        """Block until the submission reaches a terminal state."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"ticket #{self.ticket_id} not finished within {timeout}s"
+            )
+        assert self._outcome is not None
+        return self._outcome
+
+    def _finish(self, outcome: ServedResult) -> None:
+        self._outcome = outcome
+        self._done.set()
+
+
+#: CircuitBreaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Count-based per-workload breaker (no wall clock — CQ007).
+
+    ``threshold`` consecutive failing runs (raised errors or completed
+    runs that quarantined regions) open the breaker; while open, each
+    shed submission decrements an event cooldown, and when it reaches
+    zero the next submission is admitted as a half-open trial.  A
+    successful trial closes the breaker; a failing one re-opens it with
+    a fresh cooldown.
+    """
+
+    threshold: int = 3
+    cooldown: int = 8
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    _cooldown_left: int = 0
+
+    def admit(self) -> bool:
+        """Decide one submission; mutates cooldown/half-open state."""
+        if self.state == CLOSED:
+            return True
+        if self.state == HALF_OPEN:
+            # One trial in flight: shed everything else meanwhile.
+            return False
+        self._cooldown_left -= 1
+        if self._cooldown_left <= 0:
+            self.state = HALF_OPEN
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.threshold:
+            self.state = OPEN
+            self._cooldown_left = self.cooldown
+
+
+def workload_signature(workload: "Workload") -> str:
+    """Stable identity of a workload for breaker bookkeeping."""
+    return "|".join(f"{q.name}={q!r}" for q in workload)
+
+
+_SHUTDOWN = object()
+
+
+class CAQEServer:
+    """Thread-based concurrent serving of CAQE workloads.
+
+    One server owns one immutable pair of base tables; each admitted
+    submission runs a full :class:`~repro.core.caqe.CAQE` pass with its
+    own stats/clock, so concurrent runs share nothing mutable.
+    """
+
+    def __init__(
+        self,
+        left: "Relation",
+        right: "Relation",
+        config: "CAQEConfig | None" = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.config = config or CAQEConfig()
+        self._queue: "queue.Queue[Any]" = queue.Queue(
+            maxsize=self.config.server_queue_limit
+        )
+        self._lock = threading.Lock()
+        self._breakers: "dict[str, CircuitBreaker]" = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.metrics: "dict[str, int]" = {
+            "submitted": 0,
+            "admitted": 0,
+            "rejected_queue_full": 0,
+            "rejected_circuit_open": 0,
+            "rejected_server_closed": 0,
+            "answered": 0,
+            "degraded": 0,
+            "cancelled": 0,
+            "failed": 0,
+        }
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"caqe-server-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.config.server_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- admission ------------------------------------------------------- #
+    def submit(
+        self,
+        workload: "Workload",
+        contracts: "dict[str, Contract]",
+        deadline: "float | None" = None,
+        cancel_token: "CancellationToken | None" = None,
+    ) -> "Ticket | Rejected":
+        """Admit or shed one workload submission.
+
+        ``deadline`` is a *virtual-time* budget (the engine has no wall
+        clock); it defaults to ``config.server_default_deadline``.
+        Returns a :class:`Ticket` (truthy) or a :class:`Rejected`
+        (falsy) — callers can branch on truthiness.
+        """
+        signature = workload_signature(workload)
+        with self._lock:
+            self.metrics["submitted"] += 1
+            if self._closed:
+                self.metrics["rejected_server_closed"] += 1
+                return Rejected(REASON_SERVER_CLOSED)
+            breaker = self._breakers.setdefault(
+                signature,
+                CircuitBreaker(
+                    threshold=self.config.server_breaker_threshold,
+                    cooldown=self.config.server_breaker_cooldown,
+                ),
+            )
+            if not breaker.admit():
+                self.metrics["rejected_circuit_open"] += 1
+                return Rejected(
+                    REASON_CIRCUIT_OPEN,
+                    f"workload has failed {breaker.consecutive_failures} "
+                    "consecutive run(s)",
+                )
+            ticket = Ticket(
+                next(self._ids),
+                workload,
+                contracts,
+                deadline
+                if deadline is not None
+                else self.config.server_default_deadline,
+                cancel_token or CancellationToken(),
+                signature,
+            )
+            try:
+                self._queue.put_nowait(ticket)
+            except queue.Full:
+                # Load shedding: a half-open trial that cannot even enqueue
+                # re-opens its breaker, otherwise breaker state is untouched.
+                if breaker.state == HALF_OPEN:
+                    breaker.state = OPEN
+                    breaker._cooldown_left = breaker.cooldown
+                self.metrics["rejected_queue_full"] += 1
+                return Rejected(
+                    REASON_QUEUE_FULL,
+                    f"admission queue at capacity "
+                    f"({self.config.server_queue_limit})",
+                )
+            self.metrics["admitted"] += 1
+            return ticket
+
+    # -- worker side ----------------------------------------------------- #
+    def _run_config(self, ticket: Ticket) -> CAQEConfig:
+        overrides: "dict[str, Any]" = {}
+        if ticket.deadline is not None:
+            # Deadline -> virtual budget; recovery on so the run degrades
+            # to MQLA bounds at the deadline instead of failing loudly.
+            overrides["query_time_budget"] = float(ticket.deadline)
+            overrides["enable_recovery"] = True
+        if self.config.enable_journal and self.config.journal_dir:
+            # One journal directory per ticket: concurrent runs must not
+            # share an append-only journal file.
+            overrides["journal_dir"] = os.path.join(
+                self.config.journal_dir, f"ticket-{ticket.ticket_id:06d}"
+            )
+        return replace(self.config, **overrides) if overrides else self.config
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._queue.get()
+            if ticket is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            try:
+                self._serve(ticket)
+            finally:
+                self._queue.task_done()
+
+    def _serve(self, ticket: Ticket) -> None:
+        if ticket.token.is_cancelled():
+            self._finish(ticket, ServedResult(CANCELLED, error="cancelled before start"))
+            return
+        engine = CAQE(self._run_config(ticket))
+        try:
+            result = engine.run(
+                self.left,
+                self.right,
+                ticket.workload,
+                ticket.contracts,
+                cancel_token=ticket.token,
+            )
+        except QueryCancelled as exc:
+            self._finish(ticket, ServedResult(CANCELLED, error=str(exc)))
+            return
+        except ReproError as exc:
+            self._finish(
+                ticket,
+                ServedResult(FAILED, error=f"{type(exc).__name__}: {exc}"),
+                breaker_failure=True,
+            )
+            return
+        degraded = any(result.degraded.values())
+        quarantined = result.stats.regions_quarantined > 0
+        self._finish(
+            ticket,
+            ServedResult(DEGRADED if degraded else ANSWERED, result=result),
+            breaker_failure=quarantined,
+        )
+
+    def _finish(
+        self,
+        ticket: Ticket,
+        outcome: ServedResult,
+        breaker_failure: bool = False,
+    ) -> None:
+        with self._lock:
+            breaker = self._breakers.get(ticket.signature)
+            if breaker is not None and outcome.status != CANCELLED:
+                # Cancellation says nothing about workload health.
+                if breaker_failure:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+            self.metrics[outcome.status] += 1
+        ticket._finish(outcome)
+
+    # -- lifecycle ------------------------------------------------------- #
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting, drain the queue, and join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "CAQEServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+__all__ = [
+    "ANSWERED",
+    "CANCELLED",
+    "CAQEServer",
+    "CLOSED",
+    "CancellationToken",
+    "CircuitBreaker",
+    "DEGRADED",
+    "FAILED",
+    "HALF_OPEN",
+    "OPEN",
+    "REASON_CIRCUIT_OPEN",
+    "REASON_QUEUE_FULL",
+    "REASON_SERVER_CLOSED",
+    "Rejected",
+    "ServedResult",
+    "Ticket",
+    "workload_signature",
+]

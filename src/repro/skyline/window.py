@@ -291,6 +291,42 @@ class SkylineWindow:
         return BatchInsertOutcome(admitted, evicted, duplicate)
 
     # ------------------------------------------------------------------ #
+    # Durability hooks (docs/ARCHITECTURE.md §10): snapshots capture the
+    # window's exact entry order because BNL charges depend on it (a
+    # rejected insert pays up to its *first* dominator).
+    # ------------------------------------------------------------------ #
+    def dump_entries(self) -> "tuple[list[Hashable], list[list[float]]]":
+        """Window contents in entry order, as JSON-serialisable lists."""
+        rows = [
+            [float(v) for v in self._matrix[i]] for i in range(self._size)
+        ]
+        return list(self._keys), rows
+
+    def load_entries(
+        self, keys: "Sequence[Hashable]", rows: "Sequence[Sequence[float]]"
+    ) -> None:
+        """Restore a dumped window verbatim — no comparisons are charged.
+
+        Direct state injection for checkpoint recovery: the entries were
+        already paid for when originally inserted, and the restored stats
+        snapshot carries those charges.
+        """
+        if len(keys) != len(rows):
+            raise ValueError("window restore: keys/rows length mismatch")
+        self._keys = list(keys)
+        self._size = len(self._keys)
+        if self._size == 0:
+            self._matrix = None
+            return
+        width = len(rows[0])
+        capacity = max(
+            _INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length()
+        )
+        self._matrix = np.empty((capacity, width))
+        for i, row in enumerate(rows):
+            self._matrix[i] = np.asarray(row, dtype=float)
+
+    # ------------------------------------------------------------------ #
     def contains_key(self, key: Hashable) -> bool:
         return key in self._keys
 

@@ -8,6 +8,8 @@ on or off.  These tests pin that down on the paper's Figure 1 workload and
 on a randomized 8-query workload.
 """
 
+import tempfile
+
 import numpy as np
 import pytest
 
@@ -36,6 +38,9 @@ MODES = {
     # Robustness switches on with no faults injected must also be a
     # pure no-op (docs/ARCHITECTURE.md §9).
     "robust-noop": {"enable_sanitize": True, "enable_recovery": True},
+    # Write-ahead journaling + checkpoints must also be a pure no-op
+    # (docs/ARCHITECTURE.md §10); journal_dir is filled in per run.
+    "journal": {"enable_journal": True, "checkpoint_every_regions": 5},
 }
 
 
@@ -78,10 +83,13 @@ def random_workload(n_queries: int, dims: int, seed: int) -> Workload:
 def _run_all_modes(pair, workload, contracts):
     results = {}
     for mode, overrides in MODES.items():
-        config = CAQEConfig(**overrides)
-        results[mode] = CAQE(config).run(
-            pair.left, pair.right, workload, contracts
-        )
+        with tempfile.TemporaryDirectory(prefix="caqe-equiv-") as scratch:
+            if overrides.get("enable_journal"):
+                overrides = {**overrides, "journal_dir": scratch}
+            config = CAQEConfig(**overrides)
+            results[mode] = CAQE(config).run(
+                pair.left, pair.right, workload, contracts
+            )
     return results
 
 

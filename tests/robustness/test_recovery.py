@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ExecutionError
 from repro.robustness.recovery import (
     QUARANTINE,
+    REASON_QUARANTINE,
     RETRY,
     DegradedReport,
     RegionSupervisor,
@@ -40,6 +41,47 @@ class TestRetryPolicy:
     def test_validation(self, overrides, match):
         with pytest.raises(ExecutionError, match=match):
             RetryPolicy(**overrides)
+
+
+class TestRetryPolicyEdgeCases:
+    def test_zero_backoff_base_is_always_zero(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        assert policy.backoff(1) == 0.0
+        assert policy.backoff(10_000) == 0.0
+
+    def test_huge_failure_count_saturates_at_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=50.0, backoff_factor=2.0,
+            backoff_cap=800.0,
+        )
+        # 50 * 2**9999 overflows a float; the cap must absorb it.
+        assert policy.backoff(10_000) == 800.0
+
+    def test_huge_factor_saturates_at_cap(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_factor=1e308, backoff_cap=500.0
+        )
+        assert policy.backoff(3) == 500.0
+
+    def test_normal_range_matches_min_semantics(self):
+        policy = RetryPolicy(
+            max_attempts=8, backoff_base=50.0, backoff_factor=2.0,
+            backoff_cap=800.0,
+        )
+        assert [policy.backoff(n) for n in range(1, 8)] == [
+            min(50.0 * 2.0 ** (n - 1), 800.0) for n in range(1, 8)
+        ]
+
+    def test_zero_retry_policy_exposes_max_retries(self):
+        assert RetryPolicy(max_attempts=1).max_retries == 0
+        assert RetryPolicy(max_attempts=3).max_retries == 2
+
+    def test_zero_retry_policy_still_prices_backoff(self):
+        # A max_attempts=1 policy never schedules a retry, but backoff()
+        # must stay well-defined (the supervisor may price hypothetical
+        # waits for reporting).
+        policy = RetryPolicy(max_attempts=1, backoff_base=50.0)
+        assert policy.backoff(1) == 50.0
 
 
 class TestRegionSupervisor:
@@ -91,3 +133,72 @@ class TestDegradedReport:
         )
         with pytest.raises(dataclasses.FrozenInstanceError):
             report.reason = "quarantine"
+
+
+class TestAllRegionsQuarantined:
+    """Every region fails persistently before any tuple-level work.
+
+    The answer each query receives is then *pure MQLA*: no tuple-level
+    comparisons are ever charged, the reported identity sets are empty,
+    and every region the query touches contributes one quarantine-flagged
+    :class:`DegradedReport` carrying its coarse bounds.
+    """
+
+    @pytest.fixture(scope="class")
+    def total_loss_run(self):
+        from repro.contracts import c2
+        from repro.core import CAQE, CAQEConfig
+        from repro.datagen import generate_pair
+        from repro.robustness.chaos import figure1_workload
+        from repro.robustness.faults import FaultConfig, FaultPlan
+
+        pair = generate_pair(
+            "independent", 60, 4, selectivity=0.05, seed=11
+        )
+        workload = figure1_workload()
+        contracts = {q.name: c2(scale=100.0) for q in workload}
+        config = CAQEConfig(
+            enable_recovery=True,
+            retry_policy=RetryPolicy(max_attempts=1),
+            fault_plan=FaultPlan(
+                FaultConfig(seed=11, persistent_failure_rate=1.0)
+            ),
+        )
+        result = CAQE(config).run(
+            pair.left, pair.right, workload, contracts
+        )
+        return result, workload
+
+    def test_no_tuple_level_evaluation_happened(self, total_loss_run):
+        result, _ = total_loss_run
+        assert result.stats.skyline_comparisons == 0
+        assert result.stats.region_trace == []
+        assert result.stats.regions_quarantined > 0
+        # The coarse MQLA phase still ran — that is where the bounds
+        # in the degraded reports come from.
+        assert result.stats.coarse_comparisons > 0
+
+    def test_every_query_gets_a_pure_mqla_answer(self, total_loss_run):
+        result, workload = total_loss_run
+        for query in workload:
+            assert result.reported[query.name] == set()
+            assert result.is_degraded(query.name)
+            reports = result.degraded[query.name]
+            assert reports, query.name
+            # Bounds live in the shared output space, which covers at
+            # least the query's own preference dimensions.
+            dims = len(query.preference.dims)
+            for report in reports:
+                assert report.reason == REASON_QUARANTINE
+                assert len(report.lower) == len(report.upper)
+                assert len(report.lower) >= dims
+                assert all(
+                    lo <= hi
+                    for lo, hi in zip(report.lower, report.upper)
+                )
+                assert report.est_join_count >= 0.0
+
+    def test_degraded_report_count_matches_stats(self, total_loss_run):
+        result, _ = total_loss_run
+        total = sum(len(r) for r in result.degraded.values())
+        assert total == result.stats.degraded_reports

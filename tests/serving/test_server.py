@@ -1,0 +1,320 @@
+"""CAQEServer: admission, deadlines, cancellation, shedding, breakers.
+
+Concurrency here is made deterministic with two duck-typed cancel
+tokens: a counting token that fires at an exact region boundary, and a
+gate token that parks the worker thread inside a run until the test
+releases it (so queue occupancy during overload is exact, not a race).
+"""
+
+import threading
+
+import pytest
+
+from repro.contracts import c2
+from repro.core import CAQE, CAQEConfig
+from repro.datagen import generate_pair
+from repro.query import JoinCondition, Preference, SkylineJoinQuery, add
+from repro.query.workload import Workload
+from repro.robustness.faults import FaultConfig, FaultPlan
+from repro.robustness.recovery import RetryPolicy
+from repro.serving import (
+    ANSWERED,
+    CANCELLED,
+    CAQEServer,
+    CancellationToken,
+    CircuitBreaker,
+    DEGRADED,
+    FAILED,
+    OPEN,
+    REASON_CIRCUIT_OPEN,
+    REASON_QUEUE_FULL,
+    REASON_SERVER_CLOSED,
+    Rejected,
+    workload_signature,
+)
+
+WAIT = 120.0  # generous terminal-state timeout; nothing here should hang
+
+
+class CountdownToken:
+    """Duck-typed token that cancels after ``n`` region-boundary polls."""
+
+    def __init__(self, n: int) -> None:
+        self.remaining = n
+
+    def cancel(self) -> None:  # Ticket.cancel() delegates here
+        self.remaining = 0
+
+    def is_cancelled(self) -> bool:
+        self.remaining -= 1
+        return self.remaining < 0
+
+
+class GateToken:
+    """Duck-typed token that parks the run until the gate opens."""
+
+    def __init__(self) -> None:
+        self._gate = threading.Event()
+
+    def open(self) -> None:
+        self._gate.set()
+
+    def cancel(self) -> None:
+        self._gate.set()
+
+    def is_cancelled(self) -> bool:
+        self._gate.wait(timeout=WAIT)
+        return False
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_pair("independent", 60, 4, selectivity=0.05, seed=17)
+
+
+@pytest.fixture(scope="module")
+def contracts(figure1_workload):
+    return {q.name: c2(scale=100.0) for q in figure1_workload}
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=5)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state != OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=5)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state != OPEN
+
+    def test_cooldown_events_admit_a_half_open_trial(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2)
+        breaker.record_failure()
+        assert not breaker.admit()  # cooldown 2 -> 1
+        assert breaker.admit()  # cooldown hits 0: half-open trial
+        assert not breaker.admit()  # everything else shed during the trial
+
+    def test_trial_success_closes_trial_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2)
+        breaker.record_failure()
+        assert not breaker.admit()
+        assert breaker.admit()  # cooldown exhausted: half-open trial
+        breaker.record_success()
+        assert breaker.admit()  # closed again
+
+        breaker.record_failure()
+        assert not breaker.admit()
+        assert breaker.admit()
+        breaker.record_failure()  # the trial itself failed
+        assert breaker.state == OPEN
+        assert not breaker.admit()  # fresh cooldown started
+
+
+class TestServedRuns:
+    def test_answer_matches_a_direct_engine_run(
+        self, pair, figure1_workload, contracts
+    ):
+        direct = CAQE(CAQEConfig()).run(
+            pair.left, pair.right, figure1_workload, contracts
+        )
+        with CAQEServer(pair.left, pair.right) as server:
+            ticket = server.submit(figure1_workload, contracts)
+            assert ticket and not isinstance(ticket, Rejected)
+            outcome = ticket.result(timeout=WAIT)
+        assert outcome.status == ANSWERED and outcome.ok
+        assert outcome.result is not None
+        assert outcome.result.reported == direct.reported
+        assert (
+            outcome.result.stats.region_trace == direct.stats.region_trace
+        )
+        assert outcome.result.stats.elapsed == direct.stats.elapsed
+
+    def test_deadline_degrades_instead_of_running_forever(
+        self, pair, figure1_workload, contracts
+    ):
+        with CAQEServer(pair.left, pair.right) as server:
+            ticket = server.submit(
+                figure1_workload, contracts, deadline=2_000.0
+            )
+            outcome = ticket.result(timeout=WAIT)
+        assert outcome.status == DEGRADED and outcome.ok
+        assert outcome.result is not None
+        assert any(outcome.result.degraded.values())
+        assert server.metrics["degraded"] == 1
+
+    def test_cancel_before_start(self, pair, figure1_workload, contracts):
+        token = CancellationToken()
+        token.cancel()
+        with CAQEServer(pair.left, pair.right) as server:
+            ticket = server.submit(
+                figure1_workload, contracts, cancel_token=token
+            )
+            outcome = ticket.result(timeout=WAIT)
+        assert outcome.status == CANCELLED
+        assert not outcome.ok
+        assert outcome.result is None
+
+    def test_cancel_mid_run_at_a_region_boundary(
+        self, pair, figure1_workload, contracts
+    ):
+        with CAQEServer(pair.left, pair.right) as server:
+            ticket = server.submit(
+                figure1_workload, contracts, cancel_token=CountdownToken(5)
+            )
+            outcome = ticket.result(timeout=WAIT)
+        assert outcome.status == CANCELLED
+        assert "region boundary" in outcome.error
+        assert server.metrics["cancelled"] == 1
+
+    def test_rejected_is_falsy_and_ticket_is_truthy(
+        self, pair, figure1_workload, contracts
+    ):
+        with CAQEServer(pair.left, pair.right) as server:
+            ticket = server.submit(figure1_workload, contracts)
+            assert bool(ticket)
+            ticket.result(timeout=WAIT)
+        assert not Rejected(REASON_QUEUE_FULL)
+
+    def test_closed_server_sheds_with_explicit_reason(
+        self, pair, figure1_workload, contracts
+    ):
+        server = CAQEServer(pair.left, pair.right)
+        server.shutdown()
+        rejection = server.submit(figure1_workload, contracts)
+        assert isinstance(rejection, Rejected)
+        assert rejection.reason == REASON_SERVER_CLOSED
+
+
+class TestOverloadShedding:
+    def test_four_x_overload_sheds_explicitly_and_terminates(
+        self, pair, figure1_workload, contracts
+    ):
+        config = CAQEConfig(server_workers=1, server_queue_limit=2)
+        with CAQEServer(pair.left, pair.right, config) as server:
+            gate = GateToken()
+            running = server.submit(
+                figure1_workload, contracts, cancel_token=gate
+            )
+            assert running
+            # Wait until the worker has actually dequeued the gated run,
+            # then fill the admission queue to capacity.
+            deadline = threading.Event()
+            while server._queue.qsize() > 0:
+                assert not deadline.wait(0.01)
+            queued = [
+                server.submit(figure1_workload, contracts) for _ in range(2)
+            ]
+            assert all(queued)
+
+            # 4x the queue capacity on top: every one must shed with an
+            # explicit queue_full rejection, never block or error.
+            rejections = [
+                server.submit(figure1_workload, contracts) for _ in range(8)
+            ]
+            assert all(isinstance(r, Rejected) for r in rejections)
+            assert {r.reason for r in rejections} == {REASON_QUEUE_FULL}
+            assert server.metrics["rejected_queue_full"] == 8
+
+            gate.open()
+            outcomes = [t.result(timeout=WAIT) for t in [running, *queued]]
+        assert [o.status for o in outcomes] == [ANSWERED] * 3
+        assert server.metrics["admitted"] == 3
+        assert server.metrics["submitted"] == 11
+
+
+class TestCircuitBreakerServing:
+    def _toxic_server(self, pair) -> CAQEServer:
+        """Every run quarantines all regions -> breaker failures."""
+        return CAQEServer(
+            pair.left,
+            pair.right,
+            CAQEConfig(
+                enable_recovery=True,
+                retry_policy=RetryPolicy(max_attempts=1),
+                fault_plan=FaultPlan(
+                    FaultConfig(seed=5, persistent_failure_rate=1.0)
+                ),
+                server_workers=1,
+                server_breaker_threshold=2,
+                server_breaker_cooldown=2,
+            ),
+        )
+
+    def test_quarantine_heavy_workload_trips_its_breaker(
+        self, pair, figure1_workload, contracts
+    ):
+        with self._toxic_server(pair) as server:
+            for _ in range(2):  # threshold
+                ticket = server.submit(figure1_workload, contracts)
+                outcome = ticket.result(timeout=WAIT)
+                assert outcome.status == DEGRADED
+            rejection = server.submit(figure1_workload, contracts)
+            assert isinstance(rejection, Rejected)
+            assert rejection.reason == REASON_CIRCUIT_OPEN
+            assert server.metrics["rejected_circuit_open"] == 1
+
+    def test_cooldown_admits_a_half_open_trial_that_reopens(
+        self, pair, figure1_workload, contracts
+    ):
+        with self._toxic_server(pair) as server:
+            for _ in range(2):
+                server.submit(figure1_workload, contracts).result(timeout=WAIT)
+            # cooldown=2: one shed submission, then a half-open trial.
+            assert isinstance(
+                server.submit(figure1_workload, contracts), Rejected
+            )
+            trial = server.submit(figure1_workload, contracts)
+            assert trial
+            assert trial.result(timeout=WAIT).status == DEGRADED
+            # The trial quarantined again -> breaker re-opened.
+            rejection = server.submit(figure1_workload, contracts)
+            assert isinstance(rejection, Rejected)
+            assert rejection.reason == REASON_CIRCUIT_OPEN
+
+    def test_breakers_are_per_workload_signature(
+        self, pair, figure1_workload, contracts
+    ):
+        jc = JoinCondition.on("jc1", name="JC1")
+        fns = (add("m1", "m1", "d1"), add("m2", "m2", "d2"))
+        other = Workload(
+            [SkylineJoinQuery("QX", jc, fns, Preference.over("d1", "d2"))]
+        )
+        assert workload_signature(other) != workload_signature(
+            figure1_workload
+        )
+        with self._toxic_server(pair) as server:
+            for _ in range(2):
+                server.submit(figure1_workload, contracts).result(timeout=WAIT)
+            assert isinstance(
+                server.submit(figure1_workload, contracts), Rejected
+            )
+            # A different workload is judged by its own breaker.
+            ticket = server.submit(
+                other, {"QX": c2(scale=100.0)}
+            )
+            assert ticket
+            ticket.result(timeout=WAIT)
+
+    def test_cancellation_does_not_count_against_the_breaker(
+        self, pair, figure1_workload, contracts
+    ):
+        with CAQEServer(
+            pair.left,
+            pair.right,
+            CAQEConfig(server_workers=1, server_breaker_threshold=1),
+        ) as server:
+            ticket = server.submit(
+                figure1_workload, contracts, cancel_token=CountdownToken(2)
+            )
+            assert ticket.result(timeout=WAIT).status == CANCELLED
+            breaker = server._breakers[workload_signature(figure1_workload)]
+            assert breaker.consecutive_failures == 0
+            follow_up = server.submit(figure1_workload, contracts)
+            assert follow_up
+            assert follow_up.result(timeout=WAIT).status == ANSWERED

@@ -1,6 +1,6 @@
 """Fixture tests for the ``tools.caqe_check`` static-analysis suite.
 
-Each rule CQ001–CQ006 is exercised three ways:
+Each rule CQ001–CQ007 is exercised three ways:
 
 * a **violating** fixture written under a tmpdir whose layout mimics the
   real tree (``repro/core/...``) so the path-fragment scoping triggers;
@@ -443,6 +443,94 @@ class TestCQ006:
                     return None
             """,
             select="CQ006",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ007 — wall-clock ban
+# ------------------------------------------------------------------ #
+class TestCQ007:
+    def test_fires_on_time_imports_and_calls(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """\
+            import time
+            from time import sleep
+
+
+            def stamp():
+                return time.monotonic()
+            """,
+            select="CQ007",
+        )
+        assert codes(found) == ["CQ007", "CQ007", "CQ007"]
+
+    def test_fires_on_datetime_now(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            import datetime
+
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            select="CQ007",
+        )
+        assert codes(found) == ["CQ007", "CQ007"]
+
+    def test_virtual_clock_usage_is_clean(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            from repro.core.clock import VirtualClock
+
+
+            def charge(stats, cost):
+                stats.clock.advance(cost)
+                return stats.clock.now()
+            """,
+            select="CQ007",
+        )
+        assert found == []
+
+    def test_clock_module_itself_is_exempt(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/clock.py",
+            "import time\n\n\ndef wall():\n    return time.time()\n",
+            select="CQ007",
+        )
+        assert found == []
+
+    def test_journal_module_is_exempt(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/durability/journal.py",
+            "import time\n",
+            select="CQ007",
+        )
+        assert found == []
+
+    def test_out_of_tree_files_are_not_flagged(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "bench/mod.py",
+            "import time\n\n\ndef wall():\n    return time.time()\n",
+            select="CQ007",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            "import time  # caqe-check: disable=CQ007\n",
+            select="CQ007",
         )
         assert found == []
 

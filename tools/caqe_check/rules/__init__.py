@@ -11,6 +11,7 @@ from tools.caqe_check.rules import (
     cq004_config,
     cq005_float_eq,
     cq006_exceptions,
+    cq007_wallclock,
 )
 
 FILE_RULES = (
@@ -19,6 +20,7 @@ FILE_RULES = (
     cq003_iteration,
     cq005_float_eq,
     cq006_exceptions,
+    cq007_wallclock,
 )
 PROJECT_RULES = (cq004_config,)
 

@@ -1,0 +1,93 @@
+"""CQ007 — wall-clock ban (docs/ARCHITECTURE.md §10).
+
+Run observables are a pure function of the inputs because every charge
+goes through the deterministic :class:`~repro.core.clock.VirtualClock`.
+A single wall-clock read anywhere on the execution path silently breaks
+crash recovery (the journal replay would diverge) and every bit-identity
+guarantee the equivalence suites pin down.  Inside ``repro`` this rule
+therefore forbids:
+
+* ``import time`` / ``from time import ...`` and any call through
+  ``time.*`` (``time.time``, ``time.monotonic``, ``time.perf_counter``,
+  ``time.sleep``, ...);
+* ``from datetime import ...`` / ``import datetime`` and the wall-clock
+  constructors ``datetime.now`` / ``datetime.utcnow`` / ``date.today``
+  (and their ``datetime.datetime.now`` spellings).
+
+Exemptions: ``repro/core/clock.py`` (it *defines* time for the engine)
+and ``repro/durability/journal.py`` (fsync bookkeeping may legitimately
+touch the OS layer).  Bench/CLI layers outside ``repro`` may time
+whatever they like.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.caqe_check.engine import CheckedFile, dotted_name
+from tools.caqe_check.report import Violation
+
+CODE = "CQ007"
+
+_EXEMPT_SUFFIXES = (
+    "repro/core/clock.py",
+    "repro/durability/journal.py",
+)
+
+_DATETIME_CALLS = {"now", "utcnow", "today", "fromtimestamp"}
+
+
+def _in_scope(posix: str) -> bool:
+    return "repro/" in posix and not posix.endswith(_EXEMPT_SUFFIXES)
+
+
+def check(file: CheckedFile) -> "list[Violation]":
+    if not _in_scope(file.posix):
+        return []
+    violations: "list[Violation]" = []
+
+    def emit(node: ast.AST, message: str) -> None:
+        violation = file.violation(node, CODE, message)
+        if violation is not None:
+            violations.append(violation)
+
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in ("time", "datetime"):
+                    emit(
+                        node,
+                        f"import of {alias.name!r}: wall clocks are banned "
+                        "in repro — charge the VirtualClock "
+                        "(repro.core.clock) instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = (node.module or "").split(".")[0]
+            if module in ("time", "datetime"):
+                emit(
+                    node,
+                    f"import from {node.module!r}: wall clocks are banned "
+                    "in repro — charge the VirtualClock "
+                    "(repro.core.clock) instead",
+                )
+        elif isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            if chain[0] == "time":
+                emit(
+                    node,
+                    f"call to {'.'.join(chain)}: wall-clock read; "
+                    "use stats.clock.now() / VirtualClock charges",
+                )
+            elif (
+                chain[-1] in _DATETIME_CALLS
+                and ("datetime" in chain[:-1] or "date" in chain[:-1])
+            ):
+                emit(
+                    node,
+                    f"call to {'.'.join(chain)}: wall-clock datetime; "
+                    "the engine's notion of time is the VirtualClock",
+                )
+    return violations
