@@ -18,9 +18,14 @@ to end:
    ``Rejected(reason="circuit_open")`` until a cooldown admits a
    half-open trial.
 
-Run:  python examples/server_demo.py
+Run:  python examples/server_demo.py [--workers N]
+
+``--workers N`` runs every submission over one shared deterministic
+region pool of N worker processes (docs/ARCHITECTURE.md §11); results
+are bit-identical to the serial engine.
 """
 
+import argparse
 import threading
 
 from repro import CAQEConfig, c2, generate_pair
@@ -30,6 +35,16 @@ from repro.robustness import FaultConfig, FaultPlan, RetryPolicy
 from repro.serving import CAQEServer, CancellationToken, Rejected
 
 SEED = 23
+
+parser = argparse.ArgumentParser(description="CAQEServer walkthrough")
+parser.add_argument(
+    "--workers",
+    type=int,
+    default=0,
+    help="region-pool worker processes shared across submissions "
+    "(0 = serial engine)",
+)
+WORKERS = parser.parse_args().workers
 
 # The Figure-1 workload: Q1..Q4 over output dimensions d1..d4.
 jc = JoinCondition.on("jc1", name="JC1")
@@ -76,7 +91,7 @@ class Gate:
 
 
 print("=== deadlines and cancellation ===")
-with CAQEServer(pair.left, pair.right) as server:
+with CAQEServer(pair.left, pair.right, CAQEConfig(workers=WORKERS)) as server:
     normal = server.submit(workload, contracts)
     tight = server.submit(workload, contracts, deadline=5_000.0)
     token = CancellationToken()
@@ -87,7 +102,7 @@ with CAQEServer(pair.left, pair.right) as server:
     show("cancelled", doomed.result())
 
 print("\n=== 4x overload: explicit shedding, no deadlock ===")
-config = CAQEConfig(server_workers=1, server_queue_limit=2)
+config = CAQEConfig(server_workers=1, server_queue_limit=2, workers=WORKERS)
 with CAQEServer(pair.left, pair.right, config) as server:
     gate = Gate()
     running = server.submit(workload, contracts, cancel_token=gate)
@@ -111,6 +126,7 @@ toxic = CAQEConfig(
     server_workers=1,
     server_breaker_threshold=2,
     server_breaker_cooldown=2,
+    workers=WORKERS,
 )
 with CAQEServer(pair.left, pair.right, toxic) as server:
     for attempt in range(1, 3):

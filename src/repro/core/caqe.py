@@ -60,6 +60,22 @@ from repro.skyline.dominance import dominance_mask
 from repro.skyline.estimate import buchta_skyline_size
 
 
+def _default_workers() -> int:
+    """Pool size default, honouring the test matrix's env override.
+
+    ``CAQE_TEST_WORKERS`` lets CI run the whole tier-1 suite under a
+    worker pool without touching any test; unset or invalid values mean
+    the serial engine.
+    """
+    import os
+
+    raw = os.environ.get("CAQE_TEST_WORKERS", "")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
 @dataclass(frozen=True)
 class CAQEConfig:
     """Tunables and ablation switches for a CAQE run."""
@@ -144,6 +160,23 @@ class CAQEConfig:
     #: Default per-query virtual-time deadline applied by the server
     #: when a submission carries none.  ``None`` = no deadline.
     server_default_deadline: "float | None" = None
+    #: Parallel prepare layer (docs/ARCHITECTURE.md §11).  Worker
+    #: processes joining/projecting regions ahead of the driver's
+    #: deterministic commit.  ``0`` (the default) is the serial engine,
+    #: bit-identical to a build without the layer; any positive count
+    #: changes wall-clock time only — every observable (region trace,
+    #: comparisons, virtual time, reported identities) is unchanged.
+    workers: int = field(default_factory=_default_workers)
+    #: Speculative dispatch depth: how many benefit-ranked unblocked
+    #: roots are shipped to the pool per scheduling wave.
+    parallel_chunk_regions: int = 8
+    #: Share relation columns with workers through
+    #: ``multiprocessing.shared_memory`` (off: pickle whole relations at
+    #: pool start — slower start-up, identical results).
+    enable_shared_memory: bool = True
+    #: Per-region phase breakdown (join/map/sort/skyline/report) in
+    #: virtual-time units, collected into ``stats.region_phases``.
+    profile_phases: bool = False
 
     def __post_init__(self) -> None:
         if self.objective not in ("contract", "count", "scan"):
@@ -187,6 +220,15 @@ class CAQEConfig:
             raise ExecutionError(
                 f"server_default_deadline must be positive, got "
                 f"{self.server_default_deadline}"
+            )
+        if self.workers < 0:
+            raise ExecutionError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.parallel_chunk_regions < 1:
+            raise ExecutionError(
+                f"parallel_chunk_regions must be >= 1, got "
+                f"{self.parallel_chunk_regions}"
             )
 
     def capacity_for(self, cardinality: int) -> int:
@@ -317,6 +359,8 @@ class CAQE:
         *,
         cancel_token: "object | None" = None,
         _resume: "object | None" = None,
+        pool: "object | None" = None,
+        build_cache: "dict | None" = None,
     ) -> RunResult:
         """Execute the workload; ``stats`` may be shared across runs so
         baselines that process queries sequentially accumulate one clock.
@@ -326,6 +370,12 @@ class CAQE:
         :class:`~repro.errors.QueryCancelled` (the serving layer's
         cooperative cancellation).  ``_resume`` is internal — use
         :func:`repro.durability.resume_run`.
+
+        ``pool`` is an external :class:`~repro.parallel.RegionPool` to
+        borrow (the serving layer shares one across submissions); when
+        ``config.workers > 0`` and none is given, the run owns a private
+        pool.  ``build_cache`` optionally shares the executor's hash-join
+        build tables across runs of identical shape.
         """
         cfg = self.config
         workload.validate(left, right)
@@ -334,8 +384,32 @@ class CAQE:
             raise ExecutionError(f"missing contracts for queries: {missing}")
         if stats is None:
             stats = ExecutionStats.with_cost_model(cfg.cost_model)
+        stats.profile_phases = cfg.profile_phases
+        if cfg.workers > 0:
+            stats.parallel_lanes = cfg.workers
 
-        rs = self._prepare(left, right, workload, contracts, stats)
+        rs = self._prepare(
+            left, right, workload, contracts, stats, build_cache=build_cache
+        )
+
+        pool_owned = False
+        client = None
+        if cfg.workers > 0:
+            from repro.parallel import RegionPool
+
+            # An external pool is only valid over the exact relations the
+            # executor reads; fault injection / sanitisation replace them,
+            # so such runs build a private pool over the replaced inputs.
+            if pool is None or rs.left is not left or rs.right is not right:
+                pool = RegionPool(
+                    rs.left,
+                    rs.right,
+                    workers=cfg.workers,
+                    use_shared_memory=cfg.enable_shared_memory,
+                )
+                pool_owned = True
+            client = pool.client()
+            client.set_workload(workload)
 
         durability = None
         if cfg.enable_journal:
@@ -371,10 +445,12 @@ class CAQE:
             raise ExecutionError("resuming a run requires enable_journal=True")
 
         try:
-            self._execute(rs, durability, cancel_token)
+            self._execute(rs, durability, cancel_token, client)
         finally:
             if durability is not None:
                 durability.close()
+            if pool_owned:
+                pool.close()
         return self._finalize(rs)
 
     # ------------------------------------------------------------------ #
@@ -385,6 +461,7 @@ class CAQE:
         workload: Workload,
         contracts: "dict[str, Contract]",
         stats: ExecutionStats,
+        build_cache: "dict | None" = None,
     ) -> _RunState:
         """The deterministic prologue — everything before Algorithm 1's
         loop.  A resumed run re-executes this from the original inputs and
@@ -400,8 +477,12 @@ class CAQE:
         inject = fault_plan is not None and fault_plan.active
         if inject:
             left, right, _injected = fault_plan.corrupt_pair(left, right)
+            # Injected/sanitised inputs invalidate any cross-run caches
+            # keyed on the original relations.
+            build_cache = None
         quarantine: "dict[str, QuarantineReport]" = {}
         if cfg.enable_sanitize:
+            build_cache = None
             left, left_report = sanitize_relation(
                 left, domain_limit=cfg.sanitize_domain_limit
             )
@@ -437,6 +518,10 @@ class CAQE:
             workload.output_dims,
             counter=stats.comparison_counter,
             assume_dva=cfg.assume_dva,
+            # Parallel runs use the replay insertion kernel — bit-identical
+            # to the per-round kernel (same admissions, evictions, charges)
+            # but one dominance broadcast per batch instead of per round.
+            batch_kernel="replay" if cfg.workers > 0 else "rounds",
         )
 
         # -- Step 2: MQLA ------------------------------------------------- #
@@ -528,6 +613,8 @@ class CAQE:
             stats,
             batch_inserts=cfg.enable_batch_insert,
             fault_hook=fault_hook,
+            build_cache=build_cache,
+            parallel_commit=cfg.workers > 0,
         )
         return rs
 
@@ -537,10 +624,24 @@ class CAQE:
         rs: _RunState,
         durability: "object | None" = None,
         cancel_token: "object | None" = None,
+        client: "object | None" = None,
     ) -> None:
-        """Algorithm 1's main loop over the remaining regions."""
+        """Algorithm 1's main loop over the remaining regions.
+
+        With a pool ``client``, each wave ranks the unblocked roots and
+        speculatively ships the top ``parallel_chunk_regions`` to worker
+        processes; the *commit* still happens one region at a time, in
+        the exact serial benefit order, so every observable matches the
+        serial engine bit for bit.  A payload not ready at commit is
+        prepared inline (work stealing), and payloads of regions that die
+        before their turn are dropped — speculation is pure, so neither
+        case perturbs anything.
+        """
         cfg = self.config
         workload, stats, executor = rs.workload, rs.stats, rs.executor
+        conditions = {c.name: c for c in workload.join_conditions}
+        #: Payloads fetched but not yet committed (kept across retries).
+        prepared_cache: "dict[int, object]" = {}
         while rs.alive:
             if cancel_token is not None and cancel_token.is_cancelled():
                 raise QueryCancelled(
@@ -565,9 +666,26 @@ class CAQE:
             roots = rs.graph.roots() & rs.alive.keys()
             if not roots:
                 roots = rs.graph.force_roots() & rs.alive.keys()
-            region = self._pick_region(
-                roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
-            )
+            if client is None:
+                region = self._pick_region(
+                    roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
+                )
+            else:
+                ranked = self._rank_regions(
+                    roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
+                )
+                region = rs.alive[ranked[0]]
+                # Wave dispatch: the next few commits almost always come
+                # from the current top of the ranking, so ship those now.
+                for rid in ranked[: cfg.parallel_chunk_regions]:
+                    if rid not in prepared_cache:
+                        spec = rs.alive[rid]
+                        client.dispatch(
+                            rid,
+                            conditions[spec.condition_name],
+                            rs.cells_left[spec.left_cell_id],
+                            rs.cells_right[spec.right_cell_id],
+                        )
             captured_successors = rs.graph.successors(region.region_id)
             if rs.inject:
                 rs.rng_cursor += 1
@@ -577,13 +695,42 @@ class CAQE:
             else:
                 straggler_factor = 1.0
             started = stats.clock.now()
+            prepared = None
+            if client is not None:
+                prepared = prepared_cache.pop(region.region_id, None)
+                if prepared is None:
+                    prepared = client.fetch(region.region_id)
+                if prepared is None:
+                    # Steal the work: prepare inline with the same kernel.
+                    from repro.parallel import PrepareTask, prepare_payload
+
+                    lc = rs.cells_left[region.left_cell_id]
+                    rc = rs.cells_right[region.right_cell_id]
+                    prepared = prepare_payload(
+                        PrepareTask(
+                            client=0,
+                            region_id=region.region_id,
+                            condition=conditions[region.condition_name],
+                            left_cell_id=lc.cell_id,
+                            right_cell_id=rc.cell_id,
+                            left_indices=lc.indices,
+                            right_indices=rc.indices,
+                            functions=None,
+                        ),
+                        rs.left,
+                        rs.right,
+                    )
             try:
                 outcome = executor.process(
                     region,
                     rs.cells_left[region.left_cell_id],
                     rs.cells_right[region.right_cell_id],
+                    prepared=prepared,
                 )
             except RegionFailure:
+                if prepared is not None:
+                    # The payload is pure — keep it for the retry.
+                    prepared_cache[region.region_id] = prepared
                 if rs.supervisor is None:
                     raise
                 if rs.supervisor.record_failure(region.region_id) == RETRY:
@@ -591,6 +738,9 @@ class CAQE:
                         rs.supervisor.backoff_for(region.region_id)
                     )
                 else:
+                    prepared_cache.pop(region.region_id, None)
+                    if client is not None:
+                        client.forget(region.region_id)
                     self._quarantine_region(
                         workload,
                         region,
@@ -617,6 +767,10 @@ class CAQE:
             del rs.alive[region.region_id]
             rs.graph.remove_node(region.region_id)
             rs.benefit.note_removed(region.region_id)
+            if client is not None:
+                # Clear any straggling in-flight state (e.g. the driver
+                # stole the work while a worker was still computing it).
+                client.forget(region.region_id)
 
             rs.state.apply_evictions(outcome, rs.tracker)
             rs.state.admit_candidates(
@@ -635,9 +789,18 @@ class CAQE:
                     rs.tracker,
                     stats,
                 )
+                if client is not None:
+                    # Speculative payloads of regions the discard step
+                    # just killed will never commit — drop them.
+                    for target_id in captured_successors:
+                        if target_id not in rs.alive:
+                            prepared_cache.pop(target_id, None)
+                            client.forget(target_id)
             rs.state.release_region(
                 region.region_id, region.rql, rs.tracker, stats
             )
+            stats.mark_phase("report")
+            stats.record_region_duration(stats.clock.now() - started)
 
             if cfg.enable_feedback:
                 sats = np.array(
@@ -724,19 +887,26 @@ class CAQE:
             out[query.name] = max(buchta_skyline_size(total_join, d), 1.0)
         return out
 
-    def _pick_region(
+    def _rank_regions(
         self,
         roots: "set[int]",
         alive: "dict[int, OutputRegion]",
         benefit: BenefitModel,
         weights: np.ndarray,
         now: float,
-    ) -> OutputRegion:
+    ) -> "list[int]":
+        """Root ids best-first under the configured objective.
+
+        The head of the ranking is exactly :meth:`_pick_region`'s choice
+        (stable descending sort ties break toward the lower region id,
+        matching ``argmax``); the tail orders the wave scheduler's
+        speculative dispatches.
+        """
         if not roots:
             raise ExecutionError("no schedulable region (empty root set)")
-        if self.config.objective == "scan":
-            return alive[min(roots)]
         root_ids = sorted(roots)
+        if self.config.objective == "scan":
+            return root_ids
         estimates = benefit.estimate_roots(
             [alive[rid] for rid in root_ids],
             use_cache=self.config.enable_scheduler_cache,
@@ -745,7 +915,18 @@ class CAQE:
             scores = np.vstack([e.prog_est for e in estimates]) @ weights
         else:
             scores = benefit.csm_batch(estimates, weights, now)
-        return alive[root_ids[int(np.argmax(scores))]]
+        order = np.argsort(-np.asarray(scores), kind="stable")
+        return [root_ids[i] for i in order]
+
+    def _pick_region(
+        self,
+        roots: "set[int]",
+        alive: "dict[int, OutputRegion]",
+        benefit: BenefitModel,
+        weights: np.ndarray,
+        now: float,
+    ) -> OutputRegion:
+        return alive[self._rank_regions(roots, alive, benefit, weights, now)[0]]
 
     def _discard_dominated(
         self,

@@ -65,6 +65,30 @@ class JoinResultStore:
         self.region_of[key] = region_id
         return key
 
+    def add_batch(
+        self,
+        left_rows: np.ndarray,
+        right_rows: np.ndarray,
+        vectors: np.ndarray,
+        region_id: int,
+    ) -> "list[int]":
+        """Bulk :meth:`add` for one region's (already sorted) tuples.
+
+        Identical key sequence and stored objects to calling :meth:`add`
+        row by row — the dict updates just run at C speed.  Used by the
+        parallel layer's commit path (docs/ARCHITECTURE.md §11).
+        """
+        base = self._next
+        n = len(vectors)
+        self._next = base + n
+        keys = list(range(base, base + n))
+        self.vectors.update(zip(keys, vectors))
+        self.identities.update(
+            zip(keys, map(ResultIdentity, left_rows.tolist(), right_rows.tolist()))
+        )
+        self.region_of.update(zip(keys, [region_id] * n))
+        return keys
+
     def vector(self, key: int) -> np.ndarray:
         return self.vectors[key]
 
@@ -139,6 +163,8 @@ class RegionExecutor:
         *,
         batch_inserts: bool = True,
         fault_hook: "Callable[[OutputRegion], None] | None" = None,
+        build_cache: "dict[tuple[int, str], dict[object, list[int]]] | None" = None,
+        parallel_commit: bool = False,
     ) -> None:
         self.workload = workload
         self.left = left
@@ -147,6 +173,10 @@ class RegionExecutor:
         self.store = store
         self.stats = stats
         self.batch_inserts = batch_inserts
+        #: Set when the engine runs a worker pool (``workers > 0``): commit
+        #: bookkeeping takes bulk-update fast paths (same keys, same stored
+        #: objects, same observables — only Python-loop overhead changes).
+        self.parallel_commit = parallel_commit
         #: Chaos-testing hook consulted at the top of :meth:`process`; it
         #: may raise :class:`~repro.errors.RegionFailure`.  Failing *before*
         #: any store/plan mutation keeps shared state consistent, so a
@@ -156,8 +186,13 @@ class RegionExecutor:
         # shared by many surviving regions is hashed once, not once per
         # region.  The scan is still *charged* each time — the virtual cost
         # model prices the paper's algorithm, the cache only removes Python
-        # re-execution — so metrics and schedules are unchanged.
-        self._build_cache: "dict[tuple[int, str], dict[object, list[int]]]" = {}
+        # re-execution — so metrics and schedules are unchanged.  Callers
+        # may inject a cache to reuse build tables across executors (the
+        # serving layer keys one per workload signature: same relations +
+        # same config partition identically, so entries stay valid).
+        self._build_cache: "dict[tuple[int, str], dict[object, list[int]]]" = (
+            build_cache if build_cache is not None else {}
+        )
         self._functions = tuple(
             workload.function_for(d) for d in workload.output_dims
         )
@@ -218,17 +253,41 @@ class RegionExecutor:
         region: OutputRegion,
         left_cell: LeafCell,
         right_cell: LeafCell,
+        prepared: "object | None" = None,
     ) -> RegionOutcome:
-        """Join, project, and insert one region's tuples into the shared plan."""
+        """Join, project, and insert one region's tuples into the shared plan.
+
+        ``prepared`` is an optional
+        :class:`~repro.parallel.worker.PreparedRegion` computed ahead of
+        time by a worker process (or the driver's inline steal).  Its
+        join pairs are bit-identical to :meth:`_join_cells`' output by
+        the order-exact kernel contract, and *every* modelled cost is
+        still charged here at commit — so the prepared path changes
+        wall-clock time only, never an observable.
+        """
         if region.is_discarded:
             raise ExecutionError(f"region #{region.region_id} was discarded")
         if self.fault_hook is not None:
             self.fault_hook(region)
         self.stats.record_region_processed(region.region_id)
+        self.stats.begin_region_phases(region.region_id)
         condition = self._conditions[region.condition_name]
-        left_idx, right_idx = self._join_cells(left_cell, right_cell, condition)
+        if prepared is None:
+            left_idx, right_idx = self._join_cells(
+                left_cell, right_cell, condition
+            )
+            matrix = None
+        else:
+            # The worker did the join; the clock pays for both scans all
+            # the same (modelled cost, not Python cost).
+            self.stats.record_join_probes(left_cell.size + right_cell.size)
+            left_idx, right_idx = prepared.left_idx, prepared.right_idx
+            matrix = prepared.matrix
+        self.stats.mark_phase("join")
         # Selection pushdown: drop join pairs that no query's filters accept
-        # before paying materialisation.
+        # before paying materialisation.  ``active_rql`` is read *here*, at
+        # commit — a region prepared speculatively early still sees every
+        # discard that landed before its turn.
         if self._sel_left is not None and len(left_idx):
             tuple_masks = (
                 region.active_rql
@@ -238,6 +297,8 @@ class RegionExecutor:
             keep = tuple_masks != 0
             left_idx, right_idx = left_idx[keep], right_idx[keep]
             tuple_masks = tuple_masks[keep]
+            if matrix is not None:
+                matrix = matrix[keep]
         else:
             tuple_masks = np.full(len(left_idx), region.active_rql, dtype=np.int64)
         outcome = RegionOutcome(region_id=region.region_id, join_count=len(left_idx))
@@ -246,9 +307,11 @@ class RegionExecutor:
         self.stats.record_join_results(
             len(left_idx), mapping_functions=len(self._functions)
         )
-        matrix = apply_functions(
-            self._functions, self.left, self.right, left_idx, right_idx
-        )
+        if matrix is None:
+            matrix = apply_functions(
+                self._functions, self.left, self.right, left_idx, right_idx
+            )
+        self.stats.mark_phase("map")
         admitted_sets: dict[str, set[int]] = {q.name: set() for q in self.workload}
         evicted_sets: dict[str, set[int]] = {q.name: set() for q in self.workload}
 
@@ -268,19 +331,25 @@ class RegionExecutor:
         # churn within the region disappears.
         self.stats.clock.charge_sort(len(matrix))
         order = np.argsort(matrix.sum(axis=1), kind="stable")
+        self.stats.mark_phase("sort")
         if self.batch_inserts:
             sorted_matrix = matrix[order]
             left_sorted = left_idx[order]
             right_sorted = right_idx[order]
             masks_sorted = tuple_masks[order]
-            keys = [
-                self.store.add(
-                    ResultIdentity(l, r), sorted_matrix[pos], region.region_id
+            if self.parallel_commit:
+                keys = self.store.add_batch(
+                    left_sorted, right_sorted, sorted_matrix, region.region_id
                 )
-                for pos, (l, r) in enumerate(
-                    zip(left_sorted.tolist(), right_sorted.tolist())
-                )
-            ]
+            else:
+                keys = [
+                    self.store.add(
+                        ResultIdentity(l, r), sorted_matrix[pos], region.region_id
+                    )
+                    for pos, (l, r) in enumerate(
+                        zip(left_sorted.tolist(), right_sorted.tolist())
+                    )
+                ]
             outcome.inserted_keys.extend(keys)
             reports = self.plan.insert_batch(keys, sorted_matrix, masks_sorted)
             for key, report in zip(keys, reports):
@@ -292,6 +361,7 @@ class RegionExecutor:
                 outcome.inserted_keys.append(key)
                 report = self.plan.insert(key, matrix[row], int(tuple_masks[row]))
                 absorb(key, report)
+        self.stats.mark_phase("skyline")
         # Keep only keys still current after the whole region was absorbed.
         for query in self.workload:
             outcome.admitted[query.name] = [

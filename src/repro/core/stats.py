@@ -36,11 +36,27 @@ class ExecutionStats:
     #: Region ids in processing order (when callers pass them) — the
     #: schedule trace the scheduler-equivalence tests compare.
     region_trace: "list[int]" = field(default_factory=list)
+    #: Phase-level profiling (docs/ARCHITECTURE.md §11.4).  Off by
+    #: default; when on, the executor marks virtual-clock deltas per
+    #: phase (join / map / sort / skyline / report) so the breakdown is
+    #: deterministic and free of wall-clock reads.
+    profile_phases: bool = False
+    #: Per region (in commit order): ``{"region": id, phase: seconds}``.
+    region_phases: "list[dict]" = field(default_factory=list)
+    #: Per-region virtual durations in commit order — the input to the
+    #: :meth:`wall_parallel` lane simulation.  Durations are identical
+    #: across worker counts (charges are bit-identical), so recording
+    #: them never perturbs an observable.
+    region_durations: "list[float]" = field(default_factory=list)
+    #: Lanes used by :meth:`wall_parallel` when the engine ran a worker
+    #: pool (0 = serial run, no parallel channel).
+    parallel_lanes: int = 0
 
     def __post_init__(self) -> None:
         self.comparison_counter = ComparisonCounter(
             on_increment=self.clock.charge_skyline_comparisons
         )
+        self._phase_mark = 0.0
 
     @classmethod
     def with_cost_model(cls, cost_model: CostModel) -> "ExecutionStats":
@@ -105,6 +121,64 @@ class ExecutionStats:
     def record_straggler_penalty(self, units: float) -> None:
         self.straggler_penalty += units
         self.clock.charge_straggler_penalty(units)
+
+    # -- parallel layer (docs/ARCHITECTURE.md §11) ----------------------- #
+    def begin_region_phases(self, region_id: int) -> None:
+        """Open a per-region phase record (no-op unless profiling)."""
+        if not self.profile_phases:
+            return
+        self.region_phases.append({"region": region_id})
+        self._phase_mark = self.clock.now()
+
+    def mark_phase(self, name: str) -> None:
+        """Charge the virtual time since the last mark to ``name``."""
+        if not self.profile_phases or not self.region_phases:
+            return
+        now = self.clock.now()
+        current = self.region_phases[-1]
+        current[name] = current.get(name, 0.0) + (now - self._phase_mark)
+        self._phase_mark = now
+
+    def phase_totals(self) -> "dict[str, float]":
+        """Aggregate per-phase virtual time across all profiled regions."""
+        totals: "dict[str, float]" = {}
+        for record in self.region_phases:
+            for name, value in record.items():
+                if name != "region":
+                    totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def record_region_duration(self, duration: float) -> None:
+        """One committed region's virtual duration (commit order)."""
+        self.region_durations.append(float(duration))
+
+    def wall_parallel(self, lanes: "int | None" = None) -> float:
+        """Simulated makespan of the region durations under ``lanes``.
+
+        Greedy earliest-free-lane list scheduling in commit order — an
+        optimistic model (it ignores dependency stalls), deterministic
+        because it reads only virtual durations.  ``lanes`` defaults to
+        the run's ``parallel_lanes``; with fewer than two lanes the
+        makespan is simply the serial sum.
+        """
+        lanes = self.parallel_lanes if lanes is None else lanes
+        if lanes <= 1:
+            return float(sum(self.region_durations))
+        free = [0.0] * lanes
+        for duration in self.region_durations:
+            slot = min(range(lanes), key=lambda i: free[i])
+            free[slot] += duration
+        return float(max(free)) if free else 0.0
+
+    def parallel_summary(self) -> "dict[str, float]":
+        """The ``wall_parallel`` channel — reported separately from
+        :meth:`summary` so serial observables stay bit-identical."""
+        return {
+            "lanes": float(self.parallel_lanes),
+            "wall_serial": float(sum(self.region_durations)),
+            "wall_parallel": self.wall_parallel(),
+            "regions_timed": float(len(self.region_durations)),
+        }
 
     def summary(self) -> "dict[str, float]":
         return {

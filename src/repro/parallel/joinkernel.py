@@ -1,0 +1,103 @@
+"""Order-exact vectorised equi-join of two leaf cells.
+
+:func:`repro.core.executor.join_cell_pair` materialises join pairs with a
+Python bucket loop in a very specific order — right rows outer (cell
+order), matching left rows inner (ascending cell-local position, the
+bucket append order).  Everything downstream of the join (the SFS presort
+tie-breaks, the insertion-id assignment in :class:`JoinResultStore`, the
+skyline replay) is sensitive to that order, so the parallel layer's
+kernel reproduces it exactly: a stable argsort groups equal left keys
+while preserving local position, and ``searchsorted`` locates each right
+key's run.
+
+The dict-based loop and the sort-based kernel can only disagree on keys
+whose hash equality differs from numeric comparison — in practice NaN
+(never equal to itself) — or on non-numeric key columns; for those inputs
+:func:`vectorized_equi_join` declines and :func:`cell_join` falls back to
+the bucket loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_NUMERIC_KINDS = "biuf"
+
+
+def vectorized_equi_join(
+    left_values: np.ndarray, right_values: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Cell-local match positions in bucket-loop order, or ``None``.
+
+    Returns ``(left_local, right_local)`` index arrays into the given
+    value arrays, ordered exactly like the hash-join bucket loop, or
+    ``None`` when the inputs are outside the kernel's domain (non-numeric
+    dtypes, or float keys containing NaN).
+    """
+    lv = np.asarray(left_values)
+    rv = np.asarray(right_values)
+    if lv.dtype.kind not in _NUMERIC_KINDS or rv.dtype.kind not in _NUMERIC_KINDS:
+        return None
+    if lv.dtype.kind == "f" and bool(np.isnan(lv).any()):
+        return None
+    if rv.dtype.kind == "f" and bool(np.isnan(rv).any()):
+        return None
+    order = np.argsort(lv, kind="stable")
+    sorted_lv = lv[order]
+    starts = np.searchsorted(sorted_lv, rv, side="left")
+    ends = np.searchsorted(sorted_lv, rv, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+    right_local = np.repeat(np.arange(len(rv), dtype=np.intp), counts)
+    offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.intp) - np.repeat(offsets, counts)
+    left_local = order[np.repeat(starts, counts) + within]
+    return left_local.astype(np.intp, copy=False), right_local
+
+
+def _bucket_join(
+    left_values: np.ndarray, right_values: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The reference bucket loop (hash-equality fallback path)."""
+    buckets: "dict[object, list[int]]" = {}
+    for local, value in enumerate(left_values):
+        key = value.item() if hasattr(value, "item") else value
+        buckets.setdefault(key, []).append(local)
+    left_out: "list[int]" = []
+    right_out: "list[int]" = []
+    for local_r, value in enumerate(right_values):
+        key = value.item() if hasattr(value, "item") else value
+        for local_l in buckets.get(key, ()):
+            left_out.append(local_l)
+            right_out.append(local_r)
+    return (
+        np.asarray(left_out, dtype=np.intp),
+        np.asarray(right_out, dtype=np.intp),
+    )
+
+
+def cell_join(
+    left_values: np.ndarray,
+    right_values: np.ndarray,
+    left_indices: np.ndarray,
+    right_indices: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Global (left, right) row-index pairs of one cell pair's equi-join.
+
+    Identical output — values *and* order — to
+    :func:`repro.core.executor.join_cell_pair`, via the vectorised kernel
+    when the key columns are in its domain and the bucket loop otherwise.
+    """
+    local = vectorized_equi_join(left_values, right_values)
+    if local is None:
+        local = _bucket_join(left_values, right_values)
+    left_local, right_local = local
+    return (
+        np.asarray(left_indices, dtype=np.intp)[left_local],
+        np.asarray(right_indices, dtype=np.intp)[right_local],
+    )
+
+
+__all__ = ["cell_join", "vectorized_equi_join"]

@@ -1,0 +1,286 @@
+"""The deterministic region worker pool.
+
+:class:`RegionPool` runs :func:`repro.parallel.worker.worker_main` on
+``workers`` processes over one pair of base relations.  Engine runs talk
+to it through a :class:`PoolClient` (one per run), which namespaces
+region ids so a long-lived pool — the serving layer builds one per
+server — can prepare regions for several concurrent submissions at once:
+
+* :meth:`PoolClient.dispatch` enqueues a region's prepare task
+  (idempotent — a region is shipped at most once per client);
+* :meth:`PoolClient.fetch` returns the region's
+  :class:`~repro.parallel.worker.PreparedRegion` if a worker finished
+  it; when it has not, the driver *steals the work*, preparing inline
+  with the same kernel, so liveness never depends on the pool;
+* results for regions that died meanwhile (discarded, quarantined) are
+  dropped via :meth:`PoolClient.forget`.
+
+Start method: ``fork`` where the platform offers it (cheap, inherits the
+parent image), ``spawn`` otherwise.  The pool must therefore be created
+before any threads start (the serving layer builds its shared pool in
+the server constructor, ahead of its worker threads).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import queue as queue_module
+import threading
+
+from repro.parallel.shm import SharedRelationStore
+from repro.parallel.worker import (
+    PrepareTask,
+    PreparedRegion,
+    WorkerInit,
+    worker_main,
+)
+from repro.partition.cells import LeafCell
+from repro.query.predicates import JoinCondition
+from repro.query.workload import Workload
+from repro.relation import Relation
+
+#: Bounded waits, in seconds of *wall* patience (parameter values only —
+#: no wall-clock reads, CQ007).  Fetch waits at most
+#: ``_FETCH_ATTEMPTS * _FETCH_WAIT`` for an in-flight payload before the
+#: driver steals the work inline; teardown polls likewise.
+_FETCH_WAIT = 0.02
+_FETCH_ATTEMPTS = 100
+_CLOSE_JOIN_TIMEOUT = 0.1
+_CLOSE_ATTEMPTS = 20
+
+
+class RegionPool:
+    """A pool of prepare workers over shared-memory relation views."""
+
+    def __init__(
+        self,
+        left: Relation,
+        right: Relation,
+        *,
+        workers: int,
+        use_shared_memory: bool = True,
+        start_method: "str | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"RegionPool needs workers >= 1, got {workers}")
+        self.workers = workers
+        method = start_method or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        self._store: "SharedRelationStore | None" = None
+        if use_shared_memory:
+            self._store = SharedRelationStore()
+            left_ref: "object" = self._store.share(left)
+            right_ref: "object" = self._store.share(right)
+        else:
+            left_ref, right_ref = left, right
+        init = WorkerInit(left=left_ref, right=right_ref)
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        self._procs = [
+            context.Process(
+                target=worker_main,
+                args=(init, self._tasks, self._results),
+                name=f"caqe-region-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        # One lock guards the books (pending/ready/forgotten); the queues
+        # are process-safe on their own.  Several server threads may hold
+        # clients concurrently.
+        self._lock = threading.Lock()
+        self._client_ids = itertools.count(1)
+        self._pending: "set[tuple[int, int]]" = set()
+        self._ready: "dict[tuple[int, int], PreparedRegion]" = {}
+        self._forgotten: "set[tuple[int, int]]" = set()
+        self._closed = False
+
+    def client(self) -> "PoolClient":
+        """A fresh namespace for one engine run's region ids."""
+        return PoolClient(self, next(self._client_ids))
+
+    # -- client plumbing -------------------------------------------------- #
+    def _dispatch(self, task: PrepareTask) -> bool:
+        key = (task.client, task.region_id)
+        with self._lock:
+            if self._closed or key in self._pending or key in self._ready:
+                return False
+            self._pending.add(key)
+            self._forgotten.discard(key)
+        self._tasks.put(task)
+        return True
+
+    def _absorb(self, client: int, region_id: int, payload: object) -> None:
+        key = (client, region_id)
+        with self._lock:
+            self._pending.discard(key)
+            if key in self._forgotten:
+                self._forgotten.discard(key)
+                return
+            if isinstance(payload, PreparedRegion):
+                self._ready[key] = payload
+            # else: worker error repr — drop; the driver prepares inline.
+
+    def _drain(self, timeout: "float | None" = None) -> bool:
+        """Absorb finished results; True iff at least one arrived."""
+        got = False
+        while True:
+            try:
+                if timeout is not None and not got:
+                    client, region_id, payload = self._results.get(
+                        timeout=timeout
+                    )
+                else:
+                    client, region_id, payload = self._results.get_nowait()
+            except queue_module.Empty:
+                return got
+            got = True
+            self._absorb(client, region_id, payload)
+
+    def _fetch(self, client: int, region_id: int, wait: bool) -> "PreparedRegion | None":
+        key = (client, region_id)
+        self._drain()
+        with self._lock:
+            payload = self._ready.pop(key, None)
+            in_flight = key in self._pending
+        if payload is not None or not wait or not in_flight:
+            return payload
+        # Bounded patience for an in-flight payload: on a busy machine the
+        # worker is typically a few scheduler quanta away; past the bound
+        # the caller steals the work inline (liveness without the pool).
+        for _ in range(_FETCH_ATTEMPTS):
+            self._drain(timeout=_FETCH_WAIT)
+            with self._lock:
+                payload = self._ready.pop(key, None)
+                in_flight = key in self._pending
+            if payload is not None or not in_flight:
+                return payload
+        return None
+
+    def _forget(self, client: int, region_id: int) -> None:
+        key = (client, region_id)
+        with self._lock:
+            self._ready.pop(key, None)
+            if key in self._pending:
+                # The result is still coming; mark it to be dropped.
+                self._pending.discard(key)
+                self._forgotten.add(key)
+
+    def _in_flight(self, client: int, region_id: int) -> bool:
+        key = (client, region_id)
+        with self._lock:
+            return key in self._pending or key in self._ready
+
+    # -- lifecycle ------------------------------------------------------- #
+    def close(self) -> None:
+        """Stop workers, drop queues, release shared memory."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._procs:
+            self._tasks.put(None)
+        # Bounded drain-and-join: a child blocked flushing results would
+        # never see the sentinel, so keep emptying the result queue.
+        for _ in range(_CLOSE_ATTEMPTS):
+            self._drain()
+            if all(not proc.is_alive() for proc in self._procs):
+                break
+            for proc in self._procs:
+                proc.join(timeout=_CLOSE_JOIN_TIMEOUT)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_CLOSE_JOIN_TIMEOUT)
+        self._tasks.close()
+        self._results.close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        with self._lock:
+            self._pending.clear()
+            self._ready.clear()
+            self._forgotten.clear()
+
+    def __enter__(self) -> "RegionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PoolClient:
+    """One run's window onto a (possibly shared) :class:`RegionPool`."""
+
+    def __init__(self, pool: RegionPool, client_id: int) -> None:
+        self._pool = pool
+        self._client_id = client_id
+        self._functions: "tuple | None" = None
+        self._workload_key: "int | None" = None
+
+    def set_workload(self, workload: Workload) -> None:
+        """Decide once per run whether mapping functions ship to workers.
+
+        Tasks travel through a pickling queue, so functions built from
+        lambdas (every built-in factory) stay driver-side; the worker
+        then returns join pairs only and the driver projects at commit.
+        """
+        key = id(workload)
+        if key == self._workload_key:
+            return
+        self._workload_key = key
+        functions = tuple(
+            workload.function_for(dim) for dim in workload.output_dims
+        )
+        self._functions = functions if _picklable(functions) else None
+
+    def dispatch(
+        self,
+        region_id: int,
+        condition: JoinCondition,
+        left_cell: LeafCell,
+        right_cell: LeafCell,
+    ) -> bool:
+        """Ship a region's prepare task once; True iff newly dispatched."""
+        return self._pool._dispatch(
+            PrepareTask(
+                client=self._client_id,
+                region_id=region_id,
+                condition=condition,
+                left_cell_id=left_cell.cell_id,
+                right_cell_id=right_cell.cell_id,
+                left_indices=left_cell.indices,
+                right_indices=right_cell.indices,
+                functions=self._functions,
+            )
+        )
+
+    def fetch(self, region_id: int, wait: bool = True) -> "PreparedRegion | None":
+        """The region's payload, briefly waiting if a worker holds it."""
+        return self._pool._fetch(self._client_id, region_id, wait)
+
+    def forget(self, region_id: int) -> None:
+        """Discard interest in a region (it died before commit)."""
+        self._pool._forget(self._client_id, region_id)
+
+    def in_flight(self, region_id: int) -> bool:
+        return self._pool._in_flight(self._client_id, region_id)
+
+
+def _picklable(value: object) -> bool:
+    try:
+        pickle.dumps(value)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+    return True
+
+
+__all__ = ["PoolClient", "RegionPool"]

@@ -1,0 +1,101 @@
+"""Shared-memory input blocks for worker processes.
+
+One :class:`SharedRelationStore` per run copies each relation column into
+a ``multiprocessing.shared_memory`` segment **once**; workers then attach
+zero-copy numpy views by segment name, so per-region tasks carry only row
+indices — never base data.  The driver owns segment lifetime (create and
+unlink); workers merely attach and detach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.relation import Relation
+from repro.relation.schema import Schema
+
+
+@dataclass(frozen=True)
+class ColumnHandle:
+    """Address of one relation column inside shared memory."""
+
+    attribute: str
+    segment: str
+    dtype: str
+    length: int
+
+
+@dataclass(frozen=True)
+class RelationHandle:
+    """Everything a worker needs to rebuild a relation over shared memory."""
+
+    name: str
+    schema: Schema
+    columns: "tuple[ColumnHandle, ...]"
+
+
+class SharedRelationStore:
+    """Owns the shared-memory segments of a run's base relations."""
+
+    def __init__(self) -> None:
+        self._segments: "list[shared_memory.SharedMemory]" = []
+
+    def share(self, relation: Relation) -> RelationHandle:
+        """Copy ``relation``'s columns into fresh segments; return handle."""
+        handles: "list[ColumnHandle]" = []
+        for attr in relation.schema.names:
+            column = np.ascontiguousarray(relation.column(attr))
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(column.nbytes, 1)
+            )
+            view = np.ndarray(column.shape, dtype=column.dtype, buffer=segment.buf)
+            view[:] = column
+            self._segments.append(segment)
+            handles.append(
+                ColumnHandle(attr, segment.name, column.dtype.str, len(column))
+            )
+        return RelationHandle(relation.name, relation.schema, tuple(handles))
+
+    def close(self) -> None:
+        """Release and unlink every segment (driver-side teardown)."""
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments = []
+
+
+def attach_relation(
+    handle: RelationHandle,
+) -> "tuple[Relation, list[shared_memory.SharedMemory]]":
+    """Rebuild a relation over shared memory inside a worker.
+
+    Returns the relation plus the attached segments, which the caller
+    must keep alive for as long as the relation is used (the numpy views
+    borrow their buffers).  Workers share the driver's resource tracker
+    (they are ``multiprocessing`` children), so attaching re-registers
+    the same name idempotently and the driver's single ``unlink`` settles
+    the accounting — no per-worker unregister is needed or wanted.
+    """
+    segments: "list[shared_memory.SharedMemory]" = []
+    columns: "dict[str, np.ndarray]" = {}
+    for column in handle.columns:
+        segment = shared_memory.SharedMemory(name=column.segment)
+        segments.append(segment)
+        columns[column.attribute] = np.ndarray(
+            (column.length,), dtype=np.dtype(column.dtype), buffer=segment.buf
+        )
+    return Relation(handle.name, handle.schema, columns), segments
+
+
+__all__ = [
+    "ColumnHandle",
+    "RelationHandle",
+    "SharedRelationStore",
+    "attach_relation",
+]

@@ -1,0 +1,180 @@
+"""Worker-side region preparation (the pure half of tuple processing).
+
+A prepare task is a function of immutable inputs only — the base
+relations, a join condition, and the two cells' row indices — so it can
+run on any process at any time without affecting a single observable:
+the driver charges all modelled costs itself at the deterministic commit
+point, and `region.active_rql` (which shrinks as discards land) is
+applied there too, never in the worker.
+
+Tasks carry their join condition (a tiny frozen dataclass) and, when the
+workload's mapping functions survive pickling, the function tuple — so
+one long-lived pool can serve many different workloads (the serving
+layer shares a single pool across submissions).  The built-in function
+factories close over lambdas and therefore do *not* pickle; for them the
+task ships ``functions=None`` and the driver projects at commit, exactly
+like the serial path.
+
+The same :func:`prepare_payload` powers the driver's inline fallback
+(work stealing when a payload is not ready), so parallel and serial
+prepare share one code path.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.joinkernel import cell_join
+from repro.parallel.shm import RelationHandle, attach_relation
+from repro.query.evaluate import apply_functions
+from repro.query.mapping import MappingFunction
+from repro.query.predicates import JoinCondition
+from repro.relation import Relation
+
+
+@dataclass(frozen=True)
+class PrepareTask:
+    """One region's prepare request, shipped to a worker.
+
+    ``client`` namespaces region ids: a shared pool serves several
+    concurrent runs, each with its own region-id space.
+    """
+
+    client: int
+    region_id: int
+    condition: JoinCondition
+    left_cell_id: int
+    right_cell_id: int
+    left_indices: np.ndarray
+    right_indices: np.ndarray
+    functions: "tuple[MappingFunction, ...] | None"
+
+
+@dataclass(frozen=True)
+class PreparedRegion:
+    """A region's raw tuple-level products, before any commit decision.
+
+    ``matrix`` holds the mapping-function outputs for *all* join pairs
+    (row-aligned with ``left_idx``/``right_idx``); it is ``None`` when the
+    preparer had no shippable functions and the driver computes the
+    projection at commit instead.  Worker-side evaluation assumes the
+    functions are row-independent (Section 2.2: one output per join
+    tuple) so filtering rows after evaluation equals evaluating after
+    filtering.
+    """
+
+    region_id: int
+    left_idx: np.ndarray
+    right_idx: np.ndarray
+    matrix: "np.ndarray | None"
+
+
+@dataclass(frozen=True)
+class WorkerInit:
+    """Immutable worker start-up state (shipped once per process)."""
+
+    left: "RelationHandle | Relation"
+    right: "RelationHandle | Relation"
+
+
+def prepare_payload(
+    task: PrepareTask,
+    left: Relation,
+    right: Relation,
+    build_values: "Callable[[], np.ndarray] | None" = None,
+) -> PreparedRegion:
+    """Join one cell pair and project its tuples; pure in the inputs."""
+    condition = task.condition
+    left_values = (
+        build_values()
+        if build_values is not None
+        else condition.left_values(left)[task.left_indices]
+    )
+    right_values = condition.right_values(right)[task.right_indices]
+    left_idx, right_idx = cell_join(
+        left_values, right_values, task.left_indices, task.right_indices
+    )
+    matrix = None
+    if task.functions is not None and len(left_idx):
+        matrix = apply_functions(task.functions, left, right, left_idx, right_idx)
+    return PreparedRegion(task.region_id, left_idx, right_idx, matrix)
+
+
+class _WorkerState:
+    """Per-process caches: attached relations + per-cell key columns."""
+
+    def __init__(self, init: WorkerInit) -> None:
+        self._segments = []
+        self.left = self._resolve(init.left)
+        self.right = self._resolve(init.right)
+        # Left-cell key columns memoised per (condition, cell): a build
+        # side shared by many regions is gathered once per worker.
+        self._left_keys: "dict[tuple[JoinCondition, int], np.ndarray]" = {}
+
+    def _resolve(self, ref: "RelationHandle | Relation") -> Relation:
+        if isinstance(ref, Relation):
+            return ref
+        relation, segments = attach_relation(ref)
+        self._segments.extend(segments)
+        return relation
+
+    def prepare(self, task: PrepareTask) -> PreparedRegion:
+        cache_key = (task.condition, task.left_cell_id)
+        left_values = self._left_keys.get(cache_key)
+        if left_values is None:
+            left_values = task.condition.left_values(self.left)[task.left_indices]
+            self._left_keys[cache_key] = left_values
+        return prepare_payload(
+            task, self.left, self.right, build_values=lambda: left_values
+        )
+
+
+#: Seconds between orphan checks while idle.  A queue timeout parameter,
+#: not a wall-clock read — the worker never observes the time itself.
+_ORPHAN_POLL = 2.0
+
+
+def worker_main(init: WorkerInit, tasks: "object", results: "object") -> None:
+    """Worker process entry point: drain tasks until the ``None`` sentinel.
+
+    Any error is shipped back as ``(client, region_id, repr(exc))`` and
+    the driver falls back to inline preparation — a worker bug can cost
+    wall-clock time but never correctness.
+
+    A driver that dies without sending sentinels (SIGKILL — the
+    kill-resume audit does exactly this) must not leave orphan workers
+    blocked on the task queue forever: while idle, the worker
+    periodically checks whether it has been reparented and exits when
+    its original parent is gone.
+    """
+    state = _WorkerState(init)
+    parent = os.getppid()
+    while True:
+        try:
+            task = tasks.get(timeout=_ORPHAN_POLL)
+        except queue.Empty:
+            if os.getppid() != parent:
+                break
+            continue
+        if task is None:
+            break
+        try:
+            payload = state.prepare(task)
+        except Exception as exc:  # caqe-check: disable=CQ006 — process boundary
+            results.put((task.client, task.region_id, repr(exc)))
+            continue
+        results.put((task.client, task.region_id, payload))
+
+
+__all__ = [
+    "PrepareTask",
+    "PreparedRegion",
+    "WorkerInit",
+    "prepare_payload",
+    "worker_main",
+]

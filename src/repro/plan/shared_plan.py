@@ -57,10 +57,15 @@ class SharedCuboidPlan:
         counter: "ComparisonCounter | None" = None,
         *,
         assume_dva: bool = True,
+        batch_kernel: str = "rounds",
     ) -> None:
         self.cuboid = cuboid
         self.attribute_order = tuple(attribute_order)
         self.counter = counter
+        #: Which :meth:`SkylineWindow.insert_batch` kernel batch inserts
+        #: use ("rounds" or the parallel layer's "replay") — a pure
+        #: execution-strategy switch, bit-identical either way.
+        self.batch_kernel = batch_kernel
         #: When False the Theorem 1 shortcut is disabled and every node runs
         #: a full membership scan (correct for data violating DVA).
         self.assume_dva = assume_dva
@@ -166,7 +171,10 @@ class SharedCuboidPlan:
                     if child_admitted is not None:
                         known |= child_admitted[idx]
             outcome = self._windows[mask].insert_batch(
-                [keys[i] for i in idx.tolist()], vecs[idx], known_member=known
+                [keys[i] for i in idx.tolist()],
+                vecs[idx],
+                known_member=known,
+                kernel=self.batch_kernel,
             )
             mask_admitted = np.zeros(n, dtype=bool)
             mask_admitted[idx] = outcome.admitted
@@ -180,6 +188,76 @@ class SharedCuboidPlan:
                         e.key for e in entry_evictions
                     ]
         return reports
+
+    def insert_batch_arrays(
+        self,
+        keys: "Sequence[Hashable]",
+        vectors: np.ndarray,
+        serve_masks: "np.ndarray | None" = None,
+    ) -> "tuple[dict[int, np.ndarray], dict[int, dict[int, list]]]":
+        """:meth:`insert_batch` returning per-mask arrays, not reports.
+
+        Same cuboid walk, same window calls, same charged comparisons —
+        only the *packaging* differs: per cuboid mask, a boolean
+        admitted-row array plus a sparse ``{row: [evicted keys]}`` map.
+        Evictions can only be caused by admitted entries, so the scatter
+        loop is O(admissions), not O(batch × masks) — this is the plan
+        half of the parallel layer's replay commit kernel.
+        """
+        vecs = np.asarray(vectors, dtype=float)
+        if vecs.ndim != 2 or vecs.shape[1] != len(self.attribute_order):
+            raise PlanError(
+                f"batch has shape {vecs.shape}, plan expects "
+                f"(n, {len(self.attribute_order)})"
+            )
+        n = len(keys)
+        admitted_by_mask: "dict[int, np.ndarray]" = {}
+        evicted_by_mask: "dict[int, dict[int, list]]" = {}
+        if n == 0:
+            return admitted_by_mask, evicted_by_mask
+        # Object-array view of the keys: per-mask key gathers become one
+        # C-level fancy index instead of a Python list comprehension.
+        keys_arr = np.empty(n, dtype=object)
+        keys_arr[:] = list(keys)
+        serve = (
+            np.asarray(serve_masks, dtype=np.int64)
+            if serve_masks is not None
+            else None
+        )
+        for mask in self.cuboid.masks:
+            node = self.cuboid.node(mask)
+            if serve is None:
+                idx = np.arange(n)
+            else:
+                idx = np.flatnonzero((serve & node.qserve) != 0)
+                if idx.size == 0:
+                    continue
+            known = np.zeros(len(idx), dtype=bool)
+            if self.assume_dva:
+                for child in node.children:
+                    child_admitted = admitted_by_mask.get(child)
+                    if child_admitted is not None:
+                        known |= child_admitted[idx]
+            outcome = self._windows[mask].insert_batch(
+                keys_arr[idx],
+                vecs[idx],
+                known_member=known,
+                kernel=self.batch_kernel,
+            )
+            admitted = np.asarray(outcome.admitted, dtype=bool)
+            mask_admitted = np.zeros(n, dtype=bool)
+            mask_admitted[idx] = admitted
+            admitted_by_mask[mask] = mask_admitted
+            evictions: "dict[int, list]" = {}
+            for local in np.flatnonzero(admitted).tolist():
+                entry_evictions = outcome.evicted[local]
+                if entry_evictions:
+                    evictions[int(idx[local])] = [
+                        e.key for e in entry_evictions
+                    ]
+            if evictions:
+                evicted_by_mask[mask] = evictions
+        return admitted_by_mask, evicted_by_mask
 
     # ------------------------------------------------------------------ #
     # Query-level views
@@ -251,6 +329,7 @@ class WorkloadPlan:
         counter: "ComparisonCounter | None" = None,
         *,
         assume_dva: bool = True,
+        batch_kernel: str = "rounds",
     ) -> None:
         from repro.plan.minmax_cuboid import build_minmax_cuboid
 
@@ -270,7 +349,11 @@ class WorkloadPlan:
             sub = workload.subset(names)
             cuboid = build_minmax_cuboid(sub)
             plan = SharedCuboidPlan(
-                cuboid, attribute_order, counter=counter, assume_dva=assume_dva
+                cuboid,
+                attribute_order,
+                counter=counter,
+                assume_dva=assume_dva,
+                batch_kernel=batch_kernel,
             )
             group = {
                 "names": tuple(names),
@@ -347,6 +430,30 @@ class WorkloadPlan:
             if not np.any(local_masks):
                 continue
             plan: SharedCuboidPlan = group["plan"]
+            if plan.batch_kernel == "replay":
+                # Replay commit kernel (docs/ARCHITECTURE.md §11): same
+                # window calls and charges, but the per-tuple × per-query
+                # scatter is replaced by per-query array translation over
+                # sparse admission/eviction results.  Report contents are
+                # identical to the scatter loop below.
+                admitted_arr, evicted_arr = plan.insert_batch_arrays(
+                    keys, vecs, local_masks
+                )
+                for name in group["names"]:
+                    mask = plan.query_mask(name)
+                    evictions = evicted_arr.get(mask)
+                    if evictions:
+                        for i, keys_out in evictions.items():
+                            reports[i].evicted.setdefault(name, []).extend(
+                                keys_out
+                            )
+                    admitted = admitted_arr.get(mask)
+                    if admitted is not None:
+                        bit = np.int64(1) << group["local_bit"][name]
+                        rows = np.flatnonzero(admitted & ((local_masks & bit) != 0))
+                        for i in rows.tolist():
+                            reports[i].admitted.add(name)
+                continue
             sub_reports = plan.insert_batch(keys, vecs, local_masks)
             for i, sub in enumerate(sub_reports):
                 for name in group["names"]:

@@ -89,10 +89,22 @@ class _Checker:
 
 
 def run_matrix(
-    seed: int, cardinality: int, checker: _Checker, journal: bool = False
+    seed: int,
+    cardinality: int,
+    checker: _Checker,
+    journal: bool = False,
+    workers: int = 0,
 ) -> None:
-    """Run every fault corner for one seed and record its invariants."""
-    print(f"seed {seed}{' (journaled)' if journal else ''}:")
+    """Run every fault corner for one seed and record its invariants.
+
+    ``workers`` routes every *fault corner* through the deterministic
+    region pool (docs/ARCHITECTURE.md §11) while the baseline stays
+    serial, so each invariant doubles as a parallel==serial check.
+    """
+    print(
+        f"seed {seed}{' (journaled)' if journal else ''}"
+        f"{f' (workers={workers})' if workers else ''}:"
+    )
     pair = generate_pair(
         "independent", cardinality, 4, selectivity=0.05, seed=seed
     )
@@ -100,6 +112,8 @@ def run_matrix(
     contracts = {q.name: c2(scale=100.0) for q in workload}
 
     def execute(config: CAQEConfig) -> RunResult:
+        if workers:
+            config = dataclasses.replace(config, workers=workers)
         if not journal:
             return CAQE(config).run(
                 pair.left, pair.right, workload, contracts
@@ -272,12 +286,26 @@ def main(argv: "list[str] | None" = None) -> int:
         help="run every fault corner under the write-ahead region "
         "journal (baseline stays plain, proving on==off bit-identity)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run every fault corner through the deterministic region "
+        "pool with this many worker processes (baseline stays serial, "
+        "proving parallel==serial bit-identity)",
+    )
     args = parser.parse_args(argv)
     cardinality = args.cardinality or (80 if args.smoke else 150)
 
     checker = _Checker()
     for seed in args.seeds:
-        run_matrix(seed, cardinality, checker, journal=args.journal)
+        run_matrix(
+            seed,
+            cardinality,
+            checker,
+            journal=args.journal,
+            workers=args.workers,
+        )
     if checker.failures:
         print(f"chaos: {len(checker.failures)} invariant(s) violated")
         return 1

@@ -10,6 +10,8 @@ shedding and circuit-breaker behaviour.
 
 from __future__ import annotations
 
+import argparse
+
 from repro.contracts.presets import c2
 from repro.core.caqe import CAQEConfig
 from repro.datagen import generate_pair
@@ -17,12 +19,26 @@ from repro.robustness.chaos import figure1_workload
 from repro.serving import CAQEServer, CancellationToken
 
 
-def main() -> int:
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving", description=__doc__
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="region-pool worker processes shared by all submissions "
+        "(0 = serial engine; results are bit-identical either way)",
+    )
+    args = parser.parse_args(argv)
+
     pair = generate_pair("independent", 120, 4, selectivity=0.05, seed=23)
     workload = figure1_workload()
     contracts = {q.name: c2(scale=100.0) for q in workload}
 
-    config = CAQEConfig(server_workers=2, server_queue_limit=4)
+    config = CAQEConfig(
+        server_workers=2, server_queue_limit=4, workers=args.workers
+    )
     with CAQEServer(pair.left, pair.right, config) as server:
         normal = server.submit(workload, contracts)
         tight = server.submit(workload, contracts, deadline=5_000.0)

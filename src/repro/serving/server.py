@@ -37,6 +37,7 @@ import itertools
 import os
 import queue
 import threading
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
@@ -195,9 +196,28 @@ class CircuitBreaker:
             self._cooldown_left = self.cooldown
 
 
+#: Signature memo keyed by workload object (workloads are immutable once
+#: built); weak keys so retired workloads do not pin their strings.
+_signature_cache: "weakref.WeakKeyDictionary[Any, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def workload_signature(workload: "Workload") -> str:
-    """Stable identity of a workload for breaker bookkeeping."""
-    return "|".join(f"{q.name}={q!r}" for q in workload)
+    """Stable identity of a workload for breaker bookkeeping.
+
+    Memoised per workload object: the server recomputes this on every
+    submission *and* every completion, and repr-ing each query is by far
+    the most expensive part of admission control under load.
+    """
+    try:
+        cached = _signature_cache.get(workload)
+    except TypeError:  # unhashable or non-weakrefable stand-in: no memo
+        return "|".join(f"{q.name}={q!r}" for q in workload)
+    if cached is None:
+        cached = "|".join(f"{q.name}={q!r}" for q in workload)
+        _signature_cache[workload] = cached
+    return cached
 
 
 _SHUTDOWN = object()
@@ -238,6 +258,25 @@ class CAQEServer:
             "cancelled": 0,
             "failed": 0,
         }
+        # One region pool shared by every submission (docs/ARCHITECTURE.md
+        # §11.5): worker processes and the shared-memory relation blocks
+        # are paid for once per server, not once per run.  Created before
+        # the worker threads so no submission can observe a half-built
+        # pool.
+        self._pool = None
+        if self.config.workers > 0:
+            from repro.parallel import RegionPool
+
+            self._pool = RegionPool(
+                left,
+                right,
+                workers=self.config.workers,
+                use_shared_memory=self.config.enable_shared_memory,
+            )
+        # Hash-join build tables per workload signature: same relations +
+        # same config partition identically, so same-signature submissions
+        # reuse each other's build side instead of rebuilding it per run.
+        self._build_caches: "dict[str, dict]" = {}
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -343,6 +382,8 @@ class CAQEServer:
             self._finish(ticket, ServedResult(CANCELLED, error="cancelled before start"))
             return
         engine = CAQE(self._run_config(ticket))
+        with self._lock:
+            build_cache = self._build_caches.setdefault(ticket.signature, {})
         try:
             result = engine.run(
                 self.left,
@@ -350,6 +391,8 @@ class CAQEServer:
                 ticket.workload,
                 ticket.contracts,
                 cancel_token=ticket.token,
+                pool=self._pool,
+                build_cache=build_cache,
             )
         except QueryCancelled as exc:
             self._finish(ticket, ServedResult(CANCELLED, error=str(exc)))
@@ -398,6 +441,9 @@ class CAQEServer:
         if wait:
             for worker in self._workers:
                 worker.join()
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
 
     def __enter__(self) -> "CAQEServer":
         return self

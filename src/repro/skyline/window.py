@@ -28,6 +28,11 @@ from repro.skyline.dominance import ComparisonCounter, dims_index
 
 _INITIAL_CAPACITY = 16
 
+#: Shared read-only eviction list for batch rows that evicted nothing —
+#: the replay kernel assigns a fresh list at every admission, so this
+#: sentinel is never mutated.
+_NO_EVICTIONS: "list" = []
+
 
 @dataclass(frozen=True, slots=True)
 class WindowEntry:
@@ -187,6 +192,7 @@ class SkylineWindow:
         keys: "Sequence[Hashable]",
         matrix: np.ndarray,
         known_member: "np.ndarray | None" = None,
+        kernel: str = "rounds",
     ) -> BatchInsertOutcome:
         """Insert many points at once, preserving sequential-BNL semantics.
 
@@ -206,6 +212,12 @@ class SkylineWindow:
         vectorised pass per *admission*, not per insertion, and skyline
         admissions are a vanishing fraction of inserts on all but tiny
         batches.
+
+        ``kernel`` selects the execution strategy: ``"rounds"`` (the
+        rescan-per-admission replay above) or ``"replay"`` (the parallel
+        layer's cross-round dominance-caching commit kernel, see
+        :meth:`_insert_batch_replay`) — both produce the same admissions,
+        evictions, duplicate flags, final window and charge.
         """
         mat = np.asarray(matrix, dtype=float)
         if mat.ndim != 2:
@@ -215,13 +227,23 @@ class SkylineWindow:
         m = len(keys)
         admitted = np.zeros(m, dtype=bool)
         duplicate = np.zeros(m, dtype=bool)
-        evicted: "list[list[WindowEntry]]" = [[] for _ in range(m)]
-        if m == 0:
-            return BatchInsertOutcome(admitted, evicted, duplicate)
         if known_member is None:
             known = np.zeros(m, dtype=bool)
         else:
             known = np.asarray(known_member, dtype=bool)
+        if kernel == "replay":
+            # Eviction lists are written only at admissions, so rejected
+            # rows can all share one immutable empty list (callers never
+            # mutate outcome rows; ``per_entry`` copies).
+            evicted = [_NO_EVICTIONS] * m
+            if m == 0:
+                return BatchInsertOutcome(admitted, evicted, duplicate)
+            return self._insert_batch_replay(
+                keys, mat, known, admitted, duplicate, evicted
+            )
+        evicted = [[] for _ in range(m)]
+        if m == 0:
+            return BatchInsertOutcome(admitted, evicted, duplicate)
         cur = (
             self._matrix[: self._size]
             if self._size
@@ -285,6 +307,188 @@ class SkylineWindow:
         self._size = len(cur_keys)
         self._keys = cur_keys
         width = cur.shape[1] if cur.size else mat.shape[1]
+        capacity = max(_INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length())
+        self._matrix = np.empty((capacity, width))
+        self._matrix[: self._size] = cur
+        return BatchInsertOutcome(admitted, evicted, duplicate)
+
+    def _insert_batch_replay(
+        self,
+        keys: "Sequence[Hashable]",
+        mat: np.ndarray,
+        known: np.ndarray,
+        admitted: np.ndarray,
+        duplicate: np.ndarray,
+        evicted: "list[list[WindowEntry]]",
+    ) -> BatchInsertOutcome:
+        """The parallel layer's commit kernel: cached-dominance replay.
+
+        Sequential-BNL semantics identical to the ``"rounds"`` kernel, but
+        the dominance structure is computed **once** instead of once per
+        admission round:
+
+        * batch-vs-initial-window dominance/equality matrices are built in
+          a single broadcast;
+        * each *admission* adds one cached dominance row (the new entry
+          against the whole batch), so the "does a window entry dominate
+          point j" predicate is maintained incrementally — an evicted
+          entry's dominance is always covered by its evictor (strict
+          dominance is transitive through the eviction chain), which makes
+          the predicate monotone and cache-safe;
+        * per-round work is then just boolean gathers over the rejected
+          prefix, not a fresh ``(window × remaining × dims)`` float pass.
+
+        Total comparison work drops from O(admissions · batch · window ·
+        dims) to O((window + batch) · batch · dims) while every decision,
+        eviction list, duplicate flag, final window entry order and the
+        charged comparison total replay the scalar insert loop exactly.
+        """
+        m = len(keys)
+        w0 = self._size
+        width = mat.shape[1]
+        if w0:
+            window = self._matrix[:w0]
+            entry_le0 = (window[:, None, :] <= mat[None, :, :]).all(axis=2)
+            new_le0 = (window[:, None, :] >= mat[None, :, :]).all(axis=2)
+            eq0 = entry_le0 & new_le0
+            dom0 = entry_le0 & ~eq0
+            has_dom = dom0.any(axis=0)
+        else:
+            window = np.empty((0, width))
+            new_le0 = eq0 = dom0 = np.zeros((0, m), dtype=bool)
+            has_dom = np.zeros(m, dtype=bool)
+        # Alive initial entries, in original window order.  ``old_contig``
+        # stays True until the first old-entry eviction, letting the hot
+        # prefix reads slice ``dom0``/``eq0`` directly instead of gathering.
+        old_rows = np.arange(w0)
+        old_contig = True
+        # Admitted batch entries still in the window (admission order) and
+        # their cached dominance/equality rows over the whole batch, kept
+        # in growable row-matrix buffers so per-round prefix reads are one
+        # slice, not a Python-level stack of cached rows.
+        cap = 8
+        adm_pos = np.empty(cap, dtype=np.intp)
+        adm_dom = np.empty((cap, m), dtype=bool)
+        adm_eq = np.empty((cap, m), dtype=bool)
+        n_adm = 0
+
+        def batch_rows(vec: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+            le = (vec[None, :] <= mat).all(axis=1)
+            ge = (vec[None, :] >= mat).all(axis=1)
+            eq_row = le & ge
+            return le & ~eq_row, eq_row
+
+        total_charge = 0
+        pos = 0
+        while pos < m:
+            n_old = int(old_rows.size)
+            n_w = n_old + n_adm
+            if n_w == 0:
+                # Empty window: the point enters for free.
+                admitted[pos] = True
+                dom_row, eq_row = batch_rows(mat[pos])
+                adm_pos[0] = pos
+                adm_dom[0] = dom_row
+                adm_eq[0] = eq_row
+                n_adm = 1
+                np.logical_or(has_dom, dom_row, out=has_dom)
+                pos += 1
+                continue
+            tail = has_dom[pos:]
+            first = int(np.argmin(tail))
+            if tail[first]:
+                first = m - pos
+            if first:
+                if n_old:
+                    if old_contig:
+                        dom_old = dom0[:, pos : pos + first]
+                        eq_old = eq0[:, pos : pos + first]
+                    else:
+                        prefix = np.arange(pos, pos + first)
+                        dom_old = dom0[np.ix_(old_rows, prefix)]
+                        eq_old = eq0[np.ix_(old_rows, prefix)]
+                    dup = eq_old.any(axis=0)
+                    any_old = dom_old.any(axis=0)
+                    first_old = dom_old.argmax(axis=0)
+                else:
+                    dup = np.zeros(first, dtype=bool)
+                    any_old = np.zeros(first, dtype=bool)
+                    first_old = np.zeros(first, dtype=np.intp)
+                if n_adm:
+                    dom_adm = adm_dom[:n_adm, pos : pos + first]
+                    dup = dup | adm_eq[:n_adm, pos : pos + first].any(axis=0)
+                    first_adm = dom_adm.argmax(axis=0) + n_old
+                else:
+                    first_adm = np.zeros(first, dtype=np.intp)
+                # Every rejected point has an *alive* dominator (the
+                # eviction-chain invariant), so the old-part position wins
+                # when present and the admitted part covers the rest.
+                firsts = np.where(any_old, first_old, first_adm)
+                charges = np.where(known[pos : pos + first], n_w, firsts + 1)
+                total_charge += int(charges.sum())
+                duplicate[pos : pos + first] = dup
+            j = pos + first
+            if j >= m:
+                break
+            dom_row, eq_row = batch_rows(mat[j])
+            admitted[j] = True
+            dup_j = bool(eq0[old_rows, j].any()) if n_old else False
+            if not dup_j and n_adm:
+                dup_j = bool(adm_eq[:n_adm, j].any())
+            duplicate[j] = dup_j
+            total_charge += n_w
+            # Evictions in current-window order: surviving initial entries
+            # (original order) first, then admitted ones (admission order).
+            evs: "list[WindowEntry]" = []
+            if n_old:
+                kill_old = new_le0[old_rows, j] & ~eq0[old_rows, j]
+                if kill_old.any():
+                    for i in old_rows[kill_old].tolist():
+                        evs.append(WindowEntry(self._keys[i], window[i].copy()))
+                    old_rows = old_rows[~kill_old]
+                    old_contig = False
+            if n_adm:
+                kill_adm = dom_row[adm_pos[:n_adm]]
+                if kill_adm.any():
+                    evs.extend(
+                        WindowEntry(keys[p], mat[p].copy())
+                        for p in adm_pos[:n_adm][kill_adm].tolist()
+                    )
+                    keep = ~kill_adm
+                    kept = int(keep.sum())
+                    adm_pos[:kept] = adm_pos[:n_adm][keep]
+                    adm_dom[:kept] = adm_dom[:n_adm][keep]
+                    adm_eq[:kept] = adm_eq[:n_adm][keep]
+                    n_adm = kept
+            evicted[j] = evs
+            if n_adm == cap:
+                cap *= 2
+                grown_pos = np.empty(cap, dtype=np.intp)
+                grown_pos[:n_adm] = adm_pos[:n_adm]
+                grown_dom = np.empty((cap, m), dtype=bool)
+                grown_dom[:n_adm] = adm_dom[:n_adm]
+                grown_eq = np.empty((cap, m), dtype=bool)
+                grown_eq[:n_adm] = adm_eq[:n_adm]
+                adm_pos, adm_dom, adm_eq = grown_pos, grown_dom, grown_eq
+            adm_pos[n_adm] = j
+            adm_dom[n_adm] = dom_row
+            adm_eq[n_adm] = eq_row
+            n_adm += 1
+            np.logical_or(has_dom, dom_row, out=has_dom)
+            pos = j + 1
+        if self.counter is not None and total_charge:
+            self.counter.record(total_charge)
+        final_adm = adm_pos[:n_adm].tolist()
+        final_keys = [self._keys[i] for i in old_rows.tolist()]
+        final_keys.extend(keys[a] for a in final_adm)
+        parts = []
+        if old_rows.size:
+            parts.append(window[old_rows])
+        if final_adm:
+            parts.append(mat[final_adm])
+        cur = np.vstack(parts) if parts else np.empty((0, width))
+        self._size = len(final_keys)
+        self._keys = final_keys
         capacity = max(_INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length())
         self._matrix = np.empty((capacity, width))
         self._matrix[: self._size] = cur

@@ -41,6 +41,9 @@ MODES = {
     # Write-ahead journaling + checkpoints must also be a pure no-op
     # (docs/ARCHITECTURE.md §10); journal_dir is filled in per run.
     "journal": {"enable_journal": True, "checkpoint_every_regions": 5},
+    # Multi-process region execution must be observation-equivalent to
+    # the serial engine (docs/ARCHITECTURE.md §11).
+    "parallel": {"workers": 2},
 }
 
 

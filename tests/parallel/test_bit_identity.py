@@ -1,0 +1,119 @@
+"""Bit-identity of the parallel engine (docs/ARCHITECTURE.md §11).
+
+The deterministic-commit protocol promises that ``workers`` is a pure
+wall-clock knob: every modelled observable — region trace, skyline and
+coarse comparison counts, virtual time, reported identity sets, contract
+satisfaction — must be *identical* for workers ∈ {0, 1, 2, 4}, and a
+repeated run at the same setting must reproduce itself exactly.
+
+The fixed scenarios pin the two paper workload shapes (Figure 1 and the
+subspace lattice); the hypothesis property fuzzes random workloads,
+join-condition mixes, and filters over random seeds.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.contracts import c2
+from repro.core import CAQE, CAQEConfig
+from repro.datagen import generate_pair
+from repro.query import random_workload
+from repro.query.workload import subspace_workload
+
+#: Worker counts exercised everywhere; 0 is the serial reference engine.
+WORKER_GRID = (0, 1, 2, 4)
+
+#: Every deterministic counter of ExecutionStats that the contract model
+#: reads (wall-clock channels — region_durations, phase totals — are
+#: deliberately excluded: they measure speed, not behaviour).
+STAT_FIELDS = (
+    "region_trace",
+    "skyline_comparisons",
+    "coarse_comparisons",
+    "elapsed",
+    "join_results",
+    "join_probes",
+    "results_reported",
+)
+
+
+def fingerprint(result):
+    """Everything that must be bit-identical across worker counts."""
+    stats = tuple(getattr(result.stats, f) for f in STAT_FIELDS)
+    reported = {name: frozenset(pairs) for name, pairs in result.reported.items()}
+    satisfaction = {q.name: result.satisfaction(q.name) for q in result.workload}
+    return stats, reported, satisfaction, result.horizon
+
+
+def run_once(pair, workload, contracts, workers):
+    config = CAQEConfig(workers=workers)
+    return CAQE(config).run(pair.left, pair.right, workload, contracts)
+
+
+def assert_identical_across_workers(pair, workload, contracts):
+    reference = fingerprint(run_once(pair, workload, contracts, 0))
+    for workers in WORKER_GRID[1:]:
+        observed = fingerprint(run_once(pair, workload, contracts, workers))
+        assert observed == reference, f"workers={workers} diverged"
+    return reference
+
+
+class TestFixedScenarios:
+    def test_subspace_workload_all_worker_counts(self):
+        pair = generate_pair("independent", 200, 4, selectivity=0.05, seed=23)
+        workload = subspace_workload(3, priority_scheme="uniform")
+        contracts = {q.name: c2(scale=100.0) for q in workload}
+        assert_identical_across_workers(pair, workload, contracts)
+
+    def test_repeated_runs_reproduce(self):
+        pair = generate_pair("anticorrelated", 150, 4, selectivity=0.08, seed=7)
+        workload = random_workload(4, dims=4, seed=11)
+        contracts = {q.name: c2(scale=200.0) for q in workload}
+        first = fingerprint(run_once(pair, workload, contracts, 2))
+        second = fingerprint(run_once(pair, workload, contracts, 2))
+        assert first == second
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_filters_and_two_conditions(self, workers):
+        pair = generate_pair(
+            "independent", 120, 4, joins=2, selectivity=0.1, seed=5
+        )
+        workload = random_workload(
+            4,
+            dims=4,
+            join_attrs=("jc1", "jc2"),
+            filter_probability=0.6,
+            seed=6,
+        )
+        contracts = {q.name: c2(scale=300.0) for q in workload}
+        reference = fingerprint(run_once(pair, workload, contracts, 0))
+        observed = fingerprint(run_once(pair, workload, contracts, workers))
+        assert observed == reference
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    query_count=st.integers(1, 5),
+    filter_probability=st.sampled_from([0.0, 0.5]),
+    workers=st.sampled_from([1, 2, 4]),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_parallel_equals_serial(
+    seed, query_count, filter_probability, workers
+):
+    pair = generate_pair("independent", 80, 4, selectivity=0.1, seed=seed)
+    workload = random_workload(
+        query_count,
+        dims=4,
+        filter_probability=filter_probability,
+        seed=seed + 1,
+    )
+    contracts = {q.name: c2(scale=500.0) for q in workload}
+    reference = fingerprint(run_once(pair, workload, contracts, 0))
+    observed = fingerprint(run_once(pair, workload, contracts, workers))
+    assert observed == reference

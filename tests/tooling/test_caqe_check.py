@@ -1,6 +1,6 @@
 """Fixture tests for the ``tools.caqe_check`` static-analysis suite.
 
-Each rule CQ001–CQ007 is exercised three ways:
+Each rule CQ001–CQ008 is exercised three ways:
 
 * a **violating** fixture written under a tmpdir whose layout mimics the
   real tree (``repro/core/...``) so the path-fragment scoping triggers;
@@ -531,6 +531,85 @@ class TestCQ007:
             "repro/core/mod.py",
             "import time  # caqe-check: disable=CQ007\n",
             select="CQ007",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ008 — process parallelism only via the deterministic region pool
+# ------------------------------------------------------------------ #
+class TestCQ008:
+    def test_fires_on_pool_imports_and_fork(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            import os
+
+
+            def fan_out():
+                return os.fork()
+            """,
+            select="CQ008",
+        )
+        assert codes(found) == ["CQ008", "CQ008", "CQ008"]
+
+    def test_fires_on_multiprocessing_submodule(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            "from multiprocessing import shared_memory\n",
+            select="CQ008",
+        )
+        assert codes(found) == ["CQ008"]
+
+    def test_parallel_package_is_exempt(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/parallel/pool.py",
+            """\
+            import multiprocessing
+            from multiprocessing import shared_memory
+            """,
+            select="CQ008",
+        )
+        assert found == []
+
+    def test_threading_and_pool_usage_are_clean(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """\
+            import threading
+
+            from repro.parallel import RegionPool
+
+
+            def serve(left, right, workers):
+                return RegionPool(left, right, workers=workers)
+            """,
+            select="CQ008",
+        )
+        assert found == []
+
+    def test_out_of_tree_files_are_not_flagged(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "bench/mod.py",
+            "import multiprocessing\n",
+            select="CQ008",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            "import multiprocessing  # caqe-check: disable=CQ008\n",
+            select="CQ008",
         )
         assert found == []
 

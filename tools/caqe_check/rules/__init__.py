@@ -12,6 +12,7 @@ from tools.caqe_check.rules import (
     cq005_float_eq,
     cq006_exceptions,
     cq007_wallclock,
+    cq008_parallel,
 )
 
 FILE_RULES = (
@@ -21,6 +22,7 @@ FILE_RULES = (
     cq005_float_eq,
     cq006_exceptions,
     cq007_wallclock,
+    cq008_parallel,
 )
 PROJECT_RULES = (cq004_config,)
 

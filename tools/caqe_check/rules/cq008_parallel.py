@@ -1,0 +1,81 @@
+"""CQ008 — process parallelism only via the deterministic region pool.
+
+The parallel layer (docs/ARCHITECTURE.md §11) guarantees bit-identical
+observables because *all* multi-process execution funnels through
+``repro.parallel.RegionPool``: pure prepare work in workers, every
+commit applied by the driver in serial benefit order.  A stray
+``multiprocessing.Pool`` (or executor / raw fork) elsewhere in the
+engine would bypass the commit protocol and reintroduce scheduling
+nondeterminism, so inside ``src/repro`` — but outside
+``src/repro/parallel/`` — this rule forbids:
+
+* ``import multiprocessing`` / ``from multiprocessing import ...``
+  (including submodules such as ``multiprocessing.pool``);
+* ``import concurrent.futures`` / ``from concurrent.futures import
+  ...`` — both process and thread pools construct futures-based fan-out
+  that sidesteps the deterministic pool;
+* calls to ``os.fork`` / ``os.forkpty``.
+
+Thread primitives (``threading``) stay allowed: the serving layer uses
+them for admission control, and threads never skip the commit point.
+Deliberate exceptions can carry ``# caqe-check: disable=CQ008``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.caqe_check.engine import CheckedFile, dotted_name
+from tools.caqe_check.report import Violation
+
+CODE = "CQ008"
+
+_BANNED_MODULES = ("multiprocessing", "concurrent")
+_BANNED_OS_CALLS = {"fork", "forkpty"}
+
+
+def _in_scope(posix: str) -> bool:
+    return "repro/" in posix and "repro/parallel/" not in posix
+
+
+def check(file: CheckedFile) -> "list[Violation]":
+    if not _in_scope(file.posix):
+        return []
+    violations: "list[Violation]" = []
+
+    def emit(node: ast.AST, message: str) -> None:
+        violation = file.violation(node, CODE, message)
+        if violation is not None:
+            violations.append(violation)
+
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _BANNED_MODULES:
+                    emit(
+                        node,
+                        f"import of {alias.name!r}: process parallelism "
+                        "must go through repro.parallel.RegionPool (the "
+                        "deterministic commit protocol)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = (node.module or "").split(".")[0]
+            if module in _BANNED_MODULES:
+                emit(
+                    node,
+                    f"import from {node.module!r}: process parallelism "
+                    "must go through repro.parallel.RegionPool (the "
+                    "deterministic commit protocol)",
+                )
+        elif isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            if chain[0] == "os" and chain[-1] in _BANNED_OS_CALLS:
+                emit(
+                    node,
+                    f"call to os.{chain[-1]}: raw forks bypass the "
+                    "deterministic region pool (repro.parallel)",
+                )
+    return violations
