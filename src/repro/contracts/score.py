@@ -36,11 +36,12 @@ class ResultEvent:
 class ResultLog:
     """Time-ordered log of one query's reported results."""
 
-    __slots__ = ("query_name", "_events")
+    __slots__ = ("query_name", "_events", "_times")
 
     def __init__(self, query_name: str):
         self.query_name = query_name
         self._events: list[ResultEvent] = []
+        self._times: list[float] = []
 
     def report(self, key: Hashable, timestamp: float) -> None:
         if self._events and timestamp < self._events[-1].timestamp:
@@ -49,6 +50,7 @@ class ResultLog:
                 f"{timestamp} after {self._events[-1].timestamp}"
             )
         self._events.append(ResultEvent(key=key, timestamp=float(timestamp)))
+        self._times.append(float(timestamp))
 
     def report_batch(self, keys, timestamp: float) -> None:
         for key in keys:
@@ -64,7 +66,7 @@ class ResultLog:
 
     @property
     def timestamps(self) -> np.ndarray:
-        return np.asarray([e.timestamp for e in self._events], dtype=float)
+        return np.asarray(self._times, dtype=float)
 
     @property
     def completion_time(self) -> float:
@@ -155,6 +157,9 @@ class SatisfactionTracker:
         self._logs: dict[str, ResultLog] = {
             name: ResultLog(name) for name in self._contracts
         }
+        # Satisfaction is a pure function of the (append-only) log and the
+        # fixed estimate, so a (length, value) memo per query is exact.
+        self._sat_cache: dict[str, tuple[int, float]] = {}
 
     def record(self, query_name: str, keys, timestamp: float) -> None:
         self._logs[query_name].report_batch(keys, timestamp)
@@ -167,10 +172,16 @@ class SatisfactionTracker:
 
     def runtime_satisfaction(self, query_name: str) -> float:
         log = self._logs[query_name]
-        contract = self._contracts[query_name]
         if len(log) == 0:
             return 0.0
-        return contract.satisfaction(log.timestamps, self._estimates[query_name])
+        cached = self._sat_cache.get(query_name)
+        if cached is not None and cached[0] == len(log):
+            return cached[1]
+        value = self._contracts[query_name].satisfaction(
+            log.timestamps, self._estimates[query_name]
+        )
+        self._sat_cache[query_name] = (len(log), value)
+        return value
 
     def snapshot(self) -> "dict[str, float]":
         return {name: self.runtime_satisfaction(name) for name in self._contracts}

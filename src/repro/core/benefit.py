@@ -50,6 +50,7 @@ def prog_count_exact(
     dominators: "list[OutputRegion]",
     positions: "tuple[int, ...]",
     grid: OutputGrid,
+    cell_lowers: "np.ndarray | None" = None,
 ) -> "tuple[int, int]":
     """Definition 11: (non-dominatable cells, total cells) of ``region``.
 
@@ -58,19 +59,25 @@ def prog_count_exact(
     lower corner (Definition 8 case 2 at cell granularity); the most
     dominating cell any region can populate is the one at its coordinate
     lower corner.
+
+    ``cell_lowers`` optionally carries the precomputed full-dimension
+    lower corners of the region's box (``grid.cell_lowers`` over
+    ``OutputGrid.box_coords``) — pure immutable geometry, so a memoised
+    copy is bit-identical to recomputing it.
     """
     pos = list(positions)
     threats = [d for d in dominators if d.region_id != region.region_id]
     total = OutputGrid.box_cell_count(region.coord_lo, region.coord_hi)
     if not threats:
         return total, total
-    threat_uppers = np.vstack([grid.cell_upper(d.coord_lo)[pos] for d in threats])
-    coords = np.array(
-        list(OutputGrid.cells_in_box(region.coord_lo, region.coord_hi)),
-        dtype=np.intp,
-    )
-    cell_lowers = grid.cell_lowers(coords)[:, pos]  # (cells, |pos|)
-    at_risk = dominance_mask(threat_uppers, cell_lowers).any(axis=0)
+    threat_uppers = grid.cell_uppers(
+        np.asarray([d.coord_lo for d in threats], dtype=np.intp)
+    )[:, pos]
+    if cell_lowers is None:
+        cell_lowers = grid.cell_lowers(
+            OutputGrid.box_coords(region.coord_lo, region.coord_hi)
+        )
+    at_risk = dominance_mask(threat_uppers, cell_lowers[:, pos]).any(axis=0)
     return int(total - int(at_risk.sum())), total
 
 
@@ -111,17 +118,30 @@ def prog_ratio_volume(
 _SAMPLES_PER_DIM = 3
 
 
+#: Cartesian index grids for :func:`_sample_lattice`, keyed by ``(k, d)``.
+_LATTICE_IDX: "dict[tuple[int, int], np.ndarray]" = {}
+
+
 def _sample_lattice(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
-    """A deterministic lattice of cell-center points inside ``[lo, hi]``."""
+    """A deterministic lattice of cell-center points inside ``[lo, hi]``.
+
+    One array-endpoint ``linspace`` call builds every axis at once —
+    elementwise it performs the same arithmetic as a per-dimension
+    ``linspace``, so the points are bit-identical to the scalar form —
+    and a cached cartesian index grid expands the axes to sample rows in
+    ``meshgrid``'s row-major order.
+    """
     d = len(lo)
     k = _SAMPLES_PER_DIM if d <= 4 else 2
-    axes = [
-        np.linspace(lo[i] + (hi[i] - lo[i]) / (2 * k),
-                    hi[i] - (hi[i] - lo[i]) / (2 * k), k)
-        for i in range(d)
-    ]
-    mesh = np.meshgrid(*axes, indexing="ij")
-    return np.column_stack([m.ravel() for m in mesh])
+    pad = (hi - lo) / (2 * k)
+    axes = np.linspace(lo + pad, hi - pad, k, axis=0)  # (k, d)
+    idx = _LATTICE_IDX.get((k, d))
+    if idx is None:
+        ranges = [np.arange(k, dtype=np.intp)] * d
+        mesh = np.meshgrid(*ranges, indexing="ij")
+        idx = np.column_stack([m.ravel() for m in mesh])
+        _LATTICE_IDX[(k, d)] = idx
+    return axes[idx, np.arange(d, dtype=np.intp)[None, :]]
 
 
 def prog_ratio_sampled(
@@ -167,15 +187,37 @@ class _SampleCounts:
     departing region's domination mask per event.
     """
 
-    __slots__ = ("samples", "counts", "uppers", "slot", "size")
+    __slots__ = (
+        "samples", "counts", "uppers", "slot_arr", "rids", "live", "size",
+    )
 
-    def __init__(self, n_samples: int, width: int) -> None:
+    def __init__(self, n_samples: int, width: int, n_ids: int) -> None:
         cap = 64
         self.samples = np.empty((cap, n_samples, width))
         self.counts = np.zeros((cap, n_samples), dtype=np.int32)
         self.uppers = np.empty((cap, width))
-        self.slot: dict[int, int] = {}
+        #: ``slot_arr[region_id]`` is the row index, or -1 when absent —
+        #: an array so batched lookups stay loop-free.
+        self.slot_arr = np.full(n_ids, -1, dtype=np.int64)
+        #: Row → owning region id (stale for tombstoned rows, which the
+        #: ``live`` mask filters out of every batched read).
+        self.rids = np.zeros(cap, dtype=np.intp)
+        #: Rows whose region still owns them.  Dropped rows are tombstoned
+        #: (never reused, never read), so event maintenance skips them.
+        self.live = np.zeros(cap, dtype=bool)
         self.size = 0
+
+    def slot(self, region_id: int) -> int:
+        if region_id >= len(self.slot_arr):
+            return -1
+        return int(self.slot_arr[region_id])
+
+    def drop(self, region_id: int) -> None:
+        if region_id < len(self.slot_arr):
+            row = self.slot_arr[region_id]
+            if row >= 0:
+                self.live[row] = False
+            self.slot_arr[region_id] = -1
 
     def add(
         self,
@@ -193,13 +235,130 @@ class _SampleCounts:
             self.samples = grown(self.samples)
             self.counts = grown(self.counts)
             self.uppers = grown(self.uppers)
+            grown_rids = np.zeros(2 * len(self.rids), dtype=np.intp)
+            grown_rids[: self.size] = self.rids[: self.size]
+            self.rids = grown_rids
+            grown_live = np.zeros(2 * len(self.live), dtype=bool)
+            grown_live[: self.size] = self.live[: self.size]
+            self.live = grown_live
+        if region_id >= len(self.slot_arr):
+            wider = np.full(
+                max(region_id + 1, 2 * len(self.slot_arr)), -1, dtype=np.int64
+            )
+            wider[: len(self.slot_arr)] = self.slot_arr
+            self.slot_arr = wider
         row = self.size
         self.samples[row] = samples
         self.counts[row] = counts
         self.uppers[row] = upper
-        self.slot[region_id] = row
+        self.slot_arr[region_id] = row
+        self.rids[row] = region_id
+        self.live[row] = True
         self.size += 1
         return row
+
+
+class _CellCounts:
+    """Per-query incremental threat counts over regions' exact cell boxes.
+
+    The exact-branch analogue of :class:`_SampleCounts`: row ``slot[rid]``
+    holds, for each grid cell of region ``rid``'s box (first ``ncells``
+    entries; the rest is padding), how many currently reaching same-lineage
+    regions could dominate that cell.  Definition 11's progressive count is
+    then ``total - count_nonzero(counts > 0)`` — read in O(cells) — and the
+    same removal/deactivation events that keep the sample counts current
+    subtract the departing region's per-cell domination mask here.
+    """
+
+    __slots__ = (
+        "cells", "counts", "uppers", "ncells", "slot_arr", "rids", "live",
+        "size", "limit",
+    )
+
+    def __init__(self, limit: int, width: int, n_ids: int) -> None:
+        cap = 64
+        self.limit = limit
+        self.cells = np.zeros((cap, limit, width))
+        self.counts = np.zeros((cap, limit), dtype=np.int32)
+        self.uppers = np.empty((cap, width))
+        self.ncells = np.zeros(cap, dtype=np.intp)
+        self.slot_arr = np.full(n_ids, -1, dtype=np.int64)
+        self.rids = np.zeros(cap, dtype=np.intp)
+        #: Same tombstone discipline as :class:`_SampleCounts`.
+        self.live = np.zeros(cap, dtype=bool)
+        self.size = 0
+
+    def slot(self, region_id: int) -> int:
+        if region_id >= len(self.slot_arr):
+            return -1
+        return int(self.slot_arr[region_id])
+
+    def drop(self, region_id: int) -> None:
+        if region_id < len(self.slot_arr):
+            row = self.slot_arr[region_id]
+            if row >= 0:
+                self.live[row] = False
+            self.slot_arr[region_id] = -1
+
+    def add(
+        self,
+        region_id: int,
+        cells: np.ndarray,
+        upper: np.ndarray,
+        counts: np.ndarray,
+    ) -> int:
+        if self.size == len(self.cells):
+            def grown(arr: np.ndarray) -> np.ndarray:
+                out = np.zeros((2 * len(arr), *arr.shape[1:]), dtype=arr.dtype)
+                out[: self.size] = arr[: self.size]
+                return out
+
+            self.cells = grown(self.cells)
+            self.counts = grown(self.counts)
+            self.uppers = grown(self.uppers)
+            self.ncells = grown(self.ncells)
+            self.rids = grown(self.rids)
+            self.live = grown(self.live)
+        if region_id >= len(self.slot_arr):
+            wider = np.full(
+                max(region_id + 1, 2 * len(self.slot_arr)), -1, dtype=np.int64
+            )
+            wider[: len(self.slot_arr)] = self.slot_arr
+            self.slot_arr = wider
+        row = self.size
+        n = len(cells)
+        self.cells[row, :n] = cells
+        self.cells[row, n:] = 0.0
+        self.counts[row, :n] = counts
+        self.counts[row, n:] = 0
+        self.uppers[row] = upper
+        self.ncells[row] = n
+        self.slot_arr[region_id] = row
+        self.rids[row] = region_id
+        self.live[row] = True
+        self.size += 1
+        return row
+
+
+class _ById:
+    """Candidate-index view over attached regions, resolved lazily by id.
+
+    Lets the scheduler hand :meth:`BenefitModel.estimate_roots_arrays` a
+    bare id array without materialising a region-object list per
+    iteration; only the scalar fallback paths ever index into this.
+    """
+
+    __slots__ = ("_by_id", "_ids")
+
+    def __init__(self, by_id: "dict[int, OutputRegion]", ids: np.ndarray):
+        self._by_id = by_id
+        self._ids = ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __getitem__(self, k: int) -> "OutputRegion":
+        return self._by_id[int(self._ids[k])]
 
 
 class BenefitModel:
@@ -233,24 +392,59 @@ class BenefitModel:
         self._costs: dict[int, float] = {}
         self._cards: dict[int, np.ndarray] = {}
         self._lattices: "dict[tuple[int, int], np.ndarray]" = {}
-        # Exact-branch ratio memo with *lazy validation*: each entry stores
-        # the exact reaching-dominator id set (as bytes) the ratio was
-        # computed from; a lookup reuses the value iff the current reach set
-        # matches — region geometry is immutable, so an unchanged id set
-        # implies bit-identical estimator inputs.
-        self._ratios: "dict[tuple[int, int], tuple[bytes, float]]" = {}
+        # Full-dimension cell lower corners of each region's coordinate
+        # box — immutable geometry the exact branch re-reads on every
+        # recomputation, so one copy per region is kept for its lifetime.
+        self._boxes: "dict[int, np.ndarray]" = {}
+        # Event-driven ProgEst cache, ``(region_id, qi)`` indexed.  A
+        # candidate's ProgEst is a pure function of its *reach set* (the
+        # active same-lineage regions whose lower corner enters its box),
+        # so an entry stays valid until some reaching region departs —
+        # :meth:`note_removed`/:meth:`note_deactivation` evict exactly the
+        # entries whose reach set the event changed, in one masked store.
+        self._prog_val: "np.ndarray | None" = None
+        self._prog_ok: "np.ndarray | None" = None
         # Sampled-branch incremental state, one structure per query; rows
         # are created lazily at a region's first sampled estimate and kept
         # current by :meth:`note_removed`/:meth:`note_deactivation`.
         self._scounts: "dict[int, _SampleCounts]" = {}
+        # Exact-branch incremental state, same lifecycle.
+        self._ecounts: "dict[int, _CellCounts]" = {}
+        # Departure events queued by note_removed/note_deactivation and
+        # applied in one vectorised pass per query at the next read
+        # (:meth:`_flush_events`) — count subtraction commutes, so the
+        # batch equals replaying the events one at a time.
+        self._pending: "list[tuple[int, int]]" = []
+        # Per-query active-membership snapshot ``(ids, lowers)`` reused
+        # between events: membership changes always queue an event for the
+        # affected query, so the flush is a complete invalidation point.
+        self._member_cache: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
         #: Estimated final result count per query (needed by cardinality
         #: contracts); populated via :meth:`set_result_estimates`.
         self.result_estimates = np.ones(len(workload))
         # Global region arrays for vectorised ProgCount estimation; filled by
         # :meth:`attach_regions` and kept in sync via note_* callbacks.
         self._lower_all: "np.ndarray | None" = None
+        self._upper_all: "np.ndarray | None" = None
+        self._cupper_all: "np.ndarray | None" = None
+        # Contiguous per-query-subspace views of the three corner
+        # matrices, rebuilt by :meth:`attach_regions`.
+        self._lower_q: "list[np.ndarray]" = []
+        self._upper_q: "list[np.ndarray]" = []
+        self._cupper_q: "list[np.ndarray]" = []
         self._rql_all: "np.ndarray | None" = None
         self._active_all: "np.ndarray | None" = None
+        # Regions registered by attach_regions — only their events are
+        # tracked, so only they may hold ProgEst cache entries.  Unlike
+        # ``_active_all`` this never flips back off.
+        self._attached_all: "np.ndarray | None" = None
+        # Static per-region scalars (Buchta cardinalities, t_c, cell
+        # counts) precomputed at attach time with the same scalar
+        # functions the lazy memos use, so batched gathers replace
+        # per-iteration dict lookups.
+        self._cards_all: "np.ndarray | None" = None
+        self._cost_all: "np.ndarray | None" = None
+        self._ccnt_all: "np.ndarray | None" = None
         self._regions_by_id: "dict[int, OutputRegion]" = {}
 
     def set_result_estimates(self, totals: "dict[str, float]") -> None:
@@ -265,24 +459,75 @@ class BenefitModel:
         self._costs.clear()
         self._cards.clear()
         self._lattices.clear()
-        self._ratios.clear()
+        self._boxes.clear()
         self._scounts.clear()
+        self._ecounts.clear()
+        self._pending.clear()
+        self._member_cache.clear()
+        n_q = len(self.workload)
         if not regions:
             self._lower_all = np.empty((0, len(self.workload.output_dims)))
+            self._upper_all = np.empty((0, len(self.workload.output_dims)))
+            self._cupper_all = np.empty((0, len(self.workload.output_dims)))
             self._rql_all = np.empty(0, dtype=np.int64)
             self._active_all = np.empty(0, dtype=bool)
+            self._attached_all = np.empty(0, dtype=bool)
+            self._prog_val = np.empty((0, n_q))
+            self._prog_ok = np.empty((0, n_q), dtype=bool)
+            self._cards_all = np.empty((0, n_q))
+            self._cost_all = np.empty(0)
+            self._ccnt_all = np.empty(0, dtype=np.int64)
             self._regions_by_id = {}
+            self._subspace_cols()
             return
         max_id = max(r.region_id for r in regions)
         self._lower_all = np.zeros((max_id + 1, len(self.workload.output_dims)))
+        self._upper_all = np.zeros((max_id + 1, len(self.workload.output_dims)))
+        self._cupper_all = np.zeros((max_id + 1, len(self.workload.output_dims)))
         self._rql_all = np.zeros(max_id + 1, dtype=np.int64)
         self._active_all = np.zeros(max_id + 1, dtype=bool)
+        self._attached_all = np.zeros(max_id + 1, dtype=bool)
+        self._prog_val = np.zeros((max_id + 1, n_q))
+        self._prog_ok = np.zeros((max_id + 1, n_q), dtype=bool)
+        self._cards_all = np.zeros((max_id + 1, n_q))
+        self._cost_all = np.zeros(max_id + 1)
+        self._ccnt_all = np.zeros(max_id + 1, dtype=np.int64)
         self._regions_by_id = {}
         for r in regions:
             self._lower_all[r.region_id] = r.lower
+            self._upper_all[r.region_id] = r.upper
             self._rql_all[r.region_id] = r.active_rql
             self._active_all[r.region_id] = True
+            self._attached_all[r.region_id] = True
+            # Same scalar computations the lazy memos run, done once.
+            self._cards_all[r.region_id] = self._cards_for(r)
+            self._cost_all[r.region_id] = self._cost_for(r)
+            self._ccnt_all[r.region_id] = r.cell_count
             self._regions_by_id[r.region_id] = r
+        # Upper corner of each region's lowest cell — the corner Definition
+        # 11's threat test compares; one broadcast covers every region.
+        ids = np.asarray(sorted(self._regions_by_id), dtype=np.intp)
+        coords = np.asarray(
+            [self._regions_by_id[int(i)].coord_lo for i in ids], dtype=np.intp
+        )
+        self._cupper_all[ids] = self.grid.cell_uppers(coords)
+        self._subspace_cols()
+
+    def _subspace_cols(self) -> None:
+        """Per-query contiguous corner matrices over each query subspace.
+
+        Geometry is immutable after :meth:`attach_regions`, so slicing the
+        query-subspace columns once replaces a fancy gather per estimator
+        call and per event flush.
+        """
+        self._lower_q = []
+        self._upper_q = []
+        self._cupper_q = []
+        for qi in range(len(self.workload)):
+            p = list(self.query_positions[qi])
+            self._lower_q.append(np.ascontiguousarray(self._lower_all[:, p]))
+            self._upper_q.append(np.ascontiguousarray(self._upper_all[:, p]))
+            self._cupper_q.append(np.ascontiguousarray(self._cupper_all[:, p]))
 
     def note_removed(self, region_id: int) -> None:
         """A region was processed or fully discarded."""
@@ -290,51 +535,132 @@ class BenefitModel:
             rql = int(self._rql_all[region_id])
             for qi in range(len(self.workload)):
                 if (rql >> qi) & 1:
-                    self._retire_threat(region_id, qi)
+                    self._pending.append((region_id, qi))
         if self._active_all is not None and region_id < len(self._active_all):
             self._active_all[region_id] = False
+            self._prog_ok[region_id, :] = False
         self._costs.pop(region_id, None)
         self._cards.pop(region_id, None)
+        self._boxes.pop(region_id, None)
         for qi in range(len(self.workload)):
             self._lattices.pop((region_id, qi), None)
-            self._ratios.pop((region_id, qi), None)
             sc = self._scounts.get(qi)
             if sc is not None:
-                sc.slot.pop(region_id, None)
+                sc.drop(region_id)
+            ec = self._ecounts.get(qi)
+            if ec is not None:
+                ec.drop(region_id)
 
     def note_deactivation(self, region_id: int, query_bit: int) -> None:
         """A region lost one query from its lineage."""
-        self._retire_threat(region_id, query_bit)
+        self._pending.append((region_id, query_bit))
         if self._rql_all is not None and region_id < len(self._rql_all):
             self._rql_all[region_id] &= ~(np.int64(1) << query_bit)
-        self._ratios.pop((region_id, query_bit), None)
+            self._prog_ok[region_id, query_bit] = False
+        # The region's own count rows for this query are dead from here on
+        # (rql bits never come back), so event maintenance may skip them.
+        sc = self._scounts.get(query_bit)
+        if sc is not None:
+            sc.drop(region_id)
+        ec = self._ecounts.get(query_bit)
+        if ec is not None:
+            ec.drop(region_id)
 
-    def _retire_threat(self, region_id: int, qi: int) -> None:
-        """Subtract a departing region's domination contribution from every
-        initialised sample-count row of query ``qi`` it reaches.
+    def _flush_events(self) -> None:
+        """Apply queued departure events in one vectorised pass per query.
 
-        Geometry is immutable, so the reach test and domination mask
-        recomputed here are exactly what the row's initialisation counted —
-        the subtraction leaves each row equal to a from-scratch count over
-        the post-event membership.
+        Each event subtracts the departing region's domination contribution
+        from every initialised count row it reaches and evicts the ProgEst
+        cache entries whose reach set it changed.  Geometry is immutable
+        and events fire exactly once per ``(region, query)``, so integer
+        subtraction commutes: applying a batch together equals replaying
+        the events one at a time.  Rows belonging to departed regions are
+        tombstoned (never read again), so their drift is unobservable.
         """
-        sc = self._scounts.get(qi)
-        if sc is None or sc.size == 0 or self._lower_all is None:
+        if not self._pending or self._lower_all is None:
+            self._pending.clear()
             return
-        positions = list(self.query_positions[qi])
-        lower = self._lower_all[region_id][positions]
-        n = sc.size
-        reach = np.all(lower[None, :] < sc.uppers[:n], axis=1)
-        own = sc.slot.get(region_id)
-        if own is not None:
-            reach[own] = False
-        rows = np.flatnonzero(reach)
-        if not rows.size:
-            return
-        samp = sc.samples[rows]
-        sc.counts[rows] -= dominance_broadcast(lower, samp, axis=2).astype(
-            np.int32
-        )
+        events = self._pending
+        self._pending = []
+        by_qi: "dict[int, list[int]]" = {}
+        for rid, qi in events:
+            by_qi.setdefault(qi, []).append(rid)
+        for qi, rids in by_qi.items():
+            self._member_cache.pop(qi, None)
+            rid_arr = np.asarray(rids, dtype=np.intp)
+            lowers = self._lower_q[qi][rid_arr]  # (E, p)
+            # One (events, regions) reach broadcast serves everything in
+            # this flush: a candidate's ProgEst entry dies iff some
+            # departing region's lower corner enters its box over the
+            # subspace, and the count-table targets gather the same mask
+            # through their row -> region-id maps (a count row's upper
+            # corner *is* its region's upper corner).
+            reach_all = (
+                lowers[:, None, :] < self._upper_q[qi][None, :, :]
+            ).all(axis=2)
+            if self._prog_ok is not None:
+                self._prog_ok[reach_all.any(axis=0), qi] = False
+            sc = self._scounts.get(qi)
+            if sc is not None and sc.size:
+                n = sc.size
+                ridx = sc.rids[:n]
+                if int(ridx.max(initial=0)) < reach_all.shape[1]:
+                    reach = reach_all[:, ridx]
+                else:
+                    # Rows owned by never-attached regions (detached
+                    # estimates) sit outside the geometry arrays.
+                    reach = (
+                        lowers[:, None, :] < sc.uppers[None, :n, :]
+                    ).all(axis=2)
+                reach &= sc.live[None, :n]
+                for e, rid in enumerate(rids):
+                    own = sc.slot(rid)
+                    if 0 <= own < n:
+                        reach[e, own] = False
+                rows = np.flatnonzero(reach.any(axis=0))
+                if rows.size:
+                    dom = dominance_broadcast(
+                        lowers[:, None, None, :],
+                        sc.samples[rows][None, :, :, :],
+                        axis=3,
+                    )
+                    sc.counts[rows] -= (dom & reach[:, rows, None]).sum(
+                        axis=0, dtype=np.int32
+                    )
+            ec = self._ecounts.get(qi)
+            if ec is not None and ec.size:
+                n = ec.size
+                ridx = ec.rids[:n]
+                if int(ridx.max(initial=0)) < reach_all.shape[1]:
+                    reach = reach_all[:, ridx]
+                else:
+                    reach = (
+                        lowers[:, None, :] < ec.uppers[None, :n, :]
+                    ).all(axis=2)
+                reach &= ec.live[None, :n]
+                for e, rid in enumerate(rids):
+                    own = ec.slot(rid)
+                    if 0 <= own < n:
+                        reach[e, own] = False
+                rows = np.flatnonzero(reach.any(axis=0))
+                if rows.size:
+                    corners = self._cupper_q[qi][rid_arr]
+                    cells = ec.cells[rows]
+                    # Chunk the (events, rows, cells) broadcast to bound the
+                    # temporary at ~8 * rows * limit * width floats.
+                    for a in range(0, len(rids), 8):
+                        b = min(a + 8, len(rids))
+                        sub = reach[a:b][:, rows]
+                        if not sub.any():
+                            continue
+                        dom = dominance_broadcast(
+                            corners[a:b, None, None, :],
+                            cells[None, :, :, :],
+                            axis=3,
+                        )
+                        ec.counts[rows] -= (dom & sub[:, :, None]).sum(
+                            axis=0, dtype=np.int32
+                        )
 
     # ------------------------------------------------------------------ #
     # Cost side
@@ -387,6 +713,8 @@ class BenefitModel:
         """``ProgCount / CellCount`` against the currently active regions."""
         if self._active_all is None:
             raise ExecutionError("attach_regions() must run before estimation")
+        if self._pending:
+            self._flush_events()
         ids, dominator_lowers, positions = self._reaching_dominators(region, qi)
         if len(ids) == 0:
             return 1.0
@@ -396,12 +724,26 @@ class BenefitModel:
         ):
             dominators = [self._regions_by_id[int(rid)] for rid in ids]
             safe, total = prog_count_exact(
-                region, dominators, tuple(positions), self.grid
+                region,
+                dominators,
+                tuple(positions),
+                self.grid,
+                cell_lowers=self._cell_lowers_for(region),
             )
             return safe / total if total else 0.0
         lo = region.lower[positions]
         hi = region.upper[positions]
         return prog_ratio_sampled(lo, hi, dominator_lowers)
+
+    def _cell_lowers_for(self, region: OutputRegion) -> np.ndarray:
+        """Full-dimension lower corners of the region's box cells (memoised)."""
+        lowers = self._boxes.get(region.region_id)
+        if lowers is None:
+            lowers = self.grid.cell_lowers(
+                OutputGrid.box_coords(region.coord_lo, region.coord_hi)
+            )
+            self._boxes[region.region_id] = lowers
+        return lowers
 
     def _cards_for(self, region: OutputRegion) -> np.ndarray:
         cards = self._cards.get(region.region_id)
@@ -444,43 +786,68 @@ class BenefitModel:
 
         ``ids``/``lowers`` are the reaching dominators — the ratio's entire
         input besides immutable region geometry.  With ``use_cache`` on,
-        exact-branch values are memoised against the id set and
-        sampled-branch values are read from the incrementally maintained
-        dominator counts; with it off everything is recomputed from scratch
-        (the naive-rescan mode the regression tests compare against).
-        Both modes return bit-identical values.
+        both branches read incrementally maintained dominator counts
+        (:class:`_CellCounts` for the exact branch, :class:`_SampleCounts`
+        for the sampled one); with it off everything is recomputed from
+        scratch (the naive-rescan mode the regression tests compare
+        against).  Both modes return bit-identical values.
         """
         if len(ids) == 0:
             return 1.0
-        key = (region.region_id, qi)
         if (
             region.cell_count <= self.exact_cell_limit
             and len(ids) <= EXACT_DOMINATOR_LIMIT
         ):
-            fingerprint = ids.tobytes()
-            if use_cache:
-                hit = self._ratios.get(key)
-                if hit is not None and hit[0] == fingerprint:
-                    return hit[1]
-            dominators = [self._regions_by_id[int(r)] for r in ids]
-            safe, total = prog_count_exact(
-                region, dominators, tuple(positions), self.grid
-            )
-            ratio = safe / total if total else 0.0
-            self._ratios[key] = (fingerprint, ratio)
-            return ratio
+            if not use_cache:
+                dominators = [self._regions_by_id[int(r)] for r in ids]
+                safe, total = prog_count_exact(
+                    region,
+                    dominators,
+                    tuple(positions),
+                    self.grid,
+                    cell_lowers=self._cell_lowers_for(region),
+                )
+                return safe / total if total else 0.0
+            ec = self._ecounts.get(qi)
+            if ec is None:
+                ec = _CellCounts(
+                    self.exact_cell_limit, len(positions), len(self._rql_all)
+                )
+                self._ecounts[qi] = ec
+            row = ec.slot(region.region_id)
+            if row < 0:
+                cell_lowers = self._cell_lowers_for(region)[:, positions]
+                threat_uppers = self._cupper_all[ids][:, positions]
+                counts = dominance_mask(threat_uppers, cell_lowers).sum(
+                    axis=0, dtype=np.int32
+                )
+                row = ec.add(
+                    region.region_id,
+                    cell_lowers,
+                    region.upper[positions],
+                    counts,
+                )
+            total = region.cell_count
+            n = int(ec.ncells[row])
+            safe = total - int((ec.counts[row, :n] > 0).sum())
+            return safe / total if total else 0.0
         samples = self._lattice_for(region, qi, positions)
         if not use_cache:
             return _sampled_ratio(samples, lowers)
         sc = self._scounts.get(qi)
         if sc is None:
-            sc = _SampleCounts(len(samples), len(positions))
+            sc = _SampleCounts(
+                len(samples), len(positions), len(self._rql_all)
+            )
             self._scounts[qi] = sc
-        row = sc.slot.get(region.region_id)
-        if row is None:
+        row = sc.slot(region.region_id)
+        if row < 0:
             counts = dominance_mask(lowers, samples).sum(axis=0, dtype=np.int32)
             row = sc.add(
-                region.region_id, samples, region.upper[positions], counts
+                region.region_id,
+                samples,
+                region.upper[positions],
+                counts,
             )
         return float(1.0 - (sc.counts[row] > 0).mean())
 
@@ -494,56 +861,278 @@ class BenefitModel:
         *,
         use_cache: bool = True,
     ) -> "list[RegionEstimate]":
+        """:meth:`estimate_roots_arrays` packaged per region."""
+        t_c, prog = self.estimate_roots_arrays(regions, use_cache=use_cache)
+        return [
+            RegionEstimate(t_c=float(t_c[k]), prog_est=prog[k])
+            for k in range(len(regions))
+        ]
+
+    def estimate_roots_arrays(
+        self,
+        regions: "list[OutputRegion] | None" = None,
+        *,
+        use_cache: bool = True,
+        rid_arr: "np.ndarray | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
         """Estimates for one optimizer iteration's candidate set.
 
-        The reach test — which active same-lineage regions can lower each
-        candidate's progressive ratio — runs as one broadcast per query over
-        the whole candidate set; per candidate only a changed reach set
-        triggers an estimator call.  Results are bit-identical to calling
-        the estimators from scratch per candidate.
+        Returns ``(t_c, prog)`` — the cost vector and the ``(regions,
+        queries)`` ProgEst matrix.  The reach test — which active
+        same-lineage regions can lower each candidate's progressive ratio —
+        runs as one broadcast per query over the whole candidate set; per
+        candidate only a changed reach set triggers an estimator call.
+        Results are bit-identical to calling the estimators from scratch
+        per candidate.
+
+        The hot caller (the scheduler loop) passes ``rid_arr`` — a sorted
+        ``intp`` array of *attached* region ids — and no object list; the
+        few scalar fallback paths then resolve regions by id.
         """
         if self._active_all is None:
             raise ExecutionError("attach_regions() must run before estimation")
+        if self._pending:
+            self._flush_events()
         n_q = len(self.workload)
-        prog = np.zeros((len(regions), n_q))
-        cards = [self._cards_for(r) for r in regions]
+        if rid_arr is None:
+            if not regions:
+                return np.zeros(0), np.zeros((0, n_q))
+            rid_arr = np.asarray([r.region_id for r in regions], dtype=np.intp)
+        elif not rid_arr.size:
+            return np.zeros(0), np.zeros((0, n_q))
+        prog = np.zeros((len(rid_arr), n_q))
+        # Caching requires every candidate to be attached — only attached
+        # geometry participates in the eviction events.
+        attached = int(rid_arr.max()) < len(self._attached_all) and bool(
+            self._attached_all[rid_arr].all()
+        )
+        if regions is None:
+            if not attached:
+                raise ExecutionError(
+                    "estimate_roots_arrays(rid_arr=...) requires attached regions"
+                )
+            regions = _ById(self._regions_by_id, rid_arr)
+        if attached:
+            cards_m = self._cards_all[rid_arr]
+            ccnt = self._ccnt_all[rid_arr]
+            arql = self._rql_all[rid_arr]
+        else:
+            cards_m = np.vstack([self._cards_for(r) for r in regions])
+            ccnt = np.asarray([r.cell_count for r in regions], dtype=np.int64)
+            arql = np.asarray([r.active_rql for r in regions], dtype=np.int64)
+        # One (candidates, queries) membership matrix; cached ProgEst values
+        # are copied out in a single gather, so the per-query loop only
+        # touches queries with at least one cache miss.
+        bits = ((arql[:, None] >> np.arange(n_q, dtype=np.int64)[None, :]) & 1).astype(bool)
+        if use_cache and attached:
+            hit_m = bits & self._prog_ok[rid_arr]
+            np.copyto(prog, self._prog_val[rid_arr], where=hit_m)
+            miss_m = bits & ~hit_m
+        else:
+            miss_m = bits
         for qi in range(n_q):
-            rows = [k for k, r in enumerate(regions) if (r.active_rql >> qi) & 1]
-            if not rows:
+            miss = np.flatnonzero(miss_m[:, qi])
+            if not miss.size:
                 continue
             positions = list(self.query_positions[qi])
-            member = self._active_all & (((self._rql_all >> qi) & 1).astype(bool))
-            ids_all = np.flatnonzero(member)
-            if len(ids_all) == 0:
-                for k in rows:
-                    prog[k, qi] = cards[k][qi]
-                continue
-            lowers_all = self._lower_all[ids_all][:, positions]
-            uppers = np.vstack([regions[k].upper[positions] for k in rows])
-            reach = np.all(lowers_all[None, :, :] < uppers[:, None, :], axis=2)
-            rids = np.asarray([regions[k].region_id for k in rows])
-            reach &= ids_all[None, :] != rids[:, None]
-            n_dom = reach.sum(axis=1)
-            # Sampled-branch reads batch into one pass over the count rows;
-            # everything else (empty reach, exact branch, uninitialised
-            # count rows) goes through the scalar path.
+            cacheable = use_cache and attached
+            mrids = rid_arr[miss]
             sc = self._scounts.get(qi) if use_cache else None
-            batched: "list[int]" = []
-            batched_slots: "list[int]" = []
-            for j, k in enumerate(rows):
+            ec = self._ecounts.get(qi) if use_cache else None
+            small = ccnt[miss] <= self.exact_cell_limit
+            # Rows that already hold a count row skip the reach broadcast
+            # entirely: the exact/sampled branch choice is monotone (an
+            # exact row stays exact because ``n_dom`` only shrinks and the
+            # cell count is fixed; an over-limit box can never turn exact),
+            # and a row whose reach set emptied reads ratio 1.0 — exactly
+            # the empty-reach shortcut value.
+            if attached and ec is not None:
+                eslots = ec.slot_arr[mrids]
+            else:
+                eslots = np.full(len(miss), -1, dtype=np.int64)
+            if attached and sc is not None:
+                sslots = sc.slot_arr[mrids]
+            else:
+                sslots = np.full(len(miss), -1, dtype=np.int64)
+            e_read = (eslots >= 0) & small
+            s_read = (sslots >= 0) & ~small
+            if e_read.any():
+                er = np.flatnonzero(e_read)
+                es = eslots[er]
+                counts = ec.counts[es] > 0
+                counts &= (
+                    np.arange(ec.limit)[None, :] < ec.ncells[es][:, None]
+                )
+                at_risk = counts.sum(axis=1)
+                totals = ccnt[miss[er]]
+                vals = ((totals - at_risk) / totals) * cards_m[miss[er], qi]
+                prog[miss[er], qi] = vals
+                if cacheable:
+                    self._prog_val[mrids[er], qi] = vals
+                    self._prog_ok[mrids[er], qi] = True
+            if s_read.any():
+                sr = np.flatnonzero(s_read)
+                ss = sslots[sr]
+                ratios = 1.0 - (sc.counts[ss] > 0).mean(axis=1)
+                vals = ratios * cards_m[miss[sr], qi]
+                prog[miss[sr], qi] = vals
+                if cacheable:
+                    self._prog_val[mrids[sr], qi] = vals
+                    self._prog_ok[mrids[sr], qi] = True
+            rest = np.flatnonzero(~(e_read | s_read))
+            if not rest.size:
+                continue
+            rrids = mrids[rest]
+            cached_member = self._member_cache.get(qi)
+            if cached_member is None:
+                member = self._active_all & (
+                    ((self._rql_all >> qi) & 1).astype(bool)
+                )
+                ids_all = np.flatnonzero(member)
+                lowers_all = self._lower_q[qi][ids_all]
+                self._member_cache[qi] = (ids_all, lowers_all)
+            else:
+                ids_all, lowers_all = cached_member
+            if len(ids_all) == 0:
+                rrows = miss[rest]
+                prog[rrows, qi] = cards_m[rrows, qi]
+                if cacheable:
+                    self._prog_val[rrids, qi] = prog[rrows, qi]
+                    self._prog_ok[rrids, qi] = True
+                continue
+            if attached:
+                # Attached geometry is immutable, so these rows hold the
+                # same float64 values as each region's own ``upper``.
+                uppers = self._upper_q[qi][rrids]
+            else:
+                uppers = np.vstack(
+                    [regions[int(k)].upper[positions] for k in miss[rest]]
+                )
+            # reach[r, i]: active member i can lower rest-row r's ratio.
+            reach_r = (lowers_all[None, :, :] < uppers[:, None, :]).all(axis=2)
+            reach_r &= ids_all[None, :] != rrids[:, None]
+            n_dom_r = reach_r.sum(axis=1)
+            # Scatter the rest-local data back to miss-local indexing so
+            # the branch code below reads one coordinate system.
+            reach = np.zeros((len(miss), len(ids_all)), dtype=bool)
+            reach[rest] = reach_r
+            n_dom = np.zeros(len(miss), dtype=n_dom_r.dtype)
+            n_dom[rest] = n_dom_r
+            zero_r = n_dom_r == 0
+            if zero_r.any():
+                zrows = miss[rest[zero_r]]
+                prog[zrows, qi] = cards_m[zrows, qi]
+                if cacheable:
+                    self._prog_val[rrids[zero_r], qi] = prog[zrows, qi]
+                    self._prog_ok[rrids[zero_r], qi] = True
+            exact = np.zeros(len(miss), dtype=bool)
+            exact[rest] = small[rest] & (n_dom_r <= EXACT_DOMINATOR_LIMIT) & ~zero_r
+            scalar = rest[~zero_r]
+            if use_cache and attached:
+                sinit = [j for j in scalar.tolist() if not exact[j]]
+                scalar = scalar[exact[scalar]]
+                if sinit and sc is not None:
+                    # Small-box rows that stayed sampled (n_dom still over
+                    # the exact limit) already hold a live count row —
+                    # batched read, not a re-init.
+                    sj = np.asarray(sinit, dtype=np.intp)
+                    slots2 = sc.slot_arr[mrids[sj]]
+                    have = slots2 >= 0
+                    if have.any():
+                        sr2 = sj[have]
+                        ss2 = slots2[have]
+                        ratios = 1.0 - (sc.counts[ss2] > 0).mean(axis=1)
+                        vals = ratios * cards_m[miss[sr2], qi]
+                        prog[miss[sr2], qi] = vals
+                        self._prog_val[mrids[sr2], qi] = vals
+                        self._prog_ok[mrids[sr2], qi] = True
+                        sinit = sj[~have].tolist()
+            else:
+                sinit = []
+            if sinit:
+                # Sampled-branch first touches, initialised in one padded
+                # broadcast: threat rows are padded with +inf corners,
+                # which dominate nothing, so the per-row counts equal the
+                # unpadded scalar initialisation exactly.
+                latts = [
+                    self._lattice_for(regions[int(miss[j])], qi, positions)
+                    for j in sinit
+                ]
+                if sc is None:
+                    sc = _SampleCounts(
+                        len(latts[0]), len(positions), len(self._rql_all)
+                    )
+                    self._scounts[qi] = sc
+                tmax = max(int(n_dom[j]) for j in sinit)
+                thr = np.full((len(sinit), tmax, len(positions)), np.inf)
+                for b, j in enumerate(sinit):
+                    lw = lowers_all[reach[j]]
+                    thr[b, : len(lw)] = lw
+                samp = np.stack(latts)
+                counts = dominance_broadcast(
+                    thr[:, :, None, :], samp[:, None, :, :], axis=3
+                ).sum(axis=1, dtype=np.int32)
+                ratios = 1.0 - (counts > 0).mean(axis=1)
+                for b, j in enumerate(sinit):
+                    k = int(miss[j])
+                    rid = regions[k].region_id
+                    sc.add(
+                        rid,
+                        latts[b],
+                        self._upper_q[qi][rid],
+                        counts[b],
+                    )
+                    prog[k, qi] = ratios[b] * cards_m[k, qi]
+                    self._prog_val[rid, qi] = prog[k, qi]
+                    self._prog_ok[rid, qi] = True
+            if cacheable and scalar.size and ec is None:
+                ec = _CellCounts(
+                    self.exact_cell_limit, len(positions), len(self._rql_all)
+                )
+                self._ecounts[qi] = ec
+            if cacheable and scalar.size:
+                # Exact-branch first touches (every cached exact row was
+                # already read above, so these are all row-less).  Cell
+                # lattices pad to the widest box — padded columns are
+                # sliced off before the count rows are stored — and threat
+                # rows pad with +inf corners, which dominate nothing.
+                sl = scalar.tolist()
+                cls = [
+                    self._cell_lowers_for(regions[int(miss[j])])[:, positions]
+                    for j in sl
+                ]
+                ncl = [len(c) for c in cls]
+                cmax = max(ncl)
+                cellp = np.full((len(sl), cmax, len(positions)), np.inf)
+                tmax = max(int(n_dom[j]) for j in sl)
+                thr = np.full((len(sl), tmax, len(positions)), np.inf)
+                for b, j in enumerate(sl):
+                    cellp[b, : ncl[b]] = cls[b]
+                    tu = self._cupper_q[qi][ids_all[reach[j]]]
+                    thr[b, : len(tu)] = tu
+                counts = dominance_broadcast(
+                    thr[:, :, None, :], cellp[:, None, :, :], axis=3
+                ).sum(axis=1, dtype=np.int32)
+                for b, j in enumerate(sl):
+                    k = int(miss[j])
+                    region = regions[k]
+                    rid = region.region_id
+                    row = ec.add(
+                        rid,
+                        cls[b],
+                        self._upper_q[qi][rid],
+                        counts[b, : ncl[b]],
+                    )
+                    total = region.cell_count
+                    safe = total - int((ec.counts[row, : ncl[b]] > 0).sum())
+                    ratio = safe / total if total else 0.0
+                    prog[k, qi] = ratio * cards_m[k, qi]
+                    self._prog_val[rid, qi] = prog[k, qi]
+                    self._prog_ok[rid, qi] = True
+                continue
+            for j in scalar.tolist():
+                k = int(miss[j])
                 region = regions[k]
-                if n_dom[j] == 0:
-                    prog[k, qi] = cards[k][qi]
-                    continue
-                if sc is not None and not (
-                    region.cell_count <= self.exact_cell_limit
-                    and n_dom[j] <= EXACT_DOMINATOR_LIMIT
-                ):
-                    slot = sc.slot.get(region.region_id)
-                    if slot is not None:
-                        batched.append(k)
-                        batched_slots.append(slot)
-                        continue
                 row = reach[j]
                 ratio = self._ratio_value(
                     region,
@@ -553,15 +1142,15 @@ class BenefitModel:
                     positions,
                     use_cache,
                 )
-                prog[k, qi] = ratio * cards[k][qi]
-            if batched:
-                ratios = 1.0 - (sc.counts[batched_slots] > 0).mean(axis=1)
-                for k, ratio in zip(batched, ratios.tolist()):
-                    prog[k, qi] = ratio * cards[k][qi]
-        return [
-            RegionEstimate(t_c=self._cost_for(r), prog_est=prog[k])
-            for k, r in enumerate(regions)
-        ]
+                prog[k, qi] = ratio * cards_m[k, qi]
+                if cacheable:
+                    self._prog_val[region.region_id, qi] = prog[k, qi]
+                    self._prog_ok[region.region_id, qi] = True
+        if attached:
+            t_c = self._cost_all[rid_arr]
+        else:
+            t_c = np.asarray([self._cost_for(r) for r in regions])
+        return t_c, prog
 
     # ------------------------------------------------------------------ #
     # Equation 8
@@ -597,9 +1186,23 @@ class BenefitModel:
         iteration scores every root; this keeps that scoring vectorised)."""
         if not estimates:
             return np.zeros(0)
-        times = now + np.asarray([e.t_c for e in estimates])
+        t_c = np.asarray([e.t_c for e in estimates])
         prog = np.vstack([e.prog_est for e in estimates])  # (R, Q)
-        total = np.zeros(len(estimates))
+        return self.csm_batch_arrays(t_c, prog, weights, now)
+
+    def csm_batch_arrays(
+        self,
+        t_c: np.ndarray,
+        prog: np.ndarray,
+        weights: np.ndarray,
+        now: float,
+    ) -> np.ndarray:
+        """:meth:`csm_batch` over the array form estimate_roots_arrays
+        returns — no per-region object packaging in between."""
+        if not len(t_c):
+            return np.zeros(0)
+        times = now + t_c
+        total = np.zeros(len(t_c))
         for qi in range(len(self.workload)):
             if weights[qi] <= 0.0:
                 continue

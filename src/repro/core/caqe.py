@@ -20,6 +20,7 @@ Every optimisation the paper describes can be toggled off through
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -113,6 +114,12 @@ class CAQEConfig:
     #: exact reach-set invalidation.  Picks the identical region sequence
     #: as the naive per-iteration rescan; ablation: rescan every root.
     enable_scheduler_cache: bool = True
+    #: Columnar data plane (docs/ARCHITECTURE.md §12): grouped-array hash
+    #: join build/probe, the replay skyline kernel for serial runs, and
+    #: the array-native plan commit + vector gathers.  Pure wall-clock
+    #: work — pairs, keys, charges, traces and reports are bit-identical
+    #: with the flag off (8th corner of the ablation equivalence suite).
+    enable_columnar_join: bool = True
     #: Region-scheduling objective: ``"contract"`` is CAQE's CSM
     #: (Equation 8); ``"count"`` maximises estimated result count (the
     #: count-driven policy of ProgXe+); ``"scan"`` processes regions in
@@ -281,6 +288,21 @@ class RunResult:
                 for q in self.workload
             )
         )
+
+
+def _gather_vectors(
+    outcome: RegionOutcome, store: JoinResultStore, keys: "Sequence[int]"
+) -> np.ndarray:
+    """Stack the output vectors of ``keys`` (all from ``outcome``'s region).
+
+    Batch commits expose the region's row-aligned matrix on the outcome,
+    so the gather is one fancy index; the rows are the same arrays the
+    store returns key by key, hence bit-identical floats either way.
+    """
+    if outcome.matrix is not None:
+        rows = np.asarray(keys, dtype=np.intp) - outcome.key_base
+        return outcome.matrix[rows]
+    return np.vstack([store.vector(key) for key in keys])
 
 
 def partition_attrs(workload: Workload, side: str) -> "tuple[str, ...]":
@@ -518,10 +540,15 @@ class CAQE:
             workload.output_dims,
             counter=stats.comparison_counter,
             assume_dva=cfg.assume_dva,
-            # Parallel runs use the replay insertion kernel — bit-identical
-            # to the per-round kernel (same admissions, evictions, charges)
-            # but one dominance broadcast per batch instead of per round.
-            batch_kernel="replay" if cfg.workers > 0 else "rounds",
+            # Parallel and columnar runs use the replay insertion kernel —
+            # bit-identical to the per-round kernel (same admissions,
+            # evictions, charges) but one dominance broadcast per batch
+            # instead of per round.
+            batch_kernel=(
+                "replay"
+                if (cfg.workers > 0 or cfg.enable_columnar_join)
+                else "rounds"
+            ),
         )
 
         # -- Step 2: MQLA ------------------------------------------------- #
@@ -615,6 +642,7 @@ class CAQE:
             fault_hook=fault_hook,
             build_cache=build_cache,
             parallel_commit=cfg.workers > 0,
+            columnar=cfg.enable_columnar_join,
         )
         return rs
 
@@ -904,19 +932,20 @@ class CAQE:
         """
         if not roots:
             raise ExecutionError("no schedulable region (empty root set)")
-        root_ids = sorted(roots)
+        root_arr = np.fromiter(roots, dtype=np.intp, count=len(roots))
+        root_arr.sort()
         if self.config.objective == "scan":
-            return root_ids
-        estimates = benefit.estimate_roots(
-            [alive[rid] for rid in root_ids],
+            return root_arr.tolist()
+        t_c, prog = benefit.estimate_roots_arrays(
+            rid_arr=root_arr,
             use_cache=self.config.enable_scheduler_cache,
         )
         if self.config.objective == "count":
-            scores = np.vstack([e.prog_est for e in estimates]) @ weights
+            scores = prog @ weights
         else:
-            scores = benefit.csm_batch(estimates, weights, now)
-        order = np.argsort(-np.asarray(scores), kind="stable")
-        return [root_ids[i] for i in order]
+            scores = benefit.csm_batch_arrays(t_c, prog, weights, now)
+        order = np.argsort(-scores, kind="stable")
+        return root_arr[order].tolist()
 
     def _pick_region(
         self,
@@ -964,9 +993,7 @@ class CAQE:
             if not keys:
                 continue
             positions = list(benefit.query_positions[qi])
-            points = np.vstack(
-                [executor.store.vector(key) for key in keys]
-            )[:, positions]
+            points = _gather_vectors(outcome, executor.store, keys)[:, positions]
             corners = lowers[:, positions]
             dominated[qi] = dominance_mask(points, corners).any(axis=0)
         for t_pos, (target_id, target) in enumerate(targets):
@@ -1154,9 +1181,9 @@ class _ReportingState:
                 for key in keys:
                     self._emit(query.name, key, now, tracker, stats)
                 continue
-            vectors = np.vstack(
-                [executor.store.vector(k) for k in keys]
-            )[:, positions]
+            vectors = _gather_vectors(outcome, executor.store, keys)[
+                :, positions
+            ]
             lowers = np.vstack([o.lower for _, o in serving])[:, positions]
             # threat[k, r]: region r could still produce a tuple dominating
             # candidate k (its best corner reaches below the candidate).

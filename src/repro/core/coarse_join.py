@@ -127,9 +127,15 @@ def coarse_join(
         [r["upper"] for r in raw],
         divisions=divisions,
     )
+    # Coordinate boxes for every contributing pair in two grid passes —
+    # `coords_of` performs the same elementwise float operations as the
+    # scalar `box_of`, so each row matches the per-region call bit for bit.
+    box_lo = grid.coords_of(np.vstack([r["lower"] for r in raw]))
+    box_hi = grid.coords_of(np.vstack([r["upper"] for r in raw]))
     regions: list[OutputRegion] = []
     for region_id, r in enumerate(raw):
-        coord_lo, coord_hi = grid.box_of(r["lower"], r["upper"])
+        coord_lo = tuple(int(v) for v in box_lo[region_id])
+        coord_hi = tuple(int(v) for v in box_hi[region_id])
         regions.append(
             OutputRegion(
                 region_id=region_id,

@@ -160,16 +160,31 @@ def build_dependency_graph(
         )
         edge = can & ~can.T
         src, dst = np.nonzero(edge)
-        for s_i, t_i in zip(src, dst):
-            edge_queries[idx[s_i], idx[t_i]] |= np.int64(1) << qi
+        # (src, dst) pairs are unique, so the fancy-index |= is exact.
+        edge_queries[idx[src], idx[dst]] |= np.int64(1) << qi
 
     # Materialise the edge dicts directly (bulk-building through add_edge
     # costs a function call per edge; dense workloads create 10^5+ edges).
+    # np.nonzero scans row-major, so src arrives sorted: slice per source.
     src, dst = np.nonzero(edge_queries)
-    masks = edge_queries[src, dst]
-    for s_i, t_i, m in zip(src.tolist(), dst.tolist(), masks.tolist()):
-        graph.edges_out[ids[s_i]][ids[t_i]] = m
-        graph.edges_in[ids[t_i]][ids[s_i]] = m
+    masks = edge_queries[src, dst].tolist()
+    id_arr = np.asarray(ids, dtype=object)
+    src_ids = id_arr[src].tolist()
+    dst_ids = id_arr[dst].tolist()
+    uniq_s, start_s = np.unique(src, return_index=True)
+    bounds_s = np.append(start_s, len(src)).tolist()
+    for k, s_row in enumerate(uniq_s.tolist()):
+        a, b = bounds_s[k], bounds_s[k + 1]
+        graph.edges_out[ids[s_row]] = dict(zip(dst_ids[a:b], masks[a:b]))
+    order = np.argsort(dst, kind="stable")
+    dst_sorted = dst[order]
+    src_by_dst = [src_ids[i] for i in order.tolist()]
+    masks_by_dst = [masks[i] for i in order.tolist()]
+    uniq_t, start_t = np.unique(dst_sorted, return_index=True)
+    bounds_t = np.append(start_t, len(dst)).tolist()
+    for k, t_row in enumerate(uniq_t.tolist()):
+        a, b = bounds_t[k], bounds_t[k + 1]
+        graph.edges_in[ids[t_row]] = dict(zip(src_by_dst[a:b], masks_by_dst[a:b]))
     return graph
 
 

@@ -28,6 +28,13 @@ import numpy as np
 from repro.core.region import OutputRegion
 from repro.core.stats import ExecutionStats
 from repro.errors import ExecutionError
+from repro.parallel.joinkernel import (
+    GroupedBuild,
+    bucket_join,
+    build_grouped,
+    cell_join,
+    probe_grouped,
+)
 from repro.partition.cells import LeafCell
 from repro.plan.shared_plan import WorkloadInsertReport, WorkloadPlan
 from repro.query.evaluate import apply_functions
@@ -35,6 +42,12 @@ from repro.query.predicates import JoinCondition
 from repro.query.selection import selection_bitmasks
 from repro.query.workload import Workload
 from repro.relation import Relation
+from repro.relation.values import unbox
+
+#: A memoised hash-join build side: either the vectorised grouped form
+#: (columnar data plane, docs/ARCHITECTURE.md §12) or the reference
+#: dict-of-lists buckets (columnar off, or keys outside the kernel domain).
+BuildSide = "GroupedBuild | dict[object, list[int]]"
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,6 +124,13 @@ class RegionOutcome:
     #: Per query name: previously-current keys evicted by this region.
     evicted: "dict[str, list[int]]" = field(default_factory=dict)
     join_count: int = 0
+    #: Row-aligned vector matrix of ``inserted_keys`` (key ``key_base + i``
+    #: is row ``i``), set by the batch commit paths.  Lets the driver
+    #: gather candidate vectors as one fancy index instead of per-key
+    #: store lookups; the rows are the very arrays the store holds, so
+    #: every float is bit-identical either way.
+    matrix: "np.ndarray | None" = None
+    key_base: int = 0
 
 
 def join_cell_pair(
@@ -121,25 +141,19 @@ def join_cell_pair(
     condition: JoinCondition,
     stats: ExecutionStats,
 ) -> "tuple[np.ndarray, np.ndarray]":
-    """Hash-join two leaf cells; returns global (left, right) row indices."""
+    """Hash-join two leaf cells; returns global (left, right) row indices.
+
+    The pairs come from the order-exact vectorised kernel
+    (:func:`repro.parallel.joinkernel.cell_join`), which reproduces the
+    reference bucket loop's output — values *and* order — and falls back
+    to that loop for key columns outside its domain.
+    """
     left_values = condition.left_values(left)[left_cell.indices]
     right_values = condition.right_values(right)[right_cell.indices]
     # Building the hash table scans both cells once.
     stats.record_join_probes(left_cell.size + right_cell.size)
-    buckets: dict[object, list[int]] = {}
-    for local, value in enumerate(left_values):
-        key = value.item() if hasattr(value, "item") else value
-        buckets.setdefault(key, []).append(local)
-    left_out: list[int] = []
-    right_out: list[int] = []
-    for local_r, value in enumerate(right_values):
-        key = value.item() if hasattr(value, "item") else value
-        for local_l in buckets.get(key, ()):
-            left_out.append(int(left_cell.indices[local_l]))
-            right_out.append(int(right_cell.indices[local_r]))
-    return (
-        np.asarray(left_out, dtype=np.intp),
-        np.asarray(right_out, dtype=np.intp),
+    return cell_join(
+        left_values, right_values, left_cell.indices, right_cell.indices
     )
 
 
@@ -163,8 +177,9 @@ class RegionExecutor:
         *,
         batch_inserts: bool = True,
         fault_hook: "Callable[[OutputRegion], None] | None" = None,
-        build_cache: "dict[tuple[int, str], dict[object, list[int]]] | None" = None,
+        build_cache: "dict[tuple[int, str], BuildSide] | None" = None,
         parallel_commit: bool = False,
+        columnar: bool = True,
     ) -> None:
         self.workload = workload
         self.left = left
@@ -173,6 +188,11 @@ class RegionExecutor:
         self.store = store
         self.stats = stats
         self.batch_inserts = batch_inserts
+        #: Columnar data plane (docs/ARCHITECTURE.md §12): grouped-array
+        #: join builds/probes and the array-native plan commit.  A pure
+        #: execution-strategy switch — pairs, keys, charges and reports
+        #: are bit-identical to the scalar loops it replaces.
+        self.columnar = columnar
         #: Set when the engine runs a worker pool (``workers > 0``): commit
         #: bookkeeping takes bulk-update fast paths (same keys, same stored
         #: objects, same observables — only Python-loop overhead changes).
@@ -190,7 +210,7 @@ class RegionExecutor:
         # may inject a cache to reuse build tables across executors (the
         # serving layer keys one per workload signature: same relations +
         # same config partition identically, so entries stay valid).
-        self._build_cache: "dict[tuple[int, str], dict[object, list[int]]]" = (
+        self._build_cache: "dict[tuple[int, str], BuildSide]" = (
             build_cache if build_cache is not None else {}
         )
         self._functions = tuple(
@@ -211,18 +231,26 @@ class RegionExecutor:
 
     def _build_side(
         self, left_cell: LeafCell, condition: JoinCondition
-    ) -> "dict[object, list[int]]":
-        """The memoised hash-join build table of one (cell, condition)."""
+    ) -> "GroupedBuild | dict[object, list[int]]":
+        """The memoised hash-join build side of one (cell, condition).
+
+        Columnar runs build the grouped (stable-argsort) form; the dict
+        buckets remain the build for the columnar-off ablation and for
+        key columns outside the vectorised kernel's domain.
+        """
         cache_key = (left_cell.cell_id, condition.name)
-        buckets = self._build_cache.get(cache_key)
-        if buckets is None:
+        build = self._build_cache.get(cache_key)
+        if build is None:
             left_values = condition.left_values(self.left)[left_cell.indices]
-            buckets = {}
-            for local, value in enumerate(left_values):
-                key = value.item() if hasattr(value, "item") else value
-                buckets.setdefault(key, []).append(local)
-            self._build_cache[cache_key] = buckets
-        return buckets
+            if self.columnar:
+                build = build_grouped(left_values)
+            if build is None:
+                buckets: "dict[object, list[int]]" = {}
+                for local, value in enumerate(left_values):  # caqe-check: disable=CQ009
+                    buckets.setdefault(unbox(value), []).append(local)
+                build = buckets
+            self._build_cache[cache_key] = build
+        return build
 
     def _join_cells(
         self,
@@ -234,13 +262,23 @@ class RegionExecutor:
         # The virtual clock still pays for both scans every time — the cache
         # elides repeated Python work, not modelled algorithm cost.
         self.stats.record_join_probes(left_cell.size + right_cell.size)
-        buckets = self._build_side(left_cell, condition)
+        build = self._build_side(left_cell, condition)
         right_values = condition.right_values(self.right)[right_cell.indices]
-        left_out: list[int] = []
-        right_out: list[int] = []
-        for local_r, value in enumerate(right_values):
-            key = value.item() if hasattr(value, "item") else value
-            for local_l in buckets.get(key, ()):
+        if isinstance(build, GroupedBuild):
+            local = probe_grouped(build, right_values)
+            if local is None:
+                # Probe side outside the kernel domain (NaN keys): replay
+                # the reference loop against the identical build input.
+                local = bucket_join(build.values, right_values)
+            left_local, right_local = local
+            return (
+                np.asarray(left_cell.indices, dtype=np.intp)[left_local],
+                np.asarray(right_cell.indices, dtype=np.intp)[right_local],
+            )
+        left_out: "list[int]" = []
+        right_out: "list[int]" = []
+        for local_r, value in enumerate(right_values):  # caqe-check: disable=CQ009
+            for local_l in build.get(unbox(value), ()):
                 left_out.append(int(left_cell.indices[local_l]))
                 right_out.append(int(right_cell.indices[local_r]))
         return (
@@ -332,6 +370,43 @@ class RegionExecutor:
         self.stats.clock.charge_sort(len(matrix))
         order = np.argsort(matrix.sum(axis=1), kind="stable")
         self.stats.mark_phase("sort")
+        if self.columnar and self.batch_inserts:
+            # Columnar commit (docs/ARCHITECTURE.md §12): bulk store
+            # append, array-native plan walk, and the absorb loop reduced
+            # to set algebra.  Within one batch a key's admission always
+            # precedes any eviction of it (only later inserts evict) and
+            # each happens at most once per query, so the loop's final
+            # sets are exactly ``admitted - evicted`` / ``evicted -
+            # admitted`` over the batch totals.
+            sorted_matrix = matrix[order]
+            left_sorted = left_idx[order]
+            right_sorted = right_idx[order]
+            masks_sorted = tuple_masks[order]
+            keys = self.store.add_batch(
+                left_sorted, right_sorted, sorted_matrix, region.region_id
+            )
+            outcome.inserted_keys.extend(keys)
+            base = keys[0] if keys else 0
+            admitted_rows, evicted_keys = self.plan.insert_batch_columnar(
+                keys, sorted_matrix, masks_sorted
+            )
+            self.stats.mark_phase("skyline")
+            for query in self.workload:
+                name = query.name
+                rows = admitted_rows.get(name)
+                adm = (
+                    set((rows + base).tolist()) if rows is not None else set()
+                )
+                evi = set(evicted_keys.get(name, ()))
+                outcome.admitted[name] = [
+                    k
+                    for k in sorted(adm - evi)
+                    if self.plan.is_candidate(name, k)
+                ]
+                outcome.evicted[name] = sorted(evi - adm)
+            outcome.matrix = sorted_matrix
+            outcome.key_base = base
+            return outcome
         if self.batch_inserts:
             sorted_matrix = matrix[order]
             left_sorted = left_idx[order]
@@ -342,6 +417,10 @@ class RegionExecutor:
                     left_sorted, right_sorted, sorted_matrix, region.region_id
                 )
             else:
+                # Deliberate scalar commit path: the serial store assigns
+                # keys one row at a time so parallel and serial runs share
+                # the identical key sequence.
+                # caqe-check: disable=CQ009
                 keys = [
                     self.store.add(
                         ResultIdentity(l, r), sorted_matrix[pos], region.region_id
@@ -351,10 +430,15 @@ class RegionExecutor:
                     )
                 ]
             outcome.inserted_keys.extend(keys)
+            outcome.matrix = sorted_matrix
+            outcome.key_base = keys[0] if keys else 0
             reports = self.plan.insert_batch(keys, sorted_matrix, masks_sorted)
             for key, report in zip(keys, reports):
                 absorb(key, report)
         else:
+            # Scalar ablation corner (enable_batch_insert=False): proves the
+            # array program above bit-identical to row-at-a-time insertion.
+            # caqe-check: disable=CQ009
             for row in order.tolist():
                 identity = ResultIdentity(int(left_idx[row]), int(right_idx[row]))
                 key = self.store.add(identity, matrix[row], region.region_id)

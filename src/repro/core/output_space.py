@@ -11,7 +11,7 @@ boxes over the grid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import product
 from typing import Iterator
 
@@ -31,6 +31,11 @@ class OutputGrid:
     lows: tuple[float, ...]
     highs: tuple[float, ...]
     divisions: int = DEFAULT_DIVISIONS
+    # Derived geometry caches (see __post_init__); excluded from
+    # equality/repr so the grid still compares by its defining fields.
+    _lows_arr: np.ndarray = field(init=False, repr=False, compare=False)
+    _spans_arr: np.ndarray = field(init=False, repr=False, compare=False)
+    _widths_arr: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.dims:
@@ -42,15 +47,22 @@ class OutputGrid:
         for lo, hi in zip(self.lows, self.highs):
             if lo > hi:
                 raise ExecutionError(f"grid lower bound {lo} exceeds upper bound {hi}")
+        # Geometry is immutable, so the derived arrays every coordinate
+        # computation reads are built once (the dataclass is frozen; the
+        # caches are non-field attributes, so equality/hash are untouched).
+        lows_arr = np.asarray(self.lows)
+        highs_arr = np.asarray(self.highs)
+        spans = np.where(highs_arr > lows_arr, highs_arr - lows_arr, 1.0)
+        object.__setattr__(self, "_lows_arr", lows_arr)
+        object.__setattr__(self, "_spans_arr", spans)
+        object.__setattr__(self, "_widths_arr", spans / self.divisions)
 
     @property
     def dimensions(self) -> int:
         return len(self.dims)
 
     def _spans(self) -> np.ndarray:
-        lows = np.asarray(self.lows)
-        highs = np.asarray(self.highs)
-        return np.where(highs > lows, highs - lows, 1.0)
+        return self._spans_arr
 
     def coord_of(self, vector: np.ndarray) -> tuple[int, ...]:
         """Grid coordinate of an output point (clamped into range)."""
@@ -59,25 +71,45 @@ class OutputGrid:
             raise ExecutionError(
                 f"point has {len(vec)} dims, grid has {self.dimensions}"
             )
-        rel = (vec - np.asarray(self.lows)) / self._spans()
+        rel = (vec - self._lows_arr) / self._spans_arr
         coords = np.floor(rel * self.divisions).astype(int)
         coords = np.clip(coords, 0, self.divisions - 1)
         return tuple(int(c) for c in coords)
 
+    def coords_of(self, vectors: np.ndarray) -> np.ndarray:
+        """:meth:`coord_of` for many points at once; ``vectors`` is ``(n, d)``.
+
+        Identical elementwise float operations to the scalar form, so row
+        ``i`` equals ``coord_of(vectors[i])`` bit for bit.
+        """
+        vecs = np.asarray(vectors, dtype=float)
+        if vecs.ndim != 2 or vecs.shape[1] != self.dimensions:
+            raise ExecutionError(
+                f"points have shape {vecs.shape}, grid has {self.dimensions} dims"
+            )
+        rel = (vecs - self._lows_arr) / self._spans_arr
+        coords = np.floor(rel * self.divisions).astype(int)
+        return np.clip(coords, 0, self.divisions - 1)
+
     def cell_lower(self, coord: "tuple[int, ...]") -> np.ndarray:
         self._check_coord(coord)
-        widths = self._spans() / self.divisions
-        return np.asarray(self.lows) + np.asarray(coord) * widths
+        return self._lows_arr + np.asarray(coord) * self._widths_arr
 
     def cell_upper(self, coord: "tuple[int, ...]") -> np.ndarray:
         self._check_coord(coord)
-        widths = self._spans() / self.divisions
-        return np.asarray(self.lows) + (np.asarray(coord) + 1) * widths
+        return self._lows_arr + (np.asarray(coord) + 1) * self._widths_arr
 
     def cell_lowers(self, coords: np.ndarray) -> np.ndarray:
         """Lower corners of many cells at once; ``coords`` is ``(n, d)``."""
-        widths = self._spans() / self.divisions
-        return np.asarray(self.lows) + np.asarray(coords) * widths
+        return self._lows_arr + np.asarray(coords) * self._widths_arr
+
+    def cell_uppers(self, coords: np.ndarray) -> np.ndarray:
+        """Upper corners of many cells at once; ``coords`` is ``(n, d)``.
+
+        Row ``i`` equals ``cell_upper(coords[i])`` bit for bit — the
+        broadcast performs the same elementwise operations.
+        """
+        return self._lows_arr + (np.asarray(coords) + 1) * self._widths_arr
 
     def box_of(
         self, lower: np.ndarray, upper: np.ndarray
@@ -100,6 +132,18 @@ class OutputGrid:
     ) -> "Iterator[tuple[int, ...]]":
         ranges = [range(a, b + 1) for a, b in zip(lo, hi)]
         return product(*ranges)
+
+    @staticmethod
+    def box_coords(
+        lo: "tuple[int, ...]", hi: "tuple[int, ...]"
+    ) -> np.ndarray:
+        """All coordinates of a box as one ``(cells, d)`` array.
+
+        Rows appear in :meth:`cells_in_box`'s (row-major) order.
+        """
+        axes = [np.arange(a, b + 1, dtype=np.intp) for a, b in zip(lo, hi)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.column_stack([m.ravel() for m in mesh])
 
     def _check_coord(self, coord: "tuple[int, ...]") -> None:
         if len(coord) != self.dimensions:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -74,8 +75,14 @@ class OutputRegion:
         if self.active_rql == 0:
             self.active_rql = self.rql
 
-    @property
+    @cached_property
     def cell_count(self) -> int:
+        """Total grid cells of the coordinate box.
+
+        The scheduler reads this on every exact-vs-sampled branch test;
+        the box is fixed once scheduling starts, so the first read's value
+        is kept for the region's lifetime.
+        """
         count = 1
         for a, b in zip(self.coord_lo, self.coord_hi):
             count *= b - a + 1

@@ -18,9 +18,17 @@ All process construction in ``src/repro`` lives in this package
 from repro.parallel.joinkernel import cell_join, vectorized_equi_join
 from repro.parallel.pool import PoolClient, RegionPool
 from repro.parallel.shm import SharedRelationStore, attach_relation
-from repro.parallel.worker import PrepareTask, PreparedRegion, prepare_payload
+from repro.parallel.worker import (
+    PackedRegion,
+    PrepareTask,
+    PreparedRegion,
+    pack_prepared,
+    prepare_payload,
+    unpack_prepared,
+)
 
 __all__ = [
+    "PackedRegion",
     "PoolClient",
     "PrepareTask",
     "PreparedRegion",
@@ -28,6 +36,8 @@ __all__ = [
     "SharedRelationStore",
     "attach_relation",
     "cell_join",
+    "pack_prepared",
     "prepare_payload",
+    "unpack_prepared",
     "vectorized_equi_join",
 ]

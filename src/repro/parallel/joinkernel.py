@@ -5,45 +5,79 @@ Python bucket loop in a very specific order — right rows outer (cell
 order), matching left rows inner (ascending cell-local position, the
 bucket append order).  Everything downstream of the join (the SFS presort
 tie-breaks, the insertion-id assignment in :class:`JoinResultStore`, the
-skyline replay) is sensitive to that order, so the parallel layer's
-kernel reproduces it exactly: a stable argsort groups equal left keys
-while preserving local position, and ``searchsorted`` locates each right
-key's run.
+skyline replay) is sensitive to that order, so the vectorised kernel
+reproduces it exactly: a stable argsort groups equal left keys while
+preserving local position, and ``searchsorted`` locates each right key's
+run.
+
+The build side (the stable argsort of the left key column) is reusable
+across every probe against the same cell, so it is split out as
+:class:`GroupedBuild` / :func:`build_grouped`; the executor caches one per
+``(cell_id, condition)`` exactly like the old dict-of-lists build tables.
 
 The dict-based loop and the sort-based kernel can only disagree on keys
 whose hash equality differs from numeric comparison — in practice NaN
 (never equal to itself) — or on non-numeric key columns; for those inputs
-:func:`vectorized_equi_join` declines and :func:`cell_join` falls back to
-the bucket loop.
+:func:`build_grouped` / :func:`probe_grouped` decline and the caller falls
+back to the bucket loop.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+
+from repro.relation.values import unbox
 
 _NUMERIC_KINDS = "biuf"
 
 
-def vectorized_equi_join(
-    left_values: np.ndarray, right_values: np.ndarray
-) -> "tuple[np.ndarray, np.ndarray] | None":
-    """Cell-local match positions in bucket-loop order, or ``None``.
+@dataclass(frozen=True, slots=True)
+class GroupedBuild:
+    """Sorted build side of one cell's join key column.
 
-    Returns ``(left_local, right_local)`` index arrays into the given
-    value arrays, ordered exactly like the hash-join bucket loop, or
-    ``None`` when the inputs are outside the kernel's domain (non-numeric
-    dtypes, or float keys containing NaN).
+    ``values`` keeps the original (cell-order) key array so a probe that
+    declines — NaN on the right side — can still fall back to the
+    reference bucket loop against the identical build input.
     """
-    lv = np.asarray(left_values)
-    rv = np.asarray(right_values)
-    if lv.dtype.kind not in _NUMERIC_KINDS or rv.dtype.kind not in _NUMERIC_KINDS:
+
+    values: np.ndarray
+    order: np.ndarray
+    sorted_values: np.ndarray
+
+
+def build_grouped(values: np.ndarray) -> "GroupedBuild | None":
+    """Group a key column for repeated probes, or ``None`` out of domain.
+
+    Declines (returns ``None``) on non-numeric dtypes and on float keys
+    containing NaN, where sort-order grouping and hash equality diverge.
+    """
+    lv = np.asarray(values)
+    if lv.dtype.kind not in _NUMERIC_KINDS:
         return None
     if lv.dtype.kind == "f" and bool(np.isnan(lv).any()):
         return None
+    order = np.argsort(lv, kind="stable")
+    return GroupedBuild(values=lv, order=order, sorted_values=lv[order])
+
+
+def probe_grouped(
+    build: GroupedBuild, right_values: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Cell-local match positions in bucket-loop order, or ``None``.
+
+    Returns ``(left_local, right_local)`` index arrays into the build's
+    value array and ``right_values``, ordered exactly like the hash-join
+    bucket loop, or ``None`` when the probe side is outside the kernel's
+    domain (non-numeric dtype, or float keys containing NaN).
+    """
+    rv = np.asarray(right_values)
+    if rv.dtype.kind not in _NUMERIC_KINDS:
+        return None
     if rv.dtype.kind == "f" and bool(np.isnan(rv).any()):
         return None
-    order = np.argsort(lv, kind="stable")
-    sorted_lv = lv[order]
+    sorted_lv = build.sorted_values
     starts = np.searchsorted(sorted_lv, rv, side="left")
     ends = np.searchsorted(sorted_lv, rv, side="right")
     counts = ends - starts
@@ -53,23 +87,31 @@ def vectorized_equi_join(
     right_local = np.repeat(np.arange(len(rv), dtype=np.intp), counts)
     offsets = np.cumsum(counts) - counts
     within = np.arange(total, dtype=np.intp) - np.repeat(offsets, counts)
-    left_local = order[np.repeat(starts, counts) + within]
+    left_local = build.order[np.repeat(starts, counts) + within]
     return left_local.astype(np.intp, copy=False), right_local
 
 
-def _bucket_join(
+def vectorized_equi_join(
+    left_values: np.ndarray, right_values: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """One-shot :func:`build_grouped` + :func:`probe_grouped`."""
+    build = build_grouped(left_values)
+    if build is None:
+        return None
+    return probe_grouped(build, right_values)
+
+
+def bucket_join(
     left_values: np.ndarray, right_values: np.ndarray
 ) -> "tuple[np.ndarray, np.ndarray]":
     """The reference bucket loop (hash-equality fallback path)."""
     buckets: "dict[object, list[int]]" = {}
-    for local, value in enumerate(left_values):
-        key = value.item() if hasattr(value, "item") else value
-        buckets.setdefault(key, []).append(local)
+    for local, value in enumerate(left_values):  # caqe-check: disable=CQ009
+        buckets.setdefault(unbox(value), []).append(local)
     left_out: "list[int]" = []
     right_out: "list[int]" = []
-    for local_r, value in enumerate(right_values):
-        key = value.item() if hasattr(value, "item") else value
-        for local_l in buckets.get(key, ()):
+    for local_r, value in enumerate(right_values):  # caqe-check: disable=CQ009
+        for local_l in buckets.get(unbox(value), ()):
             left_out.append(local_l)
             right_out.append(local_r)
     return (
@@ -92,7 +134,7 @@ def cell_join(
     """
     local = vectorized_equi_join(left_values, right_values)
     if local is None:
-        local = _bucket_join(left_values, right_values)
+        local = bucket_join(left_values, right_values)
     left_local, right_local = local
     return (
         np.asarray(left_indices, dtype=np.intp)[left_local],
@@ -100,4 +142,11 @@ def cell_join(
     )
 
 
-__all__ = ["cell_join", "vectorized_equi_join"]
+__all__ = [
+    "GroupedBuild",
+    "bucket_join",
+    "build_grouped",
+    "cell_join",
+    "probe_grouped",
+    "vectorized_equi_join",
+]

@@ -32,8 +32,10 @@ import threading
 from repro.parallel.shm import SharedRelationStore
 from repro.parallel.worker import (
     PrepareTask,
+    PackedRegion,
     PreparedRegion,
     WorkerInit,
+    unpack_prepared,
     worker_main,
 )
 from repro.partition.cells import LeafCell
@@ -125,7 +127,9 @@ class RegionPool:
             if key in self._forgotten:
                 self._forgotten.discard(key)
                 return
-            if isinstance(payload, PreparedRegion):
+            if isinstance(payload, PackedRegion):
+                self._ready[key] = unpack_prepared(payload)
+            elif isinstance(payload, PreparedRegion):
                 self._ready[key] = payload
             # else: worker error repr — drop; the driver prepares inline.
 

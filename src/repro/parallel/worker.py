@@ -75,6 +75,62 @@ class PreparedRegion:
 
 
 @dataclass(frozen=True)
+class PackedRegion:
+    """A :class:`PreparedRegion` flattened into one contiguous buffer.
+
+    The wire format for the result queue: ``payload`` is the raw bytes of
+    ``left_idx`` (int64), ``right_idx`` (int64) and, when ``width >= 0``,
+    the row-major float64 ``matrix`` — back to back.  Packing turns the
+    three per-array pickle buffers into a single block, and unpacking is
+    three zero-copy ``frombuffer`` views, so a region payload crosses the
+    process boundary with exactly one copy each way.
+    """
+
+    region_id: int
+    rows: int
+    #: Matrix column count, or -1 when the preparer shipped no matrix.
+    width: int
+    payload: bytes
+
+
+def pack_prepared(prepared: PreparedRegion) -> PackedRegion:
+    """Flatten a prepared region into the contiguous wire format."""
+    left = np.ascontiguousarray(prepared.left_idx, dtype=np.int64)
+    right = np.ascontiguousarray(prepared.right_idx, dtype=np.int64)
+    parts = [left, right]
+    width = -1
+    if prepared.matrix is not None:
+        matrix = np.ascontiguousarray(prepared.matrix, dtype=np.float64)
+        width = int(matrix.shape[1])
+        parts.append(matrix)
+    return PackedRegion(
+        region_id=prepared.region_id,
+        rows=len(left),
+        width=width,
+        payload=b"".join(a.tobytes() for a in parts),
+    )
+
+
+def unpack_prepared(packed: PackedRegion) -> PreparedRegion:
+    """Rebuild the prepared region as views over the packed buffer.
+
+    The views are read-only (the buffer is shared); every consumer
+    gathers rows through fancy indexing, which copies, so downstream
+    code never needs to mutate them in place.
+    """
+    n = packed.rows
+    buf = packed.payload
+    left_idx = np.frombuffer(buf, dtype=np.int64, count=n)
+    right_idx = np.frombuffer(buf, dtype=np.int64, count=n, offset=8 * n)
+    matrix = None
+    if packed.width >= 0:
+        matrix = np.frombuffer(
+            buf, dtype=np.float64, count=n * packed.width, offset=16 * n
+        ).reshape(n, packed.width)
+    return PreparedRegion(packed.region_id, left_idx, right_idx, matrix)
+
+
+@dataclass(frozen=True)
 class WorkerInit:
     """Immutable worker start-up state (shipped once per process)."""
 
@@ -168,7 +224,7 @@ def worker_main(init: WorkerInit, tasks: "object", results: "object") -> None:
         except Exception as exc:  # caqe-check: disable=CQ006 — process boundary
             results.put((task.client, task.region_id, repr(exc)))
             continue
-        results.put((task.client, task.region_id, payload))
+        results.put((task.client, task.region_id, pack_prepared(payload)))
 
 
 __all__ = [

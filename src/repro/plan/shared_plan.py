@@ -466,6 +466,65 @@ class WorkloadPlan:
                             reports[i].admitted.add(name)
         return reports
 
+    def insert_batch_columnar(
+        self,
+        keys: "Sequence[Hashable]",
+        vectors: np.ndarray,
+        serve_masks: "np.ndarray | None" = None,
+    ) -> "tuple[dict[str, np.ndarray], dict[str, list[Hashable]]]":
+        """:meth:`insert_batch` without per-tuple report objects.
+
+        Same group walk, same window calls, same charged comparisons as
+        :meth:`insert_batch` — but the result is returned per *query*:
+        a row-index array of this batch's admissions (rows into
+        ``vectors``/``keys``) and a flat list of evicted keys.  Queries
+        with no admissions/evictions are simply absent.  This is the plan
+        half of the executor's columnar commit (docs/ARCHITECTURE.md
+        §12); each query belongs to exactly one group, so the per-group
+        results never need merging.
+        """
+        vecs = np.asarray(vectors, dtype=float)
+        n = len(keys)
+        admitted_rows: "dict[str, np.ndarray]" = {}
+        evicted_keys: "dict[str, list[Hashable]]" = {}
+        if n == 0:
+            return admitted_rows, evicted_keys
+        serve = (
+            np.asarray(serve_masks, dtype=np.int64)
+            if serve_masks is not None
+            else None
+        )
+        for group in self._groups:
+            local_masks = np.zeros(n, dtype=np.int64)
+            for name in group["names"]:
+                bit = np.int64(1) << group["local_bit"][name]
+                if serve is None:
+                    local_masks |= bit
+                else:
+                    local_masks |= np.where(
+                        (serve >> self.query_bits[name]) & 1, bit, np.int64(0)
+                    )
+            if not np.any(local_masks):
+                continue
+            plan: SharedCuboidPlan = group["plan"]
+            admitted_arr, evicted_arr = plan.insert_batch_arrays(
+                keys, vecs, local_masks
+            )
+            for name in group["names"]:
+                mask = plan.query_mask(name)
+                evictions = evicted_arr.get(mask)
+                if evictions:
+                    out = evicted_keys.setdefault(name, [])
+                    for keys_out in evictions.values():
+                        out.extend(keys_out)
+                admitted = admitted_arr.get(mask)
+                if admitted is not None:
+                    bit = np.int64(1) << group["local_bit"][name]
+                    rows = np.flatnonzero(admitted & ((local_masks & bit) != 0))
+                    if rows.size:
+                        admitted_rows[name] = rows
+        return admitted_rows, evicted_keys
+
     def is_candidate(self, query_name: str, key: Hashable) -> bool:
         return self._group_of[query_name]["plan"].is_candidate(query_name, key)
 

@@ -2,5 +2,6 @@
 
 from repro.relation.relation import Relation, concat
 from repro.relation.schema import Attribute, Role, Schema
+from repro.relation.values import unbox
 
-__all__ = ["Attribute", "Relation", "Role", "Schema", "concat"]
+__all__ = ["Attribute", "Relation", "Role", "Schema", "concat", "unbox"]

@@ -67,12 +67,15 @@ class Relation:
                 raise SchemaError(
                     f"row {row!r} has {len(row)} values, schema expects {width}"
                 )
-        columns = {
-            attr: np.array([row[pos] for row in materialised])
-            for pos, attr in enumerate(schema.names)
-        }
         if not materialised:
-            columns = {attr: np.empty(0, dtype=float) for attr in schema.names}
+            columns = {
+                attr: np.empty(0, dtype=np.float64) for attr in schema.names
+            }
+        else:
+            columns = {
+                attr: np.array([row[pos] for row in materialised])
+                for pos, attr in enumerate(schema.names)
+            }
         return cls(name, schema, columns)
 
     # ------------------------------------------------------------------ #

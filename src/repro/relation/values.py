@@ -1,0 +1,20 @@
+"""Scalar boxing helper shared by the hash-equality join paths.
+
+Numpy scalars hash like their Python counterparts *except* that each NaN
+``.item()`` call produces a distinct float object (dict keys never match),
+which is exactly the semantics the reference bucket join relies on.  Every
+bucket loop in the repo funnels through :func:`unbox` so that contract
+lives in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+def unbox(value: Any) -> Hashable:
+    """A numpy scalar as its Python equivalent; other values unchanged."""
+    return value.item() if hasattr(value, "item") else value
+
+
+__all__ = ["unbox"]

@@ -116,8 +116,8 @@ def dominance_broadcast(
     is the single audited implementation that CQ002 requires every
     vectorised dominance test to flow through.
     """
-    le = np.all(dominators <= candidates, axis=axis)
-    lt = np.any(dominators < candidates, axis=axis)
+    le = (dominators <= candidates).all(axis=axis)
+    lt = (dominators < candidates).any(axis=axis)
     return le & lt
 
 

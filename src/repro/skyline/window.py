@@ -78,7 +78,10 @@ class BatchInsertOutcome:
 class SkylineWindow:
     """Skyline of all inserted points over a fixed list of dimensions."""
 
-    __slots__ = ("dims", "counter", "_matrix", "_keys", "_size", "_dims_index")
+    __slots__ = (
+        "dims", "counter", "_matrix", "_keys", "_keyset", "_size",
+        "_dims_index",
+    )
 
     def __init__(
         self,
@@ -92,6 +95,9 @@ class SkylineWindow:
         self.counter = counter
         self._matrix: "np.ndarray | None" = None
         self._keys: list[Hashable] = []
+        # Mirror of ``_keys`` for O(1) membership tests; window keys are
+        # unique result identities, so a set tracks the list exactly.
+        self._keyset: set = set()
         self._size = 0
 
     # ------------------------------------------------------------------ #
@@ -113,6 +119,7 @@ class SkylineWindow:
         self._ensure_capacity(len(vec))
         self._matrix[self._size] = vec
         self._keys.append(key)
+        self._keyset.add(key)
         self._size += 1
 
     def _compact(self, keep_mask: np.ndarray) -> "list[WindowEntry]":
@@ -126,6 +133,7 @@ class SkylineWindow:
         kept_idx = np.nonzero(keep_mask)[0]
         self._matrix[: len(kept_idx)] = self._matrix[kept_idx]
         self._keys = [self._keys[i] for i in kept_idx]
+        self._keyset.difference_update(e.key for e in removed)
         self._size = len(kept_idx)
         return removed
 
@@ -306,6 +314,7 @@ class SkylineWindow:
             self.counter.record(total_charge)
         self._size = len(cur_keys)
         self._keys = cur_keys
+        self._keyset = set(cur_keys)
         width = cur.shape[1] if cur.size else mat.shape[1]
         capacity = max(_INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length())
         self._matrix = np.empty((capacity, width))
@@ -478,6 +487,20 @@ class SkylineWindow:
             pos = j + 1
         if self.counter is not None and total_charge:
             self.counter.record(total_charge)
+        if old_contig and int(old_rows.size) == w0:
+            # No old-entry eviction: the initial window prefix is intact in
+            # place, so the rebuild reduces to appending the surviving
+            # admissions (or to nothing at all).
+            if n_adm == 0:
+                return BatchInsertOutcome(admitted, evicted, duplicate)
+            if self._matrix is not None and w0 + n_adm <= len(self._matrix):
+                final_adm = adm_pos[:n_adm].tolist()
+                self._matrix[w0 : w0 + n_adm] = mat[final_adm]
+                new_keys = [keys[a] for a in final_adm]
+                self._keys.extend(new_keys)
+                self._keyset.update(new_keys)
+                self._size = w0 + n_adm
+                return BatchInsertOutcome(admitted, evicted, duplicate)
         final_adm = adm_pos[:n_adm].tolist()
         final_keys = [self._keys[i] for i in old_rows.tolist()]
         final_keys.extend(keys[a] for a in final_adm)
@@ -489,6 +512,7 @@ class SkylineWindow:
         cur = np.vstack(parts) if parts else np.empty((0, width))
         self._size = len(final_keys)
         self._keys = final_keys
+        self._keyset = set(final_keys)
         capacity = max(_INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length())
         self._matrix = np.empty((capacity, width))
         self._matrix[: self._size] = cur
@@ -518,6 +542,7 @@ class SkylineWindow:
         if len(keys) != len(rows):
             raise ValueError("window restore: keys/rows length mismatch")
         self._keys = list(keys)
+        self._keyset = set(self._keys)
         self._size = len(self._keys)
         if self._size == 0:
             self._matrix = None
@@ -532,7 +557,7 @@ class SkylineWindow:
 
     # ------------------------------------------------------------------ #
     def contains_key(self, key: Hashable) -> bool:
-        return key in self._keys
+        return key in self._keyset
 
     def remove_key(self, key: Hashable) -> bool:
         """Drop an entry by identity (used when a result is retracted)."""

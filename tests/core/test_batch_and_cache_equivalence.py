@@ -44,6 +44,9 @@ MODES = {
     # Multi-process region execution must be observation-equivalent to
     # the serial engine (docs/ARCHITECTURE.md §11).
     "parallel": {"workers": 2},
+    # The columnar data plane's vectorised hash join must match the
+    # scalar probe loop bit for bit (docs/ARCHITECTURE.md §12).
+    "columnar": {"enable_columnar_join": False},
 }
 
 

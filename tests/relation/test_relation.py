@@ -69,6 +69,12 @@ class TestConstruction:
         rel = Relation.from_rows("H", schema, [])
         assert rel.cardinality == 0
 
+    def test_from_rows_empty_pins_float64(self, schema):
+        rel = Relation.from_rows("H", schema, [])
+        for name in schema.names:
+            assert rel.column(name).dtype == np.float64
+            assert rel.column(name).shape == (0,)
+
     def test_from_rows_wrong_width(self, schema):
         with pytest.raises(SchemaError, match="values"):
             Relation.from_rows("H", schema, [(1.0,)])

@@ -1,6 +1,6 @@
 """Fixture tests for the ``tools.caqe_check`` static-analysis suite.
 
-Each rule CQ001–CQ008 is exercised three ways:
+Each rule CQ001–CQ009 is exercised three ways:
 
 * a **violating** fixture written under a tmpdir whose layout mimics the
   real tree (``repro/core/...``) so the path-fragment scoping triggers;
@@ -610,6 +610,102 @@ class TestCQ008:
             "repro/core/mod.py",
             "import multiprocessing  # caqe-check: disable=CQ008\n",
             select="CQ008",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------------ #
+# CQ009 — per-row loops over relation columns in the hot path
+# ------------------------------------------------------------------ #
+class TestCQ009:
+    def test_fires_on_tolist_and_column_iteration(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/executor.py",
+            """\
+            def commit(left_idx, relation):
+                out = []
+                for row in left_idx.tolist():
+                    out.append(row)
+                for value in relation.column("price"):
+                    out.append(value)
+                return out
+            """,
+            select="CQ009",
+        )
+        assert codes(found) == ["CQ009", "CQ009"]
+
+    def test_fires_on_zip_wrapped_tolist_in_comprehension(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/parallel/joinkernel.py",
+            """\
+            def pairs(left, right):
+                return [
+                    (l, r)
+                    for l, r in zip(left.tolist(), right.tolist())
+                ]
+            """,
+            select="CQ009",
+        )
+        assert codes(found) == ["CQ009"]
+
+    def test_fires_via_column_bound_local(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/executor.py",
+            """\
+            def walk(relation):
+                prices = relation.column("price").tolist()
+                return [p for p in prices]
+            """,
+            select="CQ009",
+        )
+        assert codes(found) == ["CQ009"]
+
+    def test_array_program_is_clean(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/executor.py",
+            """\
+            import numpy as np
+
+
+            def commit(matrix, masks):
+                keep = np.flatnonzero(masks)
+                for block in np.array_split(keep, 4):
+                    matrix[block] += 1.0
+                return matrix
+            """,
+            select="CQ009",
+        )
+        assert found == []
+
+    def test_out_of_scope_modules_are_not_flagged(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/benefit.py",
+            """\
+            def walk(left_idx):
+                return [row for row in left_idx.tolist()]
+            """,
+            select="CQ009",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/executor.py",
+            """\
+            def scalar_ablation(left_idx):
+                out = []
+                # caqe-check: disable=CQ009
+                for row in left_idx.tolist():
+                    out.append(row)
+                return out
+            """,
+            select="CQ009",
         )
         assert found == []
 

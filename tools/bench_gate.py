@@ -1,0 +1,330 @@
+"""Perf-regression gate over the quick benchmark matrix (ROADMAP item 5).
+
+Runs the two quick benchmarks (``bench_perf_trajectory`` and
+``bench_parallel_scaling``), distils one compact record, and gates it
+against ``BENCH_history.jsonl``:
+
+* **determinism** — ``skyline_comparisons`` / ``virtual_time`` /
+  ``regions_processed`` / ``average_satisfaction`` must match the most
+  recent passing history entry *exactly*.  These observables are
+  deterministic functions of the code (not the machine), so any drift is
+  a semantics change that slipped past the equivalence suites.
+* **performance** — wall-clock is machine- and load-dependent, so the
+  gate never compares absolute seconds across runs.  It compares
+  *within-run* speedup ratios (``scalar+naive / batch+cache``,
+  ``workers=N / workers=0``) against the median of recent passing
+  entries, with a noise tolerance: a real regression slows the optimised
+  engine relative to its own naive mode on the same machine in the same
+  run.
+
+Every run — pass or fail — is appended to the history file (audit
+trail); only ``status: "pass"`` entries form future baselines.  An empty
+or missing history seeds itself and passes.
+
+Usage::
+
+    PYTHONPATH=src python -m tools.bench_gate              # run + gate + append
+    PYTHONPATH=src python -m tools.bench_gate --no-append  # dry gate
+    PYTHONPATH=src python -m tools.bench_gate --skip-run \
+        --perf BENCH_quick.json --parallel BENCH_parallel_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Observables that must be bit-stable across machines for a quick run.
+INVARIANT_KEYS = (
+    "skyline_comparisons",
+    "virtual_time",
+    "regions_processed",
+    "average_satisfaction",
+)
+
+#: History entries consulted for the performance baseline.
+BASELINE_WINDOW = 5
+
+
+def _run_quick_bench(script: str, out: Path) -> dict:
+    """Run one benchmark script with ``--quick`` and load its report."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / script), "--quick",
+         "--out", str(out)],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{script} --quick failed (exit {proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(out.read_text())
+
+
+def _git_rev() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _invariants(modes_row: dict) -> dict:
+    return {k: modes_row[k] for k in INVARIANT_KEYS}
+
+
+def distil(perf: dict, parallel: "dict | None") -> dict:
+    """One flat, diff-friendly record from the two benchmark reports."""
+    fig9 = perf["fig9_independent_c2"]
+    record: dict = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git": _git_rev(),
+        "quick": perf.get("quick", True),
+        "python": perf.get("python"),
+        "machine": perf.get("machine"),
+        "fig9": {
+            "invariants": _invariants(fig9["modes"]["batch+cache"]),
+            "speedup": fig9["speedup"],
+            "wall_s": fig9["modes"]["batch+cache"]["wall_s"],
+        },
+        "fig11": [
+            {
+                "queries": cell["scenario"]["queries"],
+                "invariants": _invariants(cell["modes"]["batch+cache"]),
+                "speedup": cell["speedup"],
+            }
+            for cell in perf["fig11_size_sweep"]
+        ],
+    }
+    if parallel is not None:
+        scaling = {}
+        for section, cell in parallel.items():
+            if not isinstance(cell, dict) or "settings" not in cell:
+                continue
+            serial = cell["settings"]["workers=0"]
+            scaling[section] = {
+                "invariants": _invariants(serial),
+                "speedups": {
+                    setting: row["speedup_vs_serial"]
+                    for setting, row in cell["settings"].items()
+                    if setting != "workers=0"
+                },
+            }
+        record["parallel"] = scaling
+    return record
+
+
+def load_history(path: Path) -> "list[dict]":
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def _comparable(record: dict, entry: dict) -> bool:
+    """Entries gate each other only when they measured the same scenarios."""
+    if entry.get("quick") != record.get("quick"):
+        return False
+    if [c["queries"] for c in entry.get("fig11", [])] != [
+        c["queries"] for c in record["fig11"]
+    ]:
+        return False
+    return True
+
+
+def _median(values: "list[float]") -> float:
+    ranked = sorted(values)
+    mid = len(ranked) // 2
+    if len(ranked) % 2:
+        return ranked[mid]
+    return (ranked[mid - 1] + ranked[mid]) / 2.0
+
+
+def gate(record: dict, history: "list[dict]", tolerance: float) -> "list[str]":
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: "list[str]" = []
+    passing = [
+        e
+        for e in history
+        if e.get("status") == "pass" and _comparable(record, e)
+    ]
+    if not passing:
+        return failures  # seeding run: nothing to compare against
+
+    # 1. Determinism: exact match against the latest passing entry.
+    latest = passing[-1]
+    checks = [("fig9", record["fig9"]["invariants"], latest["fig9"]["invariants"])]
+    for mine, theirs in zip(record["fig11"], latest.get("fig11", [])):
+        checks.append((f"fig11 |S_Q|={mine['queries']}", mine["invariants"],
+                       theirs["invariants"]))
+    for mine_p, theirs_p in [(record.get("parallel", {}),
+                              latest.get("parallel", {}))]:
+        for section in sorted(set(mine_p) & set(theirs_p)):
+            checks.append((f"parallel {section}", mine_p[section]["invariants"],
+                           theirs_p[section]["invariants"]))
+    for label, mine_i, theirs_i in checks:
+        for key in INVARIANT_KEYS:
+            if mine_i.get(key) != theirs_i.get(key):
+                failures.append(
+                    f"DETERMINISM {label}: {key} = {mine_i.get(key)!r}, "
+                    f"history has {theirs_i.get(key)!r}"
+                )
+
+    # 2. Performance: within-run ratios vs the recent median.
+    window = passing[-BASELINE_WINDOW:]
+
+    def ratio_gate(label: str, current: float, baseline_values: "list[float]"):
+        if not baseline_values:
+            return
+        baseline = _median(baseline_values)
+        floor = baseline * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"PERF {label}: speedup {current:.2f}x fell below "
+                f"{floor:.2f}x (median {baseline:.2f}x of last "
+                f"{len(baseline_values)} runs - {tolerance:.0%} tolerance)"
+            )
+
+    ratio_gate(
+        "fig9 batch+cache vs scalar+naive",
+        record["fig9"]["speedup"],
+        [e["fig9"]["speedup"] for e in window],
+    )
+    for pos, cell in enumerate(record["fig11"]):
+        ratio_gate(
+            f"fig11 |S_Q|={cell['queries']}",
+            cell["speedup"],
+            [
+                e["fig11"][pos]["speedup"]
+                for e in window
+                if len(e.get("fig11", [])) > pos
+            ],
+        )
+    for section, scaling in record.get("parallel", {}).items():
+        for setting, speedup in scaling["speedups"].items():
+            ratio_gate(
+                f"parallel {section} {setting}",
+                speedup,
+                [
+                    e["parallel"][section]["speedups"][setting]
+                    for e in window
+                    if setting
+                    in e.get("parallel", {}).get(section, {}).get("speedups", {})
+                ],
+            )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=REPO_ROOT / "BENCH_history.jsonl",
+        help="history file (default: repo-root BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed relative speedup drop vs the recent median "
+        "(default 0.35 — quick runs on shared CI boxes are noisy)",
+    )
+    parser.add_argument(
+        "--skip-run",
+        action="store_true",
+        help="gate existing reports instead of running the benchmarks",
+    )
+    parser.add_argument("--perf", type=Path, help="perf-trajectory report JSON")
+    parser.add_argument("--parallel", type=Path, help="parallel-scaling report JSON")
+    parser.add_argument(
+        "--no-parallel",
+        action="store_true",
+        help="skip the parallel-scaling benchmark (serial-only machines)",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="gate without recording the run in the history file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.skip_run:
+        if args.perf is None:
+            parser.error("--skip-run requires --perf")
+        perf = json.loads(args.perf.read_text())
+        parallel = (
+            json.loads(args.parallel.read_text()) if args.parallel else None
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench-gate-") as scratch:
+            perf = _run_quick_bench(
+                "bench_perf_trajectory.py", Path(scratch) / "perf.json"
+            )
+            parallel = None
+            if not args.no_parallel:
+                parallel = _run_quick_bench(
+                    "bench_parallel_scaling.py", Path(scratch) / "parallel.json"
+                )
+
+    record = distil(perf, parallel)
+    history = load_history(args.history)
+    failures = gate(record, history, args.tolerance)
+    record["status"] = "pass" if not failures else "fail"
+
+    if not args.no_append:
+        with args.history.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    baseline_count = sum(
+        1
+        for e in history
+        if e.get("status") == "pass" and _comparable(record, e)
+    )
+    print(
+        f"bench-gate: fig9 speedup {record['fig9']['speedup']}x, "
+        f"{len(record['fig11'])} fig11 cells, "
+        f"{'parallel sections: %d, ' % len(record.get('parallel', {})) if parallel else ''}"
+        f"baseline entries: {baseline_count}"
+    )
+    for failure in failures:
+        print(f"bench-gate: FAIL {failure}")
+    if failures:
+        return 1
+    print(
+        "bench-gate: pass"
+        + (" (seeded baseline)" if baseline_count == 0 else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

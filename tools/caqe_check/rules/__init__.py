@@ -13,6 +13,7 @@ from tools.caqe_check.rules import (
     cq006_exceptions,
     cq007_wallclock,
     cq008_parallel,
+    cq009_rowloop,
 )
 
 FILE_RULES = (
@@ -23,6 +24,7 @@ FILE_RULES = (
     cq006_exceptions,
     cq007_wallclock,
     cq008_parallel,
+    cq009_rowloop,
 )
 PROJECT_RULES = (cq004_config,)
 
