@@ -1,0 +1,26 @@
+"""Seeded CQ010 violation: worker-reachable mutation of driver state.
+
+``worker_main`` → ``prepare_payload`` → ``_record_progress`` — the last
+hop increments a module-level counter, which the purity rule must flag
+(anchored at ``_record_progress``'s def line, with the witness chain).
+The ``os.getppid()`` watchdog read mirrors the live tree and is covered
+by the audited allowlist grant on ``worker_main``.
+"""
+
+import os
+
+DRIVER_STATS = {"prepared": 0}
+
+
+def _record_progress(region_id):
+    DRIVER_STATS["prepared"] += 1
+    return region_id
+
+
+def prepare_payload(region_id):
+    return _record_progress(region_id)
+
+
+def worker_main(region_id):
+    os.getppid()
+    return prepare_payload(region_id)

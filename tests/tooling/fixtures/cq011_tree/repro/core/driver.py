@@ -1,0 +1,5 @@
+"""Upper-layer module for the CQ011 fixture (imported from below)."""
+
+
+def commit_order(count):
+    return list(range(count))

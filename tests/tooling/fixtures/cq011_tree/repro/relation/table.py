@@ -1,0 +1,13 @@
+"""Seeded CQ011 violation: the ``relation`` layer imports ``core``.
+
+``relation`` sits near the bottom of the declared layer DAG and ``core``
+near the top, so this module-scope import is an upward edge the layer
+rule must reject (a function-scope import of the same symbol would be
+exempt as a deferred edge).
+"""
+
+from repro.core.driver import commit_order
+
+
+def rows(count):
+    return commit_order(count)

@@ -1,0 +1,20 @@
+"""Seeded CQ012 violation: set-iteration value reaches a sort key.
+
+``_first_of`` returns whichever element a ``set`` yields first — a value
+whose identity depends on ``PYTHONHASHSEED``.  ``schedule`` (one call
+hop away) folds that value into a ``sorted`` key, so the region order
+itself becomes hash-seed dependent: exactly the interprocedural flow the
+determinism-taint rule exists to catch.
+"""
+
+
+def _first_of(names):
+    bucket = set(names)
+    for member in bucket:
+        return member
+    return ""
+
+
+def schedule(regions, names):
+    pivot = _first_of(names)
+    return sorted(regions, key=lambda region: (pivot, region))

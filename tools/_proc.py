@@ -1,0 +1,79 @@
+"""Shared child-interpreter harness for the audit tools.
+
+``tools/determinism_audit.py`` and ``tools/kill_resume_audit.py`` both
+launch fresh interpreters (``python -m tools.<audit> --child...``) with
+``src`` prepended to ``PYTHONPATH`` and parse one JSON object from the
+child's stdout.  This module is the single copy of that plumbing:
+
+* :data:`REPO_ROOT` / :data:`SRC_ROOT` — canonical repo paths;
+* :func:`child_env` — the caller's environment plus ``src`` on
+  ``PYTHONPATH`` and any audit-specific overrides;
+* :func:`spawn_module` — run ``python -m <module> <args>`` from the repo
+  root and return the decoded JSON payload, or ``None`` for children
+  that are *expected* to die of a signal (the SIGKILL audit).
+
+Keeping this in one place means the two audits cannot drift apart on the
+details that make child runs reproducible (working directory, path
+setup, error surfacing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def child_env(extra: "dict[str, str] | None" = None) -> "dict[str, str]":
+    """Current environment with ``src`` on ``PYTHONPATH`` (+ overrides)."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_ROOT}{os.pathsep}{existing}" if existing else str(SRC_ROOT)
+    )
+    if extra:
+        env.update(extra)
+    return env
+
+
+def spawn_module(
+    module: str,
+    args: "list[str]",
+    *,
+    env_extra: "dict[str, str] | None" = None,
+    expect_signal: "int | None" = None,
+    label: "str | None" = None,
+) -> "dict | None":
+    """Run ``python -m module *args`` in a child and decode its JSON stdout.
+
+    With ``expect_signal`` set, the child is *required* to die of that
+    signal (return code ``-expect_signal``) and ``None`` is returned; any
+    other outcome — including a clean exit — raises, because a kill-audit
+    child that survives its own SIGKILL proves nothing.
+    """
+    what = label or f"{module} {' '.join(args)}"
+    proc = subprocess.run(
+        [sys.executable, "-m", module, *args],
+        cwd=REPO_ROOT,
+        env=child_env(env_extra),
+        capture_output=True,
+        text=True,
+    )
+    if expect_signal is not None:
+        if proc.returncode != -expect_signal:
+            raise RuntimeError(
+                f"expected child ({what}) to die of signal {expect_signal}, "
+                f"got rc={proc.returncode}:\n{proc.stderr}"
+            )
+        return None
+    if proc.returncode != 0:
+        raise RuntimeError(f"child ({what}) failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+__all__ = ["REPO_ROOT", "SRC_ROOT", "child_env", "spawn_module"]

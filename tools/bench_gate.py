@@ -285,12 +285,24 @@ def main(argv: "list[str] | None" = None) -> int:
             json.loads(args.parallel.read_text()) if args.parallel else None
         )
     else:
+        run_parallel = not args.no_parallel
+        if run_parallel and (os.cpu_count() or 1) <= 1:
+            # A workers=N vs workers=0 ratio on a single-core box measures
+            # only scheduling overhead; gating on it would flag phantom
+            # regressions, so the comparison is skipped, loudly.
+            print(
+                "bench-gate: SKIP parallel-scaling comparison — "
+                f"os.cpu_count()={os.cpu_count()!r} provides no real "
+                "parallelism, so worker-pool speedup ratios would be "
+                "meaningless (run on a multi-core machine to gate them)"
+            )
+            run_parallel = False
         with tempfile.TemporaryDirectory(prefix="bench-gate-") as scratch:
             perf = _run_quick_bench(
                 "bench_perf_trajectory.py", Path(scratch) / "perf.json"
             )
             parallel = None
-            if not args.no_parallel:
+            if run_parallel:
                 parallel = _run_quick_bench(
                     "bench_parallel_scaling.py", Path(scratch) / "parallel.json"
                 )

@@ -1,7 +1,7 @@
 """Command-line front end: ``python -m tools.caqe_check [paths...]``.
 
 Default run lints the given paths (``src/repro`` when omitted) with
-CQ001–CQ005 and exits 1 on any violation.  The two companion gates ride
+CQ001–CQ012 and exits 1 on any violation.  The two companion gates ride
 on the same entry point:
 
 * ``--mypy`` — run ``mypy --strict`` over the typed packages (config in
@@ -10,6 +10,21 @@ on the same entry point:
 * ``--determinism`` — run :mod:`tools.determinism_audit` (two child
   interpreters under different ``PYTHONHASHSEED`` values);
 * ``--all`` — lint + both gates, the CI configuration.
+
+Whole-program options:
+
+* ``--format {text,json,sarif}`` — machine-readable reports (SARIF is
+  what CI uploads as a workflow artifact);
+* ``--cache-dir DIR`` / ``--no-cache`` — content-hash summary cache for
+  the CQ010–CQ012 analysis (default: ``.caqe-check-cache/`` under the
+  repo root; the key hashes every scanned source *and* the analysis
+  code, so stale hits are impossible);
+* ``--dump-summaries PATH`` — write the effect/call-graph summaries as
+  deterministic JSON (``-`` for stdout); two runs are byte-identical;
+* ``--max-seconds N`` — fail if the lint pass exceeds the budget (CI
+  uses 60 s to keep the whole-program pass honest);
+* ``--allow-syntax-errors`` — demote CQ000 (unparseable file) to a
+  notice instead of a violation.
 """
 
 from __future__ import annotations
@@ -17,24 +32,66 @@ from __future__ import annotations
 import argparse
 import subprocess
 import sys
+import time
 from pathlib import Path
 
-from tools.caqe_check.engine import run_checks
-from tools.caqe_check.report import render_report
+from tools.caqe_check.engine import collect_files, run_checks
+from tools.caqe_check.report import render_json, render_report, render_sarif
 
 #: Repo root = parent of the ``tools`` package.
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
 DEFAULT_PATHS = ("src/repro",)
 DOCS_PATH = "docs/ARCHITECTURE.md"
+DEFAULT_CACHE_DIR = ".caqe-check-cache"
+
+_RENDERERS = {
+    "text": render_report,
+    "json": render_json,
+    "sarif": render_sarif,
+}
 
 
-def run_lint(paths: "list[str]", select: "set[str] | None") -> int:
+def run_lint(
+    paths: "list[str]",
+    select: "set[str] | None",
+    *,
+    fmt: str = "text",
+    allow_syntax_errors: bool = False,
+    output: "Path | None" = None,
+) -> int:
     roots = [Path(p) for p in paths]
     docs = REPO_ROOT / DOCS_PATH
-    violations = run_checks(roots, docs_path=docs, select=select)
-    print(render_report(violations))
+    violations = run_checks(
+        roots,
+        docs_path=docs,
+        select=select,
+        allow_syntax_errors=allow_syntax_errors,
+    )
+    rendered = _RENDERERS[fmt](violations)
+    if output is not None:
+        output.write_text(rendered + "\n", encoding="utf-8")
+        print(
+            f"caqe-check: wrote {fmt} report ({len(violations)} violation(s)) "
+            f"to {output}"
+        )
+    else:
+        print(rendered)
     return 1 if violations else 0
+
+
+def dump_summaries(paths: "list[str]", destination: str) -> int:
+    """Write the whole-program analysis summaries as deterministic JSON."""
+    from tools.caqe_check.effects import analyze_program
+
+    files, _errors = collect_files([Path(p) for p in paths])
+    rendered = analyze_program(files).to_json()
+    if destination == "-":
+        print(rendered)
+    else:
+        Path(destination).write_text(rendered + "\n", encoding="utf-8")
+        print(f"caqe-check: wrote effect summaries to {destination}")
+    return 0
 
 
 def run_mypy_gate() -> int:
@@ -75,6 +132,49 @@ def main(argv: "list[str] | None" = None) -> int:
         help="run only the named rule(s), e.g. --select CQ001",
     )
     parser.add_argument(
+        "--format",
+        choices=sorted(_RENDERERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--allow-syntax-errors",
+        action="store_true",
+        help="do not fail on CQ000 (unparseable files)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=REPO_ROOT / DEFAULT_CACHE_DIR,
+        help="effect-summary cache directory "
+        f"(default: <repo>/{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the effect-summary disk cache",
+    )
+    parser.add_argument(
+        "--dump-summaries",
+        metavar="PATH",
+        default=None,
+        help="write whole-program effect summaries as JSON ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="N",
+        help="fail if the lint pass takes longer than N seconds",
+    )
+    parser.add_argument(
         "--mypy", action="store_true", help="also run the mypy --strict gate"
     )
     parser.add_argument(
@@ -89,10 +189,32 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from tools.caqe_check.effects import configure_cache
+
+    configure_cache(None if args.no_cache else args.cache_dir)
+
     select = (
         {rule.upper() for rule in args.select} if args.select else None
     )
-    status = run_lint(args.paths, select)
+    if args.dump_summaries is not None:
+        return dump_summaries(args.paths, args.dump_summaries)
+
+    started = time.monotonic()
+    status = run_lint(
+        args.paths,
+        select,
+        fmt=args.format,
+        allow_syntax_errors=args.allow_syntax_errors,
+        output=args.output,
+    )
+    elapsed = time.monotonic() - started
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"caqe-check: FAIL lint pass took {elapsed:.1f}s "
+            f"(budget {args.max_seconds:.0f}s) — the whole-program analysis "
+            "must stay fast; check the summary cache"
+        )
+        status = max(status, 1)
     if args.mypy or args.all:
         status = max(status, run_mypy_gate())
     if args.determinism or args.all:

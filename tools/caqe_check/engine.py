@@ -45,18 +45,38 @@ class CheckedFile:
         return Violation(self.posix, line, col, code, message)
 
 
-def load_file(path: Path) -> "CheckedFile | None":
-    """Parse ``path``; unparseable files are skipped (pytest owns syntax)."""
+def load_file(path: Path) -> "CheckedFile | Violation | None":
+    """Parse ``path``.
+
+    Returns the parsed :class:`CheckedFile`, a ``CQ000``
+    :class:`Violation` when the file exists but does not parse (a typo
+    must not silently hide a whole file from every rule), or ``None``
+    when the file cannot be read at all.
+    """
     try:
         source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
-    except (OSError, SyntaxError, ValueError):
+    except OSError:
         return None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        detail = getattr(exc, "msg", None) or str(exc)
+        return Violation(
+            path.as_posix(),
+            int(line),
+            0,
+            "CQ000",
+            f"file does not parse ({detail}); every rule is blind to it "
+            "(suppress with --allow-syntax-errors)",
+        )
     return CheckedFile(path, source, tree, parse_pragmas(source))
 
 
-def collect_files(paths: "list[Path]") -> "list[CheckedFile]":
-    """Expand files/directories into parsed ``CheckedFile`` records."""
+def collect_files(
+    paths: "list[Path]",
+) -> "tuple[list[CheckedFile], list[Violation]]":
+    """Expand files/directories into parsed records + CQ000 diagnostics."""
     seen: "set[Path]" = set()
     ordered: "list[Path]" = []
     for root in paths:
@@ -67,12 +87,15 @@ def collect_files(paths: "list[Path]") -> "list[CheckedFile]":
                 continue
             seen.add(resolved)
             ordered.append(candidate)
-    files = []
+    files: "list[CheckedFile]" = []
+    errors: "list[Violation]" = []
     for path in ordered:
         loaded = load_file(path)
-        if loaded is not None:
+        if isinstance(loaded, CheckedFile):
             files.append(loaded)
-    return files
+        elif isinstance(loaded, Violation):
+            errors.append(loaded)
+    return files, errors
 
 
 def run_checks(
@@ -80,12 +103,15 @@ def run_checks(
     *,
     docs_path: "Path | None" = None,
     select: "set[str] | None" = None,
+    allow_syntax_errors: bool = False,
 ) -> "list[Violation]":
     """Run every (selected) rule over ``paths`` and return sorted hits."""
-    from tools.caqe_check.rules import FILE_RULES, PROJECT_RULES
+    from tools.caqe_check.rules import FILE_RULES, PROJECT_RULES, SYNTAX_ERROR_CODE
 
-    files = collect_files(paths)
+    files, errors = collect_files(paths)
     violations: "list[Violation]" = []
+    if not allow_syntax_errors and (select is None or SYNTAX_ERROR_CODE in select):
+        violations.extend(errors)
     for rule in FILE_RULES:
         if select and rule.CODE not in select:
             continue

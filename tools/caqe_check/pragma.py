@@ -10,10 +10,18 @@ Three placements are honoured:
 
 ``disable=all`` suppresses every rule.  Rule names are comma-separated and
 case-insensitive (``CQ001`` canonical).
+
+Decorated definitions get one extra accommodation: project rules (CQ010+)
+anchor violations at the ``def``/``class`` line, but a pragma written
+above the definition lands on the *decorator* line first.  Any pragma
+that binds to a decorator line is therefore extended to the decorated
+definition's own line as well, so ``# caqe-check: disable=CQ010`` above
+``@dataclass`` suppresses as the author intended.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -100,7 +108,33 @@ def parse_pragmas(source: str) -> Suppressions:
         targets = [code_line for code_line in code_lines if code_line > line]
         if targets:
             line_rules.setdefault(min(targets), set()).update(rules)
+    # Pragmas bound to a decorator line also cover the decorated
+    # definition's own line (where def-anchored rules report).
+    decorator_map = _decorator_lines(source)
+    for line in sorted(set(line_rules) & set(decorator_map)):
+        line_rules.setdefault(decorator_map[line], set()).update(
+            line_rules[line]
+        )
     return Suppressions(
         {line: frozenset(rules) for line, rules in line_rules.items()},
         frozenset(file_rules),
     )
+
+
+def _decorator_lines(source: str) -> "dict[int, int]":
+    """Map every decorator line to its definition's ``def``/``class`` line."""
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return {}
+    mapping: "dict[int, int]" = {}
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        for line in range(node.decorator_list[0].lineno, node.lineno):
+            mapping[line] = node.lineno
+    return mapping

@@ -1,0 +1,53 @@
+"""Audited effect grants for the worker-reachable prepare plane (CQ010).
+
+CQ010 requires every function reachable from the worker entry points to
+have an **empty** forbidden-effect set.  A handful of functions hold
+deliberate, reviewed exceptions; each entry grants *specific* effects to
+*one* qualified function with a recorded justification — there are no
+blanket pragmas on the prepare plane.
+
+Refreshing the list: run ``python -m tools.caqe_check --select CQ010``
+after changing anything under ``repro/parallel``; a new violation names
+the function, its effect, and the call chain from the worker root.
+Either make the function pure or — if the effect is contained by design,
+as below — add an entry here, with the reason spelled out.  Entries go
+stale loudly: once the named function loses the granted effect (or drops
+out of the worker-reachable set) CQ010 reports the grant itself, so the
+allowlist can only shrink back in step with the code.
+"""
+
+from __future__ import annotations
+
+from tools.caqe_check.effects import IO, MUTATES_NONLOCAL
+
+#: qualname → {effect → audited justification}.
+ALLOWED_EFFECTS: "dict[str, dict[str, str]]" = {
+    "repro.parallel.worker:worker_main": {
+        IO: (
+            "orphan-reparenting watchdog reads os.getppid() while idle; "
+            "the value never flows into any payload or observable"
+        ),
+    },
+    "repro.parallel.worker:_WorkerState._resolve": {
+        MUTATES_NONLOCAL: (
+            "appends attached shared-memory segments to the worker-local "
+            "registry so buffers outlive the views borrowed from them"
+        ),
+    },
+    "repro.parallel.worker:_WorkerState.prepare": {
+        MUTATES_NONLOCAL: (
+            "per-worker build-side key cache (self._left_keys) — "
+            "memoisation of a pure function of immutable inputs; each "
+            "worker's cache is private, so hits/misses cannot change any "
+            "observable"
+        ),
+    },
+    "repro.parallel.shm:attach_relation": {
+        IO: (
+            "multiprocessing.shared_memory attach — the sanctioned "
+            "zero-copy relation transport; read-only for workers"
+        ),
+    },
+}
+
+__all__ = ["ALLOWED_EFFECTS"]

@@ -2,6 +2,10 @@
 
 ``FILE_RULES`` run per file; ``PROJECT_RULES`` run once over the whole
 collection.  Order is the report order for equal (path, line) hits.
+
+``CQ000`` (syntax-error diagnostic) is emitted by the engine itself —
+an unparseable file cannot carry pragmas or be scanned by any rule, so
+it is surfaced before the registry runs.
 """
 
 from tools.caqe_check.rules import (
@@ -14,6 +18,9 @@ from tools.caqe_check.rules import (
     cq007_wallclock,
     cq008_parallel,
     cq009_rowloop,
+    cq010_purity,
+    cq011_layers,
+    cq012_taint,
 )
 
 FILE_RULES = (
@@ -26,8 +33,13 @@ FILE_RULES = (
     cq008_parallel,
     cq009_rowloop,
 )
-PROJECT_RULES = (cq004_config,)
+PROJECT_RULES = (cq004_config, cq010_purity, cq011_layers, cq012_taint)
 
-ALL_CODES = tuple(rule.CODE for rule in FILE_RULES + PROJECT_RULES)
+#: Engine-level diagnostic code (not a rule module).
+SYNTAX_ERROR_CODE = "CQ000"
 
-__all__ = ["ALL_CODES", "FILE_RULES", "PROJECT_RULES"]
+ALL_CODES = (SYNTAX_ERROR_CODE,) + tuple(
+    rule.CODE for rule in FILE_RULES + PROJECT_RULES
+)
+
+__all__ = ["ALL_CODES", "FILE_RULES", "PROJECT_RULES", "SYNTAX_ERROR_CODE"]

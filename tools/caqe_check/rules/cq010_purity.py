@@ -1,0 +1,121 @@
+"""CQ010 — worker purity: the prepare plane must be effect-free.
+
+The parallel layer's bit-identity guarantee (docs/ARCHITECTURE.md §11)
+rests on workers running *pure* prepare: every observable cost is
+charged by the driver at the serial commit point, so a worker that
+mutates shared state, performs I/O, reads the clock, draws unseeded
+randomness, iterates a set, or spawns a process could silently skew the
+schedule — a race the test matrix can only catch probabilistically.
+
+This project rule proves the contract statically: every function
+reachable from ``repro.parallel.worker:worker_main`` or
+``repro.parallel.worker:prepare_payload`` over the resolved call graph
+must have an empty forbidden-effect set.  The audited exceptions (the
+per-worker build cache, the shm transport, the orphan watchdog) live in
+:mod:`tools.caqe_check.purity_allowlist` as per-function, per-effect
+grants — and a grant whose function no longer carries the effect (or
+left the reachable set) is itself reported, so the allowlist tracks the
+code instead of fossilising.
+
+Violations anchor at the offending function's ``def`` line and carry the
+witness call chain from the worker root.
+"""
+
+from __future__ import annotations
+
+from tools.caqe_check.effects import (
+    IO,
+    MUTATES_NONLOCAL,
+    SPAWNS_PROCESS,
+    UNORDERED_ITER,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    analyze_program,
+)
+from tools.caqe_check.engine import CheckedFile
+from tools.caqe_check.purity_allowlist import ALLOWED_EFFECTS
+from tools.caqe_check.report import Violation
+
+CODE = "CQ010"
+
+#: Worker entry points (the roots of the prepare plane).
+WORKER_ROOTS = (
+    "repro.parallel.worker:worker_main",
+    "repro.parallel.worker:prepare_payload",
+)
+
+FORBIDDEN = (
+    MUTATES_NONLOCAL,
+    IO,
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    UNORDERED_ITER,
+    SPAWNS_PROCESS,
+)
+
+
+def _suppressions(files: "list[CheckedFile]") -> "dict[str, CheckedFile]":
+    return {file.posix: file for file in files}
+
+
+def check_project(
+    files: "list[CheckedFile]", docs_text: "str | None"
+) -> "list[Violation]":
+    result = analyze_program(files)
+    by_path = _suppressions(files)
+    roots = [r for r in WORKER_ROOTS if r in result.functions]
+    if not roots:
+        return []
+    violations: "list[Violation]" = []
+
+    def emit(path: str, line: int, message: str) -> None:
+        file = by_path.get(path)
+        if file is not None and file.suppressions.is_suppressed(CODE, line):
+            return
+        violations.append(Violation(path, line, 0, CODE, message))
+
+    # Violations anchor at the function that *directly* carries the
+    # effect.  Every local callee of a reachable function is itself
+    # reachable, so the root cause is always in the report — flagging
+    # every transitive caller as well would bury it.  This also makes
+    # allowlist grants strictly per-function: a grant on
+    # ``_WorkerState.prepare`` covers prepare's own mutation, never an
+    # impure helper it might grow a call to.
+    reachable = result.reachable_from(list(roots))
+    for qualname in reachable:
+        info = result.functions[qualname]
+        granted = ALLOWED_EFFECTS.get(qualname, {})
+        for effect in FORBIDDEN:
+            if effect not in info["direct"] or effect in granted:
+                continue
+            chain = " -> ".join(result.witness_path(list(roots), qualname))
+            detail = info["direct"][effect]
+            emit(
+                info["file"],
+                info["line"],
+                f"worker-reachable function {qualname.split(':', 1)[1]!r} "
+                f"carries forbidden effect {effect} ({detail}); "
+                f"prepare plane must be pure [reached via {chain}]",
+            )
+    # Stale grants: an allowlisted function that is known to the graph
+    # but no longer reachable, or no longer carries the granted effect.
+    reachable_set = set(reachable)
+    for qualname in sorted(ALLOWED_EFFECTS):
+        info = result.functions.get(qualname)
+        if info is None:
+            continue  # not part of this scan (e.g. fixture trees)
+        for effect in sorted(ALLOWED_EFFECTS[qualname]):
+            stale = (
+                qualname not in reachable_set
+                or effect not in info["direct"]
+            )
+            if stale:
+                emit(
+                    info["file"],
+                    info["line"],
+                    f"stale purity-allowlist grant: {qualname.split(':', 1)[1]!r} "
+                    f"no longer {'carries' if qualname in reachable_set else 'is worker-reachable with'} "
+                    f"effect {effect}; remove the entry from "
+                    "tools/caqe_check/purity_allowlist.py",
+                )
+    return violations

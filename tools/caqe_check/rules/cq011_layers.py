@@ -1,0 +1,99 @@
+"""CQ011 — layer contracts: no upward imports, no import cycles.
+
+The layer DAG declared in :mod:`tools.caqe_check.layers` replaces the
+older rules' ad-hoc path-fragment scoping with a whole-program import
+contract: every scanned ``repro`` module is assigned a layer, a module
+may only import (at module scope) from its own layer or below, and the
+static import graph must be acyclic at module granularity.
+
+Function-scope and ``if``-block imports (``TYPE_CHECKING``, the
+documented run-time inversion where ``core`` reaches up to
+``durability``) are deferred edges and exempt — they cannot create
+import-time cycles.  Upward *static* imports anchor at the import line;
+cycles report the whole loop once, anchored at the smallest module's
+first edge into the cycle.
+"""
+
+from __future__ import annotations
+
+from tools.caqe_check.effects import analyze_program
+from tools.caqe_check.engine import CheckedFile
+from tools.caqe_check.layers import find_cycles, layer_of, rank_of
+from tools.caqe_check.report import Violation
+
+CODE = "CQ011"
+
+
+def check_project(
+    files: "list[CheckedFile]", docs_text: "str | None"
+) -> "list[Violation]":
+    result = analyze_program(files)
+    by_path = {file.posix: file for file in files}
+    violations: "list[Violation]" = []
+
+    def emit(path: str, line: int, message: str) -> None:
+        file = by_path.get(path)
+        if file is not None and file.suppressions.is_suppressed(CODE, line):
+            return
+        violations.append(Violation(path, line, 0, CODE, message))
+
+    scanned = set(result.modules)
+
+    def resolve_target(target: str) -> "str | None":
+        """Map an imported dotted path onto a scanned module."""
+        if target in scanned:
+            return target
+        # ``from repro.core.caqe import CAQE`` records repro.core.caqe;
+        # ``import repro.core`` may name a package → its __init__.
+        parts = target.split(".")
+        while parts:
+            candidate = ".".join(parts)
+            if candidate in scanned:
+                return candidate
+            parts = parts[:-1]
+        return None
+
+    static_edges: "dict[str, list[str]]" = {name: [] for name in scanned}
+    edge_lines: "dict[tuple[str, str], int]" = {}
+    for name in sorted(scanned):
+        info = result.modules[name]
+        for target, line, lazy in info["imports"]:
+            resolved = resolve_target(target)
+            if resolved is None or resolved == name or lazy:
+                continue
+            static_edges[name].append(resolved)
+            edge_lines.setdefault((name, resolved), line)
+            source_layer = layer_of(name)
+            target_layer = layer_of(resolved)
+            if source_layer is None or target_layer is None:
+                continue
+            if rank_of(target_layer) > rank_of(source_layer):
+                emit(
+                    info["file"],
+                    line,
+                    f"upward import: {name} (layer {source_layer!r}) "
+                    f"imports {resolved} (layer {target_layer!r}) at module "
+                    "scope; move the dependency down the stack or defer the "
+                    "import (see tools/caqe_check/layers.py)",
+                )
+
+    for cycle in find_cycles(static_edges):
+        anchor = cycle[0]
+        # First static edge from the anchor into the cycle.
+        members = set(cycle)
+        line = min(
+            (
+                edge_lines[(anchor, target)]
+                for target in static_edges[anchor]
+                if target in members and (anchor, target) in edge_lines
+            ),
+            default=1,
+        )
+        emit(
+            result.modules[anchor]["file"],
+            line,
+            "import cycle at module scope: "
+            + " -> ".join(cycle + [cycle[0]])
+            + "; break it with a deferred (function-scope) import",
+        )
+    return violations

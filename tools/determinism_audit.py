@@ -26,13 +26,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import subprocess
 import sys
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC_ROOT = REPO_ROOT / "src"
+from tools._proc import SRC_ROOT, spawn_module
 
 DEFAULT_SEEDS = (0, 42)
 
@@ -81,24 +77,14 @@ def run_workload() -> "dict[str, object]":
 
 def spawn_child(hash_seed: int) -> "dict[str, object]":
     """Run ``--child`` in a fresh interpreter under ``hash_seed``."""
-    env = dict(os.environ)
-    env["PYTHONHASHSEED"] = str(hash_seed)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = (
-        f"{SRC_ROOT}{os.pathsep}{existing}" if existing else str(SRC_ROOT)
+    payload = spawn_module(
+        "tools.determinism_audit",
+        ["--child"],
+        env_extra={"PYTHONHASHSEED": str(hash_seed)},
+        label=f"determinism run, PYTHONHASHSEED={hash_seed}",
     )
-    proc = subprocess.run(
-        [sys.executable, "-m", "tools.determinism_audit", "--child"],
-        cwd=REPO_ROOT,
-        env=env,
-        capture_output=True,
-        text=True,
-    )
-    if proc.returncode != 0:
-        raise RuntimeError(
-            f"child run (PYTHONHASHSEED={hash_seed}) failed:\n{proc.stderr}"
-        )
-    return json.loads(proc.stdout)
+    assert payload is not None
+    return payload
 
 
 def diff_runs(

@@ -37,13 +37,11 @@ import argparse
 import json
 import os
 import signal
-import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC_ROOT = REPO_ROOT / "src"
+from tools._proc import SRC_ROOT, spawn_module
 
 DEFAULT_SEEDS = (11, 23, 47)
 KILL_FRACTIONS = (0.2, 0.55, 0.85)
@@ -178,28 +176,11 @@ def _count_records(journal_dir: str) -> int:
 
 
 def _spawn(args: "list[str]", expect_kill: bool = False) -> "dict | None":
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = (
-        f"{SRC_ROOT}{os.pathsep}{existing}" if existing else str(SRC_ROOT)
+    return spawn_module(
+        "tools.kill_resume_audit",
+        args,
+        expect_signal=signal.SIGKILL if expect_kill else None,
     )
-    proc = subprocess.run(
-        [sys.executable, "-m", "tools.kill_resume_audit", *args],
-        cwd=REPO_ROOT,
-        env=env,
-        capture_output=True,
-        text=True,
-    )
-    if expect_kill:
-        if proc.returncode != -signal.SIGKILL:
-            raise RuntimeError(
-                f"expected the child to die of SIGKILL, got rc="
-                f"{proc.returncode}:\n{proc.stderr}"
-            )
-        return None
-    if proc.returncode != 0:
-        raise RuntimeError(f"child {args} failed:\n{proc.stderr}")
-    return json.loads(proc.stdout)
 
 
 def _kill_points(total: int, seed: int, fractions) -> "list[int]":
