@@ -47,7 +47,7 @@ from repro.plan.minmax_cuboid import build_minmax_cuboid
 from repro.plan.shared_plan import WorkloadPlan
 from repro.query.workload import Workload
 from repro.relation import Relation
-from repro.robustness.faults import FaultPlan
+from repro.robustness.faults import FaultPlan, WorkerKillPlan
 from repro.robustness.recovery import (
     REASON_BUDGET,
     REASON_QUARANTINE,
@@ -56,7 +56,11 @@ from repro.robustness.recovery import (
     RegionSupervisor,
     RetryPolicy,
 )
-from repro.robustness.sanitize import QuarantineReport, sanitize_relation
+from repro.robustness.sanitize import (
+    QuarantinedTuple,
+    QuarantineReport,
+    sanitize_relation,
+)
 from repro.skyline.dominance import dominance_mask
 from repro.skyline.estimate import buchta_skyline_size
 
@@ -184,6 +188,16 @@ class CAQEConfig:
     #: Per-region phase breakdown (join/map/sort/skyline/report) in
     #: virtual-time units, collected into ``stats.region_phases``.
     profile_phases: bool = False
+    #: Pool supervision (docs/ARCHITECTURE.md §14).  Replacement workers
+    #: the pool may spawn after crashes before it degrades to pure
+    #: serial (inline-prepare) operation.
+    pool_restart_budget: int = 3
+    #: Worker deaths one region may cause before it is poisoned —
+    #: permanently routed to inline prepare and quarantine-reported.
+    pool_poison_threshold: int = 2
+    #: Deterministic worker-kill schedule (chaos testing only;
+    #: ``None`` = no process-level faults — the default behaviour).
+    pool_kill_plan: "WorkerKillPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.objective not in ("contract", "count", "scan"):
@@ -236,6 +250,16 @@ class CAQEConfig:
             raise ExecutionError(
                 f"parallel_chunk_regions must be >= 1, got "
                 f"{self.parallel_chunk_regions}"
+            )
+        if self.pool_restart_budget < 0:
+            raise ExecutionError(
+                f"pool_restart_budget must be >= 0, got "
+                f"{self.pool_restart_budget}"
+            )
+        if self.pool_poison_threshold < 1:
+            raise ExecutionError(
+                f"pool_poison_threshold must be >= 1, got "
+                f"{self.pool_poison_threshold}"
             )
 
     def capacity_for(self, cardinality: int) -> int:
@@ -428,6 +452,9 @@ class CAQE:
                     rs.right,
                     workers=cfg.workers,
                     use_shared_memory=cfg.enable_shared_memory,
+                    restart_budget=cfg.pool_restart_budget,
+                    poison_threshold=cfg.pool_poison_threshold,
+                    kill_plan=cfg.pool_kill_plan,
                 )
                 pool_owned = True
             client = pool.client()
@@ -471,9 +498,35 @@ class CAQE:
         finally:
             if durability is not None:
                 durability.close()
+            if client is not None:
+                self._harvest_pool(rs, pool, client)
             if pool_owned:
                 pool.close()
         return self._finalize(rs)
+
+    @staticmethod
+    def _harvest_pool(rs: "_RunState", pool: "object", client: "object") -> None:
+        """Fold the pool's supervision snapshot into the run's outputs.
+
+        Both surfaces are diagnostic wall-channels: ``stats.pool_health``
+        stays out of :meth:`ExecutionStats.summary` and the ``"pool"``
+        quarantine report only records which regions fell back to inline
+        prepare — neither can move an observable (§14 contract).
+        """
+        health = pool.health()
+        rs.stats.pool_health = health.as_dict()
+        poisoned = client.poisoned()
+        if poisoned:
+            rs.quarantine["pool"] = QuarantineReport(
+                relation="region-pool",
+                quarantined=[
+                    QuarantinedTuple(
+                        row=region_id, attribute="region", reason="poison"
+                    )
+                    for region_id in poisoned
+                ],
+                rows_scanned=int(health.dispatched),
+            )
 
     # ------------------------------------------------------------------ #
     def _prepare(

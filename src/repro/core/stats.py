@@ -51,6 +51,12 @@ class ExecutionStats:
     #: Lanes used by :meth:`wall_parallel` when the engine ran a worker
     #: pool (0 = serial run, no parallel channel).
     parallel_lanes: int = 0
+    #: Supervision snapshot of the run's region pool (docs/ARCHITECTURE.md
+    #: §14), populated at the end of parallel runs.  A wall-channel like
+    #: ``region_durations``: deliberately excluded from :meth:`summary`
+    #: (and from checkpoint snapshots) so crashed, respawned or poisoned
+    #: workers can never move a run fingerprint.
+    pool_health: "dict[str, object] | None" = None
 
     def __post_init__(self) -> None:
         self.comparison_counter = ComparisonCounter(

@@ -16,13 +16,14 @@ All process construction in ``src/repro`` lives in this package
 """
 
 from repro.parallel.joinkernel import cell_join, vectorized_equi_join
-from repro.parallel.pool import PoolClient, RegionPool
+from repro.parallel.pool import PoolClient, PoolHealth, RegionPool
 from repro.parallel.shm import SharedRelationStore, attach_relation
 from repro.parallel.worker import (
     PackedRegion,
     PrepareTask,
     PreparedRegion,
     pack_prepared,
+    packed_crc_ok,
     prepare_payload,
     unpack_prepared,
 )
@@ -30,6 +31,7 @@ from repro.parallel.worker import (
 __all__ = [
     "PackedRegion",
     "PoolClient",
+    "PoolHealth",
     "PrepareTask",
     "PreparedRegion",
     "RegionPool",
@@ -37,6 +39,7 @@ __all__ = [
     "attach_relation",
     "cell_join",
     "pack_prepared",
+    "packed_crc_ok",
     "prepare_payload",
     "unpack_prepared",
     "vectorized_equi_join",

@@ -1,4 +1,4 @@
-"""The deterministic region worker pool.
+"""The deterministic, self-healing region worker pool.
 
 :class:`RegionPool` runs :func:`repro.parallel.worker.worker_main` on
 ``workers`` processes over one pair of base relations.  Engine runs talk
@@ -15,10 +15,30 @@ server — can prepare regions for several concurrent submissions at once:
 * results for regions that died meanwhile (discarded, quarantined) are
   dropped via :meth:`PoolClient.forget`.
 
+Supervision (docs/ARCHITECTURE.md §14).  Workers announce each task
+claim on a synchronous channel before touching it, so when a process
+dies mid-task (OOM kill, segfault, chaos SIGKILL) the pool knows exactly
+which task was lost: ``_drain`` folds in a reap pass that detects dead
+processes via ``Process.is_alive``, **requeues** the lost task for a
+surviving or replacement worker, and **respawns** up to
+``restart_budget`` replacements (each respawn charges capped
+:class:`~repro.robustness.recovery.RetryPolicy`-shaped backoff to a
+pool-local diagnostic accumulator — never to any run's virtual clock,
+which would break bit-identity to the serial engine).  A task that kills
+``poison_threshold`` workers is **poisoned**: permanently routed to the
+driver's inline prepare and reported through the run's quarantine
+machinery.  Payload CRCs are verified on receipt; a corrupt payload is
+dropped and the driver prepares inline.  When the restart budget is
+exhausted and no worker remains, the pool enters **degraded mode**: all
+pending work is released to inline prepare, further dispatches are
+refused, and the engine is effectively serial — slower, never wrong.
+:meth:`RegionPool.health` snapshots all of this for stats and serving.
+
 Start method: ``fork`` where the platform offers it (cheap, inherits the
 parent image), ``spawn`` otherwise.  The pool must therefore be created
 before any threads start (the serving layer builds its shared pool in
-the server constructor, ahead of its worker threads).
+the server constructor, ahead of its worker threads); respawns reuse the
+same context, mirroring ``multiprocessing.Pool``'s own repopulation.
 """
 
 from __future__ import annotations
@@ -28,6 +48,8 @@ import multiprocessing
 import pickle
 import queue as queue_module
 import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.parallel.shm import SharedRelationStore
 from repro.parallel.worker import (
@@ -35,6 +57,7 @@ from repro.parallel.worker import (
     PackedRegion,
     PreparedRegion,
     WorkerInit,
+    packed_crc_ok,
     unpack_prepared,
     worker_main,
 )
@@ -42,6 +65,10 @@ from repro.partition.cells import LeafCell
 from repro.query.predicates import JoinCondition
 from repro.query.workload import Workload
 from repro.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.robustness.faults import WorkerKillPlan
+    from repro.robustness.recovery import RetryPolicy
 
 #: Bounded waits, in seconds of *wall* patience (parameter values only —
 #: no wall-clock reads, CQ007).  Fetch waits at most
@@ -52,9 +79,64 @@ _FETCH_ATTEMPTS = 100
 _CLOSE_JOIN_TIMEOUT = 0.1
 _CLOSE_ATTEMPTS = 20
 
+#: Cap on retained first-error reprs (a long-lived server pool must not
+#: grow an unbounded error museum; the counts keep counting regardless).
+_ERROR_SAMPLE_LIMIT = 16
+
+#: Queue-level decode failures treated as a corrupt payload: a worker
+#: killed at exactly the wrong instant can tear a pickle in the pipe.
+_DECODE_ERRORS = (EOFError, OSError, pickle.UnpicklingError)
+
+
+@dataclass(frozen=True)
+class PoolHealth:
+    """One consistent snapshot of the pool's supervision state."""
+
+    #: Worker processes currently alive.
+    workers_alive: int
+    #: Processes ever started (initial size + restarts).
+    workers_started: int
+    #: Replacement workers spawned after crashes.
+    restarts: int
+    #: Tasks requeued after their owning worker died mid-claim.
+    requeues: int
+    #: Tasks permanently routed to inline prepare (killed >= K workers).
+    poison_regions: int
+    #: Payloads dropped on CRC mismatch or queue-level decode failure.
+    corrupt_payloads: int
+    #: Worker-side exceptions shipped back instead of payloads.
+    worker_errors: int
+    #: Prepare tasks ever dispatched to the pool.
+    dispatched: int
+    #: True once the restart budget is spent with no survivors: the pool
+    #: refuses new work and every fetch resolves to inline prepare.
+    degraded: bool
+    #: Accumulated RetryPolicy-shaped respawn backoff.  A *diagnostic*
+    #: virtual-cost channel local to the pool — deliberately never
+    #: charged to any run's clock (supervision must not move observables).
+    restart_backoff: float
+    #: First error repr per failing region: ``(client, region_id, repr)``.
+    error_samples: "tuple[tuple[int, int, str], ...]"
+
+    def as_dict(self) -> "dict[str, object]":
+        """Plain-dict form for stats/metrics surfaces."""
+        return {
+            "workers_alive": self.workers_alive,
+            "workers_started": self.workers_started,
+            "restarts": self.restarts,
+            "requeues": self.requeues,
+            "poison_regions": self.poison_regions,
+            "corrupt_payloads": self.corrupt_payloads,
+            "worker_errors": self.worker_errors,
+            "dispatched": self.dispatched,
+            "degraded": self.degraded,
+            "restart_backoff": self.restart_backoff,
+            "error_samples": list(self.error_samples),
+        }
+
 
 class RegionPool:
-    """A pool of prepare workers over shared-memory relation views."""
+    """A supervised pool of prepare workers over shared-memory views."""
 
     def __init__(
         self,
@@ -64,16 +146,28 @@ class RegionPool:
         workers: int,
         use_shared_memory: bool = True,
         start_method: "str | None" = None,
+        restart_budget: int = 3,
+        poison_threshold: int = 2,
+        kill_plan: "WorkerKillPlan | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"RegionPool needs workers >= 1, got {workers}")
+        if restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {restart_budget}"
+            )
+        if poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {poison_threshold}"
+            )
         self.workers = workers
         method = start_method or (
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
             else "spawn"
         )
-        context = multiprocessing.get_context(method)
+        self._context = multiprocessing.get_context(method)
+        context = self._context
         self._store: "SharedRelationStore | None" = None
         if use_shared_memory:
             self._store = SharedRelationStore()
@@ -81,73 +175,282 @@ class RegionPool:
             right_ref: "object" = self._store.share(right)
         else:
             left_ref, right_ref = left, right
-        init = WorkerInit(left=left_ref, right=right_ref)
+        self._init = WorkerInit(left=left_ref, right=right_ref)
         self._tasks = context.Queue()
         self._results = context.Queue()
-        self._procs = [
-            context.Process(
-                target=worker_main,
-                args=(init, self._tasks, self._results),
-                name=f"caqe-region-worker-{i}",
-                daemon=True,
-            )
-            for i in range(workers)
-        ]
-        for proc in self._procs:
-            proc.start()
-        # One lock guards the books (pending/ready/forgotten); the queues
-        # are process-safe on their own.  Several server threads may hold
-        # clients concurrently.
+        # Claims ride a SimpleQueue: its put is a synchronous pipe write
+        # under a lock (no feeder thread), so a worker's claim is already
+        # on the driver side before the worker can possibly die from a
+        # scheduled kill — the supervisor's books never miss a loss.
+        self._claims = context.SimpleQueue()
+        self._kill_plan = (
+            kill_plan if kill_plan is not None and kill_plan.active else None
+        )
+        self._worker_ids = itertools.count(workers)
+        self._procs: "dict[int, object]" = {}
+        for wid in range(workers):
+            self._procs[wid] = self._spawn(wid)
+        # One lock guards the books (pending/ready/forgotten/supervision);
+        # the queues are process-safe on their own.  Several server
+        # threads may hold clients concurrently; the claim lock serialises
+        # the SimpleQueue's empty()+get() window across those threads.
         self._lock = threading.Lock()
+        self._claim_lock = threading.Lock()
         self._client_ids = itertools.count(1)
         self._pending: "set[tuple[int, int]]" = set()
         self._ready: "dict[tuple[int, int], PreparedRegion]" = {}
         self._forgotten: "set[tuple[int, int]]" = set()
+        #: Last-dispatched task per pending key, for deterministic requeue.
+        self._task_specs: "dict[tuple[int, int], PrepareTask]" = {}
+        #: worker_id -> key that worker most recently claimed (unfinished).
+        self._claimed: "dict[int, tuple[int, int]]" = {}
+        #: Workers killed while holding each key (poison detection).
+        self._kill_counts: "dict[tuple[int, int], int]" = {}
+        self._poisoned: "set[tuple[int, int]]" = set()
+        self._restart_budget = restart_budget
+        self._poison_threshold = poison_threshold
+        self._retry_policy: "RetryPolicy | None" = None
+        self._restarts = 0
+        self._requeues = 0
+        self._corrupt_payloads = 0
+        self._worker_errors = 0
+        self._dispatched = 0
+        self._restart_backoff = 0.0
+        self._error_samples: "dict[tuple[int, int], str]" = {}
+        self._degraded = False
         self._closed = False
+        self._queues_closed = False
 
     def client(self) -> "PoolClient":
         """A fresh namespace for one engine run's region ids."""
         return PoolClient(self, next(self._client_ids))
 
+    # -- supervision ------------------------------------------------------ #
+    def _spawn(self, worker_id: int) -> "object":
+        """Start one worker process, wiring its chaos triggers if any."""
+        kill_after = None
+        poison: "tuple[int, ...]" = ()
+        if self._kill_plan is not None:
+            kill_after = self._kill_plan.kill_after_for(worker_id)
+            poison = self._kill_plan.poison_regions
+        proc = self._context.Process(
+            target=worker_main,
+            args=(
+                self._init,
+                self._tasks,
+                self._results,
+                self._claims,
+                worker_id,
+                kill_after,
+                poison,
+            ),
+            name=f"caqe-region-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _drain_claims(self) -> None:
+        """Fold announced claims into the ownership book."""
+        with self._claim_lock:
+            while not self._claims.empty():
+                worker_id, client, region_id = self._claims.get()
+                with self._lock:
+                    self._claimed[worker_id] = (client, region_id)
+
+    def _restart_charge(self) -> float:
+        """RetryPolicy-shaped backoff for the current restart count."""
+        if self._retry_policy is None:
+            # Deferred import: repro.parallel sits below repro.robustness
+            # in the layer DAG (CQ011); only the supervisor's diagnostic
+            # backoff shape reaches up, and only at first respawn.
+            from repro.robustness.recovery import RetryPolicy
+
+            self._retry_policy = RetryPolicy()
+        return self._retry_policy.backoff(max(1, self._restarts))
+
+    def _reap(self) -> None:
+        """Detect dead workers; requeue their claims, respawn or degrade."""
+        with self._lock:
+            if self._closed or self._degraded or not self._procs:
+                return
+            dead = [
+                wid
+                for wid, proc in self._procs.items()
+                if not proc.is_alive()
+            ]
+        if not dead:
+            return
+        # Claims are written synchronously before any scheduled death, so
+        # every dead worker's final claim is already in the pipe.
+        self._drain_claims()
+        requeue: "list[PrepareTask]" = []
+        respawn_ids: "list[int]" = []
+        with self._lock:
+            if self._closed or self._degraded:
+                return
+            for wid in dead:
+                proc = self._procs.pop(wid, None)
+                if proc is None:
+                    continue
+                proc.join(timeout=_CLOSE_JOIN_TIMEOUT)
+                key = self._claimed.pop(wid, None)
+                if key is not None and key in self._pending:
+                    count = self._kill_counts.get(key, 0) + 1
+                    self._kill_counts[key] = count
+                    if count >= self._poison_threshold:
+                        # Poison: this task keeps killing its hosts.
+                        # Route it to inline prepare forever.
+                        self._pending.discard(key)
+                        self._task_specs.pop(key, None)
+                        self._poisoned.add(key)
+                    else:
+                        task = self._task_specs.get(key)
+                        if task is not None:
+                            self._requeues += 1
+                            requeue.append(task)
+                if self._restarts < self._restart_budget:
+                    self._restarts += 1
+                    self._restart_backoff += self._restart_charge()
+                    respawn_ids.append(next(self._worker_ids))
+            degrade = not respawn_ids and not any(
+                proc.is_alive() for proc in self._procs.values()
+            )
+            if degrade:
+                # Budget spent, nobody left: release all pending work to
+                # the driver's inline path and refuse further dispatch.
+                self._degraded = True
+                self._pending.clear()
+                self._task_specs.clear()
+                self._claimed.clear()
+        for task in requeue:
+            self._tasks.put(task)
+        for wid in respawn_ids:
+            proc = self._spawn(wid)
+            with self._lock:
+                if self._closed:
+                    proc.terminate()
+                else:
+                    self._procs[wid] = proc
+
+    def health(self) -> PoolHealth:
+        """Snapshot supervision state (drains results/claims first)."""
+        if not self._queues_closed:
+            self._drain()
+        with self._lock:
+            samples = tuple(
+                (client, region_id, message)
+                for (client, region_id), message in sorted(
+                    self._error_samples.items()
+                )
+            )
+            return PoolHealth(
+                workers_alive=sum(
+                    1 for proc in self._procs.values() if proc.is_alive()
+                ),
+                workers_started=self.workers + self._restarts,
+                restarts=self._restarts,
+                requeues=self._requeues,
+                poison_regions=len(self._poisoned),
+                corrupt_payloads=self._corrupt_payloads,
+                worker_errors=self._worker_errors,
+                dispatched=self._dispatched,
+                degraded=self._degraded,
+                restart_backoff=self._restart_backoff,
+                error_samples=samples,
+            )
+
+    @property
+    def degraded(self) -> bool:
+        """True once the pool has fallen back to pure serial operation."""
+        with self._lock:
+            return self._degraded
+
+    def _poisoned_for(self, client: int) -> "list[int]":
+        with self._lock:
+            return sorted(
+                region_id
+                for client_id, region_id in self._poisoned
+                if client_id == client
+            )
+
     # -- client plumbing -------------------------------------------------- #
     def _dispatch(self, task: PrepareTask) -> bool:
         key = (task.client, task.region_id)
         with self._lock:
-            if self._closed or key in self._pending or key in self._ready:
+            if (
+                self._closed
+                or self._degraded
+                or key in self._pending
+                or key in self._ready
+                or key in self._poisoned
+            ):
                 return False
             self._pending.add(key)
+            self._task_specs[key] = task
             self._forgotten.discard(key)
+            self._dispatched += 1
         self._tasks.put(task)
         return True
 
-    def _absorb(self, client: int, region_id: int, payload: object) -> None:
+    def _absorb(
+        self, worker_id: int, client: int, region_id: int, payload: object
+    ) -> None:
         key = (client, region_id)
         with self._lock:
+            if self._claimed.get(worker_id) == key:
+                del self._claimed[worker_id]
             self._pending.discard(key)
+            self._task_specs.pop(key, None)
             if key in self._forgotten:
                 self._forgotten.discard(key)
                 return
             if isinstance(payload, PackedRegion):
+                if not packed_crc_ok(payload):
+                    # Bytes mangled in flight: drop; driver prepares inline.
+                    self._corrupt_payloads += 1
+                    return
                 self._ready[key] = unpack_prepared(payload)
             elif isinstance(payload, PreparedRegion):
                 self._ready[key] = payload
-            # else: worker error repr — drop; the driver prepares inline.
+            else:
+                # Worker error repr: count it, keep the first per region,
+                # and let the driver prepare inline.
+                self._worker_errors += 1
+                if (
+                    key not in self._error_samples
+                    and len(self._error_samples) < _ERROR_SAMPLE_LIMIT
+                ):
+                    self._error_samples[key] = str(payload)
 
     def _drain(self, timeout: "float | None" = None) -> bool:
-        """Absorb finished results; True iff at least one arrived."""
+        """Absorb finished results; True iff at least one arrived.
+
+        Also the supervision heartbeat: after the result queue runs dry,
+        claims are folded in and dead workers reaped, so every fetch/wait
+        cycle observes crashes promptly.
+        """
         got = False
         while True:
             try:
                 if timeout is not None and not got:
-                    client, region_id, payload = self._results.get(
-                        timeout=timeout
-                    )
+                    message = self._results.get(timeout=timeout)
                 else:
-                    client, region_id, payload = self._results.get_nowait()
+                    message = self._results.get_nowait()
             except queue_module.Empty:
-                return got
+                break
+            except _DECODE_ERRORS:
+                # A worker died mid-put and tore the pickle; the reap
+                # pass below requeues whatever that worker had claimed.
+                with self._lock:
+                    self._corrupt_payloads += 1
+                continue
             got = True
-            self._absorb(client, region_id, payload)
+            worker_id, client, region_id, payload = message
+            self._absorb(worker_id, client, region_id, payload)
+        self._drain_claims()
+        self._reap()
+        return got
 
     def _fetch(self, client: int, region_id: int, wait: bool) -> "PreparedRegion | None":
         key = (client, region_id)
@@ -160,6 +463,8 @@ class RegionPool:
         # Bounded patience for an in-flight payload: on a busy machine the
         # worker is typically a few scheduler quanta away; past the bound
         # the caller steals the work inline (liveness without the pool).
+        # Requeue/poison/degraded transitions clear ``_pending`` and end
+        # the wait early, so a crashed pool never costs the full bound.
         for _ in range(_FETCH_ATTEMPTS):
             self._drain(timeout=_FETCH_WAIT)
             with self._lock:
@@ -173,6 +478,7 @@ class RegionPool:
         key = (client, region_id)
         with self._lock:
             self._ready.pop(key, None)
+            self._task_specs.pop(key, None)
             if key in self._pending:
                 # The result is still coming; mark it to be dropped.
                 self._pending.discard(key)
@@ -190,22 +496,25 @@ class RegionPool:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._procs:
+            procs = list(self._procs.values())
+        for _ in procs:
             self._tasks.put(None)
         # Bounded drain-and-join: a child blocked flushing results would
         # never see the sentinel, so keep emptying the result queue.
         for _ in range(_CLOSE_ATTEMPTS):
-            self._drain()
-            if all(not proc.is_alive() for proc in self._procs):
+            self._drain_closing()
+            if all(not proc.is_alive() for proc in procs):
                 break
-            for proc in self._procs:
+            for proc in procs:
                 proc.join(timeout=_CLOSE_JOIN_TIMEOUT)
-        for proc in self._procs:
+        for proc in procs:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=_CLOSE_JOIN_TIMEOUT)
+        self._queues_closed = True
         self._tasks.close()
         self._results.close()
+        self._claims.close()
         if self._store is not None:
             self._store.close()
             self._store = None
@@ -213,6 +522,18 @@ class RegionPool:
             self._pending.clear()
             self._ready.clear()
             self._forgotten.clear()
+            self._task_specs.clear()
+            self._claimed.clear()
+
+    def _drain_closing(self) -> None:
+        """Teardown drain: empty the result queue, never reap/respawn."""
+        while True:
+            try:
+                self._results.get_nowait()
+            except queue_module.Empty:
+                return
+            except _DECODE_ERRORS:
+                continue
 
     def __enter__(self) -> "RegionPool":
         return self
@@ -228,7 +549,11 @@ class PoolClient:
         self._pool = pool
         self._client_id = client_id
         self._functions: "tuple | None" = None
-        self._workload_key: "int | None" = None
+        #: Strong reference to the workload last analysed: identity
+        #: comparison is only sound while the object is pinned alive
+        #: (``id()`` of a collected workload can be recycled by the
+        #: allocator and alias an unrelated one).
+        self._workload: "Workload | None" = None
 
     def set_workload(self, workload: Workload) -> None:
         """Decide once per run whether mapping functions ship to workers.
@@ -237,10 +562,9 @@ class PoolClient:
         lambdas (every built-in factory) stay driver-side; the worker
         then returns join pairs only and the driver projects at commit.
         """
-        key = id(workload)
-        if key == self._workload_key:
+        if workload is self._workload:
             return
-        self._workload_key = key
+        self._workload = workload
         functions = tuple(
             workload.function_for(dim) for dim in workload.output_dims
         )
@@ -278,13 +602,26 @@ class PoolClient:
     def in_flight(self, region_id: int) -> bool:
         return self._pool._in_flight(self._client_id, region_id)
 
+    def poisoned(self) -> "list[int]":
+        """Region ids of this run quarantined as worker-killers."""
+        return self._pool._poisoned_for(self._client_id)
+
 
 def _picklable(value: object) -> bool:
     try:
         pickle.dumps(value)
-    except (pickle.PicklingError, TypeError, AttributeError):
+    except (
+        pickle.PicklingError,
+        TypeError,
+        AttributeError,
+        RecursionError,
+        ValueError,
+    ):
+        # RecursionError/ValueError: self-referential or otherwise
+        # pathological mapping closures must degrade to driver-side
+        # projection, not crash dispatch.
         return False
     return True
 
 
-__all__ = ["PoolClient", "RegionPool"]
+__all__ = ["PoolClient", "PoolHealth", "RegionPool"]

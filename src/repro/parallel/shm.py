@@ -59,6 +59,10 @@ class SharedRelationStore:
             )
         return RelationHandle(relation.name, relation.schema, tuple(handles))
 
+    def segment_names(self) -> "list[str]":
+        """Names of every live segment (leak assertions in tests)."""
+        return [segment.name for segment in self._segments]
+
     def close(self) -> None:
         """Release and unlink every segment (driver-side teardown)."""
         for segment in self._segments:

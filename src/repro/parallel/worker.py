@@ -18,12 +18,26 @@ like the serial path.
 The same :func:`prepare_payload` powers the driver's inline fallback
 (work stealing when a payload is not ready), so parallel and serial
 prepare share one code path.
+
+Supervision protocol (docs/ARCHITECTURE.md §14): before touching a
+task, the worker announces a **claim** — ``(worker_id, client,
+region_id)`` — on a synchronous claim channel, and every result message
+leads with the worker id, so the pool always knows which in-flight task
+each process owns.  Payloads carry a CRC32 over their packed bytes (the
+durability journal's checksum idiom); the pool verifies on receipt and
+falls back to inline prepare on mismatch.  Chaos kill triggers
+(``kill_after`` / ``poison_regions``) fire at *claim time* with a raw
+``SIGKILL`` — after the claim's pipe write, before any result ``put`` —
+so a scheduled death never tears a pickle mid-flight and the supervisor
+can requeue deterministically.
 """
 
 from __future__ import annotations
 
 import os
 import queue
+import signal
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -84,6 +98,11 @@ class PackedRegion:
     three per-array pickle buffers into a single block, and unpacking is
     three zero-copy ``frombuffer`` views, so a region payload crosses the
     process boundary with exactly one copy each way.
+
+    ``crc`` is a CRC32 over ``payload`` computed sender-side; the pool
+    recomputes it on receipt (:func:`packed_crc_ok`) and treats any
+    mismatch as a lost task — the driver prepares inline instead of
+    committing bytes a dying process may have mangled.
     """
 
     region_id: int
@@ -91,6 +110,7 @@ class PackedRegion:
     #: Matrix column count, or -1 when the preparer shipped no matrix.
     width: int
     payload: bytes
+    crc: int
 
 
 def pack_prepared(prepared: PreparedRegion) -> PackedRegion:
@@ -103,12 +123,19 @@ def pack_prepared(prepared: PreparedRegion) -> PackedRegion:
         matrix = np.ascontiguousarray(prepared.matrix, dtype=np.float64)
         width = int(matrix.shape[1])
         parts.append(matrix)
+    payload = b"".join(a.tobytes() for a in parts)
     return PackedRegion(
         region_id=prepared.region_id,
         rows=len(left),
         width=width,
-        payload=b"".join(a.tobytes() for a in parts),
+        payload=payload,
+        crc=zlib.crc32(payload) & 0xFFFFFFFF,
     )
+
+
+def packed_crc_ok(packed: PackedRegion) -> bool:
+    """Does the payload still hash to the checksum stamped at pack time?"""
+    return (zlib.crc32(packed.payload) & 0xFFFFFFFF) == packed.crc
 
 
 def unpack_prepared(packed: PackedRegion) -> PreparedRegion:
@@ -195,12 +222,43 @@ class _WorkerState:
 _ORPHAN_POLL = 2.0
 
 
-def worker_main(init: WorkerInit, tasks: "object", results: "object") -> None:
+def _kill_self() -> None:
+    """Die the way a crashed worker dies: SIGKILL, no cleanup, no goodbye.
+
+    The chaos layer's kill triggers route through this single audited
+    point.  ``SIGKILL`` (not ``sys.exit``) is deliberate — atexit hooks,
+    queue feeder flushes and multiprocessing finalisers all get skipped,
+    which is exactly the failure mode (OOM kill, segfault) the pool's
+    supervisor must survive.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def worker_main(
+    init: WorkerInit,
+    tasks: "object",
+    results: "object",
+    claims: "object | None" = None,
+    worker_id: int = 0,
+    kill_after: "int | None" = None,
+    poison_regions: "tuple[int, ...]" = (),
+) -> None:
     """Worker process entry point: drain tasks until the ``None`` sentinel.
 
-    Any error is shipped back as ``(client, region_id, repr(exc))`` and
-    the driver falls back to inline preparation — a worker bug can cost
-    wall-clock time but never correctness.
+    Each task is claimed on ``claims`` — a ``SimpleQueue``, whose ``put``
+    is a synchronous pipe write — *before* any work happens, so the pool
+    can attribute every in-flight task to a live process id even if that
+    process dies an instant later.  Any error is shipped back as
+    ``(worker_id, client, region_id, repr(exc))`` and the driver falls
+    back to inline preparation — a worker bug can cost wall-clock time
+    but never correctness.
+
+    ``kill_after`` / ``poison_regions`` are chaos triggers (set only by a
+    :class:`~repro.robustness.faults.WorkerKillPlan`): the worker
+    SIGKILLs itself when claiming its ``kill_after``-th task, or when
+    claiming any listed poison region.  Both fire after the claim write
+    and before any result ``put``, so the supervisor's books are always
+    consistent with what was lost.
 
     A driver that dies without sending sentinels (SIGKILL — the
     kill-resume audit does exactly this) must not leave orphan workers
@@ -210,6 +268,7 @@ def worker_main(init: WorkerInit, tasks: "object", results: "object") -> None:
     """
     state = _WorkerState(init)
     parent = os.getppid()
+    claimed = 0
     while True:
         try:
             task = tasks.get(timeout=_ORPHAN_POLL)
@@ -219,18 +278,31 @@ def worker_main(init: WorkerInit, tasks: "object", results: "object") -> None:
             continue
         if task is None:
             break
+        claimed += 1
+        if claims is not None:
+            claims.put((worker_id, task.client, task.region_id))
+        if (kill_after is not None and claimed >= kill_after) or (
+            task.region_id in poison_regions
+        ):
+            _kill_self()
         try:
             payload = state.prepare(task)
         except Exception as exc:  # caqe-check: disable=CQ006 — process boundary
-            results.put((task.client, task.region_id, repr(exc)))
+            results.put((worker_id, task.client, task.region_id, repr(exc)))
             continue
-        results.put((task.client, task.region_id, pack_prepared(payload)))
+        results.put(
+            (worker_id, task.client, task.region_id, pack_prepared(payload))
+        )
 
 
 __all__ = [
+    "PackedRegion",
     "PrepareTask",
     "PreparedRegion",
     "WorkerInit",
+    "pack_prepared",
+    "packed_crc_ok",
     "prepare_payload",
+    "unpack_prepared",
     "worker_main",
 ]

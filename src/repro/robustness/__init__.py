@@ -20,6 +20,7 @@ from repro.robustness.faults import (
     FaultConfig,
     FaultPlan,
     InjectedFault,
+    WorkerKillPlan,
 )
 from repro.robustness.recovery import (
     DegradedReport,
@@ -44,5 +45,6 @@ __all__ = [
     "QuarantinedTuple",
     "RegionSupervisor",
     "RetryPolicy",
+    "WorkerKillPlan",
     "sanitize_relation",
 ]

@@ -257,6 +257,8 @@ class CAQEServer:
             "degraded": 0,
             "cancelled": 0,
             "failed": 0,
+            "pool_serial_trips": 0,
+            "pool_poisoned_runs": 0,
         }
         # One region pool shared by every submission (docs/ARCHITECTURE.md
         # §11.5): worker processes and the shared-memory relation blocks
@@ -272,7 +274,14 @@ class CAQEServer:
                 right,
                 workers=self.config.workers,
                 use_shared_memory=self.config.enable_shared_memory,
+                restart_budget=self.config.pool_restart_budget,
+                poison_threshold=self.config.pool_poison_threshold,
+                kill_plan=self.config.pool_kill_plan,
             )
+        #: Latched once the shared pool exhausts its restart budget and
+        #: trips to serial (degraded) mode — metrics record the event a
+        #: single time, after which every run simply prepares inline.
+        self._pool_tripped = False
         # Hash-join build tables per workload signature: same relations +
         # same config partition identically, so same-signature submissions
         # reuse each other's build side instead of rebuilding it per run.
@@ -406,10 +415,27 @@ class CAQEServer:
             return
         degraded = any(result.degraded.values())
         quarantined = result.stats.regions_quarantined > 0
+        # Pool supervision outcomes (docs/ARCHITECTURE.md §14): a run
+        # whose regions poisoned the shared pool counts as a breaker
+        # failure for its signature (those regions keep killing worker
+        # processes); a pool that exhausted its restart budget has
+        # tripped to serial mode for the rest of the server's life —
+        # record the trip once.
+        pool_poisoned = "pool" in result.quarantine
+        with self._lock:
+            if pool_poisoned:
+                self.metrics["pool_poisoned_runs"] += 1
+            if (
+                self._pool is not None
+                and not self._pool_tripped
+                and self._pool.degraded
+            ):
+                self._pool_tripped = True
+                self.metrics["pool_serial_trips"] += 1
         self._finish(
             ticket,
             ServedResult(DEGRADED if degraded else ANSWERED, result=result),
-            breaker_failure=quarantined,
+            breaker_failure=quarantined or pool_poisoned,
         )
 
     def _finish(
@@ -428,6 +454,15 @@ class CAQEServer:
                     breaker.record_success()
             self.metrics[outcome.status] += 1
         ticket._finish(outcome)
+
+    # -- observability ---------------------------------------------------- #
+    def pool_health(self) -> "dict[str, object] | None":
+        """Supervision snapshot of the shared region pool (None = serial
+        server).  Counters only — safe to poll from any thread."""
+        pool = self._pool
+        if pool is None:
+            return None
+        return pool.health().as_dict()
 
     # -- lifecycle ------------------------------------------------------- #
     def shutdown(self, wait: bool = True) -> None:

@@ -18,7 +18,7 @@ allowlist can only shrink back in step with the code.
 
 from __future__ import annotations
 
-from tools.caqe_check.effects import IO, MUTATES_NONLOCAL
+from tools.caqe_check.effects import IO, MUTATES_NONLOCAL, SPAWNS_PROCESS
 
 #: qualname → {effect → audited justification}.
 ALLOWED_EFFECTS: "dict[str, dict[str, str]]" = {
@@ -26,6 +26,18 @@ ALLOWED_EFFECTS: "dict[str, dict[str, str]]" = {
         IO: (
             "orphan-reparenting watchdog reads os.getppid() while idle; "
             "the value never flows into any payload or observable"
+        ),
+    },
+    "repro.parallel.worker:_kill_self": {
+        IO: (
+            "chaos kill switch reads os.getpid() to target itself; the "
+            "process is dead one line later, so nothing can leak"
+        ),
+        SPAWNS_PROCESS: (
+            "os.kill(getpid(), SIGKILL) — the single audited point where "
+            "a WorkerKillPlan trigger dies; fires only under an active "
+            "kill plan (chaos testing), after the claim write and before "
+            "any result put, so the supervisor's requeue stays exact"
         ),
     },
     "repro.parallel.worker:_WorkerState._resolve": {

@@ -1,0 +1,222 @@
+"""Worker-SIGKILL audit for the self-healing region pool (CI gate).
+
+The supervision contract (docs/ARCHITECTURE.md §14) is that process
+death inside the pool is invisible to the run's observables: a worker
+killed mid-claim costs wall-clock time — its task is requeued, a
+replacement is spawned, a repeat-offender region is poisoned to inline
+prepare, and total loss degrades the pool to serial operation — but
+every region trace, comparison count, virtual-clock reading, reported
+identity set and satisfaction score must stay **bit-identical** to the
+``workers=0`` serial engine.  Unit tests cover the supervisor's book-
+keeping; this audit delivers real ``SIGKILL``s:
+
+1. run the Figure-1 workload serially — the **reference** observables;
+2. replay it under the pool at three distinct kill points:
+   *first claim* (worker 0 dies claiming its first task), *mid-stream*
+   (every initial worker dies on its third claim), and *total loss*
+   (every worker including respawns dies on first claim until the
+   restart budget is spent and the pool falls back to serial);
+3. replay once more with a **poison region** — the serial trace's first
+   region kills every process that claims it until the quarantine
+   threshold routes it to inline prepare for good;
+4. diff every pinned observable against the reference, and check the
+   health counters: requeues/restarts/poisons nonzero exactly where the
+   kill plan dictates, all zero under the no-fault plan.
+
+Workers die by ``os.kill(getpid(), SIGKILL)`` at claim time — no
+cleanup, no atexit, exactly what an OOM kill looks like — so the audit
+runs in-process: the driver is never the victim.
+
+Usage::
+
+    python -m tools.kill_worker_audit                 # 3 seeds x 2 sizes
+    python -m tools.kill_worker_audit --quick         # 1 seed, workers=2
+    python -m tools.kill_worker_audit --seeds 7 11 --workers 4
+
+Exit status 0 iff every killed run is bit-identical to its reference
+and every counter matches its plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+DEFAULT_SEEDS = (11, 23, 47)
+DEFAULT_WORKER_SIZES = (2, 4)
+CARDINALITY = 120
+
+
+def _build_inputs(seed: int):
+    """Deterministic inputs: the Figure-1 workload over a seeded pair."""
+    from repro.contracts import c2
+    from repro.datagen import generate_pair
+    from repro.robustness.chaos import figure1_workload
+
+    workload = figure1_workload()
+    pair = generate_pair(
+        "independent", CARDINALITY, 4, selectivity=0.05, seed=seed
+    )
+    contracts = {q.name: c2(scale=100.0) for q in workload}
+    return pair, workload, contracts
+
+
+def _observables(result) -> "tuple[object, ...]":
+    """Everything pinned between serial reference and killed runs."""
+    return (
+        tuple(result.stats.region_trace),
+        result.stats.skyline_comparisons,
+        result.stats.coarse_comparisons,
+        result.stats.elapsed,
+        result.reported,
+        result.degraded,
+        tuple(sorted(result.stats.summary().items())),
+        tuple(
+            (q.name, result.satisfaction(q.name)) for q in result.workload
+        ),
+    )
+
+
+def _scenarios(seed: int, workers: int, first_region: int):
+    """The audited kill plans: (label, plan, budget, expectations)."""
+    from repro.robustness.faults import WorkerKillPlan
+
+    return (
+        (
+            "no-fault",
+            None,
+            3,
+            {"restarts": 0, "requeues": 0, "poison_regions": 0},
+        ),
+        (
+            "first-claim kill",
+            WorkerKillPlan(kills=((0, 1),)),
+            3,
+            {"restarts": "nonzero", "requeues": "nonzero"},
+        ),
+        (
+            "mid-stream kills",
+            WorkerKillPlan(kills=tuple((wid, 3) for wid in range(workers))),
+            2 * workers,
+            {"restarts": "nonzero", "requeues": "nonzero"},
+        ),
+        (
+            "all workers dead",
+            WorkerKillPlan(kill_all_after=1),
+            workers,
+            {"degraded": True, "workers_alive": 0},
+        ),
+        (
+            "poison region",
+            WorkerKillPlan(poison_regions=(first_region,)),
+            2 * workers + 2,
+            {"poison_regions": "nonzero"},
+        ),
+    )
+
+
+def _check_health(health: "dict", expect: "dict") -> "list[str]":
+    problems: "list[str]" = []
+    for name, want in expect.items():
+        got = health.get(name)
+        if want == "nonzero":
+            if not got:
+                problems.append(f"{name} expected nonzero, got {got!r}")
+        elif got != want:
+            problems.append(f"{name} expected {want!r}, got {got!r}")
+    return problems
+
+
+def audit_seed(seed: int, workers: int) -> "list[str]":
+    """Run every scenario for one (seed, pool size); return failures."""
+    import dataclasses
+
+    from repro.core import CAQE, CAQEConfig
+
+    pair, workload, contracts = _build_inputs(seed)
+
+    def execute(config):
+        return CAQE(config).run(
+            pair.left, pair.right, workload, contracts
+        )
+
+    reference = execute(CAQEConfig(workers=0))
+    expected = _observables(reference)
+    base = CAQEConfig(workers=workers)
+    failures: "list[str]" = []
+    print(f"seed {seed}, workers={workers}:")
+    for label, plan, budget, expect in _scenarios(
+        seed, workers, reference.stats.region_trace[0]
+    ):
+        result = execute(
+            dataclasses.replace(
+                base, pool_kill_plan=plan, pool_restart_budget=budget
+            )
+        )
+        problems: "list[str]" = []
+        if _observables(result) != expected:
+            problems.append("observables diverged from serial reference")
+        health = result.stats.pool_health or {}
+        problems.extend(_check_health(health, expect))
+        if label == "poison region" and "pool" not in result.quarantine:
+            problems.append("poisoned region missing from quarantine report")
+        if label == "no-fault" and "pool" in result.quarantine:
+            problems.append("healthy run produced a pool quarantine report")
+        status = "ok  " if not problems else "FAIL"
+        print(
+            f"  {status} {label:18s} "
+            f"restarts={health.get('restarts')} "
+            f"requeues={health.get('requeues')} "
+            f"poison={health.get('poison_regions')} "
+            f"degraded={health.get('degraded')}"
+        )
+        for problem in problems:
+            print(f"       - {problem}")
+        failures.extend(f"seed {seed} workers={workers} {label}: {p}"
+                        for p in problems)
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools.kill_worker_audit",
+        description="real-SIGKILL bit-identity audit of pool supervision",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS)
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_WORKER_SIZES),
+        help="pool sizes to audit (default: 2 4)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one seed, workers=2 (fast pre-commit check)",
+    )
+    args = parser.parse_args(argv)
+    seeds = args.seeds[:1] if args.quick else args.seeds
+    sizes = [2] if args.quick else args.workers
+
+    failures: "list[str]" = []
+    for seed in seeds:
+        for workers in sizes:
+            failures.extend(audit_seed(seed, workers))
+    if failures:
+        print(f"kill-worker audit: {len(failures)} failure(s)")
+        return 1
+    print(
+        "kill-worker audit: all observables bit-identical under "
+        f"{len(seeds)} seed(s) x {len(sizes)} pool size(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
