@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -1213,11 +1214,78 @@ class BenefitModel:
         return total
 
 
+# --------------------------------------------------------------------- #
+# Cross-tenant ranking (docs/ARCHITECTURE.md §15.2)
+# --------------------------------------------------------------------- #
+# Equation 8 already prices a region's marginal benefit in a currency
+# that is comparable *across queries* (contract utility per unit virtual
+# time); summing over a workload keeps the unit, so the same currency is
+# comparable across whole submissions — and hence across tenants.  The
+# serving scheduler extends the model with exactly two tenant-level
+# terms: a fair-share weight scaling the benefit, and a deficit-round-
+# robin correction that pulls starved tenants forward.
+
+
+@dataclass(frozen=True)
+class TenantOffer:
+    """One tenant's bid in the cross-tenant region auction.
+
+    ``csm`` is the tenant's best root CSM (Eq. 8 via Eq. 10 progressive
+    estimates) from :meth:`repro.core.caqe.LiveRun.peek_best_csm`;
+    ``deficit`` is virtual time the tenant is owed under its fair share
+    (entitled minus received service).
+    """
+
+    tenant: str
+    csm: float
+    weight: float = 1.0
+    deficit: float = 0.0
+    tier: int = 1
+
+
+def cross_tenant_scores(
+    offers: "Sequence[TenantOffer]", fairness_pressure: float = 0.0
+) -> np.ndarray:
+    """Score each offer: ``weight * csm + pressure * max(deficit, 0)``.
+
+    The first term is Eq. 8 scaled by the tenant's fair-share weight;
+    the second converts owed virtual time into the same benefit currency
+    at a configured exchange rate, so a starved tenant's offer rises
+    linearly with its deficit and eventually wins any auction (bounded
+    starvation).  Pure and vectorised — the scheduler calls this once
+    per region pick.
+    """
+    if not offers:
+        return np.zeros(0)
+    csm = np.asarray([o.csm for o in offers], dtype=float)
+    weight = np.asarray([o.weight for o in offers], dtype=float)
+    deficit = np.asarray([o.deficit for o in offers], dtype=float)
+    return weight * csm + float(fairness_pressure) * np.maximum(deficit, 0.0)
+
+
+def rank_offers(
+    offers: "Sequence[TenantOffer]", fairness_pressure: float = 0.0
+) -> "list[int]":
+    """Offer indices best-first; ties break toward the earlier offer.
+
+    The stable descending sort mirrors :meth:`CAQE._rank_regions`'s
+    tie-break discipline, so the cross-tenant pick is deterministic for
+    any fixed submission order.
+    """
+    if not offers:
+        return []
+    scores = cross_tenant_scores(offers, fairness_pressure)
+    return np.argsort(-scores, kind="stable").tolist()
+
+
 __all__ = [
     "EXACT_CELL_LIMIT",
     "BenefitModel",
     "RegionEstimate",
+    "TenantOffer",
+    "cross_tenant_scores",
     "prog_count_exact",
     "prog_ratio_sampled",
     "prog_ratio_volume",
+    "rank_offers",
 ]

@@ -198,6 +198,27 @@ class CAQEConfig:
     #: Deterministic worker-kill schedule (chaos testing only;
     #: ``None`` = no process-level faults — the default behaviour).
     pool_kill_plan: "WorkerKillPlan | None" = None
+    #: Multi-tenant serving (docs/ARCHITECTURE.md §15).  ``"fifo"`` is the
+    #: classic whole-run worker-thread server; ``"interleaved"`` drives
+    #: every live submission through one cross-tenant region scheduler.
+    server_mode: str = "fifo"
+    #: Fair-share weight assumed for tenants registered without one.
+    tenant_default_weight: float = 1.0
+    #: SLO tier assumed for tenants registered without one (0 = highest
+    #: priority; higher numbers brown out first).
+    tenant_default_tier: int = 1
+    #: Bulkhead cap: max in-flight submissions per tenant.
+    tenant_max_live: int = 4
+    #: Weight of the deficit term in the cross-tenant benefit score
+    #: (0 disables fairness pressure — pure benefit greedy).
+    tenant_fairness_pressure: float = 0.05
+    #: Brownout ladder (total live submissions at which each rung engages):
+    #: rung 1 defers non-top-tier regions, rung 2 degrades the youngest
+    #: low-tier submission to MQLA bounds, rung 3 sheds new low-tier
+    #: submissions with an explicit ``Rejected``.
+    tenant_brownout_defer_live: int = 8
+    tenant_brownout_degrade_live: int = 12
+    tenant_brownout_shed_live: int = 16
 
     def __post_init__(self) -> None:
         if self.objective not in ("contract", "count", "scan"):
@@ -224,23 +245,68 @@ class CAQEConfig:
                 f"checkpoint_every_regions must be >= 1, got "
                 f"{self.checkpoint_every_regions}"
             )
+        # Serving/tenant knobs raise ValueError (plain misconfiguration,
+        # caught before any engine machinery exists) rather than the
+        # engine's ExecutionError.
         for knob in (
             "server_queue_limit",
             "server_workers",
             "server_breaker_threshold",
             "server_breaker_cooldown",
+            "tenant_max_live",
+            "tenant_brownout_defer_live",
+            "tenant_brownout_degrade_live",
+            "tenant_brownout_shed_live",
         ):
-            if getattr(self, knob) < 1:
-                raise ExecutionError(
-                    f"{knob} must be >= 1, got {getattr(self, knob)}"
+            value = getattr(self, knob)
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 1
+            ):
+                raise ValueError(
+                    f"{knob} must be an integer >= 1, got {value!r}"
                 )
         if (
             self.server_default_deadline is not None
             and self.server_default_deadline <= 0
         ):
-            raise ExecutionError(
+            raise ValueError(
                 f"server_default_deadline must be positive, got "
                 f"{self.server_default_deadline}"
+            )
+        if self.server_mode not in ("fifo", "interleaved"):
+            raise ValueError(
+                f"unknown server_mode {self.server_mode!r}; "
+                "expected 'fifo' or 'interleaved'"
+            )
+        if not (
+            0.0 < float(self.tenant_default_weight) < float("inf")
+        ):
+            raise ValueError(
+                f"tenant_default_weight must be positive and finite, got "
+                f"{self.tenant_default_weight}"
+            )
+        if self.tenant_default_tier < 0:
+            raise ValueError(
+                f"tenant_default_tier must be >= 0, got "
+                f"{self.tenant_default_tier}"
+            )
+        if not (0.0 <= float(self.tenant_fairness_pressure) < float("inf")):
+            raise ValueError(
+                f"tenant_fairness_pressure must be finite and >= 0, got "
+                f"{self.tenant_fairness_pressure}"
+            )
+        if not (
+            self.tenant_brownout_defer_live
+            <= self.tenant_brownout_degrade_live
+            <= self.tenant_brownout_shed_live
+        ):
+            raise ValueError(
+                "brownout ladder must be ordered defer <= degrade <= shed, "
+                f"got {self.tenant_brownout_defer_live} / "
+                f"{self.tenant_brownout_degrade_live} / "
+                f"{self.tenant_brownout_shed_live}"
             )
         if self.workers < 0:
             raise ExecutionError(
@@ -384,6 +450,11 @@ class _RunState:
     #: in journal records so resume verification catches any divergence
     #: in the fault-decision schedule.
     rng_cursor: int = 0
+    #: Reason stamped on budget-driven degraded reports.  The serving
+    #: layer maps virtual deadlines onto ``query_time_budget`` and passes
+    #: ``"deadline"`` here so callers can tell a tenant deadline from an
+    #: engine-level budget without re-deriving the mapping.
+    budget_reason: str = REASON_BUDGET
 
 
 class CAQE:
@@ -407,6 +478,7 @@ class CAQE:
         _resume: "object | None" = None,
         pool: "object | None" = None,
         build_cache: "dict | None" = None,
+        budget_reason: str = REASON_BUDGET,
     ) -> RunResult:
         """Execute the workload; ``stats`` may be shared across runs so
         baselines that process queries sequentially accumulate one clock.
@@ -423,6 +495,48 @@ class CAQE:
         pool.  ``build_cache`` optionally shares the executor's hash-join
         build tables across runs of identical shape.
         """
+        live = self.open_run(
+            left,
+            right,
+            workload,
+            contracts,
+            stats,
+            cancel_token=cancel_token,
+            _resume=_resume,
+            pool=pool,
+            build_cache=build_cache,
+            budget_reason=budget_reason,
+        )
+        try:
+            while not live.done:
+                live.step()
+        finally:
+            live.close()
+        return live.finalize()
+
+    def open_run(
+        self,
+        left: Relation,
+        right: Relation,
+        workload: Workload,
+        contracts: "dict[str, Contract]",
+        stats: "ExecutionStats | None" = None,
+        *,
+        cancel_token: "object | None" = None,
+        _resume: "object | None" = None,
+        pool: "object | None" = None,
+        build_cache: "dict | None" = None,
+        budget_reason: str = REASON_BUDGET,
+    ) -> "LiveRun":
+        """Prepare a workload and hand back a region-steppable handle.
+
+        This is :meth:`run`'s prologue without its loop: the returned
+        :class:`LiveRun` exposes ``step()`` (one Algorithm 1 iteration),
+        so an external driver — the multi-tenant region scheduler — can
+        suspend and resume the run between regions.  ``run()`` itself is
+        just ``while not live.done: live.step()``, which is what pins the
+        two control flows to bit-identical observables.
+        """
         cfg = self.config
         workload.validate(left, right)
         missing = [q.name for q in workload if q.name not in contracts]
@@ -437,6 +551,7 @@ class CAQE:
         rs = self._prepare(
             left, right, workload, contracts, stats, build_cache=build_cache
         )
+        rs.budget_reason = budget_reason
 
         pool_owned = False
         client = None
@@ -493,16 +608,9 @@ class CAQE:
         elif _resume is not None:
             raise ExecutionError("resuming a run requires enable_journal=True")
 
-        try:
-            self._execute(rs, durability, cancel_token, client)
-        finally:
-            if durability is not None:
-                durability.close()
-            if client is not None:
-                self._harvest_pool(rs, pool, client)
-            if pool_owned:
-                pool.close()
-        return self._finalize(rs)
+        return LiveRun(
+            self, rs, durability, cancel_token, client, pool, pool_owned
+        )
 
     @staticmethod
     def _harvest_pool(rs: "_RunState", pool: "object", client: "object") -> None:
@@ -698,198 +806,6 @@ class CAQE:
             columnar=cfg.enable_columnar_join,
         )
         return rs
-
-    # ------------------------------------------------------------------ #
-    def _execute(
-        self,
-        rs: _RunState,
-        durability: "object | None" = None,
-        cancel_token: "object | None" = None,
-        client: "object | None" = None,
-    ) -> None:
-        """Algorithm 1's main loop over the remaining regions.
-
-        With a pool ``client``, each wave ranks the unblocked roots and
-        speculatively ships the top ``parallel_chunk_regions`` to worker
-        processes; the *commit* still happens one region at a time, in
-        the exact serial benefit order, so every observable matches the
-        serial engine bit for bit.  A payload not ready at commit is
-        prepared inline (work stealing), and payloads of regions that die
-        before their turn are dropped — speculation is pure, so neither
-        case perturbs anything.
-        """
-        cfg = self.config
-        workload, stats, executor = rs.workload, rs.stats, rs.executor
-        conditions = {c.name: c for c in workload.join_conditions}
-        #: Payloads fetched but not yet committed (kept across retries).
-        prepared_cache: "dict[int, object]" = {}
-        while rs.alive:
-            if cancel_token is not None and cancel_token.is_cancelled():
-                raise QueryCancelled(
-                    f"run cancelled at region boundary "
-                    f"(t={stats.clock.now():g}, "
-                    f"{len(rs.alive)} region(s) outstanding)"
-                )
-            if cfg.query_time_budget is not None:
-                self._degrade_exhausted_queries(
-                    workload,
-                    rs.alive,
-                    rs.graph,
-                    rs.benefit,
-                    rs.state,
-                    rs.tracker,
-                    stats,
-                    rs.degraded,
-                    rs.degraded_queries,
-                )
-                if not rs.alive:
-                    break
-            roots = rs.graph.roots() & rs.alive.keys()
-            if not roots:
-                roots = rs.graph.force_roots() & rs.alive.keys()
-            if client is None:
-                region = self._pick_region(
-                    roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
-                )
-            else:
-                ranked = self._rank_regions(
-                    roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
-                )
-                region = rs.alive[ranked[0]]
-                # Wave dispatch: the next few commits almost always come
-                # from the current top of the ranking, so ship those now.
-                for rid in ranked[: cfg.parallel_chunk_regions]:
-                    if rid not in prepared_cache:
-                        spec = rs.alive[rid]
-                        client.dispatch(
-                            rid,
-                            conditions[spec.condition_name],
-                            rs.cells_left[spec.left_cell_id],
-                            rs.cells_right[spec.right_cell_id],
-                        )
-            captured_successors = rs.graph.successors(region.region_id)
-            if rs.inject:
-                rs.rng_cursor += 1
-                straggler_factor = rs.fault_plan.straggler_factor_for(
-                    region.region_id
-                )
-            else:
-                straggler_factor = 1.0
-            started = stats.clock.now()
-            prepared = None
-            if client is not None:
-                prepared = prepared_cache.pop(region.region_id, None)
-                if prepared is None:
-                    prepared = client.fetch(region.region_id)
-                if prepared is None:
-                    # Steal the work: prepare inline with the same kernel.
-                    from repro.parallel import PrepareTask, prepare_payload
-
-                    lc = rs.cells_left[region.left_cell_id]
-                    rc = rs.cells_right[region.right_cell_id]
-                    prepared = prepare_payload(
-                        PrepareTask(
-                            client=0,
-                            region_id=region.region_id,
-                            condition=conditions[region.condition_name],
-                            left_cell_id=lc.cell_id,
-                            right_cell_id=rc.cell_id,
-                            left_indices=lc.indices,
-                            right_indices=rc.indices,
-                            functions=None,
-                        ),
-                        rs.left,
-                        rs.right,
-                    )
-            try:
-                outcome = executor.process(
-                    region,
-                    rs.cells_left[region.left_cell_id],
-                    rs.cells_right[region.right_cell_id],
-                    prepared=prepared,
-                )
-            except RegionFailure:
-                if prepared is not None:
-                    # The payload is pure — keep it for the retry.
-                    prepared_cache[region.region_id] = prepared
-                if rs.supervisor is None:
-                    raise
-                if rs.supervisor.record_failure(region.region_id) == RETRY:
-                    stats.record_region_retry(
-                        rs.supervisor.backoff_for(region.region_id)
-                    )
-                else:
-                    prepared_cache.pop(region.region_id, None)
-                    if client is not None:
-                        client.forget(region.region_id)
-                    self._quarantine_region(
-                        workload,
-                        region,
-                        rs.alive,
-                        rs.graph,
-                        rs.benefit,
-                        rs.state,
-                        rs.tracker,
-                        stats,
-                        rs.degraded,
-                    )
-                    self._journal_region(rs, durability, region, "quarantined")
-                continue
-            if straggler_factor > 1.0:
-                stats.record_straggler_penalty(
-                    (straggler_factor - 1.0) * (stats.clock.now() - started)
-                )
-            # Region leaves the remaining set before safety checks run.
-            # Remaining regions that counted it as a potential dominator
-            # lose a threat — their progressive estimates improve; the
-            # benefit model's memoised ratios self-validate against the
-            # changed membership at the next lookup (Algorithm 1's
-            # "Update R_f's CSM scores").
-            del rs.alive[region.region_id]
-            rs.graph.remove_node(region.region_id)
-            rs.benefit.note_removed(region.region_id)
-            if client is not None:
-                # Clear any straggling in-flight state (e.g. the driver
-                # stole the work while a worker was still computing it).
-                client.forget(region.region_id)
-
-            rs.state.apply_evictions(outcome, rs.tracker)
-            rs.state.admit_candidates(
-                outcome, region, executor, rs.alive, rs.tracker, stats
-            )
-            if cfg.enable_tuple_discard:
-                self._discard_dominated(
-                    region,
-                    captured_successors,
-                    outcome,
-                    executor,
-                    rs.alive,
-                    rs.graph,
-                    rs.benefit,
-                    rs.state,
-                    rs.tracker,
-                    stats,
-                )
-                if client is not None:
-                    # Speculative payloads of regions the discard step
-                    # just killed will never commit — drop them.
-                    for target_id in captured_successors:
-                        if target_id not in rs.alive:
-                            prepared_cache.pop(target_id, None)
-                            client.forget(target_id)
-            rs.state.release_region(
-                region.region_id, region.rql, rs.tracker, stats
-            )
-            stats.mark_phase("report")
-            stats.record_region_duration(stats.clock.now() - started)
-
-            if cfg.enable_feedback:
-                sats = np.array(
-                    [rs.tracker.runtime_satisfaction(q.name) for q in workload]
-                )
-                rs.weights = update_weights(rs.weights, sats)
-
-            self._journal_region(rs, durability, region, "processed")
 
     def _journal_region(
         self,
@@ -1119,18 +1035,7 @@ class CAQE:
         benefit.note_removed(region.region_id)
         state.release_region(region.region_id, region.rql, tracker, stats)
 
-    def _degrade_exhausted_queries(
-        self,
-        workload: Workload,
-        alive: "dict[int, OutputRegion]",
-        graph: DependencyGraph,
-        benefit: BenefitModel,
-        state: "_ReportingState",
-        tracker: SatisfactionTracker,
-        stats: ExecutionStats,
-        degraded: "dict[str, list[DegradedReport]]",
-        degraded_queries: "set[int]",
-    ) -> None:
+    def _degrade_exhausted_queries(self, rs: _RunState) -> None:
         """Graceful degradation once the virtual clock passes the budget.
 
         Each newly-exhausted query receives, for every remaining region
@@ -1140,7 +1045,7 @@ class CAQE:
         serving no query at all are retired.
         """
         budget = self.config.query_time_budget
-        now = stats.clock.now()
+        now = rs.stats.clock.now()
         if budget is None or now < budget:
             return
         if not self.config.enable_recovery:
@@ -1148,29 +1053,333 @@ class CAQE:
             # budget is a hard limit and exhaustion fails loudly.
             raise BudgetExhausted(
                 f"virtual-time budget {budget:g} exhausted at t={now:g} "
-                f"with {len(alive)} region(s) outstanding "
+                f"with {len(rs.alive)} region(s) outstanding "
                 "(enable_recovery=True degrades gracefully instead)"
             )
-        for qi, query in enumerate(workload):
-            if qi in degraded_queries:
+        for qi, query in enumerate(rs.workload):
+            if qi in rs.degraded_queries:
                 continue
-            degraded_queries.add(qi)
-            for rid in sorted(alive):
-                region = alive.get(rid)
-                if region is None or not region.serves(qi):
-                    continue
-                degraded[query.name].append(
-                    self._degraded_report(query.name, region, REASON_BUDGET, now)
+            rs.degraded_queries.add(qi)
+            self._degrade_query(rs, qi, query, rs.budget_reason, now)
+
+    def _degrade_all_queries(self, rs: _RunState, reason: str) -> None:
+        """Degrade every not-yet-degraded query to MQLA bounds at once.
+
+        The serving scheduler's brownout rung 2: a victim submission is
+        answered approximately from coarse bounds *now* instead of
+        holding regions other tenants need.  Identical per-query
+        mechanics to budget exhaustion, just unconditional; the run is
+        ``done`` when this returns.
+        """
+        now = rs.stats.clock.now()
+        for qi, query in enumerate(rs.workload):
+            if qi in rs.degraded_queries:
+                continue
+            rs.degraded_queries.add(qi)
+            self._degrade_query(rs, qi, query, reason, now)
+
+    def _degrade_query(
+        self, rs: _RunState, qi: int, query: "object", reason: str, now: float
+    ) -> None:
+        """Answer one query's remaining regions from coarse MQLA bounds."""
+        for rid in sorted(rs.alive):
+            region = rs.alive.get(rid)
+            if region is None or not region.serves(qi):
+                continue
+            rs.degraded[query.name].append(
+                self._degraded_report(query.name, region, reason, now)
+            )
+            rs.stats.record_degraded_reports(1)
+            region.deactivate_query(qi)
+            rs.benefit.note_deactivation(rid, qi)
+            rs.state.release_region_for_query(
+                rid, query.name, rs.tracker, rs.stats
+            )
+            if region.is_discarded:
+                del rs.alive[rid]
+                rs.graph.remove_node(rid)
+                rs.benefit.note_removed(rid)
+                rs.state.release_region(rid, region.rql, rs.tracker, rs.stats)
+
+
+class LiveRun:
+    """A prepared, region-steppable CAQE run (scheduler-owned control flow).
+
+    :meth:`CAQE.open_run` hands one back; :meth:`step` performs exactly
+    one iteration of Algorithm 1's loop — cancellation poll, budget
+    degradation, pick, wave dispatch, tuple-level processing, discard,
+    progressive reporting, feedback — so an external driver can suspend
+    the run between regions and interleave many runs over one engine
+    host.  ``CAQE.run`` is literally ``while not done: step()``, which
+    pins driver-owned and scheduler-owned control flow to bit-identical
+    observables.
+
+    With a pool client, each step ranks the unblocked roots and
+    speculatively ships the top ``parallel_chunk_regions`` to worker
+    processes; the *commit* still happens one region at a time, in the
+    exact serial benefit order.  A payload not ready at commit is
+    prepared inline (work stealing), and payloads of regions that die
+    before their turn are dropped — speculation is pure, so neither case
+    perturbs anything.
+    """
+
+    def __init__(
+        self,
+        engine: CAQE,
+        rs: _RunState,
+        durability: "object | None",
+        cancel_token: "object | None",
+        client: "object | None",
+        pool: "object | None",
+        pool_owned: bool,
+    ) -> None:
+        self._engine = engine
+        self.rs = rs
+        self._durability = durability
+        self.cancel_token = cancel_token
+        self._client = client
+        self._pool = pool
+        self._pool_owned = pool_owned
+        self._conditions = {
+            c.name: c for c in rs.workload.join_conditions
+        }
+        #: Payloads fetched but not yet committed (kept across retries).
+        self._prepared_cache: "dict[int, object]" = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """True once no region remains — :meth:`finalize` may be called."""
+        return not self.rs.alive
+
+    @property
+    def now(self) -> float:
+        """The run's current virtual-clock reading."""
+        return self.rs.stats.clock.now()
+
+    def peek_best_csm(self) -> float:
+        """Best root benefit under current weights/clock — this run's bid
+        in the cross-tenant region auction (Eq. 8 as the cross-query —
+        and hence cross-tenant — currency).
+
+        Read-only: estimates flow through the same memoised benefit
+        caches the next :meth:`step` consults and nothing is charged to
+        the virtual clock, so peeking never perturbs an observable.
+        """
+        rs = self.rs
+        if not rs.alive:
+            return 0.0
+        cfg = self._engine.config
+        roots = rs.graph.roots() & rs.alive.keys()
+        if not roots:
+            roots = rs.graph.force_roots() & rs.alive.keys()
+        if not roots or cfg.objective == "scan":
+            return 0.0
+        root_arr = np.fromiter(roots, dtype=np.intp, count=len(roots))
+        root_arr.sort()
+        t_c, prog = rs.benefit.estimate_roots_arrays(
+            rid_arr=root_arr, use_cache=cfg.enable_scheduler_cache
+        )
+        if cfg.objective == "count":
+            scores = prog @ rs.weights
+        else:
+            scores = rs.benefit.csm_batch_arrays(
+                t_c, prog, rs.weights, rs.stats.clock.now()
+            )
+        return float(scores.max()) if len(scores) else 0.0
+
+    def degrade_all(self, reason: str) -> None:
+        """Brownout: answer every remaining query from coarse MQLA bounds
+        *now* (reason ``"brownout"`` in the degraded reports) and drain
+        the run.  ``done`` is True when this returns."""
+        self._engine._degrade_all_queries(self.rs, reason)
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """One iteration of Algorithm 1's loop (no-op once ``done``)."""
+        engine = self._engine
+        cfg = engine.config
+        rs = self.rs
+        client = self._client
+        if not rs.alive:
+            return
+        workload, stats, executor = rs.workload, rs.stats, rs.executor
+        if self.cancel_token is not None and self.cancel_token.is_cancelled():
+            raise QueryCancelled(
+                f"run cancelled at region boundary "
+                f"(t={stats.clock.now():g}, "
+                f"{len(rs.alive)} region(s) outstanding)"
+            )
+        if cfg.query_time_budget is not None:
+            engine._degrade_exhausted_queries(rs)
+            if not rs.alive:
+                return
+        roots = rs.graph.roots() & rs.alive.keys()
+        if not roots:
+            roots = rs.graph.force_roots() & rs.alive.keys()
+        if client is None:
+            region = engine._pick_region(
+                roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
+            )
+        else:
+            ranked = engine._rank_regions(
+                roots, rs.alive, rs.benefit, rs.weights, stats.clock.now()
+            )
+            region = rs.alive[ranked[0]]
+            # Wave dispatch: the next few commits almost always come
+            # from the current top of the ranking, so ship those now.
+            for rid in ranked[: cfg.parallel_chunk_regions]:
+                if rid not in self._prepared_cache:
+                    spec = rs.alive[rid]
+                    client.dispatch(
+                        rid,
+                        self._conditions[spec.condition_name],
+                        rs.cells_left[spec.left_cell_id],
+                        rs.cells_right[spec.right_cell_id],
+                    )
+        captured_successors = rs.graph.successors(region.region_id)
+        if rs.inject:
+            rs.rng_cursor += 1
+            straggler_factor = rs.fault_plan.straggler_factor_for(
+                region.region_id
+            )
+        else:
+            straggler_factor = 1.0
+        started = stats.clock.now()
+        prepared = None
+        if client is not None:
+            prepared = self._prepared_cache.pop(region.region_id, None)
+            if prepared is None:
+                prepared = client.fetch(region.region_id)
+            if prepared is None:
+                # Steal the work: prepare inline with the same kernel.
+                from repro.parallel import PrepareTask, prepare_payload
+
+                lc = rs.cells_left[region.left_cell_id]
+                rc = rs.cells_right[region.right_cell_id]
+                prepared = prepare_payload(
+                    PrepareTask(
+                        client=0,
+                        region_id=region.region_id,
+                        condition=self._conditions[region.condition_name],
+                        left_cell_id=lc.cell_id,
+                        right_cell_id=rc.cell_id,
+                        left_indices=lc.indices,
+                        right_indices=rc.indices,
+                        functions=None,
+                    ),
+                    rs.left,
+                    rs.right,
                 )
-                stats.record_degraded_reports(1)
-                region.deactivate_query(qi)
-                benefit.note_deactivation(rid, qi)
-                state.release_region_for_query(rid, query.name, tracker, stats)
-                if region.is_discarded:
-                    del alive[rid]
-                    graph.remove_node(rid)
-                    benefit.note_removed(rid)
-                    state.release_region(rid, region.rql, tracker, stats)
+        try:
+            outcome = executor.process(
+                region,
+                rs.cells_left[region.left_cell_id],
+                rs.cells_right[region.right_cell_id],
+                prepared=prepared,
+            )
+        except RegionFailure:
+            if prepared is not None:
+                # The payload is pure — keep it for the retry.
+                self._prepared_cache[region.region_id] = prepared
+            if rs.supervisor is None:
+                raise
+            if rs.supervisor.record_failure(region.region_id) == RETRY:
+                stats.record_region_retry(
+                    rs.supervisor.backoff_for(region.region_id)
+                )
+            else:
+                self._prepared_cache.pop(region.region_id, None)
+                if client is not None:
+                    client.forget(region.region_id)
+                engine._quarantine_region(
+                    workload,
+                    region,
+                    rs.alive,
+                    rs.graph,
+                    rs.benefit,
+                    rs.state,
+                    rs.tracker,
+                    stats,
+                    rs.degraded,
+                )
+                engine._journal_region(
+                    rs, self._durability, region, "quarantined"
+                )
+            return
+        if straggler_factor > 1.0:
+            stats.record_straggler_penalty(
+                (straggler_factor - 1.0) * (stats.clock.now() - started)
+            )
+        # Region leaves the remaining set before safety checks run.
+        # Remaining regions that counted it as a potential dominator
+        # lose a threat — their progressive estimates improve; the
+        # benefit model's memoised ratios self-validate against the
+        # changed membership at the next lookup (Algorithm 1's
+        # "Update R_f's CSM scores").
+        del rs.alive[region.region_id]
+        rs.graph.remove_node(region.region_id)
+        rs.benefit.note_removed(region.region_id)
+        if client is not None:
+            # Clear any straggling in-flight state (e.g. the driver
+            # stole the work while a worker was still computing it).
+            client.forget(region.region_id)
+
+        rs.state.apply_evictions(outcome, rs.tracker)
+        rs.state.admit_candidates(
+            outcome, region, executor, rs.alive, rs.tracker, stats
+        )
+        if cfg.enable_tuple_discard:
+            engine._discard_dominated(
+                region,
+                captured_successors,
+                outcome,
+                executor,
+                rs.alive,
+                rs.graph,
+                rs.benefit,
+                rs.state,
+                rs.tracker,
+                stats,
+            )
+            if client is not None:
+                # Speculative payloads of regions the discard step
+                # just killed will never commit — drop them.
+                for target_id in captured_successors:
+                    if target_id not in rs.alive:
+                        self._prepared_cache.pop(target_id, None)
+                        client.forget(target_id)
+        rs.state.release_region(
+            region.region_id, region.rql, rs.tracker, stats
+        )
+        stats.mark_phase("report")
+        stats.record_region_duration(stats.clock.now() - started)
+
+        if cfg.enable_feedback:
+            sats = np.array(
+                [rs.tracker.runtime_satisfaction(q.name) for q in workload]
+            )
+            rs.weights = update_weights(rs.weights, sats)
+
+        engine._journal_region(rs, self._durability, region, "processed")
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release durability/pool resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._durability is not None:
+            self._durability.close()
+        if self._client is not None:
+            self._engine._harvest_pool(self.rs, self._pool, self._client)
+        if self._pool_owned:
+            self._pool.close()
+
+    def finalize(self) -> RunResult:
+        """Package the drained loop state into a :class:`RunResult`."""
+        return self._engine._finalize(self.rs)
 
 
 class _ReportingState:
@@ -1420,4 +1629,11 @@ def run_caqe(
     return CAQE(config).run(left, right, workload, contracts)
 
 
-__all__ = ["CAQE", "CAQEConfig", "RunResult", "partition_attrs", "run_caqe"]
+__all__ = [
+    "CAQE",
+    "CAQEConfig",
+    "LiveRun",
+    "RunResult",
+    "partition_attrs",
+    "run_caqe",
+]

@@ -20,6 +20,7 @@ from repro.robustness.faults import (
     FaultConfig,
     FaultPlan,
     InjectedFault,
+    TenantBurstPlan,
     WorkerKillPlan,
 )
 from repro.robustness.recovery import (
@@ -45,6 +46,7 @@ __all__ = [
     "QuarantinedTuple",
     "RegionSupervisor",
     "RetryPolicy",
+    "TenantBurstPlan",
     "WorkerKillPlan",
     "sanitize_relation",
 ]

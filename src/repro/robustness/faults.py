@@ -39,6 +39,7 @@ _SITE_REGION_FAIL = 2
 _SITE_PERSISTENT = 3
 _SITE_STRAGGLER = 4
 _SITE_WORKER_KILL = 5
+_SITE_TENANT_BURST = 6
 
 #: Corruption kinds cycled through by :meth:`FaultPlan.corrupt_relation`.
 CORRUPTION_KINDS: "tuple[str, ...]" = ("nan", "posinf", "neginf", "domain")
@@ -297,10 +298,88 @@ class WorkerKillPlan:
         return cls(kills=tuple(kills))
 
 
+@dataclass(frozen=True)
+class TenantBurstPlan:
+    """Serving-layer chaos: deterministic per-tenant arrival bursts (§15.4).
+
+    The multi-tenant load generator consults this plan to modulate each
+    synthetic tenant's arrival rate over *virtual* time: a seeded subset
+    of tenants flips between quiet and bursting on a duty-cycled square
+    wave, with a per-tenant phase offset so bursts collide rather than
+    synchronise.  Every decision is a pure function of ``(seed,
+    tenant_id)`` plus the queried virtual timestamp — same SplitMix64 /
+    :func:`~repro.rng.ensure_rng` discipline as the other injection
+    sites — so two runs at one seed replay the identical burst schedule
+    regardless of completion interleaving.
+    """
+
+    #: Master seed; identical seeds replay identical burst schedules.
+    seed: int = 0
+    #: Fraction of tenants that burst at all.
+    burst_fraction: float = 0.5
+    #: Arrival-rate multiplier while a tenant is bursting (its closed-loop
+    #: think time is divided by this).
+    burst_factor: float = 4.0
+    #: Virtual-time length of one quiet/burst cycle.
+    burst_period: float = 2000.0
+    #: Fraction of each cycle spent bursting.
+    burst_duty: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in ("burst_fraction", "burst_duty"):
+            rate = float(getattr(self, name))
+            if not 0.0 <= rate <= 1.0:
+                raise ExecutionError(
+                    f"{name} must lie in [0, 1], got {rate}"
+                )
+        if self.burst_factor < 1.0:
+            raise ExecutionError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if self.burst_period <= 0.0:
+            raise ExecutionError(
+                f"burst_period must be positive, got {self.burst_period}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True iff any tenant can ever burst."""
+        return (
+            self.burst_fraction > 0.0
+            and self.burst_duty > 0.0
+            and self.burst_factor > 1.0
+        )
+
+    def is_bursty(self, tenant_id: int) -> bool:
+        """Does this tenant ever burst?  (Seeded per-tenant coin.)"""
+        if self.burst_fraction <= 0.0:
+            return False
+        rng = ensure_rng(
+            _derive_seed(self.seed, _SITE_TENANT_BURST, tenant_id, 0)
+        )
+        return float(rng.random()) < self.burst_fraction
+
+    def rate_multiplier(self, tenant_id: int, virtual_time: float) -> float:
+        """Arrival-rate multiplier for ``tenant_id`` at ``virtual_time``.
+
+        1.0 while quiet; ``burst_factor`` during the burst phase of the
+        tenant's (phase-shifted) duty cycle.
+        """
+        if not self.active or not self.is_bursty(tenant_id):
+            return 1.0
+        rng = ensure_rng(
+            _derive_seed(self.seed, _SITE_TENANT_BURST, tenant_id, 1)
+        )
+        phase_offset = float(rng.random())
+        phase = (virtual_time / self.burst_period + phase_offset) % 1.0
+        return float(self.burst_factor) if phase < self.burst_duty else 1.0
+
+
 __all__ = [
     "CORRUPTION_KINDS",
     "FaultConfig",
     "FaultPlan",
     "InjectedFault",
+    "TenantBurstPlan",
     "WorkerKillPlan",
 ]

@@ -33,6 +33,10 @@ QUARANTINE = "quarantine"
 #: Reasons attached to degraded reports.
 REASON_BUDGET = "budget"
 REASON_QUARANTINE = "quarantine"
+#: Serving-layer reasons: a per-submission virtual deadline expired, or
+#: the multi-tenant scheduler browned the submission out under overload.
+REASON_DEADLINE = "deadline"
+REASON_BROWNOUT = "brownout"
 
 
 @dataclass(frozen=True)
@@ -150,7 +154,9 @@ class RegionSupervisor:
 
 __all__ = [
     "QUARANTINE",
+    "REASON_BROWNOUT",
     "REASON_BUDGET",
+    "REASON_DEADLINE",
     "REASON_QUARANTINE",
     "RETRY",
     "DegradedReport",

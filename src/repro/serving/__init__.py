@@ -1,10 +1,21 @@
 """Overload-safe concurrent serving of CAQE workloads.
 
 ``python -m repro.serving`` runs a self-contained quickstart demo;
-:mod:`repro.serving.server` holds the implementation.  See
-docs/ARCHITECTURE.md §10.6 for the admission/cancellation state machine.
+:mod:`repro.serving.server` holds the FIFO server and shared ticket
+machinery, :mod:`repro.serving.scheduler` the cross-tenant region
+scheduler behind ``server_mode="interleaved"``.  See
+docs/ARCHITECTURE.md §10.6 (admission/cancellation state machine) and
+§15 (multi-tenant scheduling, brownout ladder, fairness).
 """
 
+from repro.serving.scheduler import (
+    POLICY_BENEFIT,
+    POLICY_FIFO,
+    REASON_BROWNOUT_SHED,
+    REASON_BULKHEAD,
+    RegionScheduler,
+    TenantSpec,
+)
 from repro.serving.server import (
     ANSWERED,
     CANCELLED,
@@ -16,12 +27,17 @@ from repro.serving.server import (
     FAILED,
     HALF_OPEN,
     OPEN,
+    OUTCOME_BREAKER,
+    OUTCOME_BROWNOUT,
+    OUTCOME_DEADLINE,
+    OUTCOME_POOL,
     REASON_CIRCUIT_OPEN,
     REASON_QUEUE_FULL,
     REASON_SERVER_CLOSED,
     Rejected,
     ServedResult,
     Ticket,
+    outcome_reasons,
     workload_signature,
 )
 
@@ -36,11 +52,22 @@ __all__ = [
     "FAILED",
     "HALF_OPEN",
     "OPEN",
+    "OUTCOME_BREAKER",
+    "OUTCOME_BROWNOUT",
+    "OUTCOME_DEADLINE",
+    "OUTCOME_POOL",
+    "POLICY_BENEFIT",
+    "POLICY_FIFO",
+    "REASON_BROWNOUT_SHED",
+    "REASON_BULKHEAD",
     "REASON_CIRCUIT_OPEN",
     "REASON_QUEUE_FULL",
     "REASON_SERVER_CLOSED",
+    "RegionScheduler",
     "Rejected",
     "ServedResult",
+    "TenantSpec",
     "Ticket",
+    "outcome_reasons",
     "workload_signature",
 ]

@@ -30,6 +30,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="region-pool worker processes shared by all submissions "
         "(0 = serial engine; results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("fifo", "interleaved"),
+        default="fifo",
+        help="serving mode: 'fifo' runs whole submissions back to back, "
+        "'interleaved' multiplexes live submissions region by region "
+        "under the cross-tenant benefit scheduler",
+    )
     args = parser.parse_args(argv)
 
     pair = generate_pair("independent", 120, 4, selectivity=0.05, seed=23)
@@ -37,7 +45,10 @@ def main(argv: "list[str] | None" = None) -> int:
     contracts = {q.name: c2(scale=100.0) for q in workload}
 
     config = CAQEConfig(
-        server_workers=2, server_queue_limit=4, workers=args.workers
+        server_mode=args.mode,
+        server_workers=2,
+        server_queue_limit=4,
+        workers=args.workers,
     )
     with CAQEServer(pair.left, pair.right, config) as server:
         normal = server.submit(workload, contracts)

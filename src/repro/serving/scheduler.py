@@ -1,0 +1,529 @@
+"""Cross-tenant region scheduling (docs/ARCHITECTURE.md §15).
+
+:class:`RegionScheduler` multiplexes many live submissions over one
+engine host at *region* granularity: every admitted submission is opened
+as a resumable :class:`~repro.core.caqe.LiveRun`, and each scheduling
+step picks exactly one run — across all tenants — to advance by one
+region.  The pick extends the paper's Eq. 8/10 benefit model cross-tenant
+(:func:`repro.core.benefit.cross_tenant_scores`): each run bids its best
+root CSM, scaled by its tenant's fair-share weight, plus a deficit-round-
+robin correction that converts owed virtual time into benefit currency so
+no tenant starves.
+
+Isolation and overload controls:
+
+* **fair-share weights + deficit accounting** — service is measured in
+  virtual time; each step charges the served tenant and credits every
+  active tenant its weighted share, so ``deficit = entitled - service``
+  is the classic DRR debt;
+* **SLO tiers** — tier 0 is never deferred, degraded, or shed; higher
+  tiers brown out first;
+* **bulkheads** — a per-tenant cap on in-flight submissions bounds the
+  blast radius of any one tenant's burst;
+* **three-rung brownout ladder** (by total live submissions):
+  rung 1 *defers* regions of all but the best live tier, rung 2
+  *degrades* the youngest lowest-tier submission to coarse MQLA bounds
+  (reason ``"brownout"`` on its :class:`DegradedReport`s), rung 3
+  *sheds* new non-tier-0 submissions with an explicit
+  :class:`~repro.serving.server.Rejected`;
+* **preemption** — cancellation tokens are polled by the engine at
+  region boundaries, so a cancel takes effect at the next step of that
+  run, never mid-region.
+
+Everything is driven by one shared :class:`~repro.core.clock.VirtualClock`
+— deadlines are absolute virtual timestamps, burst plans and replay are
+deterministic, and a single-tenant scheduler run is *bit-identical* to
+``CAQE.run`` (the equivalence suite pins this).
+
+``policy="fifo"`` drives the identical machinery as a whole-run FIFO
+server (always step the oldest submission; no ladder, no bulkheads) —
+the load generator's baseline arm.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.benefit import TenantOffer, rank_offers
+from repro.core.caqe import CAQE, CAQEConfig, LiveRun
+from repro.core.clock import VirtualClock
+from repro.core.stats import ExecutionStats
+from repro.errors import QueryCancelled, ReproError
+from repro.robustness.recovery import REASON_BROWNOUT, REASON_DEADLINE
+from repro.serving.server import (
+    ANSWERED,
+    CANCELLED,
+    DEGRADED,
+    FAILED,
+    REASON_QUEUE_FULL,
+    REASON_SERVER_CLOSED,
+    CancellationToken,
+    Rejected,
+    ServedResult,
+    Ticket,
+    outcome_reasons,
+    workload_signature,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.contracts.base import Contract
+    from repro.query.workload import Workload
+    from repro.relation import Relation
+
+#: Additional rejection reasons introduced by the multi-tenant scheduler.
+REASON_BULKHEAD = "bulkhead"
+REASON_BROWNOUT_SHED = "brownout"
+
+#: Scheduling policies.
+POLICY_BENEFIT = "benefit"
+POLICY_FIFO = "fifo"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's serving contract: fair-share weight, SLO tier,
+    bulkhead cap.  Validated eagerly with plain :class:`ValueError`\\ s
+    (misconfiguration, not an engine failure)."""
+
+    name: str
+    weight: float = 1.0
+    tier: int = 1
+    max_live: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not (0.0 < float(self.weight) < float("inf")):
+            raise ValueError(
+                f"tenant weight must be positive and finite, got {self.weight}"
+            )
+        if self.tier < 0:
+            raise ValueError(f"tenant tier must be >= 0, got {self.tier}")
+        if self.max_live < 1:
+            raise ValueError(
+                f"tenant max_live must be >= 1, got {self.max_live}"
+            )
+
+
+@dataclass
+class _TenantState:
+    """Mutable per-tenant accounting."""
+
+    spec: TenantSpec
+    live: int = 0
+    service: float = 0.0
+    entitled: float = 0.0
+
+    @property
+    def deficit(self) -> float:
+        """Virtual time this tenant is owed under its fair share."""
+        return self.entitled - self.service
+
+
+@dataclass
+class _LiveSub:
+    """One admitted, in-flight submission."""
+
+    sid: int
+    tenant: str
+    tier: int
+    weight: float
+    ticket: Ticket
+    live: LiveRun
+    arrival: float
+    deadline_abs: "float | None"
+
+
+class RegionScheduler:
+    """Interleaves many live CAQE submissions at region granularity.
+
+    One scheduler owns one immutable pair of base tables, one shared
+    virtual clock, and (optionally) one shared region pool.  ``submit``
+    may be called from any thread; ``step`` is serialized by the
+    scheduler lock and advances exactly one run by one region.  Library
+    users drive it with :meth:`drain`; :class:`~repro.serving.server.
+    CAQEServer` in ``server_mode="interleaved"`` drives it from a single
+    scheduler thread.
+    """
+
+    def __init__(
+        self,
+        left: "Relation",
+        right: "Relation",
+        config: "CAQEConfig | None" = None,
+        *,
+        pool: "object | None" = None,
+        policy: str = POLICY_BENEFIT,
+        on_finish: "Callable[[Ticket, ServedResult, bool], None] | None" = None,
+    ) -> None:
+        if policy not in (POLICY_BENEFIT, POLICY_FIFO):
+            raise ValueError(
+                f"unknown policy {policy!r}; expected 'benefit' or 'fifo'"
+            )
+        self.left = left
+        self.right = right
+        self.config = config or CAQEConfig()
+        self.policy = policy
+        self.clock = VirtualClock(cost_model=self.config.cost_model)
+        self._lock = threading.RLock()
+        self._tenants: "dict[str, _TenantState]" = {}
+        self._live: "dict[int, _LiveSub]" = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._on_finish = on_finish
+        self._build_caches: "dict[str, dict]" = {}
+        self._pool = pool
+        self._pool_owned = False
+        if pool is None and self.config.workers > 0:
+            from repro.parallel import RegionPool
+
+            self._pool = RegionPool(
+                left,
+                right,
+                workers=self.config.workers,
+                use_shared_memory=self.config.enable_shared_memory,
+                restart_budget=self.config.pool_restart_budget,
+                poison_threshold=self.config.pool_poison_threshold,
+                kill_plan=self.config.pool_kill_plan,
+            )
+            self._pool_owned = True
+        self.metrics: "dict[str, int]" = {
+            "submitted": 0,
+            "admitted": 0,
+            "rejected_queue_full": 0,
+            "rejected_bulkhead": 0,
+            "rejected_brownout": 0,
+            "rejected_server_closed": 0,
+            "answered": 0,
+            "degraded": 0,
+            "cancelled": 0,
+            "failed": 0,
+            "steps": 0,
+            "brownout_degraded": 0,
+        }
+
+    # -- tenants --------------------------------------------------------- #
+    def register_tenant(
+        self,
+        name: str,
+        *,
+        weight: "float | None" = None,
+        tier: "int | None" = None,
+        max_live: "int | None" = None,
+    ) -> TenantSpec:
+        """Declare (or re-declare, while idle) a tenant's serving contract.
+
+        Unregistered tenants are auto-registered at first submit with the
+        ``tenant_*`` config defaults.
+        """
+        cfg = self.config
+        spec = TenantSpec(
+            name=name,
+            weight=cfg.tenant_default_weight if weight is None else weight,
+            tier=cfg.tenant_default_tier if tier is None else tier,
+            max_live=cfg.tenant_max_live if max_live is None else max_live,
+        )
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                self._tenants[name] = _TenantState(spec=spec)
+            elif state.live:
+                raise ValueError(
+                    f"tenant {name!r} has {state.live} live submission(s); "
+                    "re-register only while idle"
+                )
+            else:
+                state.spec = spec
+        return spec
+
+    def _tenant_state(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            self.register_tenant(name)
+            state = self._tenants[name]
+        return state
+
+    # -- admission ------------------------------------------------------- #
+    def submit(
+        self,
+        workload: "Workload",
+        contracts: "dict[str, Contract]",
+        *,
+        tenant: str = "default",
+        deadline: "float | None" = None,
+        cancel_token: "CancellationToken | None" = None,
+    ) -> "Ticket | Rejected":
+        """Admit or shed one submission for ``tenant``.
+
+        ``deadline`` is a *relative* virtual-time allowance from the
+        moment of admission (mapped onto an absolute budget on the shared
+        clock); it defaults to ``config.server_default_deadline``.
+        Admission control runs bottom-up: closed server, brownout shed
+        (rung 3, spares tier 0), global queue bound, per-tenant bulkhead.
+        """
+        cfg = self.config
+        if deadline is None:
+            deadline = cfg.server_default_deadline
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        with self._lock:
+            self.metrics["submitted"] += 1
+            if self._closed:
+                self.metrics["rejected_server_closed"] += 1
+                return Rejected(REASON_SERVER_CLOSED)
+            state = self._tenant_state(tenant)
+            spec = state.spec
+            ladder = self.policy == POLICY_BENEFIT
+            if (
+                ladder
+                and spec.tier > 0
+                and len(self._live) >= cfg.tenant_brownout_shed_live
+            ):
+                self.metrics["rejected_brownout"] += 1
+                return Rejected(
+                    REASON_BROWNOUT_SHED,
+                    f"brownout rung 3: {len(self._live)} live submission(s) "
+                    f">= shed threshold {cfg.tenant_brownout_shed_live}",
+                )
+            if len(self._live) >= cfg.server_queue_limit:
+                self.metrics["rejected_queue_full"] += 1
+                return Rejected(
+                    REASON_QUEUE_FULL,
+                    f"admission queue at capacity ({cfg.server_queue_limit})",
+                )
+            if ladder and state.live >= spec.max_live:
+                self.metrics["rejected_bulkhead"] += 1
+                return Rejected(
+                    REASON_BULKHEAD,
+                    f"tenant {tenant!r} at its bulkhead cap "
+                    f"({spec.max_live} in-flight submission(s))",
+                )
+            sid = next(self._ids)
+            now = self.clock.now()
+            deadline_abs = None
+            overrides: "dict[str, Any]" = {}
+            if deadline is not None:
+                deadline_abs = now + float(deadline)
+                overrides["query_time_budget"] = deadline_abs
+                overrides["enable_recovery"] = True
+            if cfg.enable_journal and cfg.journal_dir:
+                overrides["journal_dir"] = os.path.join(
+                    cfg.journal_dir, f"sub-{sid:06d}"
+                )
+            run_cfg = replace(cfg, **overrides) if overrides else cfg
+            signature = workload_signature(workload)
+            token = cancel_token or CancellationToken()
+            ticket = Ticket(
+                sid, workload, contracts, deadline, token, signature
+            )
+            engine = CAQE(run_cfg)
+            live = engine.open_run(
+                self.left,
+                self.right,
+                workload,
+                contracts,
+                ExecutionStats(clock=self.clock),
+                cancel_token=token,
+                pool=self._pool,
+                build_cache=self._build_caches.setdefault(signature, {}),
+                budget_reason=REASON_DEADLINE,
+            )
+            self._live[sid] = _LiveSub(
+                sid=sid,
+                tenant=tenant,
+                tier=spec.tier,
+                weight=spec.weight,
+                ticket=ticket,
+                live=live,
+                arrival=now,
+                deadline_abs=deadline_abs,
+            )
+            state.live += 1
+            self.metrics["admitted"] += 1
+            return ticket
+
+    # -- scheduling ------------------------------------------------------ #
+    @property
+    def idle(self) -> bool:
+        """True iff no submission is in flight."""
+        with self._lock:
+            return not self._live
+
+    def step(self) -> bool:
+        """Advance the serving state by one region (or one brownout
+        action).  Returns False iff there was nothing to do."""
+        with self._lock:
+            if not self._live:
+                return False
+            self.metrics["steps"] += 1
+            if self.policy == POLICY_BENEFIT:
+                self._apply_brownout_degrade()
+                if not self._live:
+                    return True
+            sub = self._live[self._pick_sid()]
+            before = self.clock.now()
+            outcome: "ServedResult | None" = None
+            breaker_failure = False
+            try:
+                sub.live.step()
+            except QueryCancelled as exc:
+                outcome = ServedResult(CANCELLED, error=str(exc))
+            except ReproError as exc:
+                outcome = ServedResult(
+                    FAILED, error=f"{type(exc).__name__}: {exc}"
+                )
+                breaker_failure = True
+            self._account_service(sub, self.clock.now() - before)
+            if outcome is not None:
+                self._complete(sub, outcome, breaker_failure)
+            elif sub.live.done:
+                self._complete(sub)
+            return True
+
+    def drain(self) -> int:
+        """Step until idle; returns the number of steps taken."""
+        steps = 0
+        while self.step():
+            steps += 1
+        return steps
+
+    def _pick_sid(self) -> int:
+        """The next submission to advance by one region.
+
+        FIFO policy: the oldest live submission (whole-run serving order,
+        since steps repeat until done).  Benefit policy: under brownout
+        rung 1 only the best live tier is eligible (work-conserving
+        defer); the eligible runs then bid their best root CSM into
+        :func:`~repro.core.benefit.rank_offers`.
+        """
+        subs = list(self._live.values())
+        if self.policy == POLICY_FIFO:
+            return subs[0].sid
+        if len(subs) >= self.config.tenant_brownout_defer_live:
+            top = min(s.tier for s in subs)
+            eligible = [s for s in subs if s.tier == top]
+        else:
+            eligible = subs
+        if len(eligible) == 1:
+            return eligible[0].sid
+        offers = [
+            TenantOffer(
+                tenant=s.tenant,
+                csm=s.live.peek_best_csm(),
+                weight=s.weight,
+                deficit=self._tenants[s.tenant].deficit,
+                tier=s.tier,
+            )
+            for s in eligible
+        ]
+        best = rank_offers(offers, self.config.tenant_fairness_pressure)[0]
+        return eligible[best].sid
+
+    def _account_service(self, sub: _LiveSub, dt: float) -> None:
+        """Deficit round robin: charge the served tenant ``dt`` of virtual
+        time and credit every tenant with live work its weighted share."""
+        if dt <= 0.0:
+            return
+        self._tenants[sub.tenant].service += dt
+        active = [
+            self._tenants[name]
+            for name in sorted({s.tenant for s in self._live.values()})
+        ]
+        total = sum(t.spec.weight for t in active)
+        if total <= 0.0:
+            return
+        for state in active:
+            state.entitled += dt * (state.spec.weight / total)
+
+    def _apply_brownout_degrade(self) -> None:
+        """Brownout rung 2: while the live count sits at or above the
+        degrade threshold, answer the youngest lowest-tier submission
+        from coarse MQLA bounds (tier 0 is never a victim)."""
+        cfg = self.config
+        while len(self._live) >= cfg.tenant_brownout_degrade_live:
+            victims = [s for s in self._live.values() if s.tier > 0]
+            if not victims:
+                return
+            victim = max(victims, key=lambda s: (s.tier, s.sid))
+            victim.live.degrade_all(REASON_BROWNOUT)
+            self.metrics["brownout_degraded"] += 1
+            self._complete(victim)
+
+    def _complete(
+        self,
+        sub: _LiveSub,
+        outcome: "ServedResult | None" = None,
+        breaker_failure: bool = False,
+    ) -> None:
+        """Retire one finished submission: close resources, classify the
+        outcome (with the uniform reason taxonomy), notify, finish."""
+        sub.live.close()
+        if outcome is None:
+            result = sub.live.finalize()
+            degraded = any(result.degraded.values())
+            quarantined = result.stats.regions_quarantined > 0
+            pool_poisoned = "pool" in result.quarantine
+            breaker_failure = quarantined or pool_poisoned
+            outcome = ServedResult(
+                DEGRADED if degraded else ANSWERED,
+                result=result,
+                reasons=outcome_reasons(
+                    result, breaker_failure=breaker_failure
+                ),
+            )
+        del self._live[sub.sid]
+        self._tenants[sub.tenant].live -= 1
+        self.metrics[outcome.status] += 1
+        if self._on_finish is not None:
+            self._on_finish(sub.ticket, outcome, breaker_failure)
+        sub.ticket._finish(outcome)
+
+    # -- observability --------------------------------------------------- #
+    def tenant_report(self) -> "dict[str, dict[str, float]]":
+        """Per-tenant fairness snapshot (service, entitlement, deficit)."""
+        with self._lock:
+            return {
+                name: {
+                    "weight": float(state.spec.weight),
+                    "tier": float(state.spec.tier),
+                    "live": float(state.live),
+                    "service": float(state.service),
+                    "entitled": float(state.entitled),
+                    "deficit": float(state.deficit),
+                }
+                for name, state in sorted(self._tenants.items())
+            }
+
+    # -- lifecycle ------------------------------------------------------- #
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting; by default finish every admitted submission
+        (every admission terminates), then release the owned pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            self.drain()
+        if self._pool_owned and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "RegionScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "POLICY_BENEFIT",
+    "POLICY_FIFO",
+    "REASON_BULKHEAD",
+    "REASON_BROWNOUT_SHED",
+    "RegionScheduler",
+    "TenantSpec",
+]

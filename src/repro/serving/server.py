@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.caqe import CAQE, CAQEConfig, RunResult
 from repro.errors import QueryCancelled, ReproError
+from repro.robustness.recovery import REASON_BROWNOUT, REASON_DEADLINE
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.contracts.base import Contract
@@ -59,6 +60,19 @@ FAILED = "failed"
 REASON_QUEUE_FULL = "queue_full"
 REASON_CIRCUIT_OPEN = "circuit_open"
 REASON_SERVER_CLOSED = "server_closed"
+
+#: Structured outcome-reason taxonomy surfaced on :class:`ServedResult`
+#: (uniform across FIFO and interleaved serving — callers never dig
+#: through ``RunResult`` internals to classify a degradation).
+OUTCOME_DEADLINE = "deadline"
+OUTCOME_BROWNOUT = "brownout"
+OUTCOME_BREAKER = "breaker"
+OUTCOME_POOL = "pool"
+
+#: Bounded-wait tick for worker loops: every blocking primitive in the
+#: serving layer carries a timeout (caqe-check rule CQ013) so a lost
+#: wakeup can never hang a thread forever.
+_WAIT_TICK = 0.1
 
 
 class CancellationToken:
@@ -94,15 +108,54 @@ class Rejected:
 
 @dataclass
 class ServedResult:
-    """Terminal outcome of one admitted submission."""
+    """Terminal outcome of one admitted submission.
+
+    ``reasons`` classifies non-clean outcomes with the structured
+    taxonomy (``"deadline"``, ``"brownout"``, ``"breaker"``, ``"pool"``
+    — in that fixed order) so callers branch on it instead of digging
+    through :class:`~repro.core.caqe.RunResult` internals.
+    """
 
     status: str
     result: "RunResult | None" = None
     error: str = ""
+    reasons: "tuple[str, ...]" = ()
 
     @property
     def ok(self) -> bool:
         return self.status in (ANSWERED, DEGRADED)
+
+
+def outcome_reasons(
+    result: "RunResult | None", breaker_failure: bool = False
+) -> "tuple[str, ...]":
+    """Derive the structured reason taxonomy for one terminal outcome.
+
+    * ``"deadline"`` — a virtual deadline expired and part of the answer
+      was degraded to MQLA bounds;
+    * ``"brownout"`` — the multi-tenant scheduler browned the submission
+      out under overload;
+    * ``"breaker"`` — the run counts as a circuit-breaker failure for its
+      workload signature (quarantined regions / pool poisoning / raised);
+    * ``"pool"`` — regions fell back to inline prepare after poisoning
+      the shared worker pool.
+    """
+    reasons: "list[str]" = []
+    if result is not None:
+        reports = [
+            report
+            for per_query in result.degraded.values()
+            for report in per_query
+        ]
+        if any(r.reason == REASON_DEADLINE for r in reports):
+            reasons.append(OUTCOME_DEADLINE)
+        if any(r.reason == REASON_BROWNOUT for r in reports):
+            reasons.append(OUTCOME_BROWNOUT)
+    if breaker_failure:
+        reasons.append(OUTCOME_BREAKER)
+    if result is not None and "pool" in result.quarantine:
+        reasons.append(OUTCOME_POOL)
+    return tuple(reasons)
 
 
 class Ticket:
@@ -253,6 +306,8 @@ class CAQEServer:
             "rejected_queue_full": 0,
             "rejected_circuit_open": 0,
             "rejected_server_closed": 0,
+            "rejected_bulkhead": 0,
+            "rejected_brownout": 0,
             "answered": 0,
             "degraded": 0,
             "cancelled": 0,
@@ -286,14 +341,39 @@ class CAQEServer:
         # same config partition identically, so same-signature submissions
         # reuse each other's build side instead of rebuilding it per run.
         self._build_caches: "dict[str, dict]" = {}
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                name=f"caqe-server-worker-{i}",
-                daemon=True,
+        self._workers: "list[threading.Thread]" = []
+        self._scheduler = None
+        self._wake = threading.Event()
+        if self.config.server_mode == "interleaved":
+            # One cross-tenant region scheduler multiplexes every live
+            # submission over this server's engine host; a single driver
+            # thread steps it.  Deferred import: scheduler.py imports this
+            # module's ticket/result types at module scope.
+            from repro.serving.scheduler import RegionScheduler
+
+            self._scheduler = RegionScheduler(
+                left,
+                right,
+                self.config,
+                pool=self._pool,
+                on_finish=self._on_scheduled_finish,
             )
-            for i in range(self.config.server_workers)
-        ]
+            self._workers = [
+                threading.Thread(
+                    target=self._driver_loop,
+                    name="caqe-server-scheduler",
+                    daemon=True,
+                )
+            ]
+        else:
+            self._workers = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"caqe-server-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.config.server_workers)
+            ]
         for worker in self._workers:
             worker.start()
 
@@ -304,14 +384,22 @@ class CAQEServer:
         contracts: "dict[str, Contract]",
         deadline: "float | None" = None,
         cancel_token: "CancellationToken | None" = None,
+        *,
+        tenant: str = "default",
     ) -> "Ticket | Rejected":
         """Admit or shed one workload submission.
 
         ``deadline`` is a *virtual-time* budget (the engine has no wall
         clock); it defaults to ``config.server_default_deadline``.
+        ``tenant`` selects the fair-share/SLO identity in
+        ``server_mode="interleaved"`` (ignored by the FIFO server).
         Returns a :class:`Ticket` (truthy) or a :class:`Rejected`
         (falsy) — callers can branch on truthiness.
         """
+        if self._scheduler is not None:
+            return self._submit_interleaved(
+                workload, contracts, deadline, cancel_token, tenant
+            )
         signature = workload_signature(workload)
         with self._lock:
             self.metrics["submitted"] += 1
@@ -359,6 +447,63 @@ class CAQEServer:
             self.metrics["admitted"] += 1
             return ticket
 
+    def _submit_interleaved(
+        self,
+        workload: "Workload",
+        contracts: "dict[str, Contract]",
+        deadline: "float | None",
+        cancel_token: "CancellationToken | None",
+        tenant: str,
+    ) -> "Ticket | Rejected":
+        """Interleaved-mode admission: breaker gate here, queue/bulkhead/
+        brownout gates in the scheduler.
+
+        The scheduler call runs *outside* the server lock — the driver
+        thread acquires scheduler-then-server (completion callbacks), so
+        holding server-then-scheduler here would invert the lock order.
+        """
+        signature = workload_signature(workload)
+        with self._lock:
+            self.metrics["submitted"] += 1
+            if self._closed:
+                self.metrics["rejected_server_closed"] += 1
+                return Rejected(REASON_SERVER_CLOSED)
+            breaker = self._breakers.setdefault(
+                signature,
+                CircuitBreaker(
+                    threshold=self.config.server_breaker_threshold,
+                    cooldown=self.config.server_breaker_cooldown,
+                ),
+            )
+            if not breaker.admit():
+                self.metrics["rejected_circuit_open"] += 1
+                return Rejected(
+                    REASON_CIRCUIT_OPEN,
+                    f"workload has failed {breaker.consecutive_failures} "
+                    "consecutive run(s)",
+                )
+        outcome = self._scheduler.submit(
+            workload,
+            contracts,
+            tenant=tenant,
+            deadline=deadline,
+            cancel_token=cancel_token,
+        )
+        with self._lock:
+            if isinstance(outcome, Rejected):
+                # A half-open trial the scheduler shed re-opens its
+                # breaker (same discipline as the FIFO queue-full path).
+                if breaker.state == HALF_OPEN:
+                    breaker.state = OPEN
+                    breaker._cooldown_left = breaker.cooldown
+                key = f"rejected_{outcome.reason}"
+                self.metrics[key] = self.metrics.get(key, 0) + 1
+            else:
+                self.metrics["admitted"] += 1
+        if not isinstance(outcome, Rejected):
+            self._wake.set()
+        return outcome
+
     # -- worker side ----------------------------------------------------- #
     def _run_config(self, ticket: Ticket) -> CAQEConfig:
         overrides: "dict[str, Any]" = {}
@@ -377,7 +522,11 @@ class CAQEServer:
 
     def _worker_loop(self) -> None:
         while True:
-            ticket = self._queue.get()
+            try:
+                # Bounded wait (CQ013): re-check rather than block forever.
+                ticket = self._queue.get(timeout=_WAIT_TICK)
+            except queue.Empty:
+                continue
             if ticket is _SHUTDOWN:
                 self._queue.task_done()
                 return
@@ -385,6 +534,50 @@ class CAQEServer:
                 self._serve(ticket)
             finally:
                 self._queue.task_done()
+
+    def _driver_loop(self) -> None:
+        """Interleaved mode: single thread stepping the region scheduler.
+
+        Exits once the server is closed *and* the scheduler has drained —
+        so ``shutdown(wait=True)`` finishes every admitted submission.
+        """
+        scheduler = self._scheduler
+        while True:
+            if scheduler.step():
+                continue
+            with self._lock:
+                if self._closed:
+                    return
+            # Bounded wait (CQ013) for the next submission.
+            self._wake.wait(timeout=_WAIT_TICK)
+            self._wake.clear()
+
+    def _on_scheduled_finish(
+        self, ticket: "Ticket", outcome: "ServedResult", breaker_failure: bool
+    ) -> None:
+        """Completion hook the scheduler calls before finishing a ticket:
+        breaker bookkeeping and server-level metrics (the scheduler keeps
+        its own)."""
+        pool_poisoned = (
+            outcome.result is not None and "pool" in outcome.result.quarantine
+        )
+        with self._lock:
+            breaker = self._breakers.get(ticket.signature)
+            if breaker is not None and outcome.status != CANCELLED:
+                if breaker_failure:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+            self.metrics[outcome.status] += 1
+            if pool_poisoned:
+                self.metrics["pool_poisoned_runs"] += 1
+            if (
+                self._pool is not None
+                and not self._pool_tripped
+                and self._pool.degraded
+            ):
+                self._pool_tripped = True
+                self.metrics["pool_serial_trips"] += 1
 
     def _serve(self, ticket: Ticket) -> None:
         if ticket.token.is_cancelled():
@@ -402,6 +595,9 @@ class CAQEServer:
                 cancel_token=ticket.token,
                 pool=self._pool,
                 build_cache=build_cache,
+                # Deadline-driven budgets stamp "deadline" on degraded
+                # reports so the reason taxonomy needs no re-derivation.
+                budget_reason=REASON_DEADLINE,
             )
         except QueryCancelled as exc:
             self._finish(ticket, ServedResult(CANCELLED, error=str(exc)))
@@ -434,7 +630,14 @@ class CAQEServer:
                 self.metrics["pool_serial_trips"] += 1
         self._finish(
             ticket,
-            ServedResult(DEGRADED if degraded else ANSWERED, result=result),
+            ServedResult(
+                DEGRADED if degraded else ANSWERED,
+                result=result,
+                reasons=outcome_reasons(
+                    result,
+                    breaker_failure=quarantined or pool_poisoned,
+                ),
+            ),
             breaker_failure=quarantined or pool_poisoned,
         )
 
@@ -466,19 +669,29 @@ class CAQEServer:
 
     # -- lifecycle ------------------------------------------------------- #
     def shutdown(self, wait: bool = True) -> None:
-        """Stop admitting, drain the queue, and join the workers."""
+        """Stop admitting, drain in-flight work, and join the workers."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._workers:
-            self._queue.put(_SHUTDOWN)
-        if wait:
-            for worker in self._workers:
-                worker.join()
-            if self._pool is not None:
-                self._pool.close()
-                self._pool = None
+        if self._scheduler is not None:
+            # The driver thread drains the scheduler, then observes
+            # _closed and exits; close() afterwards is then a no-op drain
+            # that just releases scheduler-owned resources.
+            self._wake.set()
+            if wait:
+                for worker in self._workers:
+                    worker.join()
+                self._scheduler.close()
+        else:
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+            if wait:
+                for worker in self._workers:
+                    worker.join()
+        if wait and self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def __enter__(self) -> "CAQEServer":
         return self
@@ -498,11 +711,16 @@ __all__ = [
     "FAILED",
     "HALF_OPEN",
     "OPEN",
+    "OUTCOME_BREAKER",
+    "OUTCOME_BROWNOUT",
+    "OUTCOME_DEADLINE",
+    "OUTCOME_POOL",
     "REASON_CIRCUIT_OPEN",
     "REASON_QUEUE_FULL",
     "REASON_SERVER_CLOSED",
     "Rejected",
     "ServedResult",
     "Ticket",
+    "outcome_reasons",
     "workload_signature",
 ]

@@ -162,3 +162,48 @@ class TestRandomizedWorkload:
                 results["batch+cache"].reported[query.name]
                 == ref.skyline_pairs
             )
+
+
+def _serve_single_tenant(pair, workload, contracts, policy):
+    """One submission through the multi-tenant region scheduler."""
+    from repro.serving import RegionScheduler
+
+    with RegionScheduler(pair.left, pair.right, policy=policy) as sched:
+        ticket = sched.submit(workload, contracts)
+        sched.drain()
+        outcome = ticket.result(timeout=120.0)
+    assert outcome.status == "answered"
+    return outcome.result
+
+
+class TestInterleavedSingleTenantCorner:
+    """Scheduler-owned control flow is one more ablation corner: a
+    single-tenant run served region-by-region through the multi-tenant
+    scheduler must be bit-identical to an engine-owned ``CAQE.run``
+    (docs/ARCHITECTURE.md §15.2) — under both scheduling policies."""
+
+    @pytest.mark.parametrize("policy", ["benefit", "fifo"])
+    def test_fig1_observables_are_bit_identical(self, fig1_runs, policy):
+        pair, workload, results = fig1_runs
+        contracts = {q.name: c2(scale=100.0) for q in workload}
+        served = _serve_single_tenant(pair, workload, contracts, policy)
+        ref = results["scalar+naive"]
+        assert served.reported == ref.reported
+        assert served.stats.region_trace == ref.stats.region_trace
+        assert (
+            served.stats.skyline_comparisons
+            == ref.stats.skyline_comparisons
+        )
+        assert served.stats.elapsed == ref.stats.elapsed
+
+    @pytest.mark.parametrize("policy", ["benefit", "fifo"])
+    def test_random8_observables_are_bit_identical(
+        self, random8_runs, policy
+    ):
+        pair, workload, results = random8_runs
+        contracts = {q.name: c2(scale=80.0) for q in workload}
+        served = _serve_single_tenant(pair, workload, contracts, policy)
+        ref = results["scalar+naive"]
+        assert served.reported == ref.reported
+        assert served.stats.region_trace == ref.stats.region_trace
+        assert served.stats.elapsed == ref.stats.elapsed

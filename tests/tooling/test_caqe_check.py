@@ -710,6 +710,98 @@ class TestCQ009:
         assert found == []
 
 
+class TestCQ013:
+    def test_fires_on_bare_blocking_waits(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """\
+            def drain(work_queue, done_event, lock):
+                item = work_queue.get()
+                done_event.wait()
+                lock.acquire()
+                return item
+            """,
+            select="CQ013",
+        )
+        assert codes(found) == ["CQ013", "CQ013", "CQ013"]
+
+    def test_fires_on_explicit_timeout_none(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """\
+            def drain(work_queue, done_event):
+                item = work_queue.get(timeout=None)
+                done_event.wait(timeout=None)
+                return item
+            """,
+            select="CQ013",
+        )
+        assert codes(found) == ["CQ013", "CQ013"]
+
+    def test_fires_on_blocking_get_spellings(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """\
+            def drain(work_queue):
+                first = work_queue.get(True)
+                second = work_queue.get(block=True)
+                return first, second
+            """,
+            select="CQ013",
+        )
+        assert codes(found) == ["CQ013", "CQ013"]
+
+    def test_bounded_and_nonblocking_waits_are_clean(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """\
+            def drain(work_queue, done_event, lock, metrics):
+                item = work_queue.get(timeout=0.1)
+                eager = work_queue.get(block=False)
+                done_event.wait(timeout=0.1)
+                done_event.wait(0.5)
+                lock.acquire(timeout=1.0)
+                lock.acquire(blocking=False)
+                count = metrics.get("answered", 0)
+                tier = metrics.get("tier")
+                with lock:
+                    pass
+                return item, eager, count, tier
+            """,
+            select="CQ013",
+        )
+        assert found == []
+
+    def test_scoped_to_serving_layer(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/core/mod.py",
+            """\
+            def drain(work_queue):
+                return work_queue.get()
+            """,
+            select="CQ013",
+        )
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """\
+            def drain(work_queue):
+                # caqe-check: disable=CQ013
+                return work_queue.get()
+            """,
+            select="CQ013",
+        )
+        assert found == []
+
+
 # ------------------------------------------------------------------ #
 # Pragma placement + reporting + the live tree
 # ------------------------------------------------------------------ #

@@ -54,7 +54,9 @@ INVARIANT_KEYS = (
 BASELINE_WINDOW = 5
 
 
-def _run_quick_bench(script: str, out: Path) -> dict:
+def _run_quick_bench(
+    script: str, out: Path, extra_args: "tuple[str, ...]" = ()
+) -> dict:
     """Run one benchmark script with ``--quick`` and load its report."""
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
@@ -62,7 +64,7 @@ def _run_quick_bench(script: str, out: Path) -> dict:
     env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
     proc = subprocess.run(
         [sys.executable, str(REPO_ROOT / "benchmarks" / script), "--quick",
-         "--out", str(out)],
+         "--out", str(out), *extra_args],
         env=env,
         cwd=REPO_ROOT,
         capture_output=True,
@@ -93,6 +95,72 @@ def _git_rev() -> str:
 
 def _invariants(modes_row: dict) -> dict:
     return {k: modes_row[k] for k in INVARIANT_KEYS}
+
+
+def distil_serving(serving: dict) -> dict:
+    """Compact per-arm record from a ``bench_serving`` report.
+
+    Everything kept here is a deterministic function of the code (the
+    load generator runs on the virtual clock), so the gate can require
+    exact matches across machines.
+    """
+    return {
+        f"{arm['policy']}@{arm['seed']}": {
+            "fingerprint": arm["fingerprint"],
+            "p50": arm["satisfaction_p50"],
+            "p99": arm["satisfaction_p99"],
+            "shed_rate": arm["shed_rate"],
+            "brownout_rate": arm["brownout_rate"],
+            "unanswered": arm["unanswered"],
+            "deterministic": arm.get("deterministic", True),
+        }
+        for arm in serving.get("arms", [])
+    }
+
+
+def gate_serving(record: dict, history: "list[dict]") -> "list[str]":
+    """Serving failures: within-run hard gates + cross-run determinism."""
+    failures: "list[str]" = []
+    arms = record.get("serving")
+    if not arms:
+        return failures
+    for label, arm in sorted(arms.items()):
+        if not arm["deterministic"]:
+            failures.append(f"SERVING {label}: replay fingerprint diverged")
+        if arm["unanswered"]:
+            failures.append(
+                f"SERVING {label}: {arm['unanswered']} admitted "
+                "submission(s) never answered"
+            )
+    by_seed: "dict[str, dict]" = {}
+    for label, arm in arms.items():
+        policy, _, seed = label.partition("@")
+        by_seed.setdefault(seed, {})[policy] = arm
+    for seed, row in sorted(by_seed.items()):
+        if "fifo" in row and "interleaved" in row:
+            if row["interleaved"]["p99"] < row["fifo"]["p99"]:
+                failures.append(
+                    f"SERVING seed={seed}: interleaved p99 "
+                    f"{row['interleaved']['p99']} fell below fifo p99 "
+                    f"{row['fifo']['p99']}"
+                )
+    passing = [
+        e
+        for e in history
+        if e.get("status") == "pass"
+        and e.get("quick") == record.get("quick")
+        and e.get("serving")
+    ]
+    if passing:
+        latest = passing[-1]["serving"]
+        for label in sorted(set(arms) & set(latest)):
+            if arms[label]["fingerprint"] != latest[label]["fingerprint"]:
+                failures.append(
+                    f"SERVING DETERMINISM {label}: fingerprint "
+                    f"{arms[label]['fingerprint']} != history "
+                    f"{latest[label]['fingerprint']}"
+                )
+    return failures
 
 
 def distil(perf: dict, parallel: "dict | None") -> dict:
@@ -265,6 +333,12 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument("--perf", type=Path, help="perf-trajectory report JSON")
     parser.add_argument("--parallel", type=Path, help="parallel-scaling report JSON")
+    parser.add_argument("--serving", type=Path, help="serving-load report JSON")
+    parser.add_argument(
+        "--no-serving",
+        action="store_true",
+        help="skip the multi-tenant serving benchmark and its gate",
+    )
     parser.add_argument(
         "--no-parallel",
         action="store_true",
@@ -283,6 +357,9 @@ def main(argv: "list[str] | None" = None) -> int:
         perf = json.loads(args.perf.read_text())
         parallel = (
             json.loads(args.parallel.read_text()) if args.parallel else None
+        )
+        serving = (
+            json.loads(args.serving.read_text()) if args.serving else None
         )
     else:
         run_parallel = not args.no_parallel
@@ -306,10 +383,20 @@ def main(argv: "list[str] | None" = None) -> int:
                 parallel = _run_quick_bench(
                     "bench_parallel_scaling.py", Path(scratch) / "parallel.json"
                 )
+            serving = None
+            if not args.no_serving:
+                serving = _run_quick_bench(
+                    "bench_serving.py",
+                    Path(scratch) / "serving.json",
+                    ("--burst", "--check-determinism"),
+                )
 
     record = distil(perf, parallel)
+    if serving is not None:
+        record["serving"] = distil_serving(serving)
     history = load_history(args.history)
     failures = gate(record, history, args.tolerance)
+    failures.extend(gate_serving(record, history))
     record["status"] = "pass" if not failures else "fail"
 
     if not args.no_append:
@@ -325,6 +412,7 @@ def main(argv: "list[str] | None" = None) -> int:
         f"bench-gate: fig9 speedup {record['fig9']['speedup']}x, "
         f"{len(record['fig11'])} fig11 cells, "
         f"{'parallel sections: %d, ' % len(record.get('parallel', {})) if parallel else ''}"
+        f"{'serving arms: %d, ' % len(record.get('serving', {})) if serving else ''}"
         f"baseline entries: {baseline_count}"
     )
     for failure in failures:

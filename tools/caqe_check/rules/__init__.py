@@ -21,6 +21,7 @@ from tools.caqe_check.rules import (
     cq010_purity,
     cq011_layers,
     cq012_taint,
+    cq013_bounded_waits,
 )
 
 FILE_RULES = (
@@ -32,6 +33,7 @@ FILE_RULES = (
     cq007_wallclock,
     cq008_parallel,
     cq009_rowloop,
+    cq013_bounded_waits,
 )
 PROJECT_RULES = (cq004_config, cq010_purity, cq011_layers, cq012_taint)
 
