@@ -20,6 +20,7 @@ from repro.skyline import (
     salsa_skyline,
     sfs_skyline,
 )
+from repro.skyline.window import SkylineWindow
 
 N = 1200
 ALGORITHMS = {
@@ -69,3 +70,83 @@ def bench_micro_comparison_counts(run_once, benchmark, dataset):
     )
     # Presorting must beat the naive scan on every distribution.
     assert counts["SFS"] <= counts["BNL"]
+
+
+# --------------------------------------------------------------------- #
+# Window storage (the SoA flat-array layout, docs/ARCHITECTURE.md §16)
+# --------------------------------------------------------------------- #
+BATCH = 64
+
+
+def _batches(points):
+    return [
+        (
+            [("b", start + i) for i in range(len(chunk))],
+            np.ascontiguousarray(chunk, dtype=float),
+        )
+        for start, chunk in (
+            (s, points[s : s + BATCH]) for s in range(0, len(points), BATCH)
+        )
+    ]
+
+
+def bench_micro_window_insert_batch(run_once, benchmark, dataset):
+    """Batched maintenance over one full dataset (replay kernel)."""
+    name, points = dataset
+    batches = _batches(points)
+    benchmark.group = f"window-storage-{name}"
+
+    def insert_all():
+        window = SkylineWindow()
+        for keys, matrix in batches:
+            window.insert_batch(keys, matrix)
+        return window
+
+    window = run_once(benchmark, insert_all)
+    assert sorted(
+        tuple(v) for v in window.vectors
+    ) == sorted(tuple(points[i]) for i in bnl_skyline(points))
+
+
+def bench_micro_window_compaction(run_once, benchmark, dataset):
+    """Tombstone churn: alternating inserts and removals drive the
+    deferred compaction path (the dead-fraction sweep)."""
+    name, points = dataset
+    benchmark.group = f"window-storage-{name}"
+    # Mutually incomparable ranks keep the window large so removals (not
+    # dominance evictions) create the tombstones being measured.
+    order = np.argsort(points[:, 0], kind="stable")
+    ranked = np.stack(
+        [np.arange(len(points)), np.arange(len(points))[::-1]], axis=1
+    ).astype(float)
+
+    def churn():
+        window = SkylineWindow()
+        for i, vec in enumerate(ranked):
+            window.insert(("k", int(order[i])), vec)
+            if i % 2:
+                window.remove_key(("k", int(order[i - 1])))
+        return window
+
+    window = run_once(benchmark, churn)
+    assert len(window) == len(points) // 2
+    assert window.dead_fraction <= 0.5
+
+
+def bench_micro_window_dump_load(run_once, benchmark, dataset):
+    """The durability serialisation contract over a populated window."""
+    name, points = dataset
+    benchmark.group = f"window-storage-{name}"
+    source = SkylineWindow()
+    for keys, matrix in _batches(points):
+        source.insert_batch(keys, matrix)
+
+    def roundtrip():
+        keys, rows = source.dump_entries()
+        restored = SkylineWindow()
+        restored.load_entries(keys, rows)
+        return restored
+
+    restored = run_once(benchmark, roundtrip)
+    assert list(restored.keys) == list(source.keys)
+    assert np.array_equal(restored.vectors, source.vectors)

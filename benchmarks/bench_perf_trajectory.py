@@ -2,7 +2,9 @@
 """Performance-trajectory harness for the batch engine & scheduler cache.
 
 Times the Figure 9 (independent, C2) workload and a Figure 11-style
-workload-size sweep under the four ablation modes of the execution engine:
+workload-size sweep under the four ablation modes of the execution engine,
+plus a cardinality scale sweep (1x/4x/16x) of the production engine that
+tracks throughput headroom toward the paper's N = 500 K regime:
 
 * ``batch+cache``   — batch skyline insertion + incremental scheduler (default)
 * ``scalar+cache``  — per-tuple insertion, incremental scheduler
@@ -34,7 +36,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.config import ExperimentConfig, experiment_for  # noqa: E402
+from repro.bench.config import (  # noqa: E402
+    ExperimentConfig,
+    experiment_for,
+    scale_factor,
+)
 from repro.bench.figures import workload_of_size  # noqa: E402
 from repro.bench.runner import (  # noqa: E402
     calibrated_contracts,
@@ -54,6 +60,16 @@ MODES = {
         "enable_scheduler_cache": False,
     },
 }
+
+
+def _quick_cardinality() -> int:
+    """Quick-mode base cardinality; still honours ``REPRO_SCALE``.
+
+    The CI smoke jobs run ``--quick`` under ``REPRO_SCALE`` overrides, so
+    the quick base must scale with the environment or every scaled smoke
+    run would silently measure the same 300-row workload.
+    """
+    return int(300 * scale_factor())
 
 
 def _time_modes(pair, workload, contracts, config: ExperimentConfig) -> dict:
@@ -100,7 +116,7 @@ def bench_fig9_cell(quick: bool) -> dict:
     """The Figure 9 independent / C2 cell under all four modes."""
     config = experiment_for("independent")
     if quick:
-        config = replace(config, cardinality=300)
+        config = replace(config, cardinality=_quick_cardinality())
     workload = make_workload(config, "C2")
     pair = make_pair(config)
     t_ref = reference_time(pair, workload, config)
@@ -120,7 +136,7 @@ def bench_fig11_sweep(quick: bool) -> "list[dict]":
     """Figure 11-style workload-size sweep (C2, independent)."""
     config = experiment_for("independent")
     if quick:
-        config = replace(config, cardinality=300)
+        config = replace(config, cardinality=_quick_cardinality())
         sizes = (3, 6)
     else:
         sizes = (3, 6, 11)
@@ -143,6 +159,64 @@ def bench_fig11_sweep(quick: bool) -> "list[dict]":
     return sweep
 
 
+def bench_scale_sweep(quick: bool) -> "list[dict]":
+    """Scale headroom: the fig9 cell at growing cardinality multipliers.
+
+    Runs ``batch+cache`` only — the ablation corners are already
+    equivalence-checked at the base cardinality by the fig9 cell, and
+    the scalar baselines would dominate the harness wall at 16x.  Each
+    cell reports throughput relative to the 1x cell from the *same run*,
+    so the gate can catch superlinear blow-ups (a flat-array regression
+    shows up as falling relative throughput long before absolute wall
+    times mean anything across machines).
+
+    Calibration: the blocking JFSL reference run is itself superlinear
+    in cardinality (it materialises the whole join into one skyline
+    batch), so re-running it per scale would time the *baseline*, not
+    the engine.  The sweep calibrates ``T_ref`` once at the 1x cell and
+    scales it linearly with cardinality — deterministic, cheap, and the
+    contract regime stays comparable across cells.
+    """
+    base = experiment_for("independent")
+    if quick:
+        base = replace(base, cardinality=_quick_cardinality())
+    scales = (1, 4) if quick else (1, 4, 16)
+    sweep = []
+    base_throughput = None
+    base_t_ref = None
+    for scale in scales:
+        config = replace(base, cardinality=base.cardinality * scale)
+        workload = make_workload(config, "C2")
+        pair = make_pair(config)
+        if base_t_ref is None:
+            base_t_ref = reference_time(pair, workload, config)
+        contracts = calibrated_contracts("C2", workload, base_t_ref * scale)
+        start = time.perf_counter()
+        result = CAQE(config.caqe).run(
+            pair.left, pair.right, workload, contracts
+        )
+        wall = time.perf_counter() - start
+        throughput = config.cardinality / max(wall, 1e-9)
+        if base_throughput is None:
+            base_throughput = throughput
+        sweep.append(
+            {
+                "scale": scale,
+                "cardinality": config.cardinality,
+                "wall_s": round(wall, 4),
+                "throughput_rows_s": round(throughput, 1),
+                "relative_throughput": round(throughput / base_throughput, 3),
+                "skyline_comparisons": result.stats.skyline_comparisons,
+                "virtual_time": result.stats.elapsed,
+                "regions_processed": result.stats.regions_processed,
+                "average_satisfaction": round(
+                    result.average_satisfaction(), 6
+                ),
+            }
+        )
+    return sweep
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -160,13 +234,16 @@ def main(argv: "list[str] | None" = None) -> int:
 
     fig9 = bench_fig9_cell(args.quick)
     fig11 = bench_fig11_sweep(args.quick)
+    scale_sweep = bench_scale_sweep(args.quick)
     report = {
         "bench": "perf_trajectory",
         "quick": args.quick,
+        "repro_scale": scale_factor(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "fig9_independent_c2": fig9,
         "fig11_size_sweep": fig11,
+        "scale_sweep": scale_sweep,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -184,6 +261,13 @@ def main(argv: "list[str] | None" = None) -> int:
             f"Figure 11 sweep |S_Q|={queries}: speedup {cell['speedup']}x "
             f"(naive {cell['modes']['scalar+naive']['wall_s']:.2f}s -> "
             f"full {cell['modes']['batch+cache']['wall_s']:.2f}s)"
+        )
+    for cell in scale_sweep:
+        print(
+            f"Scale sweep {cell['scale']}x (N={cell['cardinality']}): "
+            f"wall={cell['wall_s']:.2f}s, "
+            f"{cell['throughput_rows_s']:.0f} rows/s "
+            f"({cell['relative_throughput']:.2f} of 1x)"
         )
     print(f"wrote {args.out}")
     if not args.quick and fig9["speedup"] < 3.0:

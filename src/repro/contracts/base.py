@@ -118,6 +118,22 @@ class Contract(abc.ABC):
         utilities = self.tuple_utilities(ts, total)
         return np.where(batches > 0, batches * utilities, 0.0)
 
+    @classmethod
+    def fused_tuple_utilities(
+        cls, instances: "Sequence[Contract]", timestamps: np.ndarray
+    ) -> "np.ndarray | None":
+        """Per-query utilities for a *homogeneous* contract set, fused.
+
+        Returns a ``(len(instances), len(timestamps))`` matrix equal
+        row-for-row to calling each instance's :meth:`tuple_utilities` on
+        ``timestamps`` — one broadcast instead of one call per query — or
+        ``None`` when the class has no fused form.  Implementations must
+        be elementwise bit-identical to the scalar path (same operations,
+        same operand order) because CSM scores feed an argsort whose ties
+        are observable in the schedule trace.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"
 

@@ -35,6 +35,12 @@ class DeadlineContract(Contract):
         ts = as_timestamp_array(timestamps)
         return np.where(ts <= self.deadline, 1.0, 0.0)
 
+    @classmethod
+    def fused_tuple_utilities(cls, instances, timestamps) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        deadlines = np.asarray([c.deadline for c in instances], dtype=float)
+        return np.where(ts[None, :] <= deadlines[:, None], 1.0, 0.0)
+
 
 class LogDecayContract(Contract):
     """C2: ``v(tau) = 1 / log(tau.ts)``, clamped into [0, 1].
@@ -56,6 +62,15 @@ class LogDecayContract(Contract):
         ts = as_timestamp_array(timestamps) / self.scale
         with np.errstate(divide="ignore"):
             decayed = 1.0 / np.log(np.maximum(ts, 1.0 + 1e-12))
+        return np.clip(decayed, 0.0, 1.0)
+
+    @classmethod
+    def fused_tuple_utilities(cls, instances, timestamps) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        scales = np.asarray([c.scale for c in instances], dtype=float)
+        scaled = ts[None, :] / scales[:, None]
+        with np.errstate(divide="ignore"):
+            decayed = 1.0 / np.log(np.maximum(scaled, 1.0 + 1e-12))
         return np.clip(decayed, 0.0, 1.0)
 
 
@@ -80,6 +95,16 @@ class SoftDeadlineContract(Contract):
     def tuple_utilities(self, timestamps, total_results: float) -> np.ndarray:
         ts = as_timestamp_array(timestamps)
         overrun = (ts - self.deadline) / self.unit
+        with np.errstate(divide="ignore"):
+            late = 1.0 / np.maximum(overrun, 1e-12)
+        return np.where(overrun <= 0, 1.0, np.clip(late, 0.0, 1.0))
+
+    @classmethod
+    def fused_tuple_utilities(cls, instances, timestamps) -> np.ndarray:
+        ts = as_timestamp_array(timestamps)
+        deadlines = np.asarray([c.deadline for c in instances], dtype=float)
+        units = np.asarray([c.unit for c in instances], dtype=float)
+        overrun = (ts[None, :] - deadlines[:, None]) / units[:, None]
         with np.errstate(divide="ignore"):
             late = 1.0 / np.maximum(overrun, 1e-12)
         return np.where(overrun <= 0, 1.0, np.clip(late, 0.0, 1.0))

@@ -273,12 +273,13 @@ class _CellCounts:
 
     __slots__ = (
         "cells", "counts", "uppers", "ncells", "slot_arr", "rids", "live",
-        "size", "limit",
+        "size", "limit", "arange",
     )
 
     def __init__(self, limit: int, width: int, n_ids: int) -> None:
         cap = 64
         self.limit = limit
+        self.arange = np.arange(limit)
         self.cells = np.zeros((cap, limit, width))
         self.counts = np.zeros((cap, limit), dtype=np.int32)
         self.uppers = np.empty((cap, width))
@@ -380,6 +381,13 @@ class BenefitModel:
         self.cost_model = cost_model
         self.exact_cell_limit = exact_cell_limit
         self.contracts = [contracts[q.name] for q in workload]
+        # Homogeneous-workload fast path: when every contract is the same
+        # class, Eq. 8 utilities for all queries come from one fused
+        # broadcast (bit-identical per row to the per-contract calls).
+        contract_types = {type(c) for c in self.contracts}
+        self._fused_contract_type = (
+            contract_types.pop() if len(contract_types) == 1 else None
+        )
         output_dims = workload.output_dims
         table = cuboid.lattice.table
         self.query_positions: list[tuple[int, ...]] = [
@@ -614,10 +622,13 @@ class BenefitModel:
                         lowers[:, None, :] < sc.uppers[None, :n, :]
                     ).all(axis=2)
                 reach &= sc.live[None, :n]
-                for e, rid in enumerate(rids):
-                    own = sc.slot(rid)
-                    if 0 <= own < n:
-                        reach[e, own] = False
+                covered = rid_arr < len(sc.slot_arr)
+                own = np.where(
+                    covered, sc.slot_arr[np.where(covered, rid_arr, 0)], -1
+                )
+                valid = np.flatnonzero((own >= 0) & (own < n))
+                if valid.size:
+                    reach[valid, own[valid]] = False
                 rows = np.flatnonzero(reach.any(axis=0))
                 if rows.size:
                     dom = dominance_broadcast(
@@ -639,10 +650,13 @@ class BenefitModel:
                         lowers[:, None, :] < ec.uppers[None, :n, :]
                     ).all(axis=2)
                 reach &= ec.live[None, :n]
-                for e, rid in enumerate(rids):
-                    own = ec.slot(rid)
-                    if 0 <= own < n:
-                        reach[e, own] = False
+                covered = rid_arr < len(ec.slot_arr)
+                own = np.where(
+                    covered, ec.slot_arr[np.where(covered, rid_arr, 0)], -1
+                )
+                valid = np.flatnonzero((own >= 0) & (own < n))
+                if valid.size:
+                    reach[valid, own[valid]] = False
                 rows = np.flatnonzero(reach.any(axis=0))
                 if rows.size:
                     corners = self._cupper_q[qi][rid_arr]
@@ -662,6 +676,28 @@ class BenefitModel:
                         ec.counts[rows] -= (dom & sub[:, :, None]).sum(
                             axis=0, dtype=np.int32
                         )
+
+    def active_serving(self, qi: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Ids and projected lower corners of alive regions serving ``qi``.
+
+        Array-native replacement for scanning the executor's alive dict:
+        ``note_removed``/``note_deactivation`` keep ``_active_all`` and the
+        rql bits current eagerly, so the membership mask is exact at any
+        point in the step.  Queued departure events are flushed first so
+        the per-query member cache (shared with the estimator) is fresh.
+        """
+        if self._active_all is None:
+            raise ExecutionError("attach_regions() must run before queries")
+        if self._pending:
+            self._flush_events()
+        cached = self._member_cache.get(qi)
+        if cached is not None:
+            return cached
+        member = self._active_all & (((self._rql_all >> qi) & 1).astype(bool))
+        ids_all = np.flatnonzero(member)
+        lowers_all = self._lower_q[qi][ids_all]
+        self._member_cache[qi] = (ids_all, lowers_all)
+        return ids_all, lowers_all
 
     # ------------------------------------------------------------------ #
     # Cost side
@@ -931,11 +967,8 @@ class BenefitModel:
             miss_m = bits & ~hit_m
         else:
             miss_m = bits
-        for qi in range(n_q):
+        for qi in np.flatnonzero(miss_m.any(axis=0)).tolist():
             miss = np.flatnonzero(miss_m[:, qi])
-            if not miss.size:
-                continue
-            positions = list(self.query_positions[qi])
             cacheable = use_cache and attached
             mrids = rid_arr[miss]
             sc = self._scounts.get(qi) if use_cache else None
@@ -961,9 +994,7 @@ class BenefitModel:
                 er = np.flatnonzero(e_read)
                 es = eslots[er]
                 counts = ec.counts[es] > 0
-                counts &= (
-                    np.arange(ec.limit)[None, :] < ec.ncells[es][:, None]
-                )
+                counts &= ec.arange[None, :] < ec.ncells[es][:, None]
                 at_risk = counts.sum(axis=1)
                 totals = ccnt[miss[er]]
                 vals = ((totals - at_risk) / totals) * cards_m[miss[er], qi]
@@ -983,6 +1014,7 @@ class BenefitModel:
             rest = np.flatnonzero(~(e_read | s_read))
             if not rest.size:
                 continue
+            positions = list(self.query_positions[qi])
             rrids = mrids[rest]
             cached_member = self._member_cache.get(qi)
             if cached_member is None:
@@ -1204,12 +1236,26 @@ class BenefitModel:
             return np.zeros(0)
         times = now + t_c
         total = np.zeros(len(t_c))
+        fused = (
+            self._fused_contract_type.fused_tuple_utilities(
+                self.contracts, times
+            )
+            if self._fused_contract_type is not None
+            else None
+        )
         for qi in range(len(self.workload)):
             if weights[qi] <= 0.0:
                 continue
-            utilities = self.contracts[qi].batch_utilities(
-                times, prog[:, qi], float(self.result_estimates[qi])
-            )
+            if fused is not None:
+                # Same elementwise ops and accumulation order as the
+                # per-contract branch — the utilities matrix is just
+                # computed in one broadcast.
+                batches = prog[:, qi]
+                utilities = np.where(batches > 0, batches * fused[qi], 0.0)
+            else:
+                utilities = self.contracts[qi].batch_utilities(
+                    times, prog[:, qi], float(self.result_estimates[qi])
+                )
             total += weights[qi] * utilities
         return total
 

@@ -19,6 +19,7 @@ Every optimisation the paper describes can be toggled off through
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -547,6 +548,15 @@ class CAQE:
         stats.profile_phases = cfg.profile_phases
         if cfg.workers > 0:
             stats.parallel_lanes = cfg.workers
+            cores = os.cpu_count() or 1
+            if cores <= 1:
+                # A prepare pool on a single-core host only adds IPC and
+                # context-switch overhead over the inline path; observables
+                # are unaffected, so this is a wall-channel note, not an
+                # error.
+                stats.record_runtime_warning(
+                    "single_core_pool", workers=cfg.workers, cpu_count=cores
+                )
 
         rs = self._prepare(
             left, right, workload, contracts, stats, build_cache=build_cache
@@ -1328,7 +1338,7 @@ class LiveRun:
 
         rs.state.apply_evictions(outcome, rs.tracker)
         rs.state.admit_candidates(
-            outcome, region, executor, rs.alive, rs.tracker, stats
+            outcome, region, executor, rs.benefit, rs.tracker, stats
         )
         if cfg.enable_tuple_discard:
             engine._discard_dominated(
@@ -1423,7 +1433,7 @@ class _ReportingState:
         outcome: RegionOutcome,
         region: OutputRegion,
         executor: RegionExecutor,
-        alive: "dict[int, OutputRegion]",
+        benefit: BenefitModel,
         tracker: SatisfactionTracker,
         stats: ExecutionStats,
     ) -> None:
@@ -1435,23 +1445,22 @@ class _ReportingState:
             keys = outcome.admitted.get(query.name, ())
             if not keys:
                 continue
-            positions = list(self.positions[query.name])
-            serving = [
-                (rid, other) for rid, other in alive.items() if other.serves(qi)
-            ]
-            if not serving:
+            serving_ids, lowers = benefit.active_serving(qi)
+            if not serving_ids.size:
                 for key in keys:
                     self._emit(query.name, key, now, tracker, stats)
                 continue
+            positions = list(self.positions[query.name])
             vectors = _gather_vectors(outcome, executor.store, keys)[
                 :, positions
             ]
-            lowers = np.vstack([o.lower for _, o in serving])[:, positions]
             # threat[k, r]: region r could still produce a tuple dominating
             # candidate k (its best corner reaches below the candidate).
             threat = dominance_mask(lowers, vectors).T
             for k_pos, key in enumerate(keys):
-                rids = {serving[r][0] for r in np.nonzero(threat[k_pos])[0]}
+                rids = {
+                    int(serving_ids[r]) for r in np.nonzero(threat[k_pos])[0]
+                }
                 if rids:
                     self.pending[query.name][key] = rids
                     for rid in sorted(rids):

@@ -57,6 +57,11 @@ class ExecutionStats:
     #: (and from checkpoint snapshots) so crashed, respawned or poisoned
     #: workers can never move a run fingerprint.
     pool_health: "dict[str, object] | None" = None
+    #: Structured one-line environment warnings (e.g. a worker pool on a
+    #: single-core host).  A wall-channel like ``pool_health``: excluded
+    #: from :meth:`summary` and from snapshots, surfaced to operators by
+    #: harnesses that choose to print it — never written to stdout here.
+    runtime_warnings: "list[dict]" = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.comparison_counter = ComparisonCounter(
@@ -127,6 +132,10 @@ class ExecutionStats:
     def record_straggler_penalty(self, units: float) -> None:
         self.straggler_penalty += units
         self.clock.charge_straggler_penalty(units)
+
+    def record_runtime_warning(self, kind: str, **detail: "object") -> None:
+        """Queue one structured environment warning on the stats channel."""
+        self.runtime_warnings.append({"kind": kind, **detail})
 
     # -- parallel layer (docs/ARCHITECTURE.md §11) ----------------------- #
     def begin_region_phases(self, region_id: int) -> None:

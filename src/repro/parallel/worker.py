@@ -109,12 +109,20 @@ class PackedRegion:
     rows: int
     #: Matrix column count, or -1 when the preparer shipped no matrix.
     width: int
-    payload: bytes
+    #: ``bytearray`` sender-side (written in place through typed views);
+    #: both it and ``bytes`` pickle across the queue identically.
+    payload: "bytes | bytearray"
     crc: int
 
 
 def pack_prepared(prepared: PreparedRegion) -> PackedRegion:
-    """Flatten a prepared region into the contiguous wire format."""
+    """Flatten a prepared region into the contiguous wire format.
+
+    The payload buffer is allocated once and each column is written
+    through a typed view over it, so every array crosses into the wire
+    format with exactly one copy (``tobytes`` plus ``join`` would pay
+    two).
+    """
     left = np.ascontiguousarray(prepared.left_idx, dtype=np.int64)
     right = np.ascontiguousarray(prepared.right_idx, dtype=np.int64)
     parts = [left, right]
@@ -123,7 +131,13 @@ def pack_prepared(prepared: PreparedRegion) -> PackedRegion:
         matrix = np.ascontiguousarray(prepared.matrix, dtype=np.float64)
         width = int(matrix.shape[1])
         parts.append(matrix)
-    payload = b"".join(a.tobytes() for a in parts)
+    payload = bytearray(sum(a.nbytes for a in parts))
+    offset = 0
+    for a in parts:
+        np.frombuffer(payload, dtype=a.dtype, count=a.size, offset=offset)[
+            :
+        ] = a.reshape(-1)
+        offset += a.nbytes
     return PackedRegion(
         region_id=prepared.region_id,
         rows=len(left),
@@ -141,9 +155,9 @@ def packed_crc_ok(packed: PackedRegion) -> bool:
 def unpack_prepared(packed: PackedRegion) -> PreparedRegion:
     """Rebuild the prepared region as views over the packed buffer.
 
-    The views are read-only (the buffer is shared); every consumer
-    gathers rows through fancy indexing, which copies, so downstream
-    code never needs to mutate them in place.
+    The views alias the shared buffer (read-only when the payload is
+    ``bytes``); every consumer gathers rows through fancy indexing,
+    which copies, so downstream code never mutates them in place.
     """
     n = packed.rows
     buf = packed.payload

@@ -81,6 +81,29 @@ class SharedCuboidPlan:
             dims = tuple(positions[d] for d in table.names(mask))
             self._windows[mask] = SkylineWindow(dims=dims, counter=counter)
         self._query_mask = dict(cuboid.query_nodes)
+        # Array-native walk plan (docs/ARCHITECTURE.md §16): each cuboid
+        # node gets a position bit in a per-batch int64 "admitted bits"
+        # column, and its Theorem-1 seeding test collapses to one AND
+        # against the OR of its children's bits.
+        self._node_bit = {
+            mask: np.int64(1) << np.int64(p)
+            for p, mask in enumerate(cuboid.masks)
+        }
+        self._walk: "list[tuple[int, SkylineWindow, np.int64, np.int64, np.int64]]" = []
+        for mask in cuboid.masks:
+            node = cuboid.node(mask)
+            child_bits = np.int64(0)
+            for child in node.children:
+                child_bits |= self._node_bit[child]
+            self._walk.append(
+                (
+                    mask,
+                    self._windows[mask],
+                    np.int64(node.qserve),
+                    child_bits,
+                    self._node_bit[mask],
+                )
+            )
 
     # ------------------------------------------------------------------ #
     def insert(
@@ -189,20 +212,29 @@ class SharedCuboidPlan:
                     ]
         return reports
 
+    def node_bit(self, mask: int) -> np.int64:
+        """Position bit of a cuboid node in the admitted-bits column."""
+        return self._node_bit[mask]
+
     def insert_batch_arrays(
         self,
         keys: "Sequence[Hashable]",
         vectors: np.ndarray,
         serve_masks: "np.ndarray | None" = None,
-    ) -> "tuple[dict[int, np.ndarray], dict[int, dict[int, list]]]":
-        """:meth:`insert_batch` returning per-mask arrays, not reports.
+    ) -> "tuple[np.ndarray, dict[int, dict[int, list]]]":
+        """:meth:`insert_batch` returning rid-indexed columns, not reports.
 
         Same cuboid walk, same window calls, same charged comparisons —
-        only the *packaging* differs: per cuboid mask, a boolean
-        admitted-row array plus a sparse ``{row: [evicted keys]}`` map.
-        Evictions can only be caused by admitted entries, so the scatter
-        loop is O(admissions), not O(batch × masks) — this is the plan
-        half of the parallel layer's replay commit kernel.
+        only the *packaging* differs: one int64 **admitted-bits column**
+        (row ``i`` has :meth:`node_bit` of every cuboid node that admitted
+        tuple ``i``) plus a sparse per-mask ``{row: [evicted keys]}`` map.
+        The bits column fuses the whole maintenance kernel: Theorem-1
+        seeding is ``bits & child_bits``, the per-node admission scatter
+        is one masked OR, and query-level reads downstream are one AND —
+        no per-mask boolean arrays, no per-entry dict updates.  Evictions
+        can only be caused by admitted entries, so the eviction scatter is
+        O(admissions), not O(batch × masks) — this is the plan half of
+        the parallel layer's replay commit kernel.
         """
         vecs = np.asarray(vectors, dtype=float)
         if vecs.ndim != 2 or vecs.shape[1] != len(self.attribute_order):
@@ -211,10 +243,10 @@ class SharedCuboidPlan:
                 f"(n, {len(self.attribute_order)})"
             )
         n = len(keys)
-        admitted_by_mask: "dict[int, np.ndarray]" = {}
+        admitted_bits = np.zeros(n, dtype=np.int64)
         evicted_by_mask: "dict[int, dict[int, list]]" = {}
         if n == 0:
-            return admitted_by_mask, evicted_by_mask
+            return admitted_bits, evicted_by_mask
         # Object-array view of the keys: per-mask key gathers become one
         # C-level fancy index instead of a Python list comprehension.
         keys_arr = np.empty(n, dtype=object)
@@ -224,40 +256,45 @@ class SharedCuboidPlan:
             if serve_masks is not None
             else None
         )
-        for mask in self.cuboid.masks:
-            node = self.cuboid.node(mask)
+        dva = self.assume_dva
+        kernel = self.batch_kernel
+        for mask, window, qserve, child_bits, posbit in self._walk:
             if serve is None:
-                idx = np.arange(n)
+                idx = None
+                sub_keys, sub_vecs = keys_arr, vecs
+                known = (
+                    (admitted_bits & child_bits) != 0
+                    if dva and child_bits
+                    else None
+                )
             else:
-                idx = np.flatnonzero((serve & node.qserve) != 0)
+                idx = np.flatnonzero((serve & qserve) != 0)
                 if idx.size == 0:
                     continue
-            known = np.zeros(len(idx), dtype=bool)
-            if self.assume_dva:
-                for child in node.children:
-                    child_admitted = admitted_by_mask.get(child)
-                    if child_admitted is not None:
-                        known |= child_admitted[idx]
-            outcome = self._windows[mask].insert_batch(
-                keys_arr[idx],
-                vecs[idx],
-                known_member=known,
-                kernel=self.batch_kernel,
+                sub_keys = keys_arr[idx]
+                sub_vecs = vecs[idx]
+                known = (
+                    (admitted_bits[idx] & child_bits) != 0
+                    if dva and child_bits
+                    else None
+                )
+            outcome = window.insert_batch(
+                sub_keys, sub_vecs, known_member=known, kernel=kernel
             )
-            admitted = np.asarray(outcome.admitted, dtype=bool)
-            mask_admitted = np.zeros(n, dtype=bool)
-            mask_admitted[idx] = admitted
-            admitted_by_mask[mask] = mask_admitted
+            admitted = outcome.admitted
+            if idx is None:
+                admitted_bits[admitted] |= posbit
+            else:
+                admitted_bits[idx[admitted]] |= posbit
             evictions: "dict[int, list]" = {}
             for local in np.flatnonzero(admitted).tolist():
                 entry_evictions = outcome.evicted[local]
                 if entry_evictions:
-                    evictions[int(idx[local])] = [
-                        e.key for e in entry_evictions
-                    ]
+                    row = local if idx is None else int(idx[local])
+                    evictions[row] = [e.key for e in entry_evictions]
             if evictions:
                 evicted_by_mask[mask] = evictions
-        return admitted_by_mask, evicted_by_mask
+        return admitted_bits, evicted_by_mask
 
     # ------------------------------------------------------------------ #
     # Query-level views
@@ -355,11 +392,21 @@ class WorkloadPlan:
                 assume_dva=assume_dva,
                 batch_kernel=batch_kernel,
             )
+            local_bit = {name: i for i, name in enumerate(names)}
             group = {
                 "names": tuple(names),
                 "plan": plan,
                 # Local (sub-workload) bit per query name.
-                "local_bit": {name: i for i, name in enumerate(names)},
+                "local_bit": local_bit,
+                # When local numbering equals the global one (the common
+                # single-group workload), global→local mask translation is
+                # a single AND with the group's bit union.
+                "identity_bits": all(
+                    self.query_bits[name] == bit for name, bit in local_bit.items()
+                ),
+                "all_bits": np.int64(
+                    sum(1 << bit for bit in local_bit.values())
+                ),
             }
             self._groups.append(group)
             for name in names:
@@ -434,9 +481,9 @@ class WorkloadPlan:
                 # Replay commit kernel (docs/ARCHITECTURE.md §11): same
                 # window calls and charges, but the per-tuple × per-query
                 # scatter is replaced by per-query array translation over
-                # sparse admission/eviction results.  Report contents are
-                # identical to the scatter loop below.
-                admitted_arr, evicted_arr = plan.insert_batch_arrays(
+                # the admitted-bits column and sparse eviction results.
+                # Report contents are identical to the scatter loop below.
+                admitted_bits, evicted_arr = plan.insert_batch_arrays(
                     keys, vecs, local_masks
                 )
                 for name in group["names"]:
@@ -447,12 +494,14 @@ class WorkloadPlan:
                             reports[i].evicted.setdefault(name, []).extend(
                                 keys_out
                             )
-                    admitted = admitted_arr.get(mask)
-                    if admitted is not None:
-                        bit = np.int64(1) << group["local_bit"][name]
-                        rows = np.flatnonzero(admitted & ((local_masks & bit) != 0))
-                        for i in rows.tolist():
-                            reports[i].admitted.add(name)
+                    posbit = plan.node_bit(mask)
+                    bit = np.int64(1) << group["local_bit"][name]
+                    rows = np.flatnonzero(
+                        ((admitted_bits & posbit) != 0)
+                        & ((local_masks & bit) != 0)
+                    )
+                    for i in rows.tolist():
+                        reports[i].admitted.add(name)
                 continue
             sub_reports = plan.insert_batch(keys, vecs, local_masks)
             for i, sub in enumerate(sub_reports):
@@ -495,19 +544,22 @@ class WorkloadPlan:
             else None
         )
         for group in self._groups:
-            local_masks = np.zeros(n, dtype=np.int64)
-            for name in group["names"]:
-                bit = np.int64(1) << group["local_bit"][name]
-                if serve is None:
-                    local_masks |= bit
-                else:
+            if serve is None:
+                local_masks = np.full(n, group["all_bits"], dtype=np.int64)
+            elif group["identity_bits"]:
+                # Single-group workloads: global bits *are* local bits.
+                local_masks = serve & group["all_bits"]
+            else:
+                local_masks = np.zeros(n, dtype=np.int64)
+                for name in group["names"]:
+                    bit = np.int64(1) << group["local_bit"][name]
                     local_masks |= np.where(
                         (serve >> self.query_bits[name]) & 1, bit, np.int64(0)
                     )
             if not np.any(local_masks):
                 continue
             plan: SharedCuboidPlan = group["plan"]
-            admitted_arr, evicted_arr = plan.insert_batch_arrays(
+            admitted_bits, evicted_arr = plan.insert_batch_arrays(
                 keys, vecs, local_masks
             )
             for name in group["names"]:
@@ -517,12 +569,14 @@ class WorkloadPlan:
                     out = evicted_keys.setdefault(name, [])
                     for keys_out in evictions.values():
                         out.extend(keys_out)
-                admitted = admitted_arr.get(mask)
-                if admitted is not None:
-                    bit = np.int64(1) << group["local_bit"][name]
-                    rows = np.flatnonzero(admitted & ((local_masks & bit) != 0))
-                    if rows.size:
-                        admitted_rows[name] = rows
+                posbit = plan.node_bit(mask)
+                bit = np.int64(1) << group["local_bit"][name]
+                rows = np.flatnonzero(
+                    ((admitted_bits & posbit) != 0)
+                    & ((local_masks & bit) != 0)
+                )
+                if rows.size:
+                    admitted_rows[name] = rows
         return admitted_rows, evicted_keys
 
     def is_candidate(self, query_name: str, key: Hashable) -> bool:

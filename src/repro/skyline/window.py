@@ -11,10 +11,23 @@ point may invalidate previously admitted ones.  Evictions are therefore
 reported back to the caller so progressive executors know which earlier
 results became invalid.
 
-The window is stored as a growing numpy matrix so a whole scan is one
-vectorised comparison; the *charged* comparison count keeps sequential-BNL
-semantics (a rejected insert pays only up to its first dominator, an
-admitted insert pays one comparison per window entry).
+Storage layout (docs/ARCHITECTURE.md §16) is a structure of arrays:
+
+* ``_store`` — a growable float64 matrix whose row order *is* admission
+  order (BNL charges depend on entry order, so the order is load-bearing);
+* ``_key_hash`` — an int64 column of key hashes, with ``_key_list`` as the
+  collision-safe side table holding the actual :class:`Hashable` keys;
+* ``_admit_round`` — the monotone mutation round that admitted each row;
+* ``_live`` — liveness tombstones: an eviction only flips a bit.
+
+Rows grow geometrically and evictions never move data; dead rows are
+swept out by a deferred compaction that fires once the dead fraction
+crosses ``_DEAD_FRACTION``.  Live rows in physical row order are exactly
+the window's entries in admission order at all times — every public view
+(``keys``, ``vectors``, iteration, :meth:`dump_entries`) reads that
+sequence, so the layout is invisible to observables: charged comparison
+counts, admissions, evictions and duplicate flags are bit-identical to a
+naive entry-list implementation.
 """
 
 from __future__ import annotations
@@ -28,8 +41,13 @@ from repro.skyline.dominance import ComparisonCounter, dims_index
 
 _INITIAL_CAPACITY = 16
 
+#: Compact once dead rows outnumber this fraction of all physical rows.
+#: 0.5 bounds wasted scan width at 2× the live window while keeping
+#: compaction cost amortised O(1) per eviction.
+_DEAD_FRACTION = 0.5
+
 #: Shared read-only eviction list for batch rows that evicted nothing —
-#: the replay kernel assigns a fresh list at every admission, so this
+#: the batch kernels assign a fresh list at every admission, so this
 #: sentinel is never mutated.
 _NO_EVICTIONS: "list" = []
 
@@ -79,8 +97,9 @@ class SkylineWindow:
     """Skyline of all inserted points over a fixed list of dimensions."""
 
     __slots__ = (
-        "dims", "counter", "_matrix", "_keys", "_keyset", "_size",
-        "_dims_index",
+        "dims", "counter", "_dims_index", "_store", "_key_hash",
+        "_admit_round", "_live", "_key_list", "_keyset", "_size",
+        "_live_count", "_round",
     )
 
     def __init__(
@@ -93,13 +112,26 @@ class SkylineWindow:
         self.dims = tuple(dims) if dims is not None else None
         self._dims_index = dims_index(self.dims) if self.dims is not None else None
         self.counter = counter
-        self._matrix: "np.ndarray | None" = None
-        self._keys: list[Hashable] = []
-        # Mirror of ``_keys`` for O(1) membership tests; window keys are
-        # unique result identities, so a set tracks the list exactly.
+        #: Flat columns; ``None`` until the first admission sizes the width.
+        self._store: "np.ndarray | None" = None
+        self._key_hash: "np.ndarray | None" = None
+        self._admit_round: "np.ndarray | None" = None
+        self._live: "np.ndarray | None" = None
+        #: Side table resolving key-hash collisions: the actual key object
+        #: per physical row (stale at dead rows until compaction).
+        self._key_list: list[Hashable] = []
+        # Live keys for O(1) membership tests; window keys are unique
+        # result identities, so a set tracks the live rows exactly.
         self._keyset: set = set()
+        #: Physical rows in use (live + tombstoned).
         self._size = 0
+        #: Live rows only — the window size every charge is based on.
+        self._live_count = 0
+        #: Monotone mutation round, stamped into ``_admit_round``.
+        self._round = 0
 
+    # ------------------------------------------------------------------ #
+    # Storage plumbing (never charges a comparison)
     # ------------------------------------------------------------------ #
     def _project(self, point: np.ndarray) -> np.ndarray:
         vec = np.asarray(point, dtype=float)
@@ -107,58 +139,149 @@ class SkylineWindow:
             vec = vec[self._dims_index]
         return vec
 
-    def _ensure_capacity(self, width: int) -> None:
-        if self._matrix is None:
-            self._matrix = np.empty((_INITIAL_CAPACITY, width))
-        elif self._size == len(self._matrix):
-            grown = np.empty((2 * len(self._matrix), width))
-            grown[: self._size] = self._matrix
-            self._matrix = grown
+    def _ensure_capacity(self, width: int, needed: int) -> None:
+        if self._store is None:
+            capacity = _INITIAL_CAPACITY
+            while capacity < needed:
+                capacity *= 2
+            self._store = np.empty((capacity, width))
+            self._key_hash = np.empty(capacity, dtype=np.int64)
+            self._admit_round = np.empty(capacity, dtype=np.int64)
+            self._live = np.zeros(capacity, dtype=bool)
+        elif needed > len(self._store):
+            capacity = len(self._store)
+            while capacity < needed:
+                capacity *= 2
+            for name in ("_store", "_key_hash", "_admit_round", "_live"):
+                old = getattr(self, name)
+                shape = (capacity, width) if old.ndim == 2 else (capacity,)
+                grown = np.zeros(shape, dtype=old.dtype)
+                grown[: self._size] = old[: self._size]
+                setattr(self, name, grown)
 
     def _append(self, key: Hashable, vec: np.ndarray) -> None:
-        self._ensure_capacity(len(vec))
-        self._matrix[self._size] = vec
-        self._keys.append(key)
+        self._ensure_capacity(len(vec), self._size + 1)
+        row = self._size
+        self._store[row] = vec
+        self._key_hash[row] = hash(key)
+        self._admit_round[row] = self._round
+        self._live[row] = True
+        self._key_list.append(key)
         self._keyset.add(key)
         self._size += 1
+        self._live_count += 1
 
-    def _compact(self, keep_mask: np.ndarray) -> "list[WindowEntry]":
-        """Drop entries where ``keep_mask`` is False; return them."""
-        removed: list[WindowEntry] = []
-        if np.all(keep_mask):
-            return removed
-        removed_idx = np.nonzero(~keep_mask)[0]
-        for i in removed_idx:
-            removed.append(WindowEntry(self._keys[i], self._matrix[i].copy()))
-        kept_idx = np.nonzero(keep_mask)[0]
-        self._matrix[: len(kept_idx)] = self._matrix[kept_idx]
-        self._keys = [self._keys[i] for i in kept_idx]
-        self._keyset.difference_update(e.key for e in removed)
-        self._size = len(kept_idx)
+    def _append_rows(self, keys: "list[Hashable]", rows: np.ndarray) -> None:
+        """Bulk append of already-projected live rows (batch commit)."""
+        k = len(keys)
+        if k == 0:
+            return
+        self._ensure_capacity(rows.shape[1], self._size + k)
+        sl = slice(self._size, self._size + k)
+        self._store[sl] = rows
+        self._key_hash[sl] = [hash(key) for key in keys]
+        self._admit_round[sl] = self._round
+        self._live[sl] = True
+        self._key_list.extend(keys)
+        self._keyset.update(keys)
+        self._size += k
+        self._live_count += k
+
+    def _evict_rows(self, rows: np.ndarray) -> "list[WindowEntry]":
+        """Tombstone live rows (ascending row order = window order)."""
+        # Key side-table walk: eviction reports carry Python key objects.
+        # caqe-check: disable=CQ009
+        removed = [
+            WindowEntry(self._key_list[i], self._store[i].copy())
+            for i in rows.tolist()
+        ]
+        self._live[rows] = False
+        self._live_count -= len(removed)
+        for entry in removed:
+            self._keyset.discard(entry.key)
         return removed
+
+    def _maybe_compact(self) -> None:
+        """Sweep tombstones once the dead fraction crosses the threshold.
+
+        Invariants: live rows keep their relative order (admission order),
+        no comparison is charged, and no public view can tell a compacted
+        window from an uncompacted one.
+        """
+        dead = self._size - self._live_count
+        if dead == 0 or dead <= int(self._size * _DEAD_FRACTION):
+            return
+        if self._live_count == 0:
+            self._size = 0
+            self._key_list = []
+            return
+        live_idx = np.flatnonzero(self._live[: self._size])
+        k = live_idx.size
+        self._store[:k] = self._store[live_idx]
+        self._key_hash[:k] = self._key_hash[live_idx]
+        self._admit_round[:k] = self._admit_round[live_idx]
+        self._live[: self._size] = False
+        self._live[:k] = True
+        # Key side-table sweep (Python objects; no column data reboxed).
+        # caqe-check: disable=CQ009
+        self._key_list = [self._key_list[i] for i in live_idx.tolist()]
+        self._size = k
+
+    def _replace_all(self, keys: "list[Hashable]", rows: np.ndarray) -> None:
+        """Swap in a complete new window (rounds kernel / restore path)."""
+        self._size = 0
+        self._live_count = 0
+        self._key_list = []
+        self._keyset = set()
+        if self._live is not None:
+            self._live[:] = False
+        if len(keys):
+            self._append_rows(list(keys), np.asarray(rows, dtype=float))
+
+    def _live_index(self) -> np.ndarray:
+        return np.flatnonzero(self._live[: self._size])
 
     # ------------------------------------------------------------------ #
     def insert(self, key: Hashable, point: np.ndarray) -> InsertOutcome:
         """Try to add ``point``; returns admission status and evictions."""
         vec = self._project(point)
-        if self._size == 0:
+        self._round += 1
+        if self._live_count == 0:
+            self._maybe_compact()
             self._append(key, vec)
             return InsertOutcome(admitted=True)
-        window = self._matrix[: self._size]
+        n_rows = self._size
+        window = self._store[:n_rows]
         entry_le = np.all(window <= vec, axis=1)
         new_le = np.all(vec <= window, axis=1)
+        compact = self._live_count == n_rows
+        if not compact:
+            live = self._live[:n_rows]
+            entry_le &= live
+            new_le &= live
         equal = entry_le & new_le
         dominators = entry_le & ~equal
         duplicate = bool(np.any(equal))
         if np.any(dominators):
-            # Sequential BNL stops at the first dominating entry.
+            # Sequential BNL stops at the first dominating entry; the
+            # charge is its position among *live* rows (entry order).
             if self.counter is not None:
-                self.counter.record(int(np.argmax(dominators)) + 1)
+                row = int(np.argmax(dominators))
+                position = (
+                    row if compact
+                    else int(np.count_nonzero(self._live[:row]))
+                )
+                self.counter.record(position + 1)
             return InsertOutcome(admitted=False, duplicate=duplicate)
         if self.counter is not None:
-            self.counter.record(self._size)
+            self.counter.record(self._live_count)
         dominated = new_le & ~equal
-        evicted = self._compact(~dominated)
+        evicted = (
+            self._evict_rows(np.flatnonzero(dominated))
+            if np.any(dominated)
+            else []
+        )
+        self._maybe_compact()
         self._append(key, vec)
         return InsertOutcome(admitted=True, evicted=evicted, duplicate=duplicate)
 
@@ -175,20 +298,32 @@ class SkylineWindow:
         :meth:`insert`, just without the early-termination discount.
         """
         vec = self._project(point)
-        if self._size == 0:
+        self._round += 1
+        if self._live_count == 0:
+            self._maybe_compact()
             self._append(key, vec)
             return InsertOutcome(admitted=True)
         if self.counter is not None:
-            self.counter.record(self._size)
-        window = self._matrix[: self._size]
+            self.counter.record(self._live_count)
+        n_rows = self._size
+        window = self._store[:n_rows]
         entry_le = np.all(window <= vec, axis=1)
         new_le = np.all(vec <= window, axis=1)
+        if self._live_count != n_rows:
+            live = self._live[:n_rows]
+            entry_le &= live
+            new_le &= live
         equal = entry_le & new_le
         if bool(np.any(entry_le & ~equal)):
             # DVA violated: the "guaranteed member" is actually dominated.
             return InsertOutcome(admitted=False, duplicate=bool(np.any(equal)))
         dominated = new_le & ~equal
-        evicted = self._compact(~dominated)
+        evicted = (
+            self._evict_rows(np.flatnonzero(dominated))
+            if np.any(dominated)
+            else []
+        )
+        self._maybe_compact()
         self._append(key, vec)
         return InsertOutcome(
             admitted=True, evicted=evicted, duplicate=bool(np.any(equal))
@@ -233,6 +368,7 @@ class SkylineWindow:
         if self._dims_index is not None:
             mat = mat[:, self._dims_index]
         m = len(keys)
+        self._round += 1
         admitted = np.zeros(m, dtype=bool)
         duplicate = np.zeros(m, dtype=bool)
         if known_member is None:
@@ -252,12 +388,19 @@ class SkylineWindow:
         evicted = [[] for _ in range(m)]
         if m == 0:
             return BatchInsertOutcome(admitted, evicted, duplicate)
-        cur = (
-            self._matrix[: self._size]
-            if self._size
-            else np.empty((0, mat.shape[1]))
-        )
-        cur_keys = list(self._keys)
+        if self._live_count == 0:
+            cur = np.empty((0, mat.shape[1]))
+            cur_keys: "list[Hashable]" = []
+        elif self._live_count == self._size:
+            # Contiguous live prefix: the kernel never mutates ``cur`` in
+            # place (evictions re-gather), so a view is safe.
+            cur = self._store[: self._size]
+            cur_keys = list(self._key_list)
+        else:
+            live_idx = self._live_index()
+            cur = self._store[live_idx]
+            # caqe-check: disable=CQ009
+            cur_keys = [self._key_list[i] for i in live_idx.tolist()]
         total_charge = 0
         pos = 0
         while pos < m:
@@ -296,12 +439,16 @@ class SkylineWindow:
                 kill = new_le[:, first] & ~equal[:, first]
                 if kill.any():
                     kill_idx = np.flatnonzero(kill)
+                    # Reference kernel: deliberate scalar transliteration
+                    # of the insert loop (keys are Python objects).
+                    # caqe-check: disable=CQ009
                     evicted[j] = [
                         WindowEntry(cur_keys[i], cur[i].copy())
                         for i in kill_idx.tolist()
                     ]
                     keep = ~kill
                     cur = cur[keep]
+                    # caqe-check: disable=CQ009
                     cur_keys = [
                         k for k, kept in zip(cur_keys, keep.tolist()) if kept
                     ]
@@ -312,13 +459,7 @@ class SkylineWindow:
                 break
         if self.counter is not None and total_charge:
             self.counter.record(total_charge)
-        self._size = len(cur_keys)
-        self._keys = cur_keys
-        self._keyset = set(cur_keys)
-        width = cur.shape[1] if cur.size else mat.shape[1]
-        capacity = max(_INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length())
-        self._matrix = np.empty((capacity, width))
-        self._matrix[: self._size] = cur
+        self._replace_all(cur_keys, cur)
         return BatchInsertOutcome(admitted, evicted, duplicate)
 
     def _insert_batch_replay(
@@ -337,7 +478,8 @@ class SkylineWindow:
         admission round:
 
         * batch-vs-initial-window dominance/equality matrices are built in
-          a single broadcast;
+          a single broadcast over the physical rows (tombstoned rows are
+          zeroed out, so contiguous column slices stay valid all batch);
         * each *admission* adds one cached dominance row (the new entry
           against the whole batch), so the "does a window entry dominate
           point j" predicate is maintained incrementally — an evicted
@@ -345,32 +487,44 @@ class SkylineWindow:
           dominance is transitive through the eviction chain), which makes
           the predicate monotone and cache-safe;
         * per-round work is then just boolean gathers over the rejected
-          prefix, not a fresh ``(window × remaining × dims)`` float pass.
+          prefix, not a fresh ``(window × remaining × dims)`` float pass;
+        * charges need entry *positions*, not physical rows, so a
+          live-prefix rank column maps a first-dominator row to its rank
+          among live rows (recomputed only on the rare old-row eviction).
 
-        Total comparison work drops from O(admissions · batch · window ·
-        dims) to O((window + batch) · batch · dims) while every decision,
-        eviction list, duplicate flag, final window entry order and the
-        charged comparison total replay the scalar insert loop exactly.
+        Commits are pure column writes: old-row evictions flip tombstones,
+        surviving admissions append in admission order — no entry objects,
+        no key-list rebuild, no matrix reallocation beyond amortised
+        geometric growth.  Every decision, eviction list, duplicate flag,
+        final live entry order and the charged comparison total replay the
+        scalar insert loop exactly.
         """
         m = len(keys)
-        w0 = self._size
+        n_rows = self._size
         width = mat.shape[1]
-        if w0:
-            window = self._matrix[:w0]
+        if n_rows:
+            window = self._store[:n_rows]
             entry_le0 = (window[:, None, :] <= mat[None, :, :]).all(axis=2)
             new_le0 = (window[:, None, :] >= mat[None, :, :]).all(axis=2)
             eq0 = entry_le0 & new_le0
             dom0 = entry_le0 & ~eq0
+            alive0 = self._live[:n_rows].copy()
+            if self._live_count != n_rows:
+                dead = ~alive0
+                dom0[dead] = False
+                eq0[dead] = False
+                new_le0[dead] = False
             has_dom = dom0.any(axis=0)
+            # Rank among live rows per physical row (valid at live rows).
+            live_rank = np.cumsum(alive0) - alive0
         else:
             window = np.empty((0, width))
             new_le0 = eq0 = dom0 = np.zeros((0, m), dtype=bool)
+            alive0 = np.zeros(0, dtype=bool)
             has_dom = np.zeros(m, dtype=bool)
-        # Alive initial entries, in original window order.  ``old_contig``
-        # stays True until the first old-entry eviction, letting the hot
-        # prefix reads slice ``dom0``/``eq0`` directly instead of gathering.
-        old_rows = np.arange(w0)
-        old_contig = True
+            live_rank = np.zeros(0, dtype=np.int64)
+        n_old = self._live_count
+        killed_rows: "list[int]" = []
         # Admitted batch entries still in the window (admission order) and
         # their cached dominance/equality rows over the whole batch, kept
         # in growable row-matrix buffers so per-round prefix reads are one
@@ -390,7 +544,6 @@ class SkylineWindow:
         total_charge = 0
         pos = 0
         while pos < m:
-            n_old = int(old_rows.size)
             n_w = n_old + n_adm
             if n_w == 0:
                 # Empty window: the point enters for free.
@@ -409,16 +562,10 @@ class SkylineWindow:
                 first = m - pos
             if first:
                 if n_old:
-                    if old_contig:
-                        dom_old = dom0[:, pos : pos + first]
-                        eq_old = eq0[:, pos : pos + first]
-                    else:
-                        prefix = np.arange(pos, pos + first)
-                        dom_old = dom0[np.ix_(old_rows, prefix)]
-                        eq_old = eq0[np.ix_(old_rows, prefix)]
-                    dup = eq_old.any(axis=0)
+                    dom_old = dom0[:, pos : pos + first]
+                    dup = eq0[:, pos : pos + first].any(axis=0)
                     any_old = dom_old.any(axis=0)
-                    first_old = dom_old.argmax(axis=0)
+                    first_old = live_rank[dom_old.argmax(axis=0)]
                 else:
                     dup = np.zeros(first, dtype=bool)
                     any_old = np.zeros(first, dtype=bool)
@@ -441,24 +588,37 @@ class SkylineWindow:
                 break
             dom_row, eq_row = batch_rows(mat[j])
             admitted[j] = True
-            dup_j = bool(eq0[old_rows, j].any()) if n_old else False
+            dup_j = bool(eq0[:, j].any()) if n_old else False
             if not dup_j and n_adm:
                 dup_j = bool(adm_eq[:n_adm, j].any())
             duplicate[j] = dup_j
             total_charge += n_w
             # Evictions in current-window order: surviving initial entries
-            # (original order) first, then admitted ones (admission order).
+            # (physical row order = original order) first, then admitted
+            # ones (admission order).
             evs: "list[WindowEntry]" = []
             if n_old:
-                kill_old = new_le0[old_rows, j] & ~eq0[old_rows, j]
+                kill_old = new_le0[:, j] & ~eq0[:, j]
                 if kill_old.any():
-                    for i in old_rows[kill_old].tolist():
-                        evs.append(WindowEntry(self._keys[i], window[i].copy()))
-                    old_rows = old_rows[~kill_old]
-                    old_contig = False
+                    kill_idx = np.flatnonzero(kill_old)
+                    # Eviction report rows carry Python key objects.
+                    # caqe-check: disable=CQ009
+                    for i in kill_idx.tolist():
+                        evs.append(WindowEntry(self._key_list[i], window[i].copy()))
+                        killed_rows.append(i)
+                    # Dead rows must stop dominating, tying and killing in
+                    # later rounds — zero their cached columns and refresh
+                    # the live-rank map (rare: old evictions only).
+                    dom0[kill_idx] = False
+                    eq0[kill_idx] = False
+                    new_le0[kill_idx] = False
+                    alive0[kill_idx] = False
+                    n_old -= kill_idx.size
+                    live_rank = np.cumsum(alive0) - alive0
             if n_adm:
                 kill_adm = dom_row[adm_pos[:n_adm]]
                 if kill_adm.any():
+                    # caqe-check: disable=CQ009
                     evs.extend(
                         WindowEntry(keys[p], mat[p].copy())
                         for p in adm_pos[:n_adm][kill_adm].tolist()
@@ -487,35 +647,21 @@ class SkylineWindow:
             pos = j + 1
         if self.counter is not None and total_charge:
             self.counter.record(total_charge)
-        if old_contig and int(old_rows.size) == w0:
-            # No old-entry eviction: the initial window prefix is intact in
-            # place, so the rebuild reduces to appending the surviving
-            # admissions (or to nothing at all).
-            if n_adm == 0:
-                return BatchInsertOutcome(admitted, evicted, duplicate)
-            if self._matrix is not None and w0 + n_adm <= len(self._matrix):
-                final_adm = adm_pos[:n_adm].tolist()
-                self._matrix[w0 : w0 + n_adm] = mat[final_adm]
-                new_keys = [keys[a] for a in final_adm]
-                self._keys.extend(new_keys)
-                self._keyset.update(new_keys)
-                self._size = w0 + n_adm
-                return BatchInsertOutcome(admitted, evicted, duplicate)
-        final_adm = adm_pos[:n_adm].tolist()
-        final_keys = [self._keys[i] for i in old_rows.tolist()]
-        final_keys.extend(keys[a] for a in final_adm)
-        parts = []
-        if old_rows.size:
-            parts.append(window[old_rows])
-        if final_adm:
-            parts.append(mat[final_adm])
-        cur = np.vstack(parts) if parts else np.empty((0, width))
-        self._size = len(final_keys)
-        self._keys = final_keys
-        self._keyset = set(final_keys)
-        capacity = max(_INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length())
-        self._matrix = np.empty((capacity, width))
-        self._matrix[: self._size] = cur
+        # Column-only commit: tombstone evicted old rows, append surviving
+        # admissions, sweep if the dead fraction crossed the threshold.
+        if killed_rows:
+            self._live[killed_rows] = False
+            self._live_count -= len(killed_rows)
+            for i in killed_rows:
+                self._keyset.discard(self._key_list[i])
+        if n_adm:
+            final_adm = adm_pos[:n_adm]
+            self._append_rows(
+                # caqe-check: disable=CQ009
+                [keys[a] for a in final_adm.tolist()],
+                mat[final_adm],
+            )
+        self._maybe_compact()
         return BatchInsertOutcome(admitted, evicted, duplicate)
 
     # ------------------------------------------------------------------ #
@@ -525,10 +671,16 @@ class SkylineWindow:
     # ------------------------------------------------------------------ #
     def dump_entries(self) -> "tuple[list[Hashable], list[list[float]]]":
         """Window contents in entry order, as JSON-serialisable lists."""
-        rows = [
-            [float(v) for v in self._matrix[i]] for i in range(self._size)
-        ]
-        return list(self._keys), rows
+        if self._live_count == self._size:
+            keys = list(self._key_list)
+            rows = self._store[: self._size].tolist() if self._size else []
+        else:
+            live_idx = self._live_index()
+            # Serialisation boundary: keys/rows leave as Python objects.
+            # caqe-check: disable=CQ009
+            keys = [self._key_list[i] for i in live_idx.tolist()]
+            rows = self._store[live_idx].tolist()
+        return keys, rows
 
     def load_entries(
         self, keys: "Sequence[Hashable]", rows: "Sequence[Sequence[float]]"
@@ -541,19 +693,10 @@ class SkylineWindow:
         """
         if len(keys) != len(rows):
             raise ValueError("window restore: keys/rows length mismatch")
-        self._keys = list(keys)
-        self._keyset = set(self._keys)
-        self._size = len(self._keys)
-        if self._size == 0:
-            self._matrix = None
+        if len(keys) == 0:
+            self._replace_all([], np.empty((0, 0)))
             return
-        width = len(rows[0])
-        capacity = max(
-            _INITIAL_CAPACITY, 1 << max(self._size - 1, 0).bit_length()
-        )
-        self._matrix = np.empty((capacity, width))
-        for i, row in enumerate(rows):
-            self._matrix[i] = np.asarray(row, dtype=float)
+        self._replace_all(list(keys), np.asarray(rows, dtype=float))
 
     # ------------------------------------------------------------------ #
     def contains_key(self, key: Hashable) -> bool:
@@ -561,37 +704,70 @@ class SkylineWindow:
 
     def remove_key(self, key: Hashable) -> bool:
         """Drop an entry by identity (used when a result is retracted)."""
-        try:
-            index = self._keys.index(key)
-        except ValueError:
+        if key not in self._keyset:
             return False
-        keep = np.ones(self._size, dtype=bool)
-        keep[index] = False
-        self._compact(keep)
-        return True
+        # The hash column narrows the scan to colliding rows; the key side
+        # table settles which of them actually holds the key.
+        candidates = np.flatnonzero(
+            (self._key_hash[: self._size] == hash(key))
+            & self._live[: self._size]
+        )
+        # Collision scan over the key side table (usually one row).
+        # caqe-check: disable=CQ009
+        for row in candidates.tolist():
+            if self._key_list[row] == key:
+                self._evict_rows(np.asarray([row], dtype=np.intp))
+                self._maybe_compact()
+                return True
+        return False
 
     @property
     def keys(self) -> "list[Hashable]":
-        return list(self._keys)
+        if self._live_count == self._size:
+            return list(self._key_list)
+        # caqe-check: disable=CQ009
+        return [self._key_list[i] for i in self._live_index().tolist()]
 
     @property
     def vectors(self) -> np.ndarray:
-        if self._size == 0:
+        if self._live_count == 0:
             width = len(self.dims) if self.dims is not None else 0
+            if self._store is not None:
+                width = self._store.shape[1]
             return np.empty((0, width))
-        return self._matrix[: self._size].copy()
+        if self._live_count == self._size:
+            return self._store[: self._size].copy()
+        return self._store[self._live_index()]
+
+    @property
+    def admission_rounds(self) -> np.ndarray:
+        """Mutation round that admitted each live entry, in entry order."""
+        if self._live_count == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._live_count == self._size:
+            return self._admit_round[: self._size].copy()
+        return self._admit_round[self._live_index()]
+
+    @property
+    def dead_fraction(self) -> float:
+        """Tombstoned fraction of physical rows (compaction trigger gauge)."""
+        if self._size == 0:
+            return 0.0
+        return (self._size - self._live_count) / self._size
 
     def __len__(self) -> int:
-        return self._size
+        return self._live_count
 
     def __iter__(self) -> "Iterator[WindowEntry]":
+        live_idx = self._live_index() if self._size else np.empty(0, np.intp)
+        # caqe-check: disable=CQ009
         return (
-            WindowEntry(self._keys[i], self._matrix[i].copy())
-            for i in range(self._size)
+            WindowEntry(self._key_list[i], self._store[i].copy())
+            for i in live_idx.tolist()
         )
 
     def __repr__(self) -> str:
-        return f"SkylineWindow(dims={self.dims}, size={self._size})"
+        return f"SkylineWindow(dims={self.dims}, size={self._live_count})"
 
 
 __all__ = ["BatchInsertOutcome", "InsertOutcome", "SkylineWindow", "WindowEntry"]

@@ -1,0 +1,53 @@
+"""The single-core pool footgun warning (docs/ARCHITECTURE.md §14).
+
+Requesting a worker pool on a one-core host only buys IPC overhead, so
+the engine notes it — as a structured entry on the stats wall-channel,
+never on stdout, and never inside :meth:`ExecutionStats.summary` (the
+run fingerprint must not depend on the host's core count).
+"""
+
+from repro.contracts import c2
+from repro.core import CAQE, CAQEConfig
+from repro.datagen import generate_pair
+from repro.query.workload import subspace_workload
+
+
+def _run(workers):
+    pair = generate_pair("independent", 80, 4, selectivity=0.1, seed=3)
+    workload = subspace_workload(2, priority_scheme="uniform")
+    contracts = {q.name: c2(scale=100.0) for q in workload}
+    return CAQE(CAQEConfig(workers=workers)).run(
+        pair.left, pair.right, workload, contracts
+    )
+
+
+def test_single_core_pool_warns(monkeypatch):
+    monkeypatch.setattr("repro.core.caqe.os.cpu_count", lambda: 1)
+    result = _run(workers=2)
+    assert {
+        "kind": "single_core_pool",
+        "workers": 2,
+        "cpu_count": 1,
+    } in result.stats.runtime_warnings
+    # Wall-channel only: the warning never enters the summary fingerprint.
+    assert "runtime_warnings" not in result.stats.summary()
+
+
+def test_unknown_core_count_warns(monkeypatch):
+    # os.cpu_count() may return None; treat it as a single-core host.
+    monkeypatch.setattr("repro.core.caqe.os.cpu_count", lambda: None)
+    result = _run(workers=2)
+    kinds = [w["kind"] for w in result.stats.runtime_warnings]
+    assert "single_core_pool" in kinds
+
+
+def test_multi_core_pool_is_silent(monkeypatch):
+    monkeypatch.setattr("repro.core.caqe.os.cpu_count", lambda: 4)
+    result = _run(workers=2)
+    assert result.stats.runtime_warnings == []
+
+
+def test_serial_run_never_warns(monkeypatch):
+    monkeypatch.setattr("repro.core.caqe.os.cpu_count", lambda: 1)
+    result = _run(workers=0)
+    assert result.stats.runtime_warnings == []

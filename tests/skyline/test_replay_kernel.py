@@ -53,13 +53,14 @@ def _run_kernel(points, n_seed, known, width, kernel):
         known_member=np.array(known, dtype=bool),
         kernel=kernel,
     )
-    matrix = window._matrix
-    final = np.empty((0, width)) if matrix is None else matrix[: window._size].copy()
+    final = window.vectors
+    if final.size == 0:
+        final = np.empty((0, width))
     return (
         report.admitted.tolist(),
         report.duplicate.tolist(),
         [[entry.key for entry in row] for row in report.evicted],
-        list(window._keys),
+        list(window.keys),
         final,
         counter.comparisons - before,
     )

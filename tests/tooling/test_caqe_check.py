@@ -693,6 +693,55 @@ class TestCQ009:
         )
         assert found == []
 
+    def test_fires_in_skyline_window_hot_sections(self, tmp_path):
+        # The SoA window (docs/ARCHITECTURE.md §16) is hot-path scope: a
+        # per-row walk over its flat columns reboxes every cell.
+        found = lint(
+            tmp_path,
+            "repro/skyline/window.py",
+            """\
+            def insert_batch(store, live, size):
+                charges = 0
+                for row in store[:size].tolist():
+                    charges += len(row)
+                return charges
+            """,
+            select="CQ009",
+        )
+        assert codes(found) == ["CQ009"]
+
+    def test_skyline_window_array_commit_is_clean(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/skyline/window.py",
+            """\
+            import numpy as np
+
+
+            def commit(store, live, killed_rows):
+                live[killed_rows] = False
+                rows = np.flatnonzero(live)
+                store[: len(rows)] = store[rows]
+                return len(rows)
+            """,
+            select="CQ009",
+        )
+        assert found == []
+
+    def test_skyline_window_side_table_pragma_suppresses(self, tmp_path):
+        found = lint(
+            tmp_path,
+            "repro/skyline/window.py",
+            """\
+            def evict(key_list, rows):
+                # Key side-table walk (Python objects, not column data).
+                # caqe-check: disable=CQ009
+                return [key_list[i] for i in rows.tolist()]
+            """,
+            select="CQ009",
+        )
+        assert found == []
+
     def test_pragma_suppresses(self, tmp_path):
         found = lint(
             tmp_path,

@@ -12,10 +12,16 @@ against ``BENCH_history.jsonl``:
 * **performance** — wall-clock is machine- and load-dependent, so the
   gate never compares absolute seconds across runs.  It compares
   *within-run* speedup ratios (``scalar+naive / batch+cache``,
-  ``workers=N / workers=0``) against the median of recent passing
-  entries, with a noise tolerance: a real regression slows the optimised
-  engine relative to its own naive mode on the same machine in the same
-  run.
+  ``workers=N / workers=0``, and the scale sweep's throughput relative
+  to its own 1x cell) against the median of recent passing entries, with
+  a noise tolerance: a real regression slows the optimised engine
+  relative to its own naive mode on the same machine in the same run,
+  and a storage-layer blow-up shows up as falling relative throughput at
+  4x/16x cardinality.
+
+``REPRO_SCALE`` overrides rescale every cardinality, so each scale forms
+its own baseline lineage in the history file — the CI scaled smoke job
+(``REPRO_SCALE=4``) gates against scale-4 entries only.
 
 Every run — pass or fail — is appended to the history file (audit
 trail); only ``status: "pass"`` entries form future baselines.  An empty
@@ -172,6 +178,7 @@ def distil(perf: dict, parallel: "dict | None") -> dict:
         ),
         "git": _git_rev(),
         "quick": perf.get("quick", True),
+        "repro_scale": perf.get("repro_scale", 1.0),
         "python": perf.get("python"),
         "machine": perf.get("machine"),
         "fig9": {
@@ -186,6 +193,16 @@ def distil(perf: dict, parallel: "dict | None") -> dict:
                 "speedup": cell["speedup"],
             }
             for cell in perf["fig11_size_sweep"]
+        ],
+        "scale_sweep": [
+            {
+                "scale": cell["scale"],
+                "cardinality": cell["cardinality"],
+                "invariants": _invariants(cell),
+                "wall_s": cell["wall_s"],
+                "relative_throughput": cell["relative_throughput"],
+            }
+            for cell in perf.get("scale_sweep", [])
         ],
     }
     if parallel is not None:
@@ -221,9 +238,19 @@ def _comparable(record: dict, entry: dict) -> bool:
     """Entries gate each other only when they measured the same scenarios."""
     if entry.get("quick") != record.get("quick"):
         return False
+    if entry.get("repro_scale", 1.0) != record.get("repro_scale", 1.0):
+        # A REPRO_SCALE override changes every cardinality, so observables
+        # legitimately differ; each scale forms its own baseline lineage.
+        return False
     if [c["queries"] for c in entry.get("fig11", [])] != [
         c["queries"] for c in record["fig11"]
     ]:
+        return False
+    theirs_scales = [c["scale"] for c in entry.get("scale_sweep", [])]
+    mine_scales = [c["scale"] for c in record.get("scale_sweep", [])]
+    if theirs_scales and theirs_scales != mine_scales:
+        # Entries predating the scale sweep stay comparable (the new
+        # section seeds itself); mismatched sweeps do not.
         return False
     return True
 
@@ -253,6 +280,11 @@ def gate(record: dict, history: "list[dict]", tolerance: float) -> "list[str]":
     for mine, theirs in zip(record["fig11"], latest.get("fig11", [])):
         checks.append((f"fig11 |S_Q|={mine['queries']}", mine["invariants"],
                        theirs["invariants"]))
+    for mine, theirs in zip(
+        record.get("scale_sweep", []), latest.get("scale_sweep", [])
+    ):
+        checks.append((f"scale {mine['scale']}x", mine["invariants"],
+                       theirs["invariants"]))
     for mine_p, theirs_p in [(record.get("parallel", {}),
                               latest.get("parallel", {}))]:
         for section in sorted(set(mine_p) & set(theirs_p)):
@@ -276,7 +308,7 @@ def gate(record: dict, history: "list[dict]", tolerance: float) -> "list[str]":
         floor = baseline * (1.0 - tolerance)
         if current < floor:
             failures.append(
-                f"PERF {label}: speedup {current:.2f}x fell below "
+                f"PERF {label}: ratio {current:.2f}x fell below "
                 f"{floor:.2f}x (median {baseline:.2f}x of last "
                 f"{len(baseline_values)} runs - {tolerance:.0%} tolerance)"
             )
@@ -294,6 +326,18 @@ def gate(record: dict, history: "list[dict]", tolerance: float) -> "list[str]":
                 e["fig11"][pos]["speedup"]
                 for e in window
                 if len(e.get("fig11", [])) > pos
+            ],
+        )
+    for pos, cell in enumerate(record.get("scale_sweep", [])):
+        if cell["scale"] == 1:
+            continue  # the 1x cell is the within-run denominator
+        ratio_gate(
+            f"scale {cell['scale']}x relative throughput",
+            cell["relative_throughput"],
+            [
+                e["scale_sweep"][pos]["relative_throughput"]
+                for e in window
+                if len(e.get("scale_sweep", [])) > pos
             ],
         )
     for section, scaling in record.get("parallel", {}).items():
@@ -411,6 +455,8 @@ def main(argv: "list[str] | None" = None) -> int:
     print(
         f"bench-gate: fig9 speedup {record['fig9']['speedup']}x, "
         f"{len(record['fig11'])} fig11 cells, "
+        f"{len(record.get('scale_sweep', []))} scale cells "
+        f"(REPRO_SCALE={record.get('repro_scale', 1.0)}), "
         f"{'parallel sections: %d, ' % len(record.get('parallel', {})) if parallel else ''}"
         f"{'serving arms: %d, ' % len(record.get('serving', {})) if serving else ''}"
         f"baseline entries: {baseline_count}"

@@ -8,8 +8,10 @@ over the rows of a relation column.  A ``for`` loop that walks
 cell into a Python object and silently reverts the region cost model to
 interpreter speed.
 
-Scope: the two hot-path modules, ``core/executor.py`` and
-``parallel/joinkernel.py``.  Flagged: ``for`` loops and comprehensions
+Scope: the hot-path modules ``core/executor.py``,
+``parallel/joinkernel.py`` and ``skyline/window.py`` (whose SoA columns
+— docs/ARCHITECTURE.md §16 — make per-row Python loops just as costly as
+relation-column walks).  Flagged: ``for`` loops and comprehensions
 whose iterable is
 
 * an ``<array>.tolist()`` call (the canonical per-row unboxing);
@@ -32,7 +34,11 @@ from tools.caqe_check.report import Violation
 
 CODE = "CQ009"
 
-_SCOPE_SUFFIXES = ("core/executor.py", "parallel/joinkernel.py")
+_SCOPE_SUFFIXES = (
+    "core/executor.py",
+    "parallel/joinkernel.py",
+    "skyline/window.py",
+)
 
 _WRAPPERS = ("zip", "enumerate", "reversed")
 _COLUMN_ATTRS = ("tolist", "column", "columns")
